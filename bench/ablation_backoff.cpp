@@ -1,0 +1,55 @@
+// Ablation: fixed vs staged (exponentially backed-off) retransmission
+// timers for the reliable protocols, under increasing loss.  Staged timers
+// are what Pan & Schulzrinne proposed for RSVP (cited by the paper); the
+// question is how many messages they save and what consistency they cost.
+//
+// Usage: ablation_backoff [--csv PATH]
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "exp/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sigcomp;
+
+  SingleHopParams params = SingleHopParams::kazaa_defaults();
+  params.removal_rate = 1.0 / 600.0;
+
+  exp::Table table(
+      "Fixed (Gamma) vs staged (x2 backoff) retransmission, simulated, "
+      "10-minute sessions",
+      {"loss", "protocol", "I fixed", "I staged", "M fixed", "M staged",
+       "msg saving %"});
+
+  for (const double loss : {0.05, 0.15, 0.3, 0.45}) {
+    SingleHopParams p = params;
+    p.loss = loss;
+    for (const ProtocolKind kind :
+         {ProtocolKind::kSSRT, ProtocolKind::kSSRTR, ProtocolKind::kHS}) {
+      protocols::SimOptions fixed;
+      fixed.sessions = 600;
+      fixed.seed = 21;
+      protocols::SimOptions staged = fixed;
+      staged.retrans_backoff = 2.0;
+      const auto f = evaluate_simulated(kind, p, fixed);
+      const auto s = evaluate_simulated(kind, p, staged);
+      const double saving = 100.0 * (1.0 - s.metrics.message_rate /
+                                               f.metrics.message_rate);
+      table.add_row({loss, std::string(to_string(kind)),
+                     f.metrics.inconsistency, s.metrics.inconsistency,
+                     f.metrics.message_rate, s.metrics.message_rate, saving});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: at the paper's 2-5% loss the stages rarely engage and "
+         "both behave alike.  Under heavy loss, backoff trades a modest "
+         "consistency hit (later stages wait longer) for a real reduction "
+         "in retransmission traffic -- most visible for HS, which has no "
+         "refresh fallback.\n";
+
+  const std::string csv = exp::csv_path_from_args(argc, argv);
+  if (!csv.empty()) table.write_csv_file(csv);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation of the hard-state protocol's Achilles heel: the external
+// failure detector (Sec. II / III-B).  Sweeps (a) the false-signal rate
+// lambda_e in the single-hop model and (b) the per-receiver false-signal
+// rate in the multi-hop chain, showing when HS loses its consistency edge
+// over SS+RTR / SS+RT.
+//
+// Usage: ablation_hs_recovery [--csv PATH]
+#include <iostream>
+
+#include "analytic/multi_hop.hpp"
+#include "analytic/single_hop.hpp"
+#include "exp/sweep.hpp"
+#include "exp/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sigcomp;
+
+  // (a) single hop: HS vs SS+RTR as the detector gets noisier.
+  exp::Table single(
+      "HS detector-noise ablation, single hop: I vs false-signal rate "
+      "lambda_e (SS+RTR shown for reference; it has no detector)",
+      {"lambda_e (1/s)", "I(HS)", "M(HS)", "I(SS+RTR)", "crossover"});
+  const SingleHopParams base = SingleHopParams::kazaa_defaults();
+  const Metrics rtr = analytic::evaluate_single_hop(ProtocolKind::kSSRTR, base);
+  for (const double rate : exp::log_space(1e-6, 1e-1, 11)) {
+    SingleHopParams p = base;
+    p.false_signal_rate = rate;
+    const Metrics hs = analytic::evaluate_single_hop(ProtocolKind::kHS, p);
+    single.add_row({rate, hs.inconsistency, hs.message_rate, rtr.inconsistency,
+                    std::string(hs.inconsistency > rtr.inconsistency ? "SS+RTR wins"
+                                                                     : "HS wins")});
+  }
+  single.print(std::cout);
+  std::cout << '\n';
+
+  // (b) multi hop: the recovery storm costs grow with the chain length.
+  exp::Table multi(
+      "HS detector-noise ablation, multi hop (K = 20): I and rate vs "
+      "per-receiver false-signal rate (SS+RT reference: fixed detector-free)",
+      {"lambda_e (1/s)", "I(HS)", "rate(HS)", "I(SS+RT)", "crossover"});
+  const MultiHopParams mh_base = MultiHopParams::reservation_defaults();
+  const Metrics ssrt = analytic::evaluate_multi_hop(ProtocolKind::kSSRT, mh_base);
+  for (const double rate : exp::log_space(1e-8, 1e-3, 11)) {
+    MultiHopParams p = mh_base;
+    p.false_signal_rate = rate;
+    const Metrics hs = analytic::evaluate_multi_hop(ProtocolKind::kHS, p);
+    multi.add_row({rate, hs.inconsistency, hs.raw_message_rate,
+                   ssrt.inconsistency,
+                   std::string(hs.inconsistency > ssrt.inconsistency
+                                   ? "SS+RT wins"
+                                   : "HS wins")});
+  }
+  multi.print(std::cout);
+
+  std::cout << "\nTakeaway: hard state's consistency advantage is an "
+               "assumption about its failure detector. Once false signals "
+               "are more frequent than soft state's false timeouts "
+               "(pl^(T/R)/T ~ 5e-7/s at defaults), the soft-state hybrids "
+               "win while also being self-healing after crashes.\n";
+
+  const std::string csv = exp::csv_path_from_args(argc, argv);
+  if (!csv.empty()) single.write_csv_file(csv);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Extension experiment (beyond the paper's figures, but straight from its
+// Section II discussion and Clark's original soft-state argument): sender
+// CRASHES.  A crashed sender signals nothing; orphaned receiver state must
+// be cleaned up by the receiver's own timeout (soft state) or an external
+// failure detector (hard state).
+//
+// Sweeps the hard-state detector latency and the crash fraction, measuring
+// simulated inconsistency and the mean orphaned-state window.
+//
+// Usage: ext_crash_recovery [--csv PATH]
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "exp/sweep.hpp"
+#include "exp/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sigcomp;
+
+  SingleHopParams params = SingleHopParams::kazaa_defaults();
+  params.removal_rate = 1.0 / 300.0;  // 5-minute sessions: crashes matter
+
+  // (a) all sessions crash; sweep the HS detector latency.
+  exp::Table detector(
+      "Crash recovery vs hard-state detector latency (every session "
+      "crashes; 5-min sessions, soft-state T = 15 s)",
+      {"detector delay (s)", "I(HS)", "orphan s (HS)", "I(SS+ER)",
+       "orphan s (SS+ER)", "I(SS+RTR)", "orphan s (SS+RTR)"});
+  for (const double delay : exp::log_space(1.0, 300.0, 7)) {
+    protocols::SimOptions options;
+    options.sessions = 800;
+    options.seed = 99;
+    options.crash_fraction = 1.0;
+    options.crash_detection_delay = delay;
+    const auto hs = evaluate_simulated(ProtocolKind::kHS, params, options);
+    const auto sser = evaluate_simulated(ProtocolKind::kSSER, params, options);
+    const auto ssrtr = evaluate_simulated(ProtocolKind::kSSRTR, params, options);
+    detector.add_row({delay, hs.metrics.inconsistency, hs.mean_orphan_time,
+                      sser.metrics.inconsistency, sser.mean_orphan_time,
+                      ssrtr.metrics.inconsistency, ssrtr.mean_orphan_time});
+  }
+  detector.print(std::cout);
+  std::cout << '\n';
+
+  // (b) fixed 10 s detector; sweep how often sessions crash.
+  exp::Table fraction(
+      "Crash recovery vs crash fraction (HS detector delay 10 s)",
+      {"crash fraction", "I(SS)", "I(SS+ER)", "I(SS+RTR)", "I(HS)",
+       "orphan s (SS+ER)", "orphan s (HS)"});
+  for (const double f : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    protocols::SimOptions options;
+    options.sessions = 800;
+    options.seed = 7;
+    options.crash_fraction = f;
+    options.crash_detection_delay = 10.0;
+    const auto ss = evaluate_simulated(ProtocolKind::kSS, params, options);
+    const auto sser = evaluate_simulated(ProtocolKind::kSSER, params, options);
+    const auto ssrtr = evaluate_simulated(ProtocolKind::kSSRTR, params, options);
+    const auto hs = evaluate_simulated(ProtocolKind::kHS, params, options);
+    fraction.add_row({f, ss.metrics.inconsistency, sser.metrics.inconsistency,
+                      ssrtr.metrics.inconsistency, hs.metrics.inconsistency,
+                      sser.mean_orphan_time, hs.mean_orphan_time});
+  }
+  fraction.print(std::cout);
+
+  std::cout
+      << "\nTakeaways: soft state's orphan window is bounded by its own "
+         "timeout T no matter how the sender dies -- explicit removal only "
+         "accelerates the graceful case. Hard state's orphan window IS the "
+         "failure detector's latency; with a slow detector its consistency "
+         "advantage inverts, which is Clark's survivability argument made "
+         "quantitative.\n";
+
+  const std::string csv = exp::csv_path_from_args(argc, argv);
+  if (!csv.empty()) detector.write_csv_file(csv);
+  return 0;
+}

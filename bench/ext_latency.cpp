@@ -1,0 +1,45 @@
+// Extension experiment: convergence-latency distributions.  The paper's
+// metrics are long-run averages; here the same Markov model answers the
+// designer's follow-up question -- "when I install or update state, how
+// long until the receiver agrees?" -- as a first-passage-time distribution
+// (mean, median, p99) per protocol and loss rate.
+//
+// Usage: ext_latency [--csv PATH]
+#include <iostream>
+
+#include "analytic/latency.hpp"
+#include "exp/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sigcomp;
+
+  exp::Table table(
+      "Setup/update convergence latency (first passage to consistency), "
+      "single-hop defaults except loss",
+      {"loss", "protocol", "mean setup (s)", "p50 setup", "p99 setup",
+       "mean update (s)", "p99 update", "P(converged<100ms)"});
+
+  for (const double loss : {0.02, 0.1, 0.3}) {
+    SingleHopParams p = SingleHopParams::kazaa_defaults();
+    p.loss = loss;
+    for (const ProtocolKind kind : kAllProtocols) {
+      const analytic::LatencyAnalysis latency(kind, p);
+      table.add_row({loss, std::string(to_string(kind)),
+                     latency.mean_setup_latency(), latency.setup_quantile(0.5),
+                     latency.setup_quantile(0.99),
+                     latency.mean_update_latency(),
+                     latency.update_quantile(0.99), latency.setup_cdf(0.1)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: the fast path dominates the median for everyone (one "
+         "channel delay).  Loss moves the tail: refresh-only protocols drag "
+         "a multi-second p99 (wait for the next refresh), while reliable "
+         "triggers cap it near the retransmission timer.\n";
+
+  const std::string csv = exp::csv_path_from_args(argc, argv);
+  if (!csv.empty()) table.write_csv_file(csv);
+  return 0;
+}

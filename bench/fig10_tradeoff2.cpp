@@ -1,0 +1,60 @@
+// Figure 10: the inconsistency/overhead tradeoff traced by (a) varying the
+// state update interval 1/lambda_u and (b) varying the channel delay D
+// (Gamma = 4D), single-hop defaults otherwise.
+//
+// Usage: fig10_tradeoff2 [--csv PATH] (update sweep; delay sweep goes to
+// PATH + ".delay.csv")
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "exp/sweep.hpp"
+#include "exp/table.hpp"
+
+namespace {
+
+std::vector<sigcomp::exp::Cell> tradeoff_row(double x,
+                                             const sigcomp::SingleHopParams& p) {
+  std::vector<sigcomp::exp::Cell> row{x};
+  for (const sigcomp::ProtocolKind kind : sigcomp::kAllProtocols) {
+    const sigcomp::Metrics m = sigcomp::evaluate_analytic(kind, p);
+    row.emplace_back(m.inconsistency);
+    row.emplace_back(m.message_rate);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sigcomp;
+  const std::vector<std::string> headers = {
+      "x",        "I(SS)",    "M(SS)",  "I(SS+ER)", "M(SS+ER)", "I(SS+RT)",
+      "M(SS+RT)", "I(SS+RTR)", "M(SS+RTR)", "I(HS)", "M(HS)"};
+
+  exp::Table update_table(
+      "Fig. 10(a): tradeoff varying update interval 1/lu (x = interval s)",
+      headers);
+  for (const double interval : exp::log_space(2.0, 2000.0, 13)) {
+    SingleHopParams p = SingleHopParams::kazaa_defaults();
+    p.update_rate = 1.0 / interval;
+    update_table.add_row(tradeoff_row(interval, p));
+  }
+  update_table.print(std::cout);
+  std::cout << '\n';
+
+  exp::Table delay_table(
+      "Fig. 10(b): tradeoff varying channel delay D (x = delay s, G = 4D)",
+      headers);
+  for (const double delay : exp::log_space(0.003, 0.3, 13)) {
+    delay_table.add_row(tradeoff_row(
+        delay, SingleHopParams::kazaa_defaults().with_delay_scaled_retrans(delay)));
+  }
+  delay_table.print(std::cout);
+
+  const std::string csv = exp::csv_path_from_args(argc, argv);
+  if (!csv.empty()) {
+    update_table.write_csv_file(csv);
+    delay_table.write_csv_file(csv + ".delay.csv");
+  }
+  return 0;
+}

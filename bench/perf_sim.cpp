@@ -1,0 +1,62 @@
+// Performance benchmarks of the discrete-event simulator: raw event-queue
+// throughput and full protocol simulations (events per second).
+#include <benchmark/benchmark.h>
+
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "protocols/multi_hop_run.hpp"
+#include "protocols/single_hop_run.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace sigcomp;
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    sim::Rng rng(1);
+    std::uint64_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      simulator.schedule_in(rng.uniform(), [&fired] { ++fired; });
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueChurn)->Range(1024, 65536);
+
+void BM_SingleHopSim(benchmark::State& state) {
+  const auto kind = kAllProtocols[static_cast<std::size_t>(state.range(0))];
+  const SingleHopParams params;
+  protocols::SimOptions options;
+  options.sessions = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocols::run_single_hop(kind, params, options));
+  }
+  state.SetLabel(std::string(to_string(kind)));
+}
+BENCHMARK(BM_SingleHopSim)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_MultiHopSim(benchmark::State& state) {
+  MultiHopParams params;
+  params.hops = static_cast<std::size_t>(state.range(0));
+  protocols::MultiHopSimOptions options;
+  options.duration = 2000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        protocols::run_multi_hop(ProtocolKind::kSSRT, params, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MultiHopSim)->RangeMultiplier(2)->Range(2, 16)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

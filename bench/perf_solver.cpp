@@ -1,0 +1,72 @@
+// Performance benchmarks of the Markov substrate: GTH stationary solve and
+// mean-time-to-absorption as a function of chain size, plus the full
+// single-hop and multi-hop model evaluations.
+#include <benchmark/benchmark.h>
+
+#include "analytic/multi_hop.hpp"
+#include "analytic/single_hop.hpp"
+#include "markov/absorption.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/stationary.hpp"
+
+namespace {
+
+using namespace sigcomp;
+
+/// Birth-death chain with n states (an M/M/1/n queue).
+markov::Ctmc birth_death(std::size_t n) {
+  markov::Ctmc chain;
+  for (std::size_t i = 0; i < n; ++i) chain.add_state("s" + std::to_string(i));
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    chain.add_rate(i, i + 1, 1.0);
+    chain.add_rate(i + 1, i, 1.3);
+  }
+  return chain;
+}
+
+void BM_GthStationary(benchmark::State& state) {
+  const auto chain = birth_death(static_cast<std::size_t>(state.range(0)));
+  const auto q = chain.generator();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::stationary_distribution(q));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GthStationary)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_MeanTimeToAbsorption(benchmark::State& state) {
+  markov::Ctmc chain = birth_death(static_cast<std::size_t>(state.range(0)));
+  // Make the last state absorbing-reachable: add an exit from state n-1.
+  const markov::StateId absorbing = chain.add_state("absorbed");
+  chain.add_rate(chain.num_states() - 2, absorbing, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::mean_time_to_absorption(chain));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MeanTimeToAbsorption)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_SingleHopModel(benchmark::State& state) {
+  const auto kind = kAllProtocols[static_cast<std::size_t>(state.range(0))];
+  const SingleHopParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytic::evaluate_single_hop(kind, params));
+  }
+  state.SetLabel(std::string(to_string(kind)));
+}
+BENCHMARK(BM_SingleHopModel)->DenseRange(0, 4);
+
+void BM_MultiHopModel(benchmark::State& state) {
+  MultiHopParams params;
+  params.hops = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analytic::evaluate_multi_hop(ProtocolKind::kSS, params));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MultiHopModel)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Table I of the paper: protocol-specific transition rates of the unified
+// single-hop Markov model, printed symbolically and numerically at the
+// default parameter point.
+//
+// Usage: table1 [--csv PATH]
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "analytic/single_hop.hpp"
+#include "exp/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sigcomp;
+  using analytic::ShState;
+  using analytic::SingleHopModel;
+
+  const SingleHopParams params = SingleHopParams::kazaa_defaults();
+
+  // Collect per-protocol formulas keyed by (from, to).
+  std::map<std::pair<ShState, ShState>, std::map<ProtocolKind, std::string>> rows;
+  for (const ProtocolKind kind : kAllProtocols) {
+    for (const auto& spec : SingleHopModel::transition_table(kind, params)) {
+      std::string cell = spec.formula;
+      if (spec.rate > 0.0) {
+        cell += " = " + exp::format_number(spec.rate);
+      }
+      rows[{spec.from, spec.to}][kind] = std::move(cell);
+    }
+  }
+
+  exp::Table table(
+      "Table I: model transitions (defaults: pl=0.02, D=0.03s, R=5s, T=15s, "
+      "G=0.12s, lu=0.05/s, lr=1/1800s, le=1e-4/s)",
+      {"transition", "SS", "SS+ER", "SS+RT", "SS+RTR", "HS"});
+  for (const auto& [edge, formulas] : rows) {
+    std::vector<exp::Cell> cells;
+    cells.emplace_back(std::string(to_string(edge.first)) + " -> " +
+                       std::string(to_string(edge.second)));
+    for (const ProtocolKind kind : kAllProtocols) {
+      const auto it = formulas.find(kind);
+      cells.emplace_back(it == formulas.end() ? std::string("-") : it->second);
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+
+  const std::string csv = exp::csv_path_from_args(argc, argv);
+  if (!csv.empty()) table.write_csv_file(csv);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// IGMP-flavoured scenario (Sec. I / II of the paper): a host registers
+// multicast group membership at its first-hop router.  IGMPv1 removed
+// memberships purely by timeout (the SS pattern); IGMPv2 added an explicit
+// Leave message (the SS+ER pattern).  While membership state is stale the
+// router keeps forwarding multicast traffic nobody wants -- the
+// application-specific cost here is wasted downstream bandwidth.
+//
+// This example measures that cost with the discrete-event simulator (real
+// deterministic-timer protocols, not the model) and shows why the v1 -> v2
+// protocol evolution was worth it.
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "exp/table.hpp"
+
+int main() {
+  using namespace sigcomp;
+
+  // Membership churn: viewers hop between channels every couple of minutes.
+  SingleHopParams p;
+  p.loss = 0.01;            // LAN, nearly loss-free
+  p.delay = 0.002;          // 2 ms to the first-hop router
+  p.retrans_timer = 0.008;  // 4x delay
+  p.update_rate = 0.0;      // membership has no "update", only join/leave
+  p.removal_rate = 1.0 / 120.0;  // mean 2-minute memberships
+  p.refresh_timer = 10.0;   // IGMP-ish report interval
+  p.timeout_timer = 30.0;   // 3 missed reports
+
+  constexpr double kStreamMbps = 4.0;  // one SD multicast stream
+
+  protocols::SimOptions options;
+  options.sessions = 3000;
+  options.seed = 2026;
+
+  exp::Table table(
+      "IGMP-style group membership, simulated (2-minute memberships, "
+      "10 s reports, 30 s timeout)",
+      {"protocol", "protocol analogue", "I (sim)", "unwanted Mbit/h",
+       "signaling msgs/session"});
+
+  const auto row = [&](ProtocolKind kind, const char* analogue) {
+    const protocols::SimResult sim = evaluate_simulated(kind, p, options);
+    // Stale state streams unwanted traffic for I fraction of the time.
+    const double wasted_mbit_per_hour =
+        sim.metrics.inconsistency * kStreamMbps * 3600.0;
+    table.add_row({std::string(to_string(kind)), std::string(analogue),
+                   sim.metrics.inconsistency, wasted_mbit_per_hour,
+                   sim.metrics.message_rate / p.removal_rate});
+  };
+
+  row(ProtocolKind::kSS, "IGMPv1 (timeout-only leave)");
+  row(ProtocolKind::kSSER, "IGMPv2 (explicit Leave)");
+  row(ProtocolKind::kSSRTR, "hypothetical reliable Leave");
+  row(ProtocolKind::kHS, "hard-state membership");
+  table.print(std::cout);
+
+  std::cout << "\nThe v1->v2 step (adding an explicit Leave) removes most of "
+               "the unwanted-traffic cost;\nmaking the Leave reliable buys "
+               "the remaining sliver at one extra ACK per departure.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// The paper's motivating single-hop scenario (Sec. III-A): a peer-to-peer
+// file-sharing directory.  Peers register their shared-file state with a
+// supernode when they join and the supernode must forget them when they
+// leave; stale entries make other peers contact departed peers ("fruitless
+// queries" -- the application-specific inconsistency cost).
+//
+// This example compares the five signaling protocols across user-behaviour
+// regimes (flash crowds of 5-minute sessions vs all-day peers) and converts
+// the inconsistency ratio into fruitless queries per hour, assuming the
+// supernode answers queries about a given peer at a fixed rate.
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "exp/table.hpp"
+
+namespace {
+
+struct Regime {
+  const char* name;
+  double mean_session_s;
+  double mean_update_interval_s;  // how often the shared folder changes
+};
+
+constexpr Regime kRegimes[] = {
+    {"flash-crowd (5 min sessions)", 300.0, 60.0},
+    {"casual (30 min sessions)", 1800.0, 20.0},
+    {"dedicated (8 h sessions)", 8.0 * 3600.0, 20.0},
+};
+
+/// Queries per hour about one peer answered by the supernode.
+constexpr double kQueriesPerHour = 120.0;
+
+}  // namespace
+
+int main() {
+  using namespace sigcomp;
+
+  std::cout << "Kazaa-style peer/supernode directory: stale state causes\n"
+               "fruitless queries; signaling messages cost supernode capacity.\n\n";
+
+  for (const Regime& regime : kRegimes) {
+    SingleHopParams p = SingleHopParams::kazaa_defaults();
+    p.removal_rate = 1.0 / regime.mean_session_s;
+    p.update_rate = 1.0 / regime.mean_update_interval_s;
+
+    exp::Table table(std::string("regime: ") + regime.name,
+                     {"protocol", "inconsistency I", "fruitless queries/h",
+                      "signaling msgs/session", "integrated cost"});
+    for (const auto& [kind, metrics] : compare_all(p)) {
+      const double fruitless = metrics.inconsistency * kQueriesPerHour;
+      const double msgs_per_session = metrics.message_rate / p.removal_rate;
+      table.add_row({std::string(to_string(kind)), metrics.inconsistency,
+                     fruitless, msgs_per_session, integrated_cost(metrics)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout
+      << "Takeaways (matching the paper):\n"
+         "  * Short sessions are the hard case: stale entries linger for the\n"
+         "    whole timeout window, so SS misdirects queries far more often.\n"
+         "  * An explicit LEAVE message (SS+ER) removes most of that cost for\n"
+         "    about one extra message per session.\n"
+         "  * Making LEAVE reliable (SS+RTR) matches hard-state consistency\n"
+         "    without hard state's external failure-detection machinery.\n";
+  return 0;
+}

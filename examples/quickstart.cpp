@@ -1,0 +1,42 @@
+// Quickstart: evaluate all five signaling protocols at the paper's default
+// ("Kazaa") operating point, analytically and by simulation.
+//
+//   $ ./quickstart
+//
+// prints one row per protocol with the inconsistency ratio I, the normalized
+// signaling message rate M, and the integrated cost C = 10*I + M, from both
+// the Markov model and the discrete-event simulator.
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "exp/table.hpp"
+
+int main() {
+  using namespace sigcomp;
+
+  const SingleHopParams params = SingleHopParams::kazaa_defaults();
+  protocols::SimOptions sim_options;
+  sim_options.sessions = 400;
+  sim_options.seed = 7;
+
+  exp::Table table(
+      "Signaling protocol comparison, single hop, Kazaa defaults "
+      "(pl=0.02, D=30ms, 1/lu=20s, 1/lr=1800s, R=5s, T=15s, G=120ms)",
+      {"protocol", "I (model)", "I (sim)", "M (model)", "M (sim)",
+       "cost C (model)"});
+
+  for (const ProtocolKind kind : kAllProtocols) {
+    const Metrics model = evaluate_analytic(kind, params);
+    const protocols::SimResult sim = evaluate_simulated(kind, params, sim_options);
+    table.add_row({std::string(to_string(kind)), model.inconsistency,
+                   sim.metrics.inconsistency, model.message_rate,
+                   sim.metrics.message_rate, integrated_cost(model)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: lower is better everywhere. SS+ER fixes most of "
+               "SS's inconsistency for almost no extra messages;\n"
+               "SS+RTR reaches hard-state consistency while keeping "
+               "soft-state robustness.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Timer tuning: find the integrated-cost-optimal refresh timer per protocol
+// (the Fig. 7 "sensitive optimal operating point" observation) and show how
+// the optimum and its sensitivity change with the application's
+// inconsistency weight w.
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "exp/table.hpp"
+#include "exp/tuning.hpp"
+
+int main() {
+  using namespace sigcomp;
+
+  const SingleHopParams params = SingleHopParams::kazaa_defaults();
+  const ProtocolKind soft_protocols[] = {ProtocolKind::kSS, ProtocolKind::kSSER,
+                                         ProtocolKind::kSSRT,
+                                         ProtocolKind::kSSRTR};
+
+  for (const double weight : {1.0, 10.0, 100.0}) {
+    exp::Table table(
+        "Cost-optimal refresh timer (T = 3R), inconsistency weight w = " +
+            exp::format_number(weight),
+        {"protocol", "optimal R (s)", "cost at optimum", "I at optimum",
+         "M at optimum", "cost at 2x R", "cost at R/2"});
+    for (const ProtocolKind kind : soft_protocols) {
+      const exp::TuningResult best =
+          exp::optimal_refresh_timer(kind, params, weight);
+      const auto cost_at = [&](double refresh) {
+        return integrated_cost(
+            evaluate_analytic(kind, params.with_refresh_scaled_timeout(refresh)),
+            weight);
+      };
+      table.add_row({std::string(to_string(kind)), best.argmin, best.cost,
+                     best.metrics.inconsistency, best.metrics.message_rate,
+                     cost_at(2.0 * best.argmin), cost_at(0.5 * best.argmin)});
+    }
+    // HS has no refresh timer: print its flat cost for reference.
+    const Metrics hs = evaluate_analytic(ProtocolKind::kHS, params);
+    table.add_row({std::string("HS (no R)"), 0.0, integrated_cost(hs, weight),
+                   hs.inconsistency, hs.message_rate,
+                   integrated_cost(hs, weight), integrated_cost(hs, weight)});
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // The timeout-to-refresh ratio question (Fig. 8a): what multiple of R
+  // should T be?
+  exp::Table ratio("Cost-optimal state-timeout timer with R fixed at 5 s (w = 10)",
+                   {"protocol", "optimal T (s)", "T / R", "cost at optimum"});
+  for (const ProtocolKind kind : soft_protocols) {
+    const exp::TuningResult best = exp::optimal_timeout_timer(kind, params);
+    ratio.add_row({std::string(to_string(kind)), best.argmin,
+                   best.argmin / params.refresh_timer, best.cost});
+  }
+  ratio.print(std::cout);
+
+  std::cout << "\nObservations: SS/SS+RT sit in a narrow cost valley (double "
+               "or halve R and pay), SS+ER is forgiving toward long timers, "
+               "and SS+RTR prefers the longest timer the deployment "
+               "tolerates -- all three paper claims, made executable.\n";
+  return 0;
+}

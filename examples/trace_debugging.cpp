@@ -1,0 +1,42 @@
+// Debugging a signaling exchange with the trace facility: run a short,
+// deliberately lossy SS+RTR session and print the message-level audit
+// trail (sends, drops, deliveries, session lifecycle).
+//
+// This is the workflow for investigating a protocol anomaly: reproduce it
+// under a fixed seed, attach a TraceLog, and read the timeline.
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "sim/trace.hpp"
+
+int main() {
+  using namespace sigcomp;
+
+  SingleHopParams params = SingleHopParams::kazaa_defaults();
+  params.loss = 0.25;              // deliberately terrible channel
+  params.removal_rate = 1.0 / 40.0;  // short sessions keep the trace readable
+  params.update_rate = 1.0 / 15.0;
+
+  sim::TraceLog trace(1 << 16);
+  protocols::SimOptions options;
+  options.sessions = 2;
+  options.seed = 20030825;  // SIGCOMM'03 :-)
+  options.trace = &trace;
+
+  const protocols::SimResult result =
+      evaluate_simulated(ProtocolKind::kSSRTR, params, options);
+
+  std::cout << "Two SS+RTR sessions over a 25%-loss channel "
+            << "(seed " << options.seed << "):\n\n";
+  trace.dump(std::cout);
+
+  std::cout << "\nsummary: " << result.messages << " messages in "
+            << result.total_time << " s simulated; "
+            << trace.count(sim::TraceCategory::kDrop) << " drops; I = "
+            << result.metrics.inconsistency << "\n\n"
+            << "How to read it: every retransmitted TRIGGER follows a "
+               "dropped TRIGGER or a dropped ACK-TRIGGER by one "
+               "retransmission timer; the session absorbs once REMOVE and "
+               "ACK-REMOVE both get through.\n";
+  return 0;
+}

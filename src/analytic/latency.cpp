@@ -1,0 +1,96 @@
+#include "analytic/latency.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "markov/absorption.hpp"
+#include "markov/uniformization.hpp"
+
+namespace sigcomp::analytic {
+
+LatencyAnalysis::LatencyAnalysis(ProtocolKind kind, const SingleHopParams& params)
+    : kind_(kind), params_(params) {
+  params_.validate();
+  const MechanismSet mech = mechanisms(kind);
+
+  setup1_ = chain_.add_state("(1,0)1");
+  setup2_ = chain_.add_state("(1,0)2");
+  consistent_ = chain_.add_state("C");  // absorbing: first passage target
+  update1_ = chain_.add_state("IC1");
+  update2_ = chain_.add_state("IC2");
+
+  const double fast_ok = (1.0 - params_.loss) / params_.delay;
+  const double fast_lost = params_.loss / params_.delay;
+  double repair_rate = 0.0;
+  if (mech.refresh) repair_rate += 1.0 / params_.refresh_timer;
+  if (mech.reliable_trigger) repair_rate += 1.0 / params_.retrans_timer;
+  const double slow_repair = repair_rate * (1.0 - params_.loss);
+
+  chain_.add_rate(setup1_, consistent_, fast_ok);
+  chain_.add_rate(setup1_, setup2_, fast_lost);
+  chain_.add_rate(setup2_, consistent_, slow_repair);
+  chain_.add_rate(setup2_, setup1_, params_.update_rate);
+  chain_.add_rate(update1_, consistent_, fast_ok);
+  chain_.add_rate(update1_, update2_, fast_lost);
+  chain_.add_rate(update2_, consistent_, slow_repair);
+  chain_.add_rate(update2_, update1_, params_.update_rate);
+
+  if (slow_repair <= 0.0 && params_.update_rate <= 0.0) {
+    throw std::invalid_argument(
+        "LatencyAnalysis: a lost trigger would never converge (no refresh, "
+        "no retransmission, no updates)");
+  }
+}
+
+double LatencyAnalysis::setup_cdf(double t) const {
+  return markov::transient_probability(chain_, setup1_, consistent_, t);
+}
+
+double LatencyAnalysis::update_cdf(double t) const {
+  return markov::transient_probability(chain_, update1_, consistent_, t);
+}
+
+double LatencyAnalysis::mean_setup_latency() const {
+  return markov::mean_time_to_absorption(chain_).mean_time[setup1_];
+}
+
+double LatencyAnalysis::mean_update_latency() const {
+  return markov::mean_time_to_absorption(chain_).mean_time[update1_];
+}
+
+double LatencyAnalysis::quantile_from(markov::StateId start, double q) const {
+  if (!(q > 0.0) || !(q < 1.0)) {
+    throw std::invalid_argument("LatencyAnalysis: quantile q must be in (0, 1)");
+  }
+  const auto cdf = [&](double t) {
+    return markov::transient_probability(chain_, start, consistent_, t);
+  };
+  // Bracket: grow the upper bound until it covers q.
+  double hi = params_.delay;
+  while (cdf(hi) < q) {
+    hi *= 2.0;
+    if (hi > 1e9) {
+      throw std::runtime_error("LatencyAnalysis: quantile did not converge");
+    }
+  }
+  double lo = 0.0;
+  for (int iter = 0; iter < 60 && (hi - lo) > 1e-9 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double LatencyAnalysis::setup_quantile(double q) const {
+  return quantile_from(setup1_, q);
+}
+
+double LatencyAnalysis::update_quantile(double q) const {
+  return quantile_from(update1_, q);
+}
+
+}  // namespace sigcomp::analytic

@@ -1,0 +1,62 @@
+// Transient analysis: how long does it take a setup or an update to
+// converge (first reach the consistent state)?
+//
+// The paper's metrics are stationary; this extension exploits the Markov
+// substrate's uniformization solver to answer the latency question a
+// protocol designer asks next: "after I install/update state, what is the
+// distribution of the time until the receiver agrees?".
+//
+// The latency chain is the single-hop model with the consistent state made
+// absorbing and the lifecycle removal disabled (the question conditions on
+// the session persisting).  Updates arriving while a trigger is lost still
+// restart the fast path, exactly as in the stationary model.
+#pragma once
+
+#include "analytic/single_hop.hpp"
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "markov/ctmc.hpp"
+
+namespace sigcomp::analytic {
+
+/// First-passage-to-consistency analysis for one protocol/parameter point.
+class LatencyAnalysis {
+ public:
+  /// Throws std::invalid_argument on invalid parameters/mechanisms.
+  LatencyAnalysis(ProtocolKind kind, const SingleHopParams& params);
+
+  [[nodiscard]] ProtocolKind kind() const noexcept { return kind_; }
+
+  /// P(setup has converged within t seconds of the trigger being sent).
+  [[nodiscard]] double setup_cdf(double t) const;
+
+  /// P(an update has converged within t seconds).
+  [[nodiscard]] double update_cdf(double t) const;
+
+  /// Mean first-passage time from setup to consistency.
+  [[nodiscard]] double mean_setup_latency() const;
+
+  /// Mean first-passage time from an update to consistency.
+  [[nodiscard]] double mean_update_latency() const;
+
+  /// Smallest t with cdf(t) >= q (bisection; q in (0, 1)).
+  /// Throws std::invalid_argument for q outside (0, 1).
+  [[nodiscard]] double setup_quantile(double q) const;
+  [[nodiscard]] double update_quantile(double q) const;
+
+  [[nodiscard]] const markov::Ctmc& chain() const noexcept { return chain_; }
+
+ private:
+  [[nodiscard]] double quantile_from(markov::StateId start, double q) const;
+
+  ProtocolKind kind_;
+  SingleHopParams params_;
+  markov::Ctmc chain_;
+  markov::StateId setup1_ = 0;
+  markov::StateId setup2_ = 0;
+  markov::StateId consistent_ = 0;
+  markov::StateId update1_ = 0;
+  markov::StateId update2_ = 0;
+};
+
+}  // namespace sigcomp::analytic

@@ -1,0 +1,213 @@
+#include "analytic/multi_hop.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "markov/stationary.hpp"
+
+namespace sigcomp::analytic {
+
+namespace {
+
+bool supported(ProtocolKind kind) {
+  return std::find(kMultiHopProtocols.begin(), kMultiHopProtocols.end(), kind) !=
+         kMultiHopProtocols.end();
+}
+
+}  // namespace
+
+double MultiHopModel::timeout_rate(const MultiHopParams& params, std::size_t j) {
+  const double q = 1.0 - params.loss;
+  const double exponent = params.timeout_timer / params.refresh_timer;
+  const double upper = std::pow(1.0 - std::pow(q, static_cast<double>(j + 1)), exponent);
+  const double lower =
+      j == 0 ? 0.0 : std::pow(1.0 - std::pow(q, static_cast<double>(j)), exponent);
+  return std::max(0.0, upper - lower) / params.timeout_timer;
+}
+
+MultiHopModel::MultiHopModel(ProtocolKind kind, const MultiHopParams& params)
+    : kind_(kind), params_(params) {
+  params_.validate();
+  if (!supported(kind)) {
+    throw std::invalid_argument(
+        "MultiHopModel: the paper's multi-hop analysis covers SS, SS+RT and HS "
+        "only; got " +
+        std::string(to_string(kind)));
+  }
+  const MechanismSet mech = mechanisms(kind_);
+  const std::size_t k_hops = params_.hops;
+  const double pl = params_.loss;
+  const double q = 1.0 - pl;
+  const double d = params_.delay;
+
+  for (std::size_t k = 0; k <= k_hops; ++k) {
+    fast_.push_back(chain_.add_state("(" + std::to_string(k) + ",fast)"));
+  }
+  for (std::size_t k = 0; k < k_hops; ++k) {
+    slow_.push_back(chain_.add_state("(" + std::to_string(k) + ",slow)"));
+  }
+  if (mech.external_failure_detector) {
+    recovery_ = chain_.add_state("recovery");
+    has_recovery_ = true;
+  }
+
+  // --- Fast path: the in-flight trigger either crosses the next hop or is
+  // lost there.
+  for (std::size_t k = 0; k < k_hops; ++k) {
+    chain_.add_rate(fast_[k], fast_[k + 1], q / d);
+    chain_.add_rate(fast_[k], slow_[k], pl / d);
+  }
+
+  // --- Slow path repair (Eqs. 10-11): a refresh must survive k+1 hops to
+  // repair hop k+1; a hop-local retransmission must survive one hop.
+  for (std::size_t k = 0; k < k_hops; ++k) {
+    double repair = 0.0;
+    if (mech.refresh) {
+      repair += std::pow(q, static_cast<double>(k + 1)) / params_.refresh_timer;
+    }
+    if (mech.reliable_trigger) {
+      repair += q / params_.retrans_timer;
+    }
+    chain_.add_rate(slow_[k], fast_[k + 1], repair);
+  }
+
+  // --- Updates: a new value restarts propagation from scratch.
+  for (std::size_t k = 0; k <= k_hops; ++k) {
+    if (k != 0) chain_.add_rate(fast_[k], fast_[0], params_.update_rate);
+  }
+  for (std::size_t k = 0; k < k_hops; ++k) {
+    chain_.add_rate(slow_[k], fast_[0], params_.update_rate);
+  }
+
+  // --- Soft-state timeout (Eq. 9): first expiry at hop j+1 wipes hops
+  // j+1..K; applied from states where no trigger is in flight toward an
+  // earlier hop (the consistent state and slow-path states), matching the
+  // single-hop serialization convention.
+  if (mech.soft_timeout) {
+    for (std::size_t j = 0; j + 1 <= k_hops; ++j) {
+      const double rate = timeout_rate(params_, j);
+      if (rate <= 0.0) continue;
+      // From full consistency (K, fast).
+      if (j < k_hops) chain_.add_rate(fast_[k_hops], slow_[j], rate);
+      // From slow-path states with more than j consistent hops.
+      for (std::size_t i = j + 1; i < k_hops; ++i) {
+        chain_.add_rate(slow_[i], slow_[j], rate);
+      }
+    }
+  }
+
+  // --- HS false removal: a false external signal at any of the K receivers
+  // tears down state; the chain enters the recovery state until the
+  // notification crosses the chain and the sender re-triggers.
+  if (mech.external_failure_detector) {
+    const double rate =
+        static_cast<double>(k_hops) * params_.false_signal_rate;
+    if (rate > 0.0) {
+      chain_.add_rate(fast_[k_hops], recovery_, rate);
+      for (std::size_t k = 0; k < k_hops; ++k) {
+        chain_.add_rate(slow_[k], recovery_, rate);
+      }
+      chain_.add_rate(recovery_, fast_[0], params_.recovery_rate());
+    }
+  }
+
+  pi_ = markov::stationary_distribution_from(chain_, fast_[0]);
+}
+
+markov::StateId MultiHopModel::fast_id(std::size_t k) const {
+  if (k >= fast_.size()) throw std::out_of_range("MultiHopModel: k out of range");
+  return fast_[k];
+}
+
+markov::StateId MultiHopModel::slow_id(std::size_t k) const {
+  if (k >= slow_.size()) throw std::out_of_range("MultiHopModel: k out of range");
+  return slow_[k];
+}
+
+double MultiHopModel::stationary(std::size_t k, int s) const {
+  if (s == 0) return pi_[fast_id(k)];
+  if (s == 1) {
+    if (k >= slow_.size()) return 0.0;
+    return pi_[slow_id(k)];
+  }
+  throw std::invalid_argument("MultiHopModel::stationary: s must be 0 or 1");
+}
+
+double MultiHopModel::recovery_probability() const {
+  return has_recovery_ ? pi_[recovery_] : 0.0;
+}
+
+double MultiHopModel::inconsistency() const {
+  return 1.0 - stationary(params_.hops, 0);
+}
+
+double MultiHopModel::hop_inconsistency(std::size_t hop) const {
+  if (hop < 1 || hop > params_.hops) {
+    throw std::out_of_range("MultiHopModel::hop_inconsistency: hop out of range");
+  }
+  double p = recovery_probability();
+  for (std::size_t k = 0; k < hop; ++k) {
+    p += stationary(k, 0);
+    p += stationary(k, 1);
+  }
+  return p;
+}
+
+MessageRateBreakdown MultiHopModel::message_rates() const {
+  const MechanismSet mech = mechanisms(kind_);
+  const double pl = params_.loss;
+  const double q = 1.0 - pl;
+  const double d = params_.delay;
+  const std::size_t k_hops = params_.hops;
+  MessageRateBreakdown m;
+
+  // In every fast-path state one hop-transmission of the in-flight trigger
+  // completes at rate 1/D.
+  double fast_mass = 0.0;
+  for (std::size_t k = 0; k < k_hops; ++k) fast_mass += stationary(k, 0);
+  m.trigger = fast_mass / d;
+
+  // Refreshes: the sender emits one per R; each costs the expected number of
+  // per-hop transmissions of an end-to-end message.
+  if (mech.refresh) {
+    m.refresh = params_.expected_hop_transmissions() / params_.refresh_timer;
+  }
+
+  double slow_mass = 0.0;
+  for (std::size_t k = 0; k < k_hops; ++k) slow_mass += stationary(k, 1);
+
+  if (mech.reliable_trigger) {
+    // Hop-local retransmissions in slow-path states, plus one ACK per
+    // successful hop delivery (fast-path crossings and repaired hops).
+    const double retransmissions = slow_mass / params_.retrans_timer;
+    const double acks =
+        fast_mass * q / d + slow_mass * q / params_.retrans_timer;
+    m.reliable_trigger = retransmissions + acks;
+  }
+
+  if (mech.external_failure_detector) {
+    // Each recovery event floods ~2K notification/teardown messages across
+    // the chain (receiver -> everyone, sender re-trigger pre-flight).
+    const double recovery_events = recovery_probability() * params_.recovery_rate();
+    m.reliable_removal = recovery_events * 2.0 * static_cast<double>(k_hops);
+  }
+  return m;
+}
+
+Metrics MultiHopModel::metrics() const {
+  Metrics out;
+  out.inconsistency = inconsistency();
+  out.breakdown = message_rates();
+  out.raw_message_rate = out.breakdown.total();
+  out.message_rate = out.raw_message_rate;
+  out.session_length = 0.0;
+  return out;
+}
+
+Metrics evaluate_multi_hop(ProtocolKind kind, const MultiHopParams& params) {
+  return MultiHopModel(kind, params).metrics();
+}
+
+}  // namespace sigcomp::analytic

@@ -1,0 +1,81 @@
+// Multi-hop signaling model (Sec. III-B of the paper).
+//
+// A sender installs state along a chain of K hops.  State lifetime is
+// infinite; the model studies how updates propagate.  Markov states are
+// (k, s): k = number of consistent hops (0..K), s = fast path (a trigger is
+// being forwarded hop-by-hop) or slow path (the trigger was lost and repair
+// waits for a refresh and/or retransmission).  (K, fast) is the fully
+// consistent state.  The HS protocol adds a recovery state entered on a
+// false external removal signal.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "markov/ctmc.hpp"
+
+namespace sigcomp::analytic {
+
+/// Multi-hop analytic model for SS, SS+RT or HS (the protocols the paper
+/// analyzes in the multi-hop setting).
+class MultiHopModel {
+ public:
+  /// Throws std::invalid_argument on bad params or an unsupported protocol
+  /// (only SS, SS+RT and HS have multi-hop semantics in the paper).
+  MultiHopModel(ProtocolKind kind, const MultiHopParams& params);
+
+  [[nodiscard]] ProtocolKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const MultiHopParams& params() const noexcept { return params_; }
+  [[nodiscard]] const markov::Ctmc& chain() const noexcept { return chain_; }
+
+  /// Stationary probability of (k, s); s = 0 fast path, s = 1 slow path.
+  /// (K, 1) does not exist and reports 0.
+  [[nodiscard]] double stationary(std::size_t k, int s) const;
+
+  /// Stationary probability of the HS recovery state (0 for SS/SS+RT).
+  [[nodiscard]] double recovery_probability() const;
+
+  /// I (Eq. 12): 1 - pi(K, fast).
+  [[nodiscard]] double inconsistency() const;
+
+  /// Fraction of time hop i (1-based, 1 <= i <= K) is inconsistent: the
+  /// probability that fewer than i hops are consistent (Fig. 17).  The HS
+  /// recovery state counts as all-hops-inconsistent.
+  [[nodiscard]] double hop_inconsistency(std::size_t hop) const;
+
+  /// Raw stationary message rate in msg/s across the whole chain, counting
+  /// per-hop transmissions (Eqs. 13-17; see DESIGN.md section 3.2 for the
+  /// exact accounting reproduced here).
+  [[nodiscard]] MessageRateBreakdown message_rates() const;
+
+  /// Metrics bundle; message_rate == raw_message_rate (no lifetime
+  /// normalization in the infinite-lifetime model), session_length == 0.
+  [[nodiscard]] Metrics metrics() const;
+
+  /// First timeout at hop j+1 (none earlier) per Eq. (9):
+  /// [ (1-(1-pl)^(j+1))^(T/R) - (1-(1-pl)^j)^(T/R) ] / T.
+  [[nodiscard]] static double timeout_rate(const MultiHopParams& params,
+                                           std::size_t j);
+
+ private:
+  [[nodiscard]] markov::StateId fast_id(std::size_t k) const;
+  [[nodiscard]] markov::StateId slow_id(std::size_t k) const;
+
+  ProtocolKind kind_;
+  MultiHopParams params_;
+  markov::Ctmc chain_;
+  std::vector<markov::StateId> fast_;   ///< (k, 0) for k = 0..K
+  std::vector<markov::StateId> slow_;   ///< (k, 1) for k = 0..K-1
+  std::size_t recovery_ = 0;            ///< HS recovery state id
+  bool has_recovery_ = false;
+  std::vector<double> pi_;
+};
+
+/// Convenience: metrics for one protocol at one parameter point.
+[[nodiscard]] Metrics evaluate_multi_hop(ProtocolKind kind,
+                                         const MultiHopParams& params);
+
+}  // namespace sigcomp::analytic

@@ -1,0 +1,345 @@
+#include "analytic/single_hop.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "markov/absorption.hpp"
+#include "markov/stationary.hpp"
+
+namespace sigcomp::analytic {
+
+namespace {
+
+/// All protocol-dependent rates of Table I, evaluated numerically.
+struct Rates {
+  double fast = 0.0;         ///< 1/D: fast-path event rate (delivery or loss)
+  double fast_ok = 0.0;      ///< (1-pl)/D
+  double fast_lost = 0.0;    ///< pl/D
+  double slow_repair = 0.0;  ///< (1,0)2 -> C and IC2 -> C rate
+  double removal1_done = 0.0;   ///< (0,1)1 -> (0,0)
+  double removal1_lost = 0.0;   ///< (0,1)1 -> (0,1)2 (0 when no (0,1)2 state)
+  double removal2_done = 0.0;   ///< (0,1)2 -> (0,0)
+  double false_removal = 0.0;   ///< lambda_F: C -> (1,0)2 and IC2 -> (1,0)2
+  bool removal2 = false;        ///< protocol instantiates (0,1)2
+};
+
+Rates compute_rates(const MechanismSet& mech, const SingleHopParams& p) {
+  Rates r;
+  r.fast = 1.0 / p.delay;
+  r.fast_ok = (1.0 - p.loss) / p.delay;
+  r.fast_lost = p.loss / p.delay;
+
+  // Slow-path repair of a lost trigger (Table I, row lambda_{(1,0)2 -> C}):
+  //   refresh-only protocols:       (1-pl)/R
+  //   reliable-trigger soft state:  (1/R + 1/Gamma)(1-pl)
+  //   hard state (no refresh):      (1-pl)/Gamma
+  double repair_rate = 0.0;
+  if (mech.refresh) repair_rate += 1.0 / p.refresh_timer;
+  if (mech.reliable_trigger) repair_rate += 1.0 / p.retrans_timer;
+  r.slow_repair = repair_rate * (1.0 - p.loss);
+
+  // Removal of orphaned state at the receiver (Table I, rows
+  // lambda_{(0,1)1 -> (0,0)} and lambda_{(0,1)1 -> (0,1)2}).
+  if (mech.explicit_removal) {
+    r.removal1_done = (1.0 - p.loss) / p.delay;
+    r.removal1_lost = p.loss / p.delay;
+    r.removal2 = true;
+    // After losing the removal message: timeout (soft state) and/or
+    // retransmission (reliable removal).
+    double done = 0.0;
+    if (mech.soft_timeout) done += 1.0 / p.timeout_timer;
+    if (mech.reliable_removal) done += (1.0 - p.loss) / p.retrans_timer;
+    r.removal2_done = done;
+  } else {
+    // Timeout is the only removal mechanism; no (0,1)2 state.
+    r.removal1_done = 1.0 / p.timeout_timer;
+    r.removal1_lost = 0.0;
+    r.removal2 = false;
+    r.removal2_done = 0.0;
+  }
+
+  // False removal: all refreshes within one timeout interval lost (soft
+  // state), or a false external signal (hard state).
+  if (mech.soft_timeout) {
+    r.false_removal = p.false_removal_rate();
+  } else if (mech.external_failure_detector) {
+    r.false_removal = p.false_signal_rate;
+  } else {
+    r.false_removal = 0.0;
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string_view to_string(ShState s) noexcept {
+  switch (s) {
+    case ShState::kSetup1: return "(1,0)1";
+    case ShState::kSetup2: return "(1,0)2";
+    case ShState::kConsistent: return "C";
+    case ShState::kUpdate1: return "IC1";
+    case ShState::kUpdate2: return "IC2";
+    case ShState::kRemoval1: return "(0,1)1";
+    case ShState::kRemoval2: return "(0,1)2";
+    case ShState::kAbsorbed: return "(0,0)";
+  }
+  return "?";
+}
+
+void validate_mechanisms(const MechanismSet& mechanisms) {
+  if (mechanisms.soft_timeout && !mechanisms.refresh) {
+    throw std::invalid_argument(
+        "validate_mechanisms: a state-timeout requires a refresh process");
+  }
+  if (mechanisms.reliable_removal && !mechanisms.explicit_removal) {
+    throw std::invalid_argument(
+        "validate_mechanisms: reliable removal requires an explicit removal "
+        "message");
+  }
+  if (!mechanisms.soft_timeout && !mechanisms.explicit_removal) {
+    throw std::invalid_argument(
+        "validate_mechanisms: no removal path (need a timeout or an explicit "
+        "removal message)");
+  }
+  if (mechanisms.explicit_removal && !mechanisms.soft_timeout &&
+      !mechanisms.reliable_removal) {
+    throw std::invalid_argument(
+        "validate_mechanisms: a lost removal message is unrecoverable (need a "
+        "state-timeout backstop or reliable removal)");
+  }
+}
+
+SingleHopModel::SingleHopModel(ProtocolKind kind, const SingleHopParams& params)
+    : SingleHopModel(mechanisms(kind), params) {
+  kind_ = kind;
+}
+
+SingleHopModel::SingleHopModel(const MechanismSet& mechanism_set,
+                               const SingleHopParams& params)
+    : kind_(mechanism_set.refresh ? ProtocolKind::kSS : ProtocolKind::kHS),
+      mech_(mechanism_set),
+      params_(params) {
+  params_.validate();
+  validate_mechanisms(mech_);
+  const Rates r = compute_rates(mech_, params_);
+
+  const auto add_states = [&](markov::Ctmc& chain,
+                              std::array<std::optional<markov::StateId>, 8>& ids,
+                              bool with_absorbed) {
+    for (const ShState s : kAllShStates) {
+      if (s == ShState::kRemoval2 && !r.removal2) continue;
+      if (s == ShState::kAbsorbed && !with_absorbed) continue;
+      ids[static_cast<std::size_t>(s)] = chain.add_state(std::string(to_string(s)));
+    }
+  };
+  add_states(transient_, transient_ids_, /*with_absorbed=*/true);
+  add_states(recurrent_, recurrent_ids_, /*with_absorbed=*/false);
+
+  // Adds the transition to both views; transitions into (0,0) are redirected
+  // to (1,0)1 in the recurrent view (absorbing state merged with the start).
+  const auto add = [&](ShState from, ShState to, double rate) {
+    if (rate <= 0.0) return;
+    const auto tf = transient_ids_[static_cast<std::size_t>(from)];
+    const auto tt = transient_ids_[static_cast<std::size_t>(to)];
+    transient_.add_rate(*tf, *tt, rate);
+    const auto rf = recurrent_ids_[static_cast<std::size_t>(from)];
+    const ShState rto = (to == ShState::kAbsorbed) ? ShState::kSetup1 : to;
+    const auto rt = recurrent_ids_[static_cast<std::size_t>(rto)];
+    if (*rf != *rt) recurrent_.add_rate(*rf, *rt, rate);
+  };
+
+  const double lu = params_.update_rate;
+  const double lr = params_.removal_rate;
+
+  // --- Setup (Sec. III-A.1, "SS model" paragraph; shared by all protocols).
+  add(ShState::kSetup1, ShState::kConsistent, r.fast_ok);
+  add(ShState::kSetup1, ShState::kSetup2, r.fast_lost);
+  add(ShState::kSetup2, ShState::kConsistent, r.slow_repair);
+
+  // --- Update.
+  add(ShState::kConsistent, ShState::kUpdate1, lu);
+  add(ShState::kUpdate1, ShState::kConsistent, r.fast_ok);
+  add(ShState::kUpdate1, ShState::kUpdate2, r.fast_lost);
+  add(ShState::kUpdate2, ShState::kConsistent, r.slow_repair);
+  add(ShState::kSetup2, ShState::kSetup1, lu);
+  add(ShState::kUpdate2, ShState::kUpdate1, lu);
+
+  // --- Removal.  From (1,0)2 the receiver never installed state, so removal
+  // absorbs directly; from C / IC2 the receiver holds state that must be
+  // cleaned up via (0,1)*.  Fast-path states are excluded (serialization).
+  add(ShState::kSetup2, ShState::kAbsorbed, lr);
+  add(ShState::kConsistent, ShState::kRemoval1, lr);
+  add(ShState::kUpdate2, ShState::kRemoval1, lr);
+  add(ShState::kRemoval1, ShState::kAbsorbed, r.removal1_done);
+  if (r.removal2) {
+    add(ShState::kRemoval1, ShState::kRemoval2, r.removal1_lost);
+    add(ShState::kRemoval2, ShState::kAbsorbed, r.removal2_done);
+  }
+
+  // --- False removal: receiver drops state while the sender still holds it;
+  // the sender re-installs via refresh / retransmitted trigger ((1,0)2).
+  add(ShState::kConsistent, ShState::kSetup2, r.false_removal);
+  add(ShState::kUpdate2, ShState::kSetup2, r.false_removal);
+
+  pi_ = markov::stationary_distribution_from(
+      recurrent_, *recurrent_ids_[static_cast<std::size_t>(ShState::kSetup1)]);
+}
+
+bool SingleHopModel::has_removal2() const noexcept {
+  return transient_ids_[static_cast<std::size_t>(ShState::kRemoval2)].has_value();
+}
+
+markov::StateId SingleHopModel::id(ShState s) const {
+  const auto v = transient_ids_[static_cast<std::size_t>(s)];
+  if (!v) throw std::logic_error("SingleHopModel: state not instantiated");
+  return *v;
+}
+
+std::optional<markov::StateId> SingleHopModel::recurrent_id(ShState s) const {
+  return recurrent_ids_[static_cast<std::size_t>(s)];
+}
+
+double SingleHopModel::stationary(ShState s) const {
+  if (s == ShState::kAbsorbed) return 0.0;
+  const auto rid = recurrent_id(s);
+  return rid ? pi_[*rid] : 0.0;
+}
+
+double SingleHopModel::inconsistency() const {
+  return 1.0 - stationary(ShState::kConsistent);
+}
+
+double SingleHopModel::session_length() const {
+  const auto result = markov::mean_time_to_absorption(transient_);
+  return result.mean_time[id(ShState::kSetup1)];
+}
+
+MessageRateBreakdown SingleHopModel::message_rates() const {
+  const MechanismSet& mech = mech_;
+  const SingleHopParams& p = params_;
+  const Rates r = compute_rates(mech_, p);
+  MessageRateBreakdown m;
+
+  const double pi_s1 = stationary(ShState::kSetup1);
+  const double pi_s2 = stationary(ShState::kSetup2);
+  const double pi_c = stationary(ShState::kConsistent);
+  const double pi_u1 = stationary(ShState::kUpdate1);
+  const double pi_u2 = stationary(ShState::kUpdate2);
+  const double pi_r1 = stationary(ShState::kRemoval1);
+  const double pi_r2 = stationary(ShState::kRemoval2);
+
+  // Eq. (3): every sojourn in a fast-path state corresponds to one trigger
+  // transmission; the state is left at rate 1/D (delivered or lost).
+  m.trigger = (pi_s1 + pi_u1) * r.fast;
+
+  // Eq. (5): refreshes are generated at rate 1/R while the sender holds
+  // state and no trigger is in flight ((1,0)2, C, IC2).
+  if (mech.refresh) {
+    m.refresh = (pi_s2 + pi_c + pi_u2) / p.refresh_timer;
+  }
+
+  // Eq. (4): one explicit removal transmission per sojourn in (0,1)1.
+  if (mech.explicit_removal) {
+    m.explicit_removal = pi_r1 * (r.removal1_done + r.removal1_lost);
+  }
+
+  // Eq. (6): reliable-trigger extras -- retransmissions in the slow-path
+  // states, one ACK per delivered trigger/retransmission, and one
+  // notification per false removal (receiver tells sender its state is gone).
+  if (mech.reliable_trigger) {
+    const double retransmissions = (pi_s2 + pi_u2) / p.retrans_timer;
+    const double acks = (pi_s1 + pi_u1) * r.fast_ok +
+                        (pi_s2 + pi_u2) * (1.0 - p.loss) / p.retrans_timer;
+    m.reliable_trigger = retransmissions + acks;
+  }
+  if (mech.removal_notification) {
+    // One notification per (false) removal at the receiver.
+    m.reliable_trigger += r.false_removal * (pi_c + pi_u2);
+  }
+
+  // Eq. (7): reliable-removal extras -- retransmissions in (0,1)2 plus one
+  // ACK per delivered removal.
+  if (mech.reliable_removal) {
+    const double retransmissions = pi_r2 / p.retrans_timer;
+    const double acks =
+        pi_r1 * r.removal1_done + pi_r2 * (1.0 - p.loss) / p.retrans_timer;
+    m.reliable_removal = retransmissions + acks;
+  }
+  return m;
+}
+
+Metrics SingleHopModel::metrics() const {
+  Metrics out;
+  out.inconsistency = inconsistency();
+  out.breakdown = message_rates();
+  out.raw_message_rate = out.breakdown.total();
+  out.session_length = session_length();
+  // Eq. (2) + normalization: N = L * m; M-bar = N * lambda_r.
+  out.message_rate =
+      out.session_length * out.raw_message_rate * params_.removal_rate;
+  return out;
+}
+
+std::vector<TransitionSpec> SingleHopModel::transition_table(
+    ProtocolKind kind, const SingleHopParams& params) {
+  params.validate();
+  const MechanismSet mech = mechanisms(kind);
+  const Rates r = compute_rates(mech, params);
+  std::vector<TransitionSpec> rows;
+
+  const auto row = [&](ShState from, ShState to, std::string formula, double rate) {
+    rows.push_back(TransitionSpec{from, to, std::move(formula), rate});
+  };
+
+  row(ShState::kSetup1, ShState::kSetup2, "pl/D", r.fast_lost);
+  row(ShState::kUpdate1, ShState::kUpdate2, "pl/D", r.fast_lost);
+  row(ShState::kSetup1, ShState::kConsistent, "(1-pl)/D", r.fast_ok);
+  row(ShState::kUpdate1, ShState::kConsistent, "(1-pl)/D", r.fast_ok);
+
+  std::string repair;
+  if (mech.refresh && mech.reliable_trigger) {
+    repair = "(1/R + 1/G)(1-pl)";
+  } else if (mech.refresh) {
+    repair = "(1-pl)/R";
+  } else {
+    repair = "(1-pl)/G";
+  }
+  row(ShState::kSetup2, ShState::kConsistent, repair, r.slow_repair);
+  row(ShState::kUpdate2, ShState::kConsistent, repair, r.slow_repair);
+
+  row(ShState::kRemoval1, ShState::kRemoval2,
+      mech.explicit_removal ? "pl/D" : "-", r.removal1_lost);
+  row(ShState::kRemoval1, ShState::kAbsorbed,
+      mech.explicit_removal ? "(1-pl)/D" : "1/T", r.removal1_done);
+
+  std::string removal2_formula = "-";
+  if (mech.explicit_removal) {
+    if (mech.soft_timeout && mech.reliable_removal) {
+      removal2_formula = "1/T + (1-pl)/G";
+    } else if (mech.soft_timeout) {
+      removal2_formula = "1/T";
+    } else {
+      removal2_formula = "(1-pl)/G";
+    }
+  }
+  row(ShState::kRemoval2, ShState::kAbsorbed, removal2_formula, r.removal2_done);
+
+  row(ShState::kConsistent, ShState::kSetup2,
+      mech.soft_timeout ? "pl^(T/R)/T" : "lambda_e", r.false_removal);
+  row(ShState::kUpdate2, ShState::kSetup2,
+      mech.soft_timeout ? "pl^(T/R)/T" : "lambda_e", r.false_removal);
+
+  row(ShState::kConsistent, ShState::kUpdate1, "lambda_u", params.update_rate);
+  row(ShState::kSetup2, ShState::kSetup1, "lambda_u", params.update_rate);
+  row(ShState::kUpdate2, ShState::kUpdate1, "lambda_u", params.update_rate);
+  row(ShState::kSetup2, ShState::kAbsorbed, "lambda_r", params.removal_rate);
+  row(ShState::kConsistent, ShState::kRemoval1, "lambda_r", params.removal_rate);
+  row(ShState::kUpdate2, ShState::kRemoval1, "lambda_r", params.removal_rate);
+  return rows;
+}
+
+Metrics evaluate_single_hop(ProtocolKind kind, const SingleHopParams& params) {
+  return SingleHopModel(kind, params).metrics();
+}
+
+}  // namespace sigcomp::analytic

@@ -1,0 +1,147 @@
+// The unified single-hop CTMC of Ji et al. (Fig. 3 / Table I).
+//
+// One model, five protocols: the chain always has the same state skeleton;
+// the protocol only changes which transitions exist and their rates.
+//
+//   (1,0)1  setup trigger in flight            (inconsistent)
+//   (1,0)2  setup trigger lost, slow path      (inconsistent)
+//   C       consistent
+//   IC1     update trigger in flight           (inconsistent)
+//   IC2     update trigger lost, slow path     (inconsistent)
+//   (0,1)1  sender removed, receiver holds     (inconsistent)
+//   (0,1)2  removal message lost               (inconsistent; only for
+//                                               SS+ER, SS+RTR, HS)
+//   (0,0)   both removed                       (absorbing)
+//
+// Two views of the chain are produced:
+//  * the transient chain with (0,0) absorbing -- used for the expected
+//    session length L (mean time to absorption from (1,0)1, Eq. 2), and
+//  * the recurrent chain where transitions into (0,0) are redirected into
+//    (1,0)1 (absorbing state merged with the start state) -- its stationary
+//    distribution yields the inconsistency ratio I (Eq. 1) and the message
+//    rates (Eqs. 3-7).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "markov/ctmc.hpp"
+
+namespace sigcomp::analytic {
+
+/// Logical states of the single-hop model, in a fixed order.
+enum class ShState {
+  kSetup1,     ///< (1,0)1
+  kSetup2,     ///< (1,0)2
+  kConsistent, ///< C
+  kUpdate1,    ///< IC1
+  kUpdate2,    ///< IC2
+  kRemoval1,   ///< (0,1)1
+  kRemoval2,   ///< (0,1)2
+  kAbsorbed,   ///< (0,0)
+};
+
+inline constexpr std::array<ShState, 8> kAllShStates = {
+    ShState::kSetup1,  ShState::kSetup2,  ShState::kConsistent,
+    ShState::kUpdate1, ShState::kUpdate2, ShState::kRemoval1,
+    ShState::kRemoval2, ShState::kAbsorbed};
+
+/// Canonical display name, e.g. "(1,0)1", "C", "IC2".
+[[nodiscard]] std::string_view to_string(ShState s) noexcept;
+
+/// One row of Table I: a transition with its symbolic description and the
+/// numeric rate under the given protocol/parameters.
+struct TransitionSpec {
+  ShState from;
+  ShState to;
+  std::string formula;  ///< e.g. "(1-pl)/D", "1/T", "(1/R + 1/G)(1-pl)"
+  double rate;          ///< numeric value; 0 when the mechanism is disabled
+};
+
+/// Checks that a mechanism combination yields a well-formed model:
+///  * a state-timeout requires a refresh process to race against,
+///  * reliable removal requires an explicit removal message to retransmit,
+///  * some removal path must exist (timeout or explicit removal),
+///  * a lost removal message must be recoverable (timeout backstop or
+///    reliable removal) -- without this the chain deadlocks orphaned.
+/// Throws std::invalid_argument otherwise.
+void validate_mechanisms(const MechanismSet& mechanisms);
+
+/// Single-hop analytic model for one protocol at one parameter point.
+///
+/// Beyond the paper's five named protocols, the model accepts any valid
+/// MechanismSet -- the generalization that lets the ablation bench answer
+/// "which mechanism buys what" across the whole design space.
+class SingleHopModel {
+ public:
+  /// Builds both chain views.  Throws std::invalid_argument on bad params.
+  SingleHopModel(ProtocolKind kind, const SingleHopParams& params);
+
+  /// Builds the model for an arbitrary (valid) mechanism combination.
+  SingleHopModel(const MechanismSet& mechanisms, const SingleHopParams& params);
+
+  /// The named protocol, when constructed from one; for a custom mechanism
+  /// set this is the closest classification (soft vs hard is decided by the
+  /// refresh mechanism) and only used for display.
+  [[nodiscard]] ProtocolKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const MechanismSet& mechanism_set() const noexcept { return mech_; }
+  [[nodiscard]] const SingleHopParams& params() const noexcept { return params_; }
+
+  /// True when the protocol instantiates the (0,1)2 "removal lost" state.
+  [[nodiscard]] bool has_removal2() const noexcept;
+
+  /// The transient chain ((0,0) absorbing).
+  [[nodiscard]] const markov::Ctmc& transient_chain() const noexcept {
+    return transient_;
+  }
+  /// The recurrent chain ((0,0) merged into (1,0)1).
+  [[nodiscard]] const markov::Ctmc& recurrent_chain() const noexcept {
+    return recurrent_;
+  }
+
+  /// Stationary probability of a logical state in the recurrent chain
+  /// (zero for states the protocol does not instantiate and for kAbsorbed,
+  /// which is merged into kSetup1).
+  [[nodiscard]] double stationary(ShState s) const;
+
+  /// I (Eq. 1): 1 - pi(C).
+  [[nodiscard]] double inconsistency() const;
+
+  /// L (Eq. 2): mean time to absorption from (1,0)1 in the transient chain.
+  [[nodiscard]] double session_length() const;
+
+  /// Eqs. (3)-(7): per-type stationary message rates.
+  [[nodiscard]] MessageRateBreakdown message_rates() const;
+
+  /// All metrics bundled: I, raw rate m, L, and M-bar = (L m) * lambda_r.
+  [[nodiscard]] Metrics metrics() const;
+
+  /// Table I: all transitions (including disabled ones with rate 0) with
+  /// symbolic formulas, for documentation/printing.
+  [[nodiscard]] static std::vector<TransitionSpec> transition_table(
+      ProtocolKind kind, const SingleHopParams& params);
+
+ private:
+  [[nodiscard]] markov::StateId id(ShState s) const;
+  [[nodiscard]] std::optional<markov::StateId> recurrent_id(ShState s) const;
+
+  ProtocolKind kind_;
+  MechanismSet mech_;
+  SingleHopParams params_;
+  markov::Ctmc transient_;
+  markov::Ctmc recurrent_;
+  std::array<std::optional<markov::StateId>, 8> transient_ids_{};
+  std::array<std::optional<markov::StateId>, 8> recurrent_ids_{};
+  std::vector<double> pi_;  ///< stationary distribution of recurrent chain
+};
+
+/// Convenience: metrics for one protocol at one parameter point.
+[[nodiscard]] Metrics evaluate_single_hop(ProtocolKind kind,
+                                          const SingleHopParams& params);
+
+}  // namespace sigcomp::analytic

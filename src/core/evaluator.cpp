@@ -1,0 +1,46 @@
+#include "core/evaluator.hpp"
+
+#include "analytic/multi_hop.hpp"
+#include "analytic/single_hop.hpp"
+
+namespace sigcomp {
+
+Metrics evaluate_analytic(ProtocolKind kind, const SingleHopParams& params) {
+  return analytic::evaluate_single_hop(kind, params);
+}
+
+Metrics evaluate_analytic(ProtocolKind kind, const MultiHopParams& params) {
+  return analytic::evaluate_multi_hop(kind, params);
+}
+
+protocols::SimResult evaluate_simulated(ProtocolKind kind,
+                                        const SingleHopParams& params,
+                                        const protocols::SimOptions& options) {
+  return protocols::run_single_hop(kind, params, options);
+}
+
+protocols::MultiHopSimResult evaluate_simulated(
+    ProtocolKind kind, const MultiHopParams& params,
+    const protocols::MultiHopSimOptions& options) {
+  return protocols::run_multi_hop(kind, params, options);
+}
+
+std::vector<ProtocolMetrics> compare_all(const SingleHopParams& params) {
+  std::vector<ProtocolMetrics> out;
+  out.reserve(kAllProtocols.size());
+  for (const ProtocolKind kind : kAllProtocols) {
+    out.push_back({kind, evaluate_analytic(kind, params)});
+  }
+  return out;
+}
+
+std::vector<ProtocolMetrics> compare_all(const MultiHopParams& params) {
+  std::vector<ProtocolMetrics> out;
+  out.reserve(kMultiHopProtocols.size());
+  for (const ProtocolKind kind : kMultiHopProtocols) {
+    out.push_back({kind, evaluate_analytic(kind, params)});
+  }
+  return out;
+}
+
+}  // namespace sigcomp

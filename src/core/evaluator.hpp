@@ -1,0 +1,47 @@
+// Facade over the two evaluation engines: the analytic Markov models and
+// the discrete-event simulator.  This is the entry point most library users
+// need -- see examples/quickstart.cpp.
+#pragma once
+
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "protocols/multi_hop_run.hpp"
+#include "protocols/single_hop_run.hpp"
+
+namespace sigcomp {
+
+/// Analytic metrics of one protocol in the single-hop setting (Sec. III-A).
+[[nodiscard]] Metrics evaluate_analytic(ProtocolKind kind,
+                                        const SingleHopParams& params);
+
+/// Analytic metrics of one protocol in the multi-hop setting (Sec. III-B;
+/// SS, SS+RT and HS only).
+[[nodiscard]] Metrics evaluate_analytic(ProtocolKind kind,
+                                        const MultiHopParams& params);
+
+/// Simulated metrics of one protocol in the single-hop setting.
+[[nodiscard]] protocols::SimResult evaluate_simulated(
+    ProtocolKind kind, const SingleHopParams& params,
+    const protocols::SimOptions& options = {});
+
+/// Simulated metrics of one protocol in the multi-hop setting.
+[[nodiscard]] protocols::MultiHopSimResult evaluate_simulated(
+    ProtocolKind kind, const MultiHopParams& params,
+    const protocols::MultiHopSimOptions& options = {});
+
+/// One (protocol, metrics) row of a protocol comparison.
+struct ProtocolMetrics {
+  ProtocolKind kind;
+  Metrics metrics;
+};
+
+/// Analytic comparison of all five protocols at one parameter point.
+[[nodiscard]] std::vector<ProtocolMetrics> compare_all(const SingleHopParams& params);
+
+/// Analytic comparison of the three multi-hop protocols.
+[[nodiscard]] std::vector<ProtocolMetrics> compare_all(const MultiHopParams& params);
+
+}  // namespace sigcomp

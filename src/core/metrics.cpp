@@ -1,0 +1,18 @@
+#include "core/metrics.hpp"
+
+#include <ostream>
+
+namespace sigcomp {
+
+double integrated_cost(const Metrics& m, double weight) noexcept {
+  return weight * m.inconsistency + m.message_rate;
+}
+
+std::ostream& operator<<(std::ostream& os, const Metrics& m) {
+  os << "{I=" << m.inconsistency << ", M=" << m.message_rate
+     << ", raw=" << m.raw_message_rate << " msg/s, L=" << m.session_length
+     << " s}";
+  return os;
+}
+
+}  // namespace sigcomp

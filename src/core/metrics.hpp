@@ -1,0 +1,50 @@
+// Performance metrics shared by the analytic models and the simulator.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/params.hpp"
+
+namespace sigcomp {
+
+/// Per-message-type breakdown of the mean signaling message rate (msg/s).
+/// The paper's Eqs. (3)-(7): explicit triggers, refreshes, explicit removals,
+/// reliable-trigger extras (retransmissions/ACKs/notifications) and
+/// reliable-removal extras.
+struct MessageRateBreakdown {
+  double trigger = 0.0;           ///< m_ET: explicit trigger transmissions
+  double refresh = 0.0;           ///< m_R: refresh transmissions
+  double explicit_removal = 0.0;  ///< m_ER: explicit removal transmissions
+  double reliable_trigger = 0.0;  ///< m_RT: retransmissions + ACKs + notifications
+  double reliable_removal = 0.0;  ///< m_RR: removal retransmissions + ACKs
+
+  [[nodiscard]] double total() const noexcept {
+    return trigger + refresh + explicit_removal + reliable_trigger +
+           reliable_removal;
+  }
+};
+
+/// The two headline metrics (plus supporting quantities).
+struct Metrics {
+  /// I: fraction of time sender/receiver state values differ (Eq. 1).
+  double inconsistency = 0.0;
+  /// M-bar = N * lambda_r: expected messages per session, normalized by the
+  /// sender-state removal rate (Sec. III-A.2).  For the multi-hop model
+  /// (infinite lifetime) this is simply the raw message rate in msg/s.
+  double message_rate = 0.0;
+  /// m: raw stationary signaling message rate in msg/s.
+  double raw_message_rate = 0.0;
+  /// L: expected signaling-state lifetime (time to absorption); infinity is
+  /// represented as 0 for the multi-hop stationary model.
+  double session_length = 0.0;
+  /// Per-type composition of raw_message_rate.
+  MessageRateBreakdown breakdown;
+};
+
+/// Integrated cost (Eq. 8): C = weight * I + M.
+[[nodiscard]] double integrated_cost(const Metrics& m,
+                                     double weight = kDefaultCostWeight) noexcept;
+
+std::ostream& operator<<(std::ostream& os, const Metrics& m);
+
+}  // namespace sigcomp

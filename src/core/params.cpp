@@ -1,0 +1,85 @@
+#include "core/params.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace sigcomp {
+
+namespace {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+void check_probability(double p, const char* name) {
+  require(std::isfinite(p) && p >= 0.0 && p < 1.0,
+          std::string(name) + " must be in [0, 1)");
+}
+
+void check_positive(double v, const char* name) {
+  require(std::isfinite(v) && v > 0.0, std::string(name) + " must be > 0");
+}
+
+void check_non_negative(double v, const char* name) {
+  require(std::isfinite(v) && v >= 0.0, std::string(name) + " must be >= 0");
+}
+
+}  // namespace
+
+double SingleHopParams::false_removal_rate() const {
+  if (loss <= 0.0) return 0.0;
+  return std::pow(loss, timeout_timer / refresh_timer) / timeout_timer;
+}
+
+SingleHopParams SingleHopParams::with_delay_scaled_retrans(double new_delay) const {
+  SingleHopParams p = *this;
+  p.delay = new_delay;
+  p.retrans_timer = 4.0 * new_delay;
+  return p;
+}
+
+SingleHopParams SingleHopParams::with_refresh_scaled_timeout(double new_refresh) const {
+  SingleHopParams p = *this;
+  p.refresh_timer = new_refresh;
+  p.timeout_timer = 3.0 * new_refresh;
+  return p;
+}
+
+void SingleHopParams::validate() const {
+  check_probability(loss, "loss");
+  check_positive(delay, "delay");
+  check_non_negative(update_rate, "update_rate");
+  check_positive(removal_rate, "removal_rate");
+  check_positive(refresh_timer, "refresh_timer");
+  check_positive(timeout_timer, "timeout_timer");
+  check_positive(retrans_timer, "retrans_timer");
+  check_non_negative(false_signal_rate, "false_signal_rate");
+}
+
+double MultiHopParams::recovery_rate() const {
+  return 1.0 / (2.0 * static_cast<double>(hops) * delay);
+}
+
+double MultiHopParams::expected_hop_transmissions() const {
+  const double k = static_cast<double>(hops);
+  if (loss <= 0.0) return k;
+  return (1.0 - std::pow(1.0 - loss, k)) / loss;
+}
+
+double MultiHopParams::end_to_end_delivery_probability() const {
+  return std::pow(1.0 - loss, static_cast<double>(hops));
+}
+
+void MultiHopParams::validate() const {
+  require(hops >= 1, "hops must be >= 1");
+  check_probability(loss, "loss");
+  check_positive(delay, "delay");
+  check_non_negative(update_rate, "update_rate");
+  check_positive(refresh_timer, "refresh_timer");
+  check_positive(timeout_timer, "timeout_timer");
+  check_positive(retrans_timer, "retrans_timer");
+  check_non_negative(false_signal_rate, "false_signal_rate");
+}
+
+}  // namespace sigcomp

@@ -1,0 +1,80 @@
+#include "core/protocol.hpp"
+
+namespace sigcomp {
+
+MechanismSet mechanisms(ProtocolKind kind) noexcept {
+  MechanismSet m;
+  switch (kind) {
+    case ProtocolKind::kSS:
+      m.refresh = true;
+      m.soft_timeout = true;
+      break;
+    case ProtocolKind::kSSER:
+      m.refresh = true;
+      m.soft_timeout = true;
+      m.explicit_removal = true;
+      break;
+    case ProtocolKind::kSSRT:
+      m.refresh = true;
+      m.soft_timeout = true;
+      m.reliable_trigger = true;
+      m.removal_notification = true;
+      break;
+    case ProtocolKind::kSSRTR:
+      m.refresh = true;
+      m.soft_timeout = true;
+      m.explicit_removal = true;
+      m.reliable_trigger = true;
+      m.reliable_removal = true;
+      m.removal_notification = true;
+      break;
+    case ProtocolKind::kHS:
+      m.explicit_removal = true;
+      m.reliable_trigger = true;
+      m.reliable_removal = true;
+      m.removal_notification = true;
+      m.external_failure_detector = true;
+      break;
+  }
+  return m;
+}
+
+std::string_view to_string(ProtocolKind kind) noexcept {
+  switch (kind) {
+    case ProtocolKind::kSS: return "SS";
+    case ProtocolKind::kSSER: return "SS+ER";
+    case ProtocolKind::kSSRT: return "SS+RT";
+    case ProtocolKind::kSSRTR: return "SS+RTR";
+    case ProtocolKind::kHS: return "HS";
+  }
+  return "?";
+}
+
+std::string_view describe(ProtocolKind kind) noexcept {
+  switch (kind) {
+    case ProtocolKind::kSS:
+      return "pure soft-state (best-effort trigger + refresh, timeout removal)";
+    case ProtocolKind::kSSER:
+      return "soft-state with best-effort explicit removal";
+    case ProtocolKind::kSSRT:
+      return "soft-state with reliable triggers and removal notification";
+    case ProtocolKind::kSSRTR:
+      return "soft-state with reliable triggers and reliable removal";
+    case ProtocolKind::kHS:
+      return "hard-state (reliable setup/update/removal, external failure detector)";
+  }
+  return "?";
+}
+
+std::optional<ProtocolKind> parse_protocol(std::string_view name) noexcept {
+  for (const ProtocolKind kind : kAllProtocols) {
+    if (to_string(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+bool is_soft_state(ProtocolKind kind) noexcept {
+  return kind != ProtocolKind::kHS;
+}
+
+}  // namespace sigcomp

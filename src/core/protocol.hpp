@@ -1,0 +1,64 @@
+// Protocol taxonomy: the five abstract signaling protocols of Ji et al.,
+// "A Comparison of Hard-state and Soft-state Signaling Protocols"
+// (SIGCOMM 2003), and the mechanism set each one enables.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace sigcomp {
+
+/// The five abstract protocols along the soft-state / hard-state spectrum.
+enum class ProtocolKind {
+  kSS,     ///< pure soft-state: best-effort trigger + refresh, timeout removal
+  kSSER,   ///< soft-state + best-effort explicit removal message
+  kSSRT,   ///< soft-state + reliable triggers (retransmission + ACK) and
+           ///< false-removal notification
+  kSSRTR,  ///< soft-state + reliable triggers and reliable explicit removal
+  kHS,     ///< hard-state: reliable trigger/removal only, external failure
+           ///< detector for orphan cleanup (no refresh, no timeout)
+};
+
+/// All protocols, in the paper's presentation order.
+inline constexpr std::array<ProtocolKind, 5> kAllProtocols = {
+    ProtocolKind::kSS, ProtocolKind::kSSER, ProtocolKind::kSSRT,
+    ProtocolKind::kSSRTR, ProtocolKind::kHS};
+
+/// Protocols modeled in the paper's multi-hop analysis (Sec. III-B).
+inline constexpr std::array<ProtocolKind, 3> kMultiHopProtocols = {
+    ProtocolKind::kSS, ProtocolKind::kSSRT, ProtocolKind::kHS};
+
+/// The mechanism set a protocol employs.  This is the "spectrum" view of
+/// Section II: every protocol is just a combination of these switches.
+struct MechanismSet {
+  bool refresh = false;            ///< periodic refresh messages from sender
+  bool soft_timeout = false;       ///< receiver removes state on timeout
+  bool explicit_removal = false;   ///< sender emits a removal message
+  bool reliable_trigger = false;   ///< triggers are ACKed and retransmitted
+  bool reliable_removal = false;   ///< removals are ACKed and retransmitted
+  bool removal_notification = false;  ///< receiver notifies sender of
+                                      ///< (possibly false) removals
+  bool external_failure_detector = false;  ///< orphan cleanup via external
+                                           ///< signal (hard state only)
+
+  friend bool operator==(const MechanismSet&, const MechanismSet&) = default;
+};
+
+/// Mechanisms of a protocol (Table in Sec. II / Fig. 1 of the paper).
+[[nodiscard]] MechanismSet mechanisms(ProtocolKind kind) noexcept;
+
+/// Canonical short name ("SS", "SS+ER", "SS+RT", "SS+RTR", "HS").
+[[nodiscard]] std::string_view to_string(ProtocolKind kind) noexcept;
+
+/// Longer human-readable description.
+[[nodiscard]] std::string_view describe(ProtocolKind kind) noexcept;
+
+/// Parses a canonical short name (case-sensitive).  Returns nullopt on
+/// unknown input.
+[[nodiscard]] std::optional<ProtocolKind> parse_protocol(std::string_view name) noexcept;
+
+/// True for protocols whose state survives only while refreshed (all but HS).
+[[nodiscard]] bool is_soft_state(ProtocolKind kind) noexcept;
+
+}  // namespace sigcomp

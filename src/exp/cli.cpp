@@ -1,0 +1,140 @@
+#include "exp/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace sigcomp::exp {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(std::string name, std::string description) {
+  Spec spec;
+  spec.description = std::move(description);
+  spec.is_flag = true;
+  specs_.emplace(std::move(name), std::move(spec));
+}
+
+void ArgParser::add_option(std::string name, std::string description,
+                           std::string default_value) {
+  Spec spec;
+  spec.description = std::move(description);
+  spec.value = std::move(default_value);
+  specs_.emplace(std::move(name), std::move(spec));
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return true;
+    }
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      inline_value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      error_ = "unknown option --" + name;
+      return false;
+    }
+    Spec& spec = it->second;
+    if (spec.is_flag) {
+      if (inline_value) {
+        error_ = "flag --" + name + " does not take a value";
+        return false;
+      }
+      spec.seen = true;
+      continue;
+    }
+    if (inline_value) {
+      spec.value = *inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        error_ = "option --" + name + " requires a value";
+        return false;
+      }
+      spec.value = argv[++i];
+    }
+    spec.seen = true;
+  }
+  return true;
+}
+
+const ArgParser::Spec& ArgParser::require(std::string_view name) const {
+  const auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    throw std::logic_error("ArgParser: option not registered: " +
+                           std::string(name));
+  }
+  return it->second;
+}
+
+bool ArgParser::flag(std::string_view name) const {
+  const Spec& spec = require(name);
+  if (!spec.is_flag) {
+    throw std::logic_error("ArgParser: --" + std::string(name) + " is not a flag");
+  }
+  return spec.seen;
+}
+
+std::string ArgParser::get(std::string_view name) const {
+  const Spec& spec = require(name);
+  if (spec.is_flag) {
+    throw std::logic_error("ArgParser: --" + std::string(name) + " is a flag");
+  }
+  return spec.value;
+}
+
+bool ArgParser::passed(std::string_view name) const { return require(name).seen; }
+
+double ArgParser::get_double(std::string_view name) const {
+  const std::string text = get(name);
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    throw std::invalid_argument("option --" + std::string(name) +
+                                ": not a number: " + text);
+  }
+  return value;
+}
+
+long ArgParser::get_long(std::string_view name) const {
+  const std::string text = get(name);
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    throw std::invalid_argument("option --" + std::string(name) +
+                                ": not an integer: " + text);
+  }
+  return value;
+}
+
+std::string ArgParser::help() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [options]\n" << description_ << "\n\noptions:\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.is_flag) os << " <value>";
+    os << "\n      " << spec.description;
+    if (!spec.is_flag && !spec.value.empty()) {
+      os << " (default: " << spec.value << ")";
+    }
+    os << '\n';
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+}  // namespace sigcomp::exp

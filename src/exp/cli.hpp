@@ -1,0 +1,75 @@
+// Minimal command-line option parser for the sigcomp tools.
+//
+// Supports `--name value`, `--name=value`, boolean flags and positional
+// arguments, with generated help text.  Self-contained (no dependencies)
+// and unit-tested -- the CLI binary stays a thin shell over the library.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sigcomp::exp {
+
+/// Declarative option set + parser.
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Registers a boolean flag (present/absent).
+  void add_flag(std::string name, std::string description);
+
+  /// Registers a value option with a default (shown in help).
+  void add_option(std::string name, std::string description,
+                  std::string default_value);
+
+  /// Parses argv (argv[0] is skipped).  Returns false on any error; call
+  /// error() for the message.  `--help` sets help_requested() and returns
+  /// true without validating further.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const noexcept { return help_requested_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// True when a flag was passed (flags only).
+  [[nodiscard]] bool flag(std::string_view name) const;
+
+  /// Value of an option (its default when not passed).
+  [[nodiscard]] std::string get(std::string_view name) const;
+
+  /// True when the user explicitly passed the option.
+  [[nodiscard]] bool passed(std::string_view name) const;
+
+  /// Numeric accessors; throw std::invalid_argument on malformed values.
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] long get_long(std::string_view name) const;
+
+  /// Non-option arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Generated usage text.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Spec {
+    std::string description;
+    std::string value;     // default, replaced when passed
+    bool is_flag = false;
+    bool seen = false;
+  };
+
+  [[nodiscard]] const Spec& require(std::string_view name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec, std::less<>> specs_;
+  std::vector<std::string> positional_;
+  std::string error_;
+  bool help_requested_ = false;
+};
+
+}  // namespace sigcomp::exp

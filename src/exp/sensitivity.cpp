@@ -1,0 +1,101 @@
+#include "exp/sensitivity.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "analytic/single_hop.hpp"
+
+namespace sigcomp::exp {
+
+namespace {
+
+using Setter = std::function<void(SingleHopParams&, double)>;
+using Getter = std::function<double(const SingleHopParams&)>;
+
+struct ParamAccess {
+  const char* name;
+  Getter get;
+  Setter set;
+};
+
+const std::vector<ParamAccess>& accessors() {
+  static const std::vector<ParamAccess> kAccessors = {
+      {"loss", [](const SingleHopParams& p) { return p.loss; },
+       [](SingleHopParams& p, double v) { p.loss = v; }},
+      {"delay", [](const SingleHopParams& p) { return p.delay; },
+       [](SingleHopParams& p, double v) { p.delay = v; }},
+      {"update_rate", [](const SingleHopParams& p) { return p.update_rate; },
+       [](SingleHopParams& p, double v) { p.update_rate = v; }},
+      {"removal_rate", [](const SingleHopParams& p) { return p.removal_rate; },
+       [](SingleHopParams& p, double v) { p.removal_rate = v; }},
+      {"refresh_timer", [](const SingleHopParams& p) { return p.refresh_timer; },
+       [](SingleHopParams& p, double v) { p.refresh_timer = v; }},
+      {"timeout_timer", [](const SingleHopParams& p) { return p.timeout_timer; },
+       [](SingleHopParams& p, double v) { p.timeout_timer = v; }},
+      {"retrans_timer", [](const SingleHopParams& p) { return p.retrans_timer; },
+       [](SingleHopParams& p, double v) { p.retrans_timer = v; }},
+      {"false_signal_rate",
+       [](const SingleHopParams& p) { return p.false_signal_rate; },
+       [](SingleHopParams& p, double v) { p.false_signal_rate = v; }},
+  };
+  return kAccessors;
+}
+
+}  // namespace
+
+std::vector<std::string> sensitivity_parameters() {
+  std::vector<std::string> out;
+  for (const ParamAccess& a : accessors()) out.emplace_back(a.name);
+  return out;
+}
+
+std::vector<Sensitivity> sensitivity_analysis(ProtocolKind kind,
+                                              const SingleHopParams& params,
+                                              double step) {
+  params.validate();
+  if (!(step > 0.0) || step >= 0.5) {
+    throw std::invalid_argument("sensitivity_analysis: step must be in (0, 0.5)");
+  }
+
+  std::vector<Sensitivity> out;
+  for (const ParamAccess& access : accessors()) {
+    Sensitivity s;
+    s.parameter = access.name;
+    const double base = access.get(params);
+    if (base == 0.0) {
+      // A parameter at zero has no multiplicative neighbourhood.
+      out.push_back(s);
+      continue;
+    }
+    SingleHopParams up = params;
+    access.set(up, base * (1.0 + step));
+    SingleHopParams down = params;
+    access.set(down, base * (1.0 - step));
+    const Metrics m_up = analytic::evaluate_single_hop(kind, up);
+    const Metrics m_down = analytic::evaluate_single_hop(kind, down);
+    const double dlog = std::log1p(step) - std::log1p(-step);
+    const auto elasticity = [&](double hi, double lo) {
+      if (hi <= 0.0 || lo <= 0.0) return 0.0;
+      return (std::log(hi) - std::log(lo)) / dlog;
+    };
+    s.inconsistency = elasticity(m_up.inconsistency, m_down.inconsistency);
+    s.message_rate = elasticity(m_up.message_rate, m_down.message_rate);
+    // Quantize numerical dust to a clean zero for unused parameters.
+    if (std::abs(s.inconsistency) < 1e-9) s.inconsistency = 0.0;
+    if (std::abs(s.message_rate) < 1e-9) s.message_rate = 0.0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+Sensitivity most_sensitive(ProtocolKind kind, const SingleHopParams& params) {
+  const std::vector<Sensitivity> all = sensitivity_analysis(kind, params);
+  const Sensitivity* best = &all.front();
+  for (const Sensitivity& s : all) {
+    if (std::abs(s.inconsistency) > std::abs(best->inconsistency)) best = &s;
+  }
+  return *best;
+}
+
+}  // namespace sigcomp::exp

@@ -1,0 +1,40 @@
+// Sensitivity analysis: which parameter actually moves the metrics?
+//
+// Computes normalized elasticities d(log metric)/d(log parameter) by
+// central finite differences -- a +1% change in the parameter moves the
+// metric by (elasticity)%.  Useful for deciding which knob to tune and for
+// checking model robustness around an operating point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+
+namespace sigcomp::exp {
+
+/// Elasticities of one metric with respect to one parameter.
+struct Sensitivity {
+  std::string parameter;        ///< e.g. "loss", "refresh_timer"
+  double inconsistency = 0.0;   ///< d log I / d log param
+  double message_rate = 0.0;    ///< d log M / d log param
+};
+
+/// The parameters probed by sensitivity_analysis, in report order.
+[[nodiscard]] std::vector<std::string> sensitivity_parameters();
+
+/// Elasticities of I and M around `params` for `kind`, one entry per
+/// parameter of sensitivity_parameters().  `step` is the relative
+/// perturbation (default 1%).
+///
+/// Parameters the protocol does not use (e.g. the refresh timer under HS)
+/// report exactly zero.  Throws std::invalid_argument on bad inputs.
+[[nodiscard]] std::vector<Sensitivity> sensitivity_analysis(
+    ProtocolKind kind, const SingleHopParams& params, double step = 0.01);
+
+/// The parameter with the largest |d log I / d log param|.
+[[nodiscard]] Sensitivity most_sensitive(ProtocolKind kind,
+                                         const SingleHopParams& params);
+
+}  // namespace sigcomp::exp

@@ -1,0 +1,38 @@
+#include "exp/sweep.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sigcomp::exp {
+
+std::vector<double> log_space(double lo, double hi, std::size_t n) {
+  if (!(lo > 0.0) || hi < lo) {
+    throw std::invalid_argument("log_space: require 0 < lo <= hi");
+  }
+  if (n == 0) return {};
+  if (n == 1) return {lo};
+  std::vector<double> out;
+  out.reserve(n);
+  const double step = (std::log(hi) - std::log(lo)) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::exp(std::log(lo) + step * static_cast<double>(i)));
+  }
+  out.back() = hi;  // avoid round-off drift at the endpoint
+  return out;
+}
+
+std::vector<double> lin_space(double lo, double hi, std::size_t n) {
+  if (hi < lo) throw std::invalid_argument("lin_space: require lo <= hi");
+  if (n == 0) return {};
+  if (n == 1) return {lo};
+  std::vector<double> out;
+  out.reserve(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(lo + step * static_cast<double>(i));
+  }
+  out.back() = hi;
+  return out;
+}
+
+}  // namespace sigcomp::exp

@@ -1,0 +1,16 @@
+// Parameter-sweep axes used by the figure benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sigcomp::exp {
+
+/// n points spaced logarithmically in [lo, hi] (inclusive).  Requires
+/// 0 < lo <= hi and n >= 2 (n == 1 returns {lo}).
+[[nodiscard]] std::vector<double> log_space(double lo, double hi, std::size_t n);
+
+/// n points spaced linearly in [lo, hi] (inclusive).
+[[nodiscard]] std::vector<double> lin_space(double lo, double hi, std::size_t n);
+
+}  // namespace sigcomp::exp

@@ -1,0 +1,116 @@
+#include "exp/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+
+namespace sigcomp::exp {
+
+namespace {
+
+std::string cell_text(const Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  return format_number(std::get<double>(cell));
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string format_number(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: at least one column required");
+  }
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: column count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+const Cell& Table::at(std::size_t row, std::size_t col) const {
+  if (row >= rows_.size() || col >= headers_.size()) {
+    throw std::out_of_range("Table::at: index out of range");
+  }
+  return rows_[row][col];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(cell_text(row[c]));
+      if (cells.back().size() > widths[c]) widths[c] = cells.back().size();
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  os << "# " << title_ << '\n';
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c ? "  " : "");
+      os << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rendered) print_row(row);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c ? "," : "") << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << csv_escape(cell_text(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+void Table::write_csv_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("Table::write_csv_file: cannot open " + path);
+  write_csv(file);
+  if (!file) throw std::runtime_error("Table::write_csv_file: write failed: " + path);
+}
+
+std::string csv_path_from_args(int argc, const char* const* argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--csv") return argv[i + 1];
+  }
+  return {};
+}
+
+}  // namespace sigcomp::exp

@@ -1,0 +1,55 @@
+// Aligned table printing and CSV export for the experiment binaries.
+//
+// Every figure bench prints the paper's series as a fixed-width table on
+// stdout and, when asked, writes the same rows to a CSV file for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sigcomp::exp {
+
+/// A table cell: text or a number (formatted with %.6g).
+using Cell = std::variant<std::string, double>;
+
+/// Column-aligned table with a title, headers and homogeneous rows.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Adds a row; must match the header count.  Throws otherwise.
+  void add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+  /// Cell accessor for tests; throws std::out_of_range.
+  [[nodiscard]] const Cell& at(std::size_t row, std::size_t col) const;
+
+  /// Renders the aligned table.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quoting cells containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: writes CSV to a file path; throws std::runtime_error on
+  /// I/O failure.
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Formats a double the way tables do ("%.6g"); exposed for tests.
+[[nodiscard]] std::string format_number(double v);
+
+/// Parses "--csv PATH" out of an argv-style argument list; returns an empty
+/// string when absent.  Used by the bench binaries.
+[[nodiscard]] std::string csv_path_from_args(int argc, const char* const* argv);
+
+}  // namespace sigcomp::exp

@@ -1,0 +1,127 @@
+#include "exp/tuning.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analytic/multi_hop.hpp"
+#include "analytic/single_hop.hpp"
+#include "exp/sweep.hpp"
+
+namespace sigcomp::exp {
+
+double minimize_log_grid(const std::function<double(double)>& cost, double lo,
+                         double hi, std::size_t grid_points, double tolerance) {
+  if (!(lo > 0.0) || !(hi > lo)) {
+    throw std::invalid_argument("minimize_log_grid: require 0 < lo < hi");
+  }
+  if (grid_points < 4) {
+    throw std::invalid_argument("minimize_log_grid: need at least 4 grid points");
+  }
+
+  // Coarse scan.
+  const std::vector<double> grid = log_space(lo, hi, grid_points);
+  std::size_t best = 0;
+  double best_cost = cost(grid[0]);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    const double c = cost(grid[i]);
+    if (c < best_cost) {
+      best_cost = c;
+      best = i;
+    }
+  }
+
+  // Golden-section refinement in the bracket around the best grid cell
+  // (log domain, so the bracket is symmetric in ratio).
+  double a = std::log(grid[best == 0 ? 0 : best - 1]);
+  double b = std::log(grid[best + 1 >= grid.size() ? grid.size() - 1 : best + 1]);
+  if (a == b) return std::exp(a);
+  constexpr double kInvPhi = 0.6180339887498949;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = cost(std::exp(x1));
+  double f2 = cost(std::exp(x2));
+  while (b - a > tolerance) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = cost(std::exp(x1));
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = cost(std::exp(x2));
+    }
+  }
+  return std::exp(0.5 * (a + b));
+}
+
+TuningResult optimal_refresh_timer(ProtocolKind kind,
+                                   const SingleHopParams& params, double weight,
+                                   double lo, double hi) {
+  if (!mechanisms(kind).refresh) {
+    throw std::invalid_argument(
+        "optimal_refresh_timer: protocol has no refresh timer");
+  }
+  const auto cost = [&](double refresh) {
+    return integrated_cost(
+        analytic::evaluate_single_hop(kind, params.with_refresh_scaled_timeout(refresh)),
+        weight);
+  };
+  TuningResult out;
+  out.argmin = minimize_log_grid(cost, lo, hi);
+  out.metrics =
+      analytic::evaluate_single_hop(kind, params.with_refresh_scaled_timeout(out.argmin));
+  out.cost = integrated_cost(out.metrics, weight);
+  return out;
+}
+
+TuningResult optimal_timeout_timer(ProtocolKind kind,
+                                   const SingleHopParams& params, double weight,
+                                   double lo, double hi) {
+  if (!mechanisms(kind).soft_timeout) {
+    throw std::invalid_argument(
+        "optimal_timeout_timer: protocol has no state-timeout timer");
+  }
+  const auto cost = [&](double timeout) {
+    SingleHopParams p = params;
+    p.timeout_timer = timeout;
+    return integrated_cost(analytic::evaluate_single_hop(kind, p), weight);
+  };
+  TuningResult out;
+  out.argmin = minimize_log_grid(cost, lo, hi);
+  SingleHopParams p = params;
+  p.timeout_timer = out.argmin;
+  out.metrics = analytic::evaluate_single_hop(kind, p);
+  out.cost = integrated_cost(out.metrics, weight);
+  return out;
+}
+
+TuningResult optimal_multi_hop_refresh_timer(ProtocolKind kind,
+                                             const MultiHopParams& params,
+                                             double weight, double lo,
+                                             double hi) {
+  if (!mechanisms(kind).refresh) {
+    throw std::invalid_argument(
+        "optimal_multi_hop_refresh_timer: protocol has no refresh timer");
+  }
+  const auto with_refresh = [&](double refresh) {
+    MultiHopParams p = params;
+    p.refresh_timer = refresh;
+    p.timeout_timer = 3.0 * refresh;
+    return p;
+  };
+  const auto cost = [&](double refresh) {
+    return integrated_cost(
+        analytic::evaluate_multi_hop(kind, with_refresh(refresh)), weight);
+  };
+  TuningResult out;
+  out.argmin = minimize_log_grid(cost, lo, hi);
+  out.metrics = analytic::evaluate_multi_hop(kind, with_refresh(out.argmin));
+  out.cost = integrated_cost(out.metrics, weight);
+  return out;
+}
+
+}  // namespace sigcomp::exp

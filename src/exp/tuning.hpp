@@ -1,0 +1,50 @@
+// Timer tuning: find the refresh-timer setting that minimizes the
+// integrated cost C = w*I + M (Fig. 7's "sensitive optimal operating
+// point"), and related one-dimensional optimizations.
+#pragma once
+
+#include <functional>
+
+#include "core/metrics.hpp"
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+
+namespace sigcomp::exp {
+
+/// Result of a scalar minimization.
+struct TuningResult {
+  double argmin = 0.0;  ///< optimal parameter value
+  double cost = 0.0;    ///< cost at the optimum
+  Metrics metrics;      ///< metrics at the optimum
+};
+
+/// Minimizes `cost` over [lo, hi] with a coarse logarithmic grid scan
+/// followed by golden-section refinement around the best grid cell.
+/// Robust for the mildly non-convex cost curves the models produce.
+///
+/// Throws std::invalid_argument unless 0 < lo < hi and grid_points >= 4.
+[[nodiscard]] double minimize_log_grid(const std::function<double(double)>& cost,
+                                       double lo, double hi,
+                                       std::size_t grid_points = 32,
+                                       double tolerance = 1e-3);
+
+/// Optimal refresh timer for a protocol under the integrated cost with the
+/// paper's coupling T = 3R (soft-state protocols only; HS ignores R, and
+/// asking for its optimum throws std::invalid_argument).
+[[nodiscard]] TuningResult optimal_refresh_timer(
+    ProtocolKind kind, const SingleHopParams& params,
+    double weight = kDefaultCostWeight, double lo = 0.05, double hi = 500.0);
+
+/// Optimal state-timeout timer with the refresh timer held fixed
+/// (the Fig. 8(a) question: "how should T relate to R?").
+[[nodiscard]] TuningResult optimal_timeout_timer(
+    ProtocolKind kind, const SingleHopParams& params,
+    double weight = kDefaultCostWeight, double lo = 0.1, double hi = 1000.0);
+
+/// Optimal refresh timer for the multi-hop chain (Fig. 19's minima), with
+/// T = 3R; the cost here is w*I + raw message rate.  SS and SS+RT only.
+[[nodiscard]] TuningResult optimal_multi_hop_refresh_timer(
+    ProtocolKind kind, const MultiHopParams& params,
+    double weight = kDefaultCostWeight, double lo = 0.05, double hi = 1000.0);
+
+}  // namespace sigcomp::exp

@@ -1,0 +1,128 @@
+#include "markov/absorption.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "markov/linear_solver.hpp"
+
+namespace sigcomp::markov {
+
+namespace {
+
+/// Partitions states into (transient, absorbing) and returns the index of
+/// each transient state inside the reduced system.
+struct Partition {
+  std::vector<StateId> transient;
+  std::vector<StateId> absorbing;
+  std::vector<std::ptrdiff_t> reduced_index;  // -1 for absorbing states
+};
+
+Partition partition_states(const Ctmc& chain) {
+  Partition p;
+  p.absorbing = chain.absorbing_states();
+  if (p.absorbing.empty()) {
+    throw std::invalid_argument("absorption analysis: chain has no absorbing state");
+  }
+  p.reduced_index.assign(chain.num_states(), -1);
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    if (std::find(p.absorbing.begin(), p.absorbing.end(), s) == p.absorbing.end()) {
+      p.reduced_index[s] = static_cast<std::ptrdiff_t>(p.transient.size());
+      p.transient.push_back(s);
+    }
+  }
+  for (StateId s : p.transient) {
+    bool can_absorb = false;
+    for (StateId a : p.absorbing) {
+      if (chain.reachable(s, a)) {
+        can_absorb = true;
+        break;
+      }
+    }
+    if (!can_absorb) {
+      throw std::runtime_error("absorption analysis: state '" + chain.name(s) +
+                               "' cannot reach absorption");
+    }
+  }
+  return p;
+}
+
+/// Builds -Q restricted to transient states (a nonsingular M-matrix).
+DenseMatrix negative_restricted_generator(const Ctmc& chain, const Partition& p) {
+  const std::size_t m = p.transient.size();
+  DenseMatrix a(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const StateId s = p.transient[i];
+    a(i, i) = chain.exit_rate(s);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      a(i, j) = -chain.rate(s, p.transient[j]);
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+AbsorptionResult mean_time_to_absorption(const Ctmc& chain) {
+  const Partition p = partition_states(chain);
+  const DenseMatrix a = negative_restricted_generator(chain, p);
+  const std::vector<double> ones(p.transient.size(), 1.0);
+  const std::vector<double> t = solve_linear(a, ones);
+
+  AbsorptionResult out;
+  out.absorbing = p.absorbing;
+  out.mean_time.assign(chain.num_states(), 0.0);
+  for (std::size_t i = 0; i < p.transient.size(); ++i) {
+    out.mean_time[p.transient[i]] = t[i];
+  }
+  return out;
+}
+
+std::vector<double> absorption_probabilities(const Ctmc& chain, StateId from) {
+  const Partition p = partition_states(chain);
+  if (from >= chain.num_states()) {
+    throw std::out_of_range("absorption_probabilities: invalid start state");
+  }
+  std::vector<double> probs(p.absorbing.size(), 0.0);
+  // Starting in an absorbing state: probability 1 for that state.
+  for (std::size_t k = 0; k < p.absorbing.size(); ++k) {
+    if (p.absorbing[k] == from) {
+      probs[k] = 1.0;
+      return probs;
+    }
+  }
+  const DenseMatrix a = negative_restricted_generator(chain, p);
+  for (std::size_t k = 0; k < p.absorbing.size(); ++k) {
+    // Solve A h = r where r_i = rate(i -> absorbing_k).
+    std::vector<double> r(p.transient.size(), 0.0);
+    for (std::size_t i = 0; i < p.transient.size(); ++i) {
+      r[i] = chain.rate(p.transient[i], p.absorbing[k]);
+    }
+    const std::vector<double> h = solve_linear(a, std::move(r));
+    probs[k] = h[static_cast<std::size_t>(p.reduced_index[from])];
+  }
+  return probs;
+}
+
+std::vector<double> expected_occupancy(const Ctmc& chain, StateId from) {
+  const Partition p = partition_states(chain);
+  if (from >= chain.num_states()) {
+    throw std::out_of_range("expected_occupancy: invalid start state");
+  }
+  std::vector<double> occupancy(chain.num_states(), 0.0);
+  const auto idx = p.reduced_index[from];
+  if (idx < 0) return occupancy;  // started absorbed: zero occupancy everywhere
+
+  // Expected occupancy row vector u solves u A = e_from, i.e. A^T u = e_from,
+  // where A = -Q restricted to transient states.
+  const DenseMatrix a = negative_restricted_generator(chain, p);
+  std::vector<double> e(p.transient.size(), 0.0);
+  e[static_cast<std::size_t>(idx)] = 1.0;
+  const std::vector<double> u = solve_linear(a.transposed(), std::move(e));
+  for (std::size_t i = 0; i < p.transient.size(); ++i) {
+    occupancy[p.transient[i]] = u[i];
+  }
+  return occupancy;
+}
+
+}  // namespace sigcomp::markov

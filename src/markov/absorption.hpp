@@ -1,0 +1,41 @@
+// Absorption analysis for transient CTMCs.
+//
+// The single-hop signaling model has one absorbing state ("state removed at
+// both sender and receiver").  The expected session length L used by the
+// paper's message-count normalization (Eq. 2) is the mean time to absorption
+// starting from the setup state.
+#pragma once
+
+#include <vector>
+
+#include "markov/ctmc.hpp"
+
+namespace sigcomp::markov {
+
+/// Result of an absorption analysis.
+struct AbsorptionResult {
+  /// mean_time[i] = expected time to reach any absorbing state from state i;
+  /// zero for absorbing states themselves.
+  std::vector<double> mean_time;
+  /// Indices of the absorbing states found in the chain.
+  std::vector<StateId> absorbing;
+};
+
+/// Computes expected time-to-absorption for every transient state of `chain`.
+///
+/// Throws std::invalid_argument when the chain has no absorbing state, and
+/// std::runtime_error when some transient state cannot reach absorption.
+[[nodiscard]] AbsorptionResult mean_time_to_absorption(const Ctmc& chain);
+
+/// Probability of ending in each absorbing state, starting from `from`.
+/// Indexed in the order of AbsorptionResult::absorbing.
+[[nodiscard]] std::vector<double> absorption_probabilities(const Ctmc& chain,
+                                                           StateId from);
+
+/// Expected total time spent in each state before absorption when starting
+/// from `from` (zero for absorbing states).  The sum over states equals the
+/// mean time to absorption.  This is what the message-count accounting uses:
+/// expected messages = sum_s occupancy[s] * send_rate_in_s.
+[[nodiscard]] std::vector<double> expected_occupancy(const Ctmc& chain, StateId from);
+
+}  // namespace sigcomp::markov

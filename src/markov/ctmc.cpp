@@ -1,0 +1,120 @@
+#include "markov/ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace sigcomp::markov {
+
+StateId Ctmc::add_state(std::string name) {
+  if (name.empty()) {
+    throw std::invalid_argument("Ctmc::add_state: empty state name");
+  }
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("Ctmc::add_state: duplicate state name: " + name);
+  }
+  const StateId id = names_.size();
+  by_name_.emplace(name, id);
+  names_.push_back(std::move(name));
+  rates_.emplace_back();
+  return id;
+}
+
+void Ctmc::add_rate(StateId from, StateId to, double rate) {
+  if (from >= names_.size() || to >= names_.size()) {
+    throw std::out_of_range("Ctmc::add_rate: state id out of range");
+  }
+  if (from == to) {
+    throw std::invalid_argument("Ctmc::add_rate: self-loop not allowed");
+  }
+  if (!std::isfinite(rate) || rate < 0.0) {
+    throw std::invalid_argument("Ctmc::add_rate: rate must be finite and >= 0");
+  }
+  if (rate == 0.0) return;
+  rates_[from][to] += rate;
+}
+
+const std::string& Ctmc::name(StateId id) const {
+  if (id >= names_.size()) throw std::out_of_range("Ctmc::name: invalid state id");
+  return names_[id];
+}
+
+std::optional<StateId> Ctmc::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+double Ctmc::rate(StateId from, StateId to) const {
+  if (from >= names_.size() || to >= names_.size()) {
+    throw std::out_of_range("Ctmc::rate: state id out of range");
+  }
+  const auto it = rates_[from].find(to);
+  return it == rates_[from].end() ? 0.0 : it->second;
+}
+
+double Ctmc::exit_rate(StateId s) const {
+  if (s >= names_.size()) throw std::out_of_range("Ctmc::exit_rate: invalid state id");
+  double total = 0.0;
+  for (const auto& [to, r] : rates_[s]) total += r;
+  return total;
+}
+
+std::vector<Transition> Ctmc::transitions() const {
+  std::vector<Transition> out;
+  for (StateId from = 0; from < rates_.size(); ++from) {
+    for (const auto& [to, r] : rates_[from]) {
+      out.push_back(Transition{from, to, r});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Transition& a, const Transition& b) {
+    return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+  });
+  return out;
+}
+
+DenseMatrix Ctmc::generator() const {
+  const std::size_t n = num_states();
+  DenseMatrix q(n, n);
+  for (StateId from = 0; from < n; ++from) {
+    double total = 0.0;
+    for (const auto& [to, r] : rates_[from]) {
+      q(from, to) = r;
+      total += r;
+    }
+    q(from, from) = -total;
+  }
+  return q;
+}
+
+bool Ctmc::reachable(StateId source, StateId target) const {
+  if (source >= names_.size() || target >= names_.size()) {
+    throw std::out_of_range("Ctmc::reachable: state id out of range");
+  }
+  if (source == target) return true;
+  std::vector<bool> seen(names_.size(), false);
+  std::deque<StateId> frontier{source};
+  seen[source] = true;
+  while (!frontier.empty()) {
+    const StateId s = frontier.front();
+    frontier.pop_front();
+    for (const auto& [to, r] : rates_[s]) {
+      if (r <= 0.0 || seen[to]) continue;
+      if (to == target) return true;
+      seen[to] = true;
+      frontier.push_back(to);
+    }
+  }
+  return false;
+}
+
+std::vector<StateId> Ctmc::absorbing_states() const {
+  std::vector<StateId> out;
+  for (StateId s = 0; s < rates_.size(); ++s) {
+    if (rates_[s].empty()) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace sigcomp::markov

@@ -1,0 +1,82 @@
+// Continuous-time Markov chain builder.
+//
+// A chain is assembled incrementally: states are registered by name, then
+// transition rates are added between them.  Adding a rate between the same
+// pair of states twice accumulates (useful when several mechanisms contribute
+// to the same transition, e.g. "refresh OR retransmission repairs the state").
+//
+// The builder produces the infinitesimal generator matrix Q, where
+// Q(i,j) = rate i->j for i != j, and Q(i,i) = -sum_j!=i Q(i,j).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "markov/dense_matrix.hpp"
+
+namespace sigcomp::markov {
+
+/// Index of a state inside a Ctmc.  Plain size_t wrapped for readability.
+using StateId = std::size_t;
+
+/// A single directed transition with a positive rate.
+struct Transition {
+  StateId from = 0;
+  StateId to = 0;
+  double rate = 0.0;
+
+  friend bool operator==(const Transition&, const Transition&) = default;
+};
+
+/// Incrementally-built continuous-time Markov chain.
+class Ctmc {
+ public:
+  /// Registers a new state and returns its id.  Throws std::invalid_argument
+  /// if the name is already taken or empty.
+  StateId add_state(std::string name);
+
+  /// Adds `rate` to the transition from -> to.  Rates must be positive and
+  /// finite; self-loops are rejected.  Zero rates are ignored (convenient for
+  /// "mechanism disabled" protocol configurations).
+  void add_rate(StateId from, StateId to, double rate);
+
+  [[nodiscard]] std::size_t num_states() const noexcept { return names_.size(); }
+
+  /// Name of a state.  Throws std::out_of_range for an invalid id.
+  [[nodiscard]] const std::string& name(StateId id) const;
+
+  /// Looks a state up by name.
+  [[nodiscard]] std::optional<StateId> find(std::string_view name) const;
+
+  /// Total rate from -> to (0 when no transition exists).
+  [[nodiscard]] double rate(StateId from, StateId to) const;
+
+  /// Sum of outgoing rates of a state.
+  [[nodiscard]] double exit_rate(StateId s) const;
+
+  /// All transitions with positive rate, in insertion-independent
+  /// (from, to)-sorted order.
+  [[nodiscard]] std::vector<Transition> transitions() const;
+
+  /// Infinitesimal generator matrix Q (square, row sums zero).
+  [[nodiscard]] DenseMatrix generator() const;
+
+  /// True when `target` is reachable from `source` through positive-rate
+  /// transitions.
+  [[nodiscard]] bool reachable(StateId source, StateId target) const;
+
+  /// States with no outgoing transitions.
+  [[nodiscard]] std::vector<StateId> absorbing_states() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, StateId> by_name_;
+  // rates_[from][to] = accumulated rate.
+  std::vector<std::unordered_map<StateId, double>> rates_;
+};
+
+}  // namespace sigcomp::markov

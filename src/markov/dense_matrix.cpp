@@ -1,0 +1,131 @@
+#include "markov/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace sigcomp::markov {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+DenseMatrix::DenseMatrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("DenseMatrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& DenseMatrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("DenseMatrix::at: index out of range");
+  }
+  return data_[r * cols_ + c];
+}
+
+const double& DenseMatrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("DenseMatrix::at: index out of range");
+  }
+  return data_[r * cols_ + c];
+}
+
+double DenseMatrix::row_sum(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("DenseMatrix::row_sum: row out of range");
+  double sum = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) sum += (*this)(r, c);
+  return sum;
+}
+
+std::vector<double> DenseMatrix::multiply(const std::vector<double>& x) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("DenseMatrix::multiply: dimension mismatch");
+  }
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> DenseMatrix::left_multiply(const std::vector<double>& x) const {
+  if (x.size() != rows_) {
+    throw std::invalid_argument("DenseMatrix::left_multiply: dimension mismatch");
+  }
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += xr * (*this)(r, c);
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("DenseMatrix::multiply: dimension mismatch");
+  }
+  DenseMatrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = (*this)(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += v * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+void DenseMatrix::scale(double factor) noexcept {
+  for (double& v : data_) v *= factor;
+}
+
+void DenseMatrix::add(const DenseMatrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("DenseMatrix::add: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+double DenseMatrix::max_abs() const noexcept {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+std::ostream& operator<<(std::ostream& os, const DenseMatrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << '[';
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      os << (c ? ", " : "") << m(r, c);
+    }
+    os << "]\n";
+  }
+  return os;
+}
+
+}  // namespace sigcomp::markov

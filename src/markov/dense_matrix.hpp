@@ -1,0 +1,83 @@
+// Dense row-major matrix of doubles.
+//
+// This is the numerical workhorse underneath the Markov-chain substrate.  The
+// chains in this project are small (tens of states for the single-hop model,
+// O(K) states for the multi-hop model), so a simple dense representation is
+// both sufficient and the most robust choice.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace sigcomp::markov {
+
+/// Dense row-major matrix with bounds-checked access.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Creates a matrix from nested initializer lists; all rows must have the
+  /// same length.  Throws std::invalid_argument on ragged input.
+  DenseMatrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of size n.
+  [[nodiscard]] static DenseMatrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] bool is_square() const noexcept { return rows_ == cols_; }
+
+  /// Bounds-checked element access.  Throws std::out_of_range.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] const double& at(std::size_t r, std::size_t c) const;
+
+  /// Unchecked element access for hot loops.
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const double& operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Sum of entries in row r.
+  [[nodiscard]] double row_sum(std::size_t r) const;
+
+  /// Matrix-vector product (this * x).  Throws on dimension mismatch.
+  [[nodiscard]] std::vector<double> multiply(const std::vector<double>& x) const;
+
+  /// Vector-matrix product (x^T * this).  Throws on dimension mismatch.
+  [[nodiscard]] std::vector<double> left_multiply(const std::vector<double>& x) const;
+
+  /// Matrix-matrix product.  Throws on dimension mismatch.
+  [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
+
+  /// Returns the transposed matrix.
+  [[nodiscard]] DenseMatrix transposed() const;
+
+  /// Element-wise scaling in place.
+  void scale(double factor) noexcept;
+
+  /// this += other.  Throws on dimension mismatch.
+  void add(const DenseMatrix& other);
+
+  /// Maximum absolute entry (infinity norm of the flattened matrix).
+  [[nodiscard]] double max_abs() const noexcept;
+
+  friend bool operator==(const DenseMatrix&, const DenseMatrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Pretty-printer used by tests and debug dumps.
+std::ostream& operator<<(std::ostream& os, const DenseMatrix& m);
+
+}  // namespace sigcomp::markov

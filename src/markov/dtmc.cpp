@@ -1,0 +1,91 @@
+#include "markov/dtmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sigcomp::markov {
+
+DenseMatrix embedded_jump_matrix(const Ctmc& chain) {
+  const std::size_t n = chain.num_states();
+  DenseMatrix p(n, n);
+  for (StateId s = 0; s < n; ++s) {
+    const double exit = chain.exit_rate(s);
+    if (exit <= 0.0) {
+      p(s, s) = 1.0;  // absorbing
+      continue;
+    }
+    for (StateId t = 0; t < n; ++t) {
+      if (t == s) continue;
+      const double r = chain.rate(s, t);
+      if (r > 0.0) p(s, t) = r / exit;
+    }
+  }
+  return p;
+}
+
+DenseMatrix uniformized_matrix(const Ctmc& chain, double lambda) {
+  const std::size_t n = chain.num_states();
+  double max_exit = 0.0;
+  for (StateId s = 0; s < n; ++s) max_exit = std::max(max_exit, chain.exit_rate(s));
+  if (!(lambda >= max_exit) || lambda <= 0.0) {
+    throw std::invalid_argument(
+        "uniformized_matrix: lambda must be >= the maximum exit rate");
+  }
+  DenseMatrix p = chain.generator();
+  p.scale(1.0 / lambda);
+  for (std::size_t i = 0; i < n; ++i) p(i, i) += 1.0;
+  return p;
+}
+
+double stochastic_violation(const DenseMatrix& p) {
+  double worst = 0.0;
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    worst = std::max(worst, std::abs(p.row_sum(r) - 1.0));
+    for (std::size_t c = 0; c < p.cols(); ++c) {
+      if (p(r, c) < 0.0) worst = std::max(worst, -p(r, c));
+      if (p(r, c) > 1.0) worst = std::max(worst, p(r, c) - 1.0);
+    }
+  }
+  return worst;
+}
+
+std::vector<double> dtmc_stationary_power(const DenseMatrix& p, double tol,
+                                          std::size_t max_iters) {
+  if (!p.is_square() || p.rows() == 0) {
+    throw std::invalid_argument("dtmc_stationary_power: matrix must be square");
+  }
+  const std::size_t n = p.rows();
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    std::vector<double> next = p.left_multiply(pi);
+    double total = 0.0;
+    for (double v : next) total += v;
+    for (double& v : next) v /= total;
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) delta = std::max(delta, std::abs(next[i] - pi[i]));
+    pi = std::move(next);
+    if (delta < tol) return pi;
+  }
+  throw std::runtime_error("dtmc_stationary_power: did not converge");
+}
+
+std::vector<double> ctmc_stationary_via_jump_chain(const Ctmc& chain) {
+  const DenseMatrix jump = embedded_jump_matrix(chain);
+  const std::vector<double> pj = dtmc_stationary_power(jump, 1e-13, 500000);
+  std::vector<double> pi(pj.size(), 0.0);
+  double total = 0.0;
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    const double exit = chain.exit_rate(s);
+    if (exit <= 0.0) {
+      throw std::invalid_argument(
+          "ctmc_stationary_via_jump_chain: chain must have no absorbing state");
+    }
+    pi[s] = pj[s] / exit;
+    total += pi[s];
+  }
+  for (double& v : pi) v /= total;
+  return pi;
+}
+
+}  // namespace sigcomp::markov

@@ -1,0 +1,36 @@
+// Discrete-time Markov chain utilities: the embedded jump chain of a CTMC
+// and power-iteration style analysis.  Used by tests to cross-validate the
+// GTH stationary solver, and by the uniformization transient solver.
+#pragma once
+
+#include <vector>
+
+#include "markov/ctmc.hpp"
+#include "markov/dense_matrix.hpp"
+
+namespace sigcomp::markov {
+
+/// Row-stochastic transition matrix of the jump (embedded) chain of a CTMC.
+/// Absorbing CTMC states become absorbing DTMC states (self-probability 1).
+[[nodiscard]] DenseMatrix embedded_jump_matrix(const Ctmc& chain);
+
+/// Uniformized DTMC transition matrix: P = I + Q / Lambda, where
+/// Lambda >= max exit rate.  Throws if Lambda is not >= the max exit rate.
+[[nodiscard]] DenseMatrix uniformized_matrix(const Ctmc& chain, double lambda);
+
+/// Checks that each row of `p` sums to 1 and all entries are in [0, 1]
+/// (within `tol`).  Returns the worst violation; tests assert on this.
+[[nodiscard]] double stochastic_violation(const DenseMatrix& p);
+
+/// Stationary distribution of an irreducible DTMC by power iteration.
+/// Intended for test cross-validation only (the production path is GTH).
+/// Throws std::runtime_error if not converged within `max_iters`.
+[[nodiscard]] std::vector<double> dtmc_stationary_power(const DenseMatrix& p,
+                                                        double tol = 1e-12,
+                                                        std::size_t max_iters = 200000);
+
+/// Converts a CTMC stationary question into the embedded-chain question:
+/// pi_ctmc(i) proportional to pi_jump(i) / exit_rate(i).  Used by tests.
+[[nodiscard]] std::vector<double> ctmc_stationary_via_jump_chain(const Ctmc& chain);
+
+}  // namespace sigcomp::markov

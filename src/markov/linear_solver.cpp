@@ -1,0 +1,73 @@
+#include "markov/linear_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sigcomp::markov {
+
+std::vector<double> solve_linear(DenseMatrix a, std::vector<double> b) {
+  if (!a.is_square()) {
+    throw std::invalid_argument("solve_linear: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("solve_linear: rhs dimension mismatch");
+  }
+
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      throw std::runtime_error("solve_linear: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv;
+      if (factor == 0.0) continue;
+      a(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a(ri, c) * x[c];
+    x[ri] = acc / a(ri, ri);
+    if (!std::isfinite(x[ri])) {
+      throw std::runtime_error("solve_linear: non-finite solution");
+    }
+  }
+  return x;
+}
+
+std::vector<double> solve_linear_left(const DenseMatrix& a, std::vector<double> b) {
+  return solve_linear(a.transposed(), std::move(b));
+}
+
+double residual_inf_norm(const DenseMatrix& a, const std::vector<double>& x,
+                         const std::vector<double>& b) {
+  const std::vector<double> ax = a.multiply(x);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    worst = std::max(worst, std::abs(ax[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace sigcomp::markov

@@ -1,0 +1,28 @@
+// Direct linear solver (Gaussian elimination with partial pivoting).
+//
+// Used by the absorption-time computations, which require solving
+// A * t = b for the restricted generator of a transient chain.
+#pragma once
+
+#include <vector>
+
+#include "markov/dense_matrix.hpp"
+
+namespace sigcomp::markov {
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+///
+/// Throws std::invalid_argument on dimension mismatch and
+/// std::runtime_error when A is (numerically) singular.
+[[nodiscard]] std::vector<double> solve_linear(DenseMatrix a, std::vector<double> b);
+
+/// Solves x^T A = b^T, i.e. A^T x = b.
+[[nodiscard]] std::vector<double> solve_linear_left(const DenseMatrix& a,
+                                                    std::vector<double> b);
+
+/// Residual infinity-norm ||A x - b||_inf; used by tests to validate solves.
+[[nodiscard]] double residual_inf_norm(const DenseMatrix& a,
+                                       const std::vector<double>& x,
+                                       const std::vector<double>& b);
+
+}  // namespace sigcomp::markov

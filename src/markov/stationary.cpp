@@ -1,0 +1,204 @@
+#include "markov/stationary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sigcomp::markov {
+
+namespace {
+constexpr double kRowSumTolerance = 1e-8;
+}
+
+std::vector<double> stationary_distribution(const DenseMatrix& q) {
+  if (!q.is_square()) {
+    throw std::invalid_argument("stationary_distribution: generator must be square");
+  }
+  const std::size_t n = q.rows();
+  if (n == 0) {
+    throw std::invalid_argument("stationary_distribution: empty generator");
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    // Row sums of a generator are zero; allow a relative tolerance scaled by
+    // the largest rate in the row.
+    double scale = 0.0;
+    for (std::size_t c = 0; c < n; ++c) scale = std::max(scale, std::abs(q(r, c)));
+    if (std::abs(q.row_sum(r)) > kRowSumTolerance * std::max(1.0, scale)) {
+      throw std::invalid_argument(
+          "stationary_distribution: generator row sums must be zero");
+    }
+  }
+  if (n == 1) return {1.0};
+
+  // GTH elimination works on the off-diagonal rates only.
+  DenseMatrix a = q;  // we will only read/write off-diagonal entries
+  // Eliminate states n-1, n-2, ..., 1.
+  for (std::size_t k = n - 1; k >= 1; --k) {
+    double denom = 0.0;
+    for (std::size_t c = 0; c < k; ++c) denom += a(k, c);
+    if (denom <= 0.0 || !std::isfinite(denom)) {
+      throw std::runtime_error(
+          "stationary_distribution: reducible chain (GTH pivot vanished)");
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      const double factor = a(i, k) / denom;
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j == i) continue;
+        a(i, j) += factor * a(k, j);
+      }
+    }
+  }
+
+  // Back substitution: unnormalized stationary vector.
+  std::vector<double> x(n, 0.0);
+  x[0] = 1.0;
+  for (std::size_t k = 1; k < n; ++k) {
+    double denom = 0.0;
+    for (std::size_t c = 0; c < k; ++c) denom += a(k, c);
+    double num = 0.0;
+    for (std::size_t i = 0; i < k; ++i) num += x[i] * a(i, k);
+    x[k] = num / denom;
+  }
+
+  double total = 0.0;
+  for (double v : x) total += v;
+  for (double& v : x) v /= total;
+  return x;
+}
+
+std::vector<double> stationary_distribution(const Ctmc& chain) {
+  return stationary_distribution(chain.generator());
+}
+
+namespace {
+
+/// Iterative Tarjan SCC over the positive-rate transition graph.
+std::vector<std::vector<StateId>> strongly_connected_components(const Ctmc& chain) {
+  const std::size_t n = chain.num_states();
+  std::vector<std::vector<StateId>> adj(n);
+  for (const Transition& t : chain.transitions()) adj[t.from].push_back(t.to);
+
+  std::vector<int> index(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<StateId> stack;
+  std::vector<std::vector<StateId>> components;
+  int next_index = 0;
+
+  struct Frame {
+    StateId v;
+    std::size_t edge;
+  };
+  for (StateId root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj[f.v].size()) {
+        const StateId w = adj[f.v][f.edge++];
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        if (low[f.v] == index[f.v]) {
+          std::vector<StateId> component;
+          for (;;) {
+            const StateId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component.push_back(w);
+            if (w == f.v) break;
+          }
+          components.push_back(std::move(component));
+        }
+        const StateId child = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[child]);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace
+
+std::vector<std::vector<StateId>> closed_classes(const Ctmc& chain) {
+  std::vector<std::vector<StateId>> out;
+  for (auto& component : strongly_connected_components(chain)) {
+    bool closed = true;
+    for (const StateId s : component) {
+      for (const Transition& t : chain.transitions()) {
+        if (t.from != s) continue;
+        if (std::find(component.begin(), component.end(), t.to) == component.end()) {
+          closed = false;
+          break;
+        }
+      }
+      if (!closed) break;
+    }
+    if (closed) out.push_back(std::move(component));
+  }
+  return out;
+}
+
+std::vector<double> stationary_distribution_from(const Ctmc& chain, StateId start) {
+  if (start >= chain.num_states()) {
+    throw std::out_of_range("stationary_distribution_from: invalid start state");
+  }
+  std::vector<std::vector<StateId>> classes = closed_classes(chain);
+  std::erase_if(classes, [&](const std::vector<StateId>& c) {
+    return !chain.reachable(start, c.front());
+  });
+  if (classes.empty()) {
+    throw std::runtime_error(
+        "stationary_distribution_from: no closed class reachable (internal error)");
+  }
+  if (classes.size() > 1) {
+    throw std::runtime_error(
+        "stationary_distribution_from: multiple closed classes reachable; "
+        "long-run distribution is not unique");
+  }
+  std::vector<StateId> support = std::move(classes.front());
+  std::sort(support.begin(), support.end());
+
+  std::vector<double> pi(chain.num_states(), 0.0);
+  if (support.size() == 1) {
+    pi[support.front()] = 1.0;
+    return pi;
+  }
+  const std::size_t m = support.size();
+  DenseMatrix q(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    double exit = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      const double r = chain.rate(support[i], support[j]);
+      q(i, j) = r;
+      exit += r;
+    }
+    q(i, i) = -exit;
+  }
+  const std::vector<double> sub_pi = stationary_distribution(q);
+  for (std::size_t i = 0; i < m; ++i) pi[support[i]] = sub_pi[i];
+  return pi;
+}
+
+double stationary_residual(const DenseMatrix& q, const std::vector<double>& pi) {
+  const std::vector<double> piq = q.left_multiply(pi);
+  double worst = 0.0;
+  for (double v : piq) worst = std::max(worst, std::abs(v));
+  return worst;
+}
+
+}  // namespace sigcomp::markov

@@ -1,0 +1,48 @@
+// Stationary distribution of an irreducible CTMC via the GTH algorithm.
+//
+// The Grassmann-Taksar-Heyman (GTH) procedure is a pivoting-free variant of
+// Gaussian elimination that uses only additions of non-negative numbers and is
+// therefore numerically stable even for stiff chains (rates spanning many
+// orders of magnitude -- exactly what happens here, where channel delays are
+// milliseconds and session lifetimes are thousands of seconds).
+#pragma once
+
+#include <vector>
+
+#include "markov/ctmc.hpp"
+#include "markov/dense_matrix.hpp"
+
+namespace sigcomp::markov {
+
+/// Computes the stationary distribution pi of an irreducible CTMC given its
+/// generator Q (pi Q = 0, sum pi = 1) using GTH elimination.
+///
+/// Throws std::invalid_argument if Q is not square or has non-zero row sums
+/// (beyond numerical tolerance), and std::runtime_error if the chain is
+/// reducible (a diagonal pivot vanishes).
+[[nodiscard]] std::vector<double> stationary_distribution(const DenseMatrix& q);
+
+/// Convenience overload building the generator from a chain.
+[[nodiscard]] std::vector<double> stationary_distribution(const Ctmc& chain);
+
+/// Stationary distribution of the long-run behaviour of `chain` started in
+/// `start`.  Unlike the irreducible-only overloads, this tolerates reducible
+/// chains (e.g. a loss-free parameterization that never visits the "message
+/// lost" states): it restricts the chain to the unique closed communicating
+/// class reachable from `start`, solves GTH there, and reports probability 0
+/// for every other state.
+///
+/// Throws std::runtime_error when more than one closed class is reachable
+/// (the long-run distribution would depend on which class is entered).
+[[nodiscard]] std::vector<double> stationary_distribution_from(const Ctmc& chain,
+                                                               StateId start);
+
+/// Strongly connected components of the positive-rate transition graph that
+/// have no transition leaving them (i.e. closed communicating classes).
+[[nodiscard]] std::vector<std::vector<StateId>> closed_classes(const Ctmc& chain);
+
+/// Verifies pi Q ~= 0; returns the infinity norm of pi Q (tests use this).
+[[nodiscard]] double stationary_residual(const DenseMatrix& q,
+                                         const std::vector<double>& pi);
+
+}  // namespace sigcomp::markov

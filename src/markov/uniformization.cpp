@@ -1,0 +1,78 @@
+#include "markov/uniformization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "markov/dtmc.hpp"
+
+namespace sigcomp::markov {
+
+std::vector<double> transient_distribution(const Ctmc& chain,
+                                           const std::vector<double>& p0, double t,
+                                           double eps) {
+  const std::size_t n = chain.num_states();
+  if (p0.size() != n) {
+    throw std::invalid_argument("transient_distribution: p0 dimension mismatch");
+  }
+  double mass = 0.0;
+  for (double v : p0) {
+    if (v < -1e-12) {
+      throw std::invalid_argument("transient_distribution: negative probability");
+    }
+    mass += v;
+  }
+  if (std::abs(mass - 1.0) > 1e-9) {
+    throw std::invalid_argument("transient_distribution: p0 must sum to 1");
+  }
+  if (t < 0.0 || !std::isfinite(t)) {
+    throw std::invalid_argument("transient_distribution: time must be finite and >= 0");
+  }
+  if (t == 0.0) return p0;
+
+  double max_exit = 0.0;
+  for (StateId s = 0; s < n; ++s) max_exit = std::max(max_exit, chain.exit_rate(s));
+  if (max_exit == 0.0) return p0;  // no transitions at all
+
+  // Slightly inflate Lambda to keep the uniformized chain aperiodic.
+  const double lambda = max_exit * 1.02;
+  const DenseMatrix p = uniformized_matrix(chain, lambda);
+
+  // p(t) = sum_k Poisson(k; lambda t) * p0 P^k, truncated when the remaining
+  // Poisson tail is below eps.
+  const double lt = lambda * t;
+  std::vector<double> term = p0;      // p0 P^k
+  std::vector<double> result(n, 0.0);
+  double log_poisson = -lt;           // log Poisson(0)
+  double cumulative = 0.0;
+  // Upper bound on terms: mean + 10 sqrt(mean) + 64 comfortably covers eps.
+  const std::size_t max_k =
+      static_cast<std::size_t>(lt + 10.0 * std::sqrt(lt) + 64.0);
+  for (std::size_t k = 0;; ++k) {
+    const double w = std::exp(log_poisson);
+    for (std::size_t i = 0; i < n; ++i) result[i] += w * term[i];
+    cumulative += w;
+    if (1.0 - cumulative <= eps || k >= max_k) break;
+    term = p.left_multiply(term);
+    log_poisson += std::log(lt) - std::log(static_cast<double>(k + 1));
+  }
+  // Renormalize the truncation remainder.
+  double total = 0.0;
+  for (double v : result) total += v;
+  if (total > 0.0) {
+    for (double& v : result) v /= total;
+  }
+  return result;
+}
+
+double transient_probability(const Ctmc& chain, StateId source, StateId target,
+                             double t, double eps) {
+  if (source >= chain.num_states() || target >= chain.num_states()) {
+    throw std::out_of_range("transient_probability: state id out of range");
+  }
+  std::vector<double> p0(chain.num_states(), 0.0);
+  p0[source] = 1.0;
+  return transient_distribution(chain, p0, t, eps)[target];
+}
+
+}  // namespace sigcomp::markov

@@ -1,0 +1,30 @@
+// Transient solution of a CTMC by uniformization (Jensen's method).
+//
+// Not needed for the paper's stationary results, but part of a complete
+// Markov substrate: it lets users ask "what is the state distribution t
+// seconds after setup?", e.g. how quickly consistency is reached after an
+// update burst.  Also used by tests as an independent check that the
+// stationary solution is the t -> infinity limit.
+#pragma once
+
+#include <vector>
+
+#include "markov/ctmc.hpp"
+
+namespace sigcomp::markov {
+
+/// Computes the state distribution at time `t` given the initial distribution
+/// `p0` (must sum to 1) using uniformization with truncation error <= `eps`.
+///
+/// Throws std::invalid_argument for bad inputs (negative time, distribution
+/// of the wrong size or not summing to 1).
+[[nodiscard]] std::vector<double> transient_distribution(const Ctmc& chain,
+                                                         const std::vector<double>& p0,
+                                                         double t, double eps = 1e-12);
+
+/// Probability of being in `target` at time `t` starting from `source`.
+[[nodiscard]] double transient_probability(const Ctmc& chain, StateId source,
+                                           StateId target, double t,
+                                           double eps = 1e-12);
+
+}  // namespace sigcomp::markov

@@ -1,0 +1,160 @@
+// Executable sender/receiver state machines for the single-hop setting.
+//
+// The five protocols are mechanism combinations (core/protocol.hpp), so a
+// single pair of engines parameterized by MechanismSet implements all of
+// them -- exactly the paper's "spectrum" framing.  Factory helpers
+// instantiate the engines for a named protocol.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/protocol.hpp"
+#include "protocols/message.hpp"
+#include "sim/channel.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace sigcomp::protocols {
+
+/// Timer configuration shared by the engines.  `dist` selects deterministic
+/// (real-protocol) or exponential (model-assumption) timer draws.
+struct TimerSettings {
+  sim::Distribution dist = sim::Distribution::kDeterministic;
+  double refresh = 5.0;   ///< R
+  double timeout = 15.0;  ///< T
+  double retrans = 0.12;  ///< Gamma (initial value when backing off)
+  /// Staged retransmission (Pan & Schulzrinne's staged timers, cited by the
+  /// paper): each unacknowledged retransmission multiplies the timer by
+  /// this factor, capped at `backoff_cap * retrans`.  1.0 = fixed timer.
+  double backoff = 1.0;
+  double backoff_cap = 64.0;
+};
+
+using MessageChannel = sim::Channel<Message>;
+
+/// The signaling sender ("state installer").
+///
+/// Drives triggers, refreshes, retransmissions and explicit removals
+/// according to the mechanism set.  Invokes `on_change` whenever its local
+/// state value changes (the consistency monitor hooks in there).
+class SenderEngine {
+ public:
+  SenderEngine(sim::Simulator& sim, sim::Rng& rng, MechanismSet mechanisms,
+               TimerSettings timers, MessageChannel& out,
+               std::function<void()> on_change);
+
+  SenderEngine(const SenderEngine&) = delete;
+  SenderEngine& operator=(const SenderEngine&) = delete;
+
+  /// Installs (or re-installs) local state and signals it to the receiver.
+  void install(std::int64_t value);
+
+  /// Updates the local state value; signaling as for install.
+  void update(std::int64_t value);
+
+  /// Removes local state; emits an explicit removal if the protocol has one.
+  void remove();
+
+  /// The sender crashes: state vanishes and all timers stop, but NOTHING is
+  /// signaled -- no removal message, no final refresh.  Orphaned receiver
+  /// state must be cleaned up by the receiver's own mechanisms (timeout) or
+  /// by an external failure detector (hard state).  This is exactly the
+  /// scenario Clark's original soft-state argument is about.
+  void crash();
+
+  /// Delivers a message from the receiver (ACKs, notices).
+  void handle(const Message& msg);
+
+  /// Cancels every pending timer and pending retransmission (session end).
+  void reset();
+
+  /// Starts a new session epoch; stale messages are ignored afterwards.
+  void begin_epoch(std::uint64_t epoch);
+
+  [[nodiscard]] std::optional<std::int64_t> value() const noexcept { return value_; }
+  /// True while an explicit removal is awaiting acknowledgment.
+  [[nodiscard]] bool removal_pending() const noexcept { return removal_pending_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+ private:
+  void send_trigger();
+  void arm_refresh();
+  void on_refresh_timer();
+  void arm_trigger_retrans();
+  void on_trigger_retrans();
+  void arm_removal_retrans();
+  void on_removal_retrans();
+  void cancel(std::optional<sim::EventId>& id);
+  void notify();
+
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  MechanismSet mech_;
+  TimerSettings timers_;
+  MessageChannel& out_;
+  std::function<void()> on_change_;
+
+  std::optional<std::int64_t> value_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t trigger_seq_ = 0;   ///< seq of the latest trigger content
+  std::uint64_t removal_seq_ = 0;
+  bool awaiting_trigger_ack_ = false;
+  bool removal_pending_ = false;
+  std::optional<sim::EventId> refresh_timer_;
+  std::optional<sim::EventId> trigger_retrans_timer_;
+  std::optional<sim::EventId> removal_retrans_timer_;
+  double trigger_retrans_interval_ = 0.0;
+  double removal_retrans_interval_ = 0.0;
+};
+
+/// The signaling receiver ("state holder").
+class ReceiverEngine {
+ public:
+  ReceiverEngine(sim::Simulator& sim, sim::Rng& rng, MechanismSet mechanisms,
+                 TimerSettings timers, MessageChannel& out,
+                 std::function<void()> on_change);
+
+  ReceiverEngine(const ReceiverEngine&) = delete;
+  ReceiverEngine& operator=(const ReceiverEngine&) = delete;
+
+  /// Delivers a message from the sender.
+  void handle(const Message& msg);
+
+  /// External failure-detector signal (hard state): removes state and sends
+  /// a notice so a live sender can re-install (the "false notification
+  /// repair" of Sec. II).
+  void external_removal_signal();
+
+  /// Cancels the pending timeout timer (session end).
+  void reset();
+
+  void begin_epoch(std::uint64_t epoch);
+
+  [[nodiscard]] std::optional<std::int64_t> value() const noexcept { return value_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  /// Number of soft-state timeout expirations observed (tests use this).
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+
+ private:
+  void arm_timeout();
+  void on_timeout();
+  void clear_timeout();
+  void notify();
+
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  MechanismSet mech_;
+  TimerSettings timers_;
+  MessageChannel& out_;
+  std::function<void()> on_change_;
+
+  std::optional<std::int64_t> value_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::optional<sim::EventId> timeout_timer_;
+};
+
+}  // namespace sigcomp::protocols

@@ -1,0 +1,50 @@
+// Wire messages exchanged by the executable signaling protocols.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sigcomp::protocols {
+
+/// Message types across all five protocols.  A given protocol only uses the
+/// subset its mechanisms enable (core/protocol.hpp).
+enum class MessageType : std::uint8_t {
+  kTrigger,    ///< state setup/update carrying the new value
+  kRefresh,    ///< periodic soft-state refresh carrying the current value
+  kRemove,     ///< explicit state removal
+  kAckTrigger, ///< acknowledgment of a trigger (reliable trigger protocols)
+  kAckRemove,  ///< acknowledgment of a removal (reliable removal protocols)
+  kAckNotice,  ///< acknowledgment of a notice (multi-hop HS recovery)
+  kNotice,     ///< receiver -> sender: "your state was removed here"
+  kTeardown,   ///< multi-hop HS: downstream propagation of a removal signal
+};
+
+[[nodiscard]] constexpr std::string_view to_string(MessageType t) noexcept {
+  switch (t) {
+    case MessageType::kTrigger: return "TRIGGER";
+    case MessageType::kRefresh: return "REFRESH";
+    case MessageType::kRemove: return "REMOVE";
+    case MessageType::kAckTrigger: return "ACK-TRIGGER";
+    case MessageType::kAckRemove: return "ACK-REMOVE";
+    case MessageType::kAckNotice: return "ACK-NOTICE";
+    case MessageType::kNotice: return "NOTICE";
+    case MessageType::kTeardown: return "TEARDOWN";
+  }
+  return "?";
+}
+
+/// A signaling message.  `value` is the installed state value (the model's
+/// "single piece of state"); `seq` matches acknowledgments to transmissions;
+/// `epoch` identifies the signaling session so that stragglers from a
+/// finished session cannot corrupt the next one (the renewal construction
+/// starts a new session the instant the previous one is absorbed).
+struct Message {
+  MessageType type = MessageType::kTrigger;
+  std::int64_t value = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t epoch = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+}  // namespace sigcomp::protocols

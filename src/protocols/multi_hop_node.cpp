@@ -1,0 +1,256 @@
+#include "protocols/multi_hop_node.hpp"
+
+#include <utility>
+
+namespace sigcomp::protocols {
+
+// ---------------------------------------------------------- ReliableSlot --
+
+ReliableSlot::ReliableSlot(sim::Simulator& sim, sim::Rng& rng,
+                           sim::Distribution dist, double retrans_timer,
+                           MessageChannel* channel)
+    : sim_(sim), rng_(rng), dist_(dist), retrans_timer_(retrans_timer),
+      channel_(channel) {}
+
+void ReliableSlot::send(Message msg) {
+  pending_ = msg;
+  outstanding_ = true;
+  channel_->send(pending_);
+  arm();
+}
+
+bool ReliableSlot::acknowledge(std::uint64_t seq) {
+  if (!outstanding_ || pending_.seq != seq) return false;
+  cancel();
+  return true;
+}
+
+void ReliableSlot::cancel() {
+  outstanding_ = false;
+  if (timer_) {
+    sim_.cancel(*timer_);
+    timer_.reset();
+  }
+}
+
+void ReliableSlot::arm() {
+  if (timer_) sim_.cancel(*timer_);
+  timer_ = sim_.schedule_in(sim::sample(rng_, dist_, retrans_timer_),
+                            [this] { on_timer(); });
+}
+
+void ReliableSlot::on_timer() {
+  timer_.reset();
+  if (!outstanding_) return;
+  channel_->send(pending_);
+  arm();
+}
+
+// ----------------------------------------------------------- ChainSender --
+
+ChainSender::ChainSender(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
+                         TimerSettings timers, MessageChannel* down,
+                         std::function<void()> on_change)
+    : sim_(sim),
+      rng_(rng),
+      mech_(mech),
+      timers_(timers),
+      down_(down),
+      on_change_(std::move(on_change)),
+      reliable_down_(sim, rng, timers.dist, timers.retrans, down) {}
+
+void ChainSender::send_trigger() {
+  const Message msg{MessageType::kTrigger, *value_, trigger_seq_, 0};
+  if (mech_.reliable_trigger) {
+    reliable_down_.send(msg);
+  } else {
+    down_->send(msg);
+  }
+}
+
+void ChainSender::start(std::int64_t value) {
+  value_ = value;
+  trigger_seq_ = next_seq_++;
+  send_trigger();
+  if (mech_.refresh && !refresh_timer_) arm_refresh();
+  if (on_change_) on_change_();
+}
+
+void ChainSender::update(std::int64_t value) {
+  if (!value_) {
+    start(value);
+    return;
+  }
+  value_ = value;
+  trigger_seq_ = next_seq_++;
+  send_trigger();
+  if (on_change_) on_change_();
+}
+
+void ChainSender::arm_refresh() {
+  refresh_timer_ = sim_.schedule_in(
+      sim::sample(rng_, timers_.dist, timers_.refresh), [this] {
+        refresh_timer_.reset();
+        if (value_) {
+          down_->send(Message{MessageType::kRefresh, *value_, trigger_seq_, 0});
+          arm_refresh();
+        }
+      });
+}
+
+void ChainSender::handle_from_downstream(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kAckTrigger:
+      reliable_down_.acknowledge(msg.seq);
+      break;
+    case MessageType::kNotice:
+      // A receiver removed our state (timeout or false external signal);
+      // re-install.  Under HS the notice traveled reliably, so acknowledge.
+      if (mech_.external_failure_detector) {
+        down_->send(Message{MessageType::kAckNotice, 0, msg.seq, 0});
+      }
+      if (value_) {
+        trigger_seq_ = next_seq_++;
+        send_trigger();
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+// ------------------------------------------------------------ ChainRelay --
+
+ChainRelay::ChainRelay(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
+                       TimerSettings timers, MessageChannel* up,
+                       MessageChannel* down, std::function<void()> on_change)
+    : sim_(sim),
+      rng_(rng),
+      mech_(mech),
+      timers_(timers),
+      up_(up),
+      down_(down),
+      on_change_(std::move(on_change)),
+      reliable_down_(sim, rng, timers.dist, timers.retrans, down),
+      reliable_up_(sim, rng, timers.dist, timers.retrans, up) {}
+
+void ChainRelay::notify() {
+  if (on_change_) on_change_();
+}
+
+void ChainRelay::clear_timeout() {
+  if (timeout_timer_) {
+    sim_.cancel(*timeout_timer_);
+    timeout_timer_.reset();
+  }
+}
+
+void ChainRelay::arm_timeout() {
+  clear_timeout();
+  timeout_timer_ = sim_.schedule_in(
+      sim::sample(rng_, timers_.dist, timers_.timeout), [this] { on_timeout(); });
+}
+
+void ChainRelay::on_timeout() {
+  timeout_timer_.reset();
+  if (!value_) return;
+  value_.reset();
+  ++timeouts_;
+  if (mech_.removal_notification) {
+    // One-hop repair notice (SS+RT): the upstream neighbor re-triggers.
+    up_->send(Message{MessageType::kNotice, 0, 0, 0});
+  }
+  notify();
+}
+
+void ChainRelay::forward_trigger(std::int64_t value) {
+  if (!down_) return;
+  const Message msg{MessageType::kTrigger, value, next_seq_++, 0};
+  if (mech_.reliable_trigger) {
+    reliable_down_.send(msg);
+  } else {
+    down_->send(msg);
+  }
+}
+
+void ChainRelay::handle_from_upstream(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kTrigger: {
+      const bool duplicate = value_ && *value_ == msg.value;
+      if (mech_.reliable_trigger) {
+        up_->send(Message{MessageType::kAckTrigger, 0, msg.seq, 0});
+      }
+      value_ = msg.value;
+      if (mech_.soft_timeout) arm_timeout();
+      // Duplicates (retransmission after a lost ACK) are re-ACKed but not
+      // re-forwarded: the downstream copy is already in flight or pending.
+      if (!duplicate) {
+        forward_trigger(msg.value);
+        notify();
+      }
+      break;
+    }
+    case MessageType::kRefresh:
+      value_ = msg.value;
+      if (mech_.soft_timeout) arm_timeout();
+      if (down_) down_->send(msg);  // forward the refresh copy, best effort
+      notify();
+      break;
+    case MessageType::kTeardown:
+      // Reliable downstream propagation of a removal signal (HS recovery).
+      up_->send(Message{MessageType::kAckNotice, 0, msg.seq, 0});
+      if (value_) {
+        value_.reset();
+        clear_timeout();
+        notify();
+      }
+      if (down_) {
+        reliable_down_.send(Message{MessageType::kTeardown, 0, next_seq_++, 0});
+      }
+      break;
+    case MessageType::kAckNotice:
+      reliable_up_.acknowledge(msg.seq);
+      break;
+    default:
+      break;
+  }
+}
+
+void ChainRelay::handle_from_downstream(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kAckTrigger:
+    case MessageType::kAckNotice:
+      reliable_down_.acknowledge(msg.seq);
+      break;
+    case MessageType::kNotice:
+      if (mech_.external_failure_detector) {
+        // HS recovery: acknowledge, drop our own state, keep flooding the
+        // notice toward the sender.
+        down_->send(Message{MessageType::kAckNotice, 0, msg.seq, 0});
+        if (value_) {
+          value_.reset();
+          notify();
+        }
+        reliable_up_.send(Message{MessageType::kNotice, 0, next_seq_++, 0});
+      } else if (value_) {
+        // SS+RT one-hop repair: re-install our value downstream.
+        forward_trigger(*value_);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void ChainRelay::external_removal_signal() {
+  if (!value_) return;
+  value_.reset();
+  clear_timeout();
+  notify();
+  reliable_up_.send(Message{MessageType::kNotice, 0, next_seq_++, 0});
+  if (down_) {
+    reliable_down_.send(Message{MessageType::kTeardown, 0, next_seq_++, 0});
+  }
+}
+
+}  // namespace sigcomp::protocols

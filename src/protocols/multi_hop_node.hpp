@@ -1,0 +1,136 @@
+// Executable nodes of the multi-hop signaling chain (Sec. III-B).
+//
+// Topology: sender -> relay 1 -> relay 2 -> ... -> relay K.  Every relay
+// holds a copy of the signaling state.  Triggers propagate hop-by-hop
+// (reliably for SS+RT and HS), refreshes propagate as forwarded best-effort
+// copies (SS and SS+RT), and the HS recovery protocol floods notices
+// upstream and teardowns downstream when a false external signal fires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/protocol.hpp"
+#include "protocols/engine.hpp"
+#include "protocols/message.hpp"
+#include "sim/channel.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace sigcomp::protocols {
+
+/// Per-direction reliable transmission slot: at most one outstanding message
+/// per link direction; a newer reliable send supersedes the pending one
+/// (it always carries more recent information).
+class ReliableSlot {
+ public:
+  ReliableSlot(sim::Simulator& sim, sim::Rng& rng, sim::Distribution dist,
+               double retrans_timer, MessageChannel* channel);
+
+  /// Sends `msg` reliably: transmit now, retransmit until acknowledged.
+  void send(Message msg);
+
+  /// Processes an acknowledgment sequence number; returns true if it matched
+  /// the outstanding message (which is then considered delivered).
+  bool acknowledge(std::uint64_t seq);
+
+  /// Drops any outstanding message.
+  void cancel();
+
+  [[nodiscard]] bool outstanding() const noexcept { return outstanding_; }
+
+ private:
+  void arm();
+  void on_timer();
+
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  sim::Distribution dist_;
+  double retrans_timer_;
+  MessageChannel* channel_;
+  Message pending_{};
+  bool outstanding_ = false;
+  std::optional<sim::EventId> timer_;
+};
+
+/// The signaling sender at the head of the chain.  Infinite state lifetime:
+/// the state value changes on updates but is never removed.
+class ChainSender {
+ public:
+  ChainSender(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
+              TimerSettings timers, MessageChannel* down,
+              std::function<void()> on_change);
+
+  /// Installs the initial value and starts the refresh process.
+  void start(std::int64_t value);
+
+  /// Updates the state value (a new trigger propagates down the chain).
+  void update(std::int64_t value);
+
+  /// Message arriving from relay 1 (ACKs, notices).
+  void handle_from_downstream(const Message& msg);
+
+  [[nodiscard]] std::optional<std::int64_t> value() const noexcept { return value_; }
+
+ private:
+  void send_trigger();
+  void arm_refresh();
+
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  MechanismSet mech_;
+  TimerSettings timers_;
+  MessageChannel* down_;
+  std::function<void()> on_change_;
+  ReliableSlot reliable_down_;
+
+  std::optional<std::int64_t> value_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t trigger_seq_ = 0;
+  std::optional<sim::EventId> refresh_timer_;
+};
+
+/// A relay node (hop i's far end).  Holds state, forwards signaling.
+class ChainRelay {
+ public:
+  /// `up` sends toward the sender, `down` toward the next relay (null for
+  /// the last node in the chain).
+  ChainRelay(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
+             TimerSettings timers, MessageChannel* up, MessageChannel* down,
+             std::function<void()> on_change);
+
+  void handle_from_upstream(const Message& msg);
+  void handle_from_downstream(const Message& msg);
+
+  /// HS external failure detector fired (falsely) at this node: remove
+  /// state, notify upstream (toward the sender) and tear down downstream.
+  void external_removal_signal();
+
+  [[nodiscard]] std::optional<std::int64_t> value() const noexcept { return value_; }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+
+ private:
+  void arm_timeout();
+  void on_timeout();
+  void clear_timeout();
+  void forward_trigger(std::int64_t value);
+  void notify();
+
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  MechanismSet mech_;
+  TimerSettings timers_;
+  MessageChannel* up_;
+  MessageChannel* down_;  // nullptr for the last relay
+  std::function<void()> on_change_;
+  ReliableSlot reliable_down_;
+  ReliableSlot reliable_up_;
+
+  std::optional<std::int64_t> value_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t timeouts_ = 0;
+  std::optional<sim::EventId> timeout_timer_;
+};
+
+}  // namespace sigcomp::protocols

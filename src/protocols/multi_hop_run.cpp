@@ -1,0 +1,194 @@
+#include "protocols/multi_hop_run.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "protocols/multi_hop_node.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace sigcomp::protocols {
+
+namespace {
+
+class MultiHopRun {
+ public:
+  MultiHopRun(ProtocolKind kind, analytic::HeteroMultiHopParams params,
+              const MultiHopSimOptions& options)
+      : params_(std::move(params)),
+        options_(options),
+        mech_(mechanisms(kind)),
+        rng_channel_(options.seed, 100),
+        rng_nodes_(options.seed, 101),
+        rng_lifecycle_(options.seed, 102),
+        rng_failure_(options.seed, 103) {
+    params_.validate();
+    if (std::find(kMultiHopProtocols.begin(), kMultiHopProtocols.end(), kind) ==
+        kMultiHopProtocols.end()) {
+      throw std::invalid_argument(
+          "run_multi_hop: protocol must be SS, SS+RT or HS; got " +
+          std::string(to_string(kind)));
+    }
+    const std::size_t k = params_.hops();
+    TimerSettings timers;
+    timers.dist = options.timer_dist;
+    timers.refresh = params_.refresh_timer;
+    timers.timeout = params_.timeout_timer;
+    timers.retrans = params_.retrans_timer;
+
+    // Channels first (nodes keep pointers to them); sinks wired afterwards.
+    // Hop i's forward and reverse directions share the link's loss/delay.
+    for (std::size_t i = 0; i < k; ++i) {
+      down_.push_back(std::make_unique<MessageChannel>(
+          sim_, rng_channel_, params_.loss[i], params_.delay[i],
+          options.delay_dist, MessageChannel::Sink{}));
+      up_.push_back(std::make_unique<MessageChannel>(
+          sim_, rng_channel_, params_.loss[i], params_.delay[i],
+          options.delay_dist, MessageChannel::Sink{}));
+    }
+
+    sender_ = std::make_unique<ChainSender>(sim_, rng_nodes_, mech_, timers,
+                                            down_[0].get(), [this] { on_change(); });
+    for (std::size_t i = 0; i < k; ++i) {
+      MessageChannel* toward_sender = up_[i].get();
+      MessageChannel* toward_tail = (i + 1 < k) ? down_[i + 1].get() : nullptr;
+      relays_.push_back(std::make_unique<ChainRelay>(
+          sim_, rng_nodes_, mech_, timers, toward_sender, toward_tail,
+          [this] { on_change(); }));
+    }
+
+    for (std::size_t i = 0; i < k; ++i) {
+      down_[i]->set_sink(
+          [this, i](const Message& m) { relays_[i]->handle_from_upstream(m); });
+      up_[i]->set_sink([this, i](const Message& m) {
+        if (i == 0) {
+          sender_->handle_from_downstream(m);
+        } else {
+          relays_[i - 1]->handle_from_downstream(m);
+        }
+      });
+    }
+
+    inconsistent_hops_.assign(k, sim::TimeWeightedValue{});
+  }
+
+  MultiHopSimResult run() {
+    sender_->start(++version_);
+    schedule_update();
+    if (mech_.external_failure_detector && params_.false_signal_rate > 0.0) {
+      for (std::size_t i = 0; i < params_.hops(); ++i) schedule_false_signal(i);
+    }
+    sim_.run_until(options_.duration);
+
+    MultiHopSimResult out;
+    out.duration = options_.duration;
+    for (std::size_t i = 0; i < params_.hops(); ++i) {
+      out.messages += down_[i]->counters().sent + up_[i]->counters().sent;
+      out.hop_inconsistency.push_back(
+          inconsistent_hops_[i].mean(options_.duration));
+      out.relay_timeouts += relays_[i]->timeouts();
+    }
+    out.metrics.inconsistency = any_inconsistent_.mean(options_.duration);
+    out.metrics.raw_message_rate =
+        static_cast<double>(out.messages) / options_.duration;
+    out.metrics.message_rate = out.metrics.raw_message_rate;
+    return out;
+  }
+
+ private:
+  void schedule_update() {
+    if (params_.update_rate <= 0.0) return;
+    sim_.schedule_in(rng_lifecycle_.exponential(1.0 / params_.update_rate),
+                     [this] {
+                       sender_->update(++version_);
+                       schedule_update();
+                     });
+  }
+
+  void schedule_false_signal(std::size_t relay) {
+    sim_.schedule_in(
+        rng_failure_.exponential(1.0 / params_.false_signal_rate),
+        [this, relay] {
+          relays_[relay]->external_removal_signal();
+          schedule_false_signal(relay);
+        });
+  }
+
+  void on_change() {
+    bool all_ok = true;
+    for (std::size_t i = 0; i < relays_.size(); ++i) {
+      const bool ok = relays_[i]->value() == sender_->value();
+      inconsistent_hops_[i].set(sim_.now(), ok ? 0.0 : 1.0);
+      all_ok = all_ok && ok;
+    }
+    any_inconsistent_.set(sim_.now(), all_ok ? 0.0 : 1.0);
+  }
+
+  analytic::HeteroMultiHopParams params_;
+  MultiHopSimOptions options_;
+  MechanismSet mech_;
+
+  sim::Simulator sim_;
+  sim::Rng rng_channel_;
+  sim::Rng rng_nodes_;
+  sim::Rng rng_lifecycle_;
+  sim::Rng rng_failure_;
+  std::vector<std::unique_ptr<MessageChannel>> down_;  ///< i: node i -> i+1
+  std::vector<std::unique_ptr<MessageChannel>> up_;    ///< i: relay i+1 -> node i
+  std::unique_ptr<ChainSender> sender_;
+  std::vector<std::unique_ptr<ChainRelay>> relays_;
+
+  std::vector<sim::TimeWeightedValue> inconsistent_hops_;
+  sim::TimeWeightedValue any_inconsistent_;
+  std::int64_t version_ = 0;
+};
+
+}  // namespace
+
+MultiHopSimResult run_multi_hop(ProtocolKind kind, const MultiHopParams& params,
+                                const MultiHopSimOptions& options) {
+  params.validate();
+  return run_multi_hop(kind,
+                       analytic::HeteroMultiHopParams::from_homogeneous(params),
+                       options);
+}
+
+MultiHopSimResult run_multi_hop(ProtocolKind kind,
+                                const analytic::HeteroMultiHopParams& params,
+                                const MultiHopSimOptions& options) {
+  if (options.duration <= 0.0) {
+    throw std::invalid_argument("run_multi_hop: duration must be > 0");
+  }
+  MultiHopRun run(kind, params, options);
+  return run.run();
+}
+
+MultiHopReplicatedResult run_multi_hop_replicated(
+    ProtocolKind kind, const MultiHopParams& params,
+    const MultiHopSimOptions& options, std::size_t replications) {
+  if (replications == 0) {
+    throw std::invalid_argument("run_multi_hop_replicated: need >= 1 replication");
+  }
+  sim::RunningStats inconsistency;
+  sim::RunningStats message_rate;
+  sim::RunningStats last_hop;
+  for (std::size_t r = 0; r < replications; ++r) {
+    MultiHopSimOptions rep = options;
+    rep.seed = options.seed + r;
+    const MultiHopSimResult result = run_multi_hop(kind, params, rep);
+    inconsistency.add(result.metrics.inconsistency);
+    message_rate.add(result.metrics.raw_message_rate);
+    last_hop.add(result.hop_inconsistency.back());
+  }
+  MultiHopReplicatedResult out;
+  out.inconsistency = sim::confidence_interval_95(inconsistency);
+  out.message_rate = sim::confidence_interval_95(message_rate);
+  out.last_hop_inconsistency = sim::confidence_interval_95(last_hop);
+  out.replications = replications;
+  return out;
+}
+
+}  // namespace sigcomp::protocols

@@ -1,0 +1,58 @@
+// Multi-hop simulation harness: a sender plus K relays connected by lossy
+// per-hop channels, running SS, SS+RT or HS, measured against the multi-hop
+// analytic model (Figs. 17-19).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytic/hetero_multi_hop.hpp"
+#include "core/metrics.hpp"
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace sigcomp::protocols {
+
+struct MultiHopSimOptions {
+  std::uint64_t seed = 1;
+  double duration = 50000.0;  ///< simulated seconds
+  sim::Distribution timer_dist = sim::Distribution::kDeterministic;
+  sim::Distribution delay_dist = sim::Distribution::kExponential;
+};
+
+struct MultiHopSimResult {
+  Metrics metrics;  ///< inconsistency = P(not all hops consistent); raw rate
+  std::vector<double> hop_inconsistency;  ///< per hop 1..K (index 0 = hop 1)
+  std::uint64_t messages = 0;
+  double duration = 0.0;
+  std::uint64_t relay_timeouts = 0;  ///< total soft-state timeouts across relays
+};
+
+/// Runs one multi-hop replication.  Throws std::invalid_argument on bad
+/// parameters or a protocol outside {SS, SS+RT, HS}.
+[[nodiscard]] MultiHopSimResult run_multi_hop(ProtocolKind kind,
+                                              const MultiHopParams& params,
+                                              const MultiHopSimOptions& options);
+
+/// Heterogeneous-path variant: each hop has its own loss and delay
+/// (pairs with analytic::HeteroMultiHopModel).
+[[nodiscard]] MultiHopSimResult run_multi_hop(
+    ProtocolKind kind, const analytic::HeteroMultiHopParams& params,
+    const MultiHopSimOptions& options);
+
+/// Replicated multi-hop estimates with 95% confidence intervals (seeds
+/// options.seed, options.seed + 1, ...), mirroring the single-hop API.
+struct MultiHopReplicatedResult {
+  sim::ConfidenceInterval inconsistency;
+  sim::ConfidenceInterval message_rate;      ///< raw msg/s across the chain
+  sim::ConfidenceInterval last_hop_inconsistency;
+  std::size_t replications = 0;
+};
+
+[[nodiscard]] MultiHopReplicatedResult run_multi_hop_replicated(
+    ProtocolKind kind, const MultiHopParams& params,
+    const MultiHopSimOptions& options, std::size_t replications);
+
+}  // namespace sigcomp::protocols

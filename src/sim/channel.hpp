@@ -1,0 +1,109 @@
+// Lossy, delaying, order-preserving channel (the paper's network model:
+// "a network that can delay and lose, but not reorder, messages").
+//
+// Templated on the message payload so the sim substrate stays independent of
+// the protocol layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace sigcomp::sim {
+
+/// Counters exposed by a channel; the experiment harness aggregates these
+/// into signaling-message-rate metrics.
+struct ChannelCounters {
+  std::uint64_t sent = 0;       ///< messages handed to the channel
+  std::uint64_t delivered = 0;  ///< messages that reached the sink
+  std::uint64_t lost = 0;       ///< messages dropped by the loss process
+};
+
+/// Unidirectional point-to-point channel.
+template <typename Payload>
+class Channel {
+ public:
+  using Sink = std::function<void(const Payload&)>;
+
+  /// `delay_dist` selects deterministic vs exponential per-message delay.
+  /// Losses are iid Bernoulli(loss).  FIFO order is enforced even with
+  /// random delays: a message never arrives before one sent earlier.
+  Channel(Simulator& sim, Rng& rng, double loss, double mean_delay,
+          Distribution delay_dist, Sink sink)
+      : sim_(&sim),
+        rng_(&rng),
+        loss_(loss),
+        mean_delay_(mean_delay),
+        delay_dist_(delay_dist),
+        sink_(std::move(sink)) {}
+
+  /// Sends a message: counts it, applies the loss process, and if it
+  /// survives schedules delivery after the (order-corrected) delay.
+  void send(Payload message) {
+    ++counters_.sent;
+    trace(TraceCategory::kSend, message);
+    if (rng_->bernoulli(loss_)) {
+      ++counters_.lost;
+      trace(TraceCategory::kDrop, message);
+      return;
+    }
+    Time arrival = sim_->now() + sample(*rng_, delay_dist_, mean_delay_);
+    if (arrival < last_arrival_) arrival = last_arrival_;  // no reordering
+    last_arrival_ = arrival;
+    sim_->schedule_at(arrival, [this, m = std::move(message)] {
+      ++counters_.delivered;
+      trace(TraceCategory::kDeliver, m);
+      sink_(m);
+    });
+  }
+
+  [[nodiscard]] const ChannelCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] double loss() const noexcept { return loss_; }
+  [[nodiscard]] double mean_delay() const noexcept { return mean_delay_; }
+
+  /// Replaces the delivery sink (used when wiring mutually-connected nodes).
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Changes the loss probability mid-run (fault injection in tests:
+  /// blackhole a link with loss = 1, then heal it).
+  void set_loss(double loss) noexcept { loss_ = loss; }
+
+  /// Attaches a trace log.  `describe` renders a payload for the trace
+  /// detail field; `label` identifies this channel in the records.
+  void set_trace(TraceLog* log, std::string label,
+                 std::function<std::string(const Payload&)> describe) {
+    trace_ = log;
+    trace_label_ = std::move(label);
+    describe_ = std::move(describe);
+  }
+
+ private:
+  void trace(TraceCategory category, const Payload& message) {
+    if (!trace_) return;
+    std::string detail = trace_label_;
+    if (describe_) {
+      detail += ' ';
+      detail += describe_(message);
+    }
+    trace_->record(sim_->now(), category, std::move(detail));
+  }
+
+  Simulator* sim_;
+  Rng* rng_;
+  double loss_;
+  double mean_delay_;
+  Distribution delay_dist_;
+  Sink sink_;
+  Time last_arrival_ = 0.0;
+  ChannelCounters counters_;
+  TraceLog* trace_ = nullptr;
+  std::string trace_label_;
+  std::function<std::string(const Payload&)> describe_;
+};
+
+}  // namespace sigcomp::sim

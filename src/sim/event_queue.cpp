@@ -1,0 +1,58 @@
+#include "sim/event_queue.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sigcomp::sim {
+
+EventId EventQueue::push(Time time, std::function<void()> action) {
+  if (!std::isfinite(time)) {
+    throw std::invalid_argument("EventQueue::push: time must be finite");
+  }
+  if (!action) {
+    throw std::invalid_argument("EventQueue::push: empty action");
+  }
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{time, seq});
+  actions_.emplace(seq, std::move(action));
+  ++live_;
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = actions_.find(id.value);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);
+  cancelled_.insert(id.value);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_dead() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  drop_dead();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: queue empty");
+  return heap_.top().time;
+}
+
+EventQueue::PoppedEvent EventQueue::pop() {
+  drop_dead();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: queue empty");
+  const Entry top = heap_.top();
+  heap_.pop();
+  const auto it = actions_.find(top.seq);
+  PoppedEvent out{top.time, std::move(it->second)};
+  actions_.erase(it);
+  --live_;
+  return out;
+}
+
+}  // namespace sigcomp::sim

@@ -1,0 +1,72 @@
+// Pending-event set of the discrete-event simulator.
+//
+// A binary heap with lazy deletion: cancelling marks the event dead and the
+// slot is reclaimed when the event surfaces.  Ties in time are broken by
+// insertion order so that simultaneous events execute deterministically in
+// schedule order (important for reproducible runs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sigcomp::sim {
+
+/// Simulation time in seconds.
+using Time = double;
+
+/// Opaque handle to a scheduled event; usable for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+/// Min-heap of (time, sequence) -> action.
+class EventQueue {
+ public:
+  /// Adds an event; `time` must be finite.  Returns a cancellation handle.
+  EventId push(Time time, std::function<void()> action);
+
+  /// Cancels a pending event; returns false if already executed/cancelled.
+  bool cancel(EventId id);
+
+  /// True when no live event remains.
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+  /// Number of live (pending, uncancelled) events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+  /// Time of the earliest live event.  Throws std::logic_error when empty.
+  [[nodiscard]] Time next_time() const;
+
+  /// Pops and returns the earliest live event.  Throws when empty.
+  struct PoppedEvent {
+    Time time;
+    std::function<void()> action;
+  };
+  PoppedEvent pop();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    // Sorted as a min-heap: smaller time first, then smaller seq.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_map<std::uint64_t, std::function<void()>> actions_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace sigcomp::sim

@@ -1,0 +1,40 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace sigcomp::sim {
+
+EventId Simulator::schedule_at(Time t, std::function<void()> action) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  return queue_.push(t, std::move(action));
+}
+
+EventId Simulator::schedule_in(Time delay, std::function<void()> action) {
+  if (delay < 0.0) delay = 0.0;
+  return queue_.push(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto event = queue_.pop();
+  now_ = event.time;
+  ++executed_;
+  event.action();
+  return true;
+}
+
+void Simulator::run_until(Time t) {
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    step();
+  }
+  if (t > now_) now_ = t;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  while (executed_ < max_events && step()) {
+  }
+}
+
+}  // namespace sigcomp::sim

@@ -1,0 +1,52 @@
+// The discrete-event simulation engine: a clock plus the pending-event set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+
+namespace sigcomp::sim {
+
+/// Sequential discrete-event simulator.
+///
+/// Typical use:
+///   Simulator sim;
+///   sim.schedule_in(1.0, [&] { ... });
+///   sim.run_until(100.0);
+class Simulator {
+ public:
+  /// Current simulation time (seconds).
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, std::function<void()> action);
+
+  /// Schedules `action` after `delay` seconds (negative delays are clamped
+  /// to "immediately").
+  EventId schedule_in(Time delay, std::function<void()> action);
+
+  /// Cancels a pending event.  Returns false when it already ran/cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Executes the next event, if any.  Returns false when the queue is empty.
+  bool step();
+
+  /// Runs events up to and including time `t`; the clock then rests at `t`.
+  void run_until(Time t);
+
+  /// Runs until no events remain or `max_events` have executed.
+  void run(std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max());
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0.0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace sigcomp::sim

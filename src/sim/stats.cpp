@@ -1,0 +1,86 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace sigcomp::sim {
+
+void TimeWeightedValue::set(Time now, double v) {
+  if (!started_) {
+    start_time_ = last_time_;
+    started_ = true;
+  }
+  if (now < last_time_) {
+    throw std::invalid_argument("TimeWeightedValue::set: time went backwards");
+  }
+  integral_ += value_ * (now - last_time_);
+  last_time_ = now;
+  value_ = v;
+}
+
+double TimeWeightedValue::integral(Time now) const {
+  if (now < last_time_) {
+    throw std::invalid_argument("TimeWeightedValue::integral: time went backwards");
+  }
+  return integral_ + value_ * (now - last_time_);
+}
+
+double TimeWeightedValue::mean(Time now) const {
+  const Time start = started_ ? start_time_ : last_time_;
+  const Time window = now - start;
+  if (window <= 0.0) return 0.0;
+  return integral(now) / window;
+}
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::std_error() const noexcept {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double student_t_95(std::size_t df) noexcept {
+  // Two-sided 95% critical values, df = 1..30.
+  static constexpr std::array<double, 30> kTable = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return kTable[0];
+  if (df <= kTable.size()) return kTable[df - 1];
+  if (df <= 40) return 2.021;
+  if (df <= 60) return 2.000;
+  if (df <= 120) return 1.980;
+  return 1.960;
+}
+
+ConfidenceInterval confidence_interval_95(const RunningStats& s) noexcept {
+  ConfidenceInterval ci;
+  ci.mean = s.mean();
+  ci.samples = s.count();
+  if (s.count() >= 2) {
+    ci.half_width = student_t_95(s.count() - 1) * s.std_error();
+  }
+  return ci;
+}
+
+}  // namespace sigcomp::sim

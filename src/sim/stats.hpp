@@ -1,0 +1,84 @@
+// Statistics utilities for simulation output analysis: time-weighted
+// averages (for the inconsistency ratio), streaming moments (Welford) and
+// Student-t confidence intervals across replications.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/event_queue.hpp"
+
+namespace sigcomp::sim {
+
+/// Integrates a piecewise-constant signal over time; used to measure the
+/// fraction of time a predicate (e.g. "states are inconsistent") holds.
+class TimeWeightedValue {
+ public:
+  explicit TimeWeightedValue(Time start = 0.0, double initial = 0.0) noexcept
+      : last_time_(start), value_(initial) {}
+
+  /// Records that the signal takes value `v` from time `now` onward.
+  /// `now` must be non-decreasing.
+  void set(Time now, double v);
+
+  /// Current signal value.
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+  /// Integral of the signal from start to `now`.
+  [[nodiscard]] double integral(Time now) const;
+
+  /// Time-average of the signal over [start, now]; 0 for an empty window.
+  [[nodiscard]] double mean(Time now) const;
+
+ private:
+  Time start_time_ = 0.0;
+  Time last_time_ = 0.0;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+  bool started_ = false;
+};
+
+/// Welford streaming mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 when fewer than two samples.
+  [[nodiscard]] double std_error() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (tabulated for small df, 1.96 asymptotically).
+[[nodiscard]] double student_t_95(std::size_t df) noexcept;
+
+/// Mean with a symmetric 95% confidence half-width.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  std::size_t samples = 0;
+
+  [[nodiscard]] double lower() const noexcept { return mean - half_width; }
+  [[nodiscard]] double upper() const noexcept { return mean + half_width; }
+  /// True when `v` lies inside the interval.
+  [[nodiscard]] bool contains(double v) const noexcept {
+    return v >= lower() && v <= upper();
+  }
+};
+
+/// 95% confidence interval of the mean of the accumulated samples.
+[[nodiscard]] ConfidenceInterval confidence_interval_95(const RunningStats& s) noexcept;
+
+}  // namespace sigcomp::sim

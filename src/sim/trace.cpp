@@ -1,0 +1,54 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace sigcomp::sim {
+
+std::string_view to_string(TraceCategory category) noexcept {
+  switch (category) {
+    case TraceCategory::kSend: return "send";
+    case TraceCategory::kDeliver: return "deliver";
+    case TraceCategory::kDrop: return "drop";
+    case TraceCategory::kTimer: return "timer";
+    case TraceCategory::kState: return "state";
+    case TraceCategory::kSession: return "session";
+  }
+  return "?";
+}
+
+TraceLog::TraceLog(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("TraceLog: capacity must be > 0");
+  }
+}
+
+void TraceLog::record(Time time, TraceCategory category, std::string detail) {
+  if (records_.size() == capacity_) records_.pop_front();
+  records_.push_back(TraceRecord{time, category, std::move(detail)});
+  ++total_;
+}
+
+std::vector<TraceRecord> TraceLog::filter(TraceCategory category) const {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& r : records_) {
+    if (r.category == category) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t TraceLog::count(TraceCategory category) const {
+  std::size_t n = 0;
+  for (const TraceRecord& r : records_) n += (r.category == category);
+  return n;
+}
+
+void TraceLog::clear() { records_.clear(); }
+
+void TraceLog::dump(std::ostream& os) const {
+  for (const TraceRecord& r : records_) {
+    os << r.time << ' ' << to_string(r.category) << ' ' << r.detail << '\n';
+  }
+}
+
+}  // namespace sigcomp::sim

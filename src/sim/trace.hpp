@@ -1,0 +1,75 @@
+// Event tracing for simulation debugging and auditing.
+//
+// A TraceLog is a bounded in-memory record of timestamped, categorized
+// events.  Harnesses attach it optionally; it costs nothing when absent.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace sigcomp::sim {
+
+/// Category of a trace record (coarse filter key).
+enum class TraceCategory : std::uint8_t {
+  kSend,     ///< message handed to a channel
+  kDeliver,  ///< message delivered to a sink
+  kDrop,     ///< message lost by the channel
+  kTimer,    ///< protocol timer fired
+  kState,    ///< node state changed (install/update/remove)
+  kSession,  ///< session lifecycle (start/absorb/crash)
+};
+
+[[nodiscard]] std::string_view to_string(TraceCategory category) noexcept;
+
+/// One trace record.
+struct TraceRecord {
+  Time time = 0.0;
+  TraceCategory category = TraceCategory::kState;
+  std::string detail;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Bounded trace buffer: keeps the most recent `capacity` records.
+class TraceLog {
+ public:
+  explicit TraceLog(std::size_t capacity = 65536);
+
+  /// Appends a record, evicting the oldest when full.
+  void record(Time time, TraceCategory category, std::string detail);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+  /// All retained records, oldest first.
+  [[nodiscard]] const std::deque<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Records matching one category, oldest first.
+  [[nodiscard]] std::vector<TraceRecord> filter(TraceCategory category) const;
+
+  /// Count of retained records per category.
+  [[nodiscard]] std::size_t count(TraceCategory category) const;
+
+  /// Drops all retained records (total_recorded is preserved).
+  void clear();
+
+  /// Writes "time category detail" lines, oldest first.
+  void dump(std::ostream& os) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceRecord> records_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sigcomp::sim

@@ -1,0 +1,153 @@
+#include "markov/absorption.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace sigcomp::markov {
+namespace {
+
+TEST(Absorption, SingleTransientStateExponential) {
+  // a -> absorbed at rate 2: mean time 0.5.
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("end");
+  chain.add_rate(0, 1, 2.0);
+  const auto result = mean_time_to_absorption(chain);
+  ASSERT_EQ(result.absorbing.size(), 1u);
+  EXPECT_EQ(result.absorbing[0], 1u);
+  EXPECT_NEAR(result.mean_time[0], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(result.mean_time[1], 0.0);
+}
+
+TEST(Absorption, TwoStageErlangChain) {
+  // a -> b -> end, rates 1 and 2: mean 1 + 0.5 from a.
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  chain.add_state("end");
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 2, 2.0);
+  const auto result = mean_time_to_absorption(chain);
+  EXPECT_NEAR(result.mean_time[0], 1.5, 1e-12);
+  EXPECT_NEAR(result.mean_time[1], 0.5, 1e-12);
+}
+
+TEST(Absorption, ChainWithLoopback) {
+  // a -> b at 1, b -> a at 1, b -> end at 1.
+  // t_a = 1 + t_b; t_b = 0.5 + 0.5 t_a  =>  t_a = 3, t_b = 2.
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  chain.add_state("end");
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 0, 1.0);
+  chain.add_rate(1, 2, 1.0);
+  const auto result = mean_time_to_absorption(chain);
+  EXPECT_NEAR(result.mean_time[0], 3.0, 1e-12);
+  EXPECT_NEAR(result.mean_time[1], 2.0, 1e-12);
+}
+
+TEST(Absorption, NoAbsorbingStateThrows) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 0, 1.0);
+  EXPECT_THROW((void)mean_time_to_absorption(chain), std::invalid_argument);
+}
+
+TEST(Absorption, UnreachableAbsorptionThrows) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  chain.add_state("end");
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 0, 1.0);
+  // "end" exists but neither a nor b can reach it.
+  EXPECT_THROW((void)mean_time_to_absorption(chain), std::runtime_error);
+}
+
+TEST(AbsorptionProbabilities, SplitBetweenTwoSinks) {
+  // a -> end1 at 1, a -> end2 at 3: probabilities 0.25 / 0.75.
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("end1");
+  chain.add_state("end2");
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(0, 2, 3.0);
+  const auto probs = absorption_probabilities(chain, 0);
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_NEAR(probs[0], 0.25, 1e-12);
+  EXPECT_NEAR(probs[1], 0.75, 1e-12);
+  EXPECT_NEAR(std::accumulate(probs.begin(), probs.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(AbsorptionProbabilities, StartingAbsorbedIsCertain) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("end");
+  chain.add_rate(0, 1, 1.0);
+  const auto probs = absorption_probabilities(chain, 1);
+  ASSERT_EQ(probs.size(), 1u);
+  EXPECT_DOUBLE_EQ(probs[0], 1.0);
+}
+
+TEST(AbsorptionProbabilities, MultiStepRouting) {
+  // a -> b (1), b -> end1 (1), b -> a (1); a -> end2 (1).
+  // h_a = P(end1 from a): a goes to b w.p. 1/2 else end2.
+  // h_b = 1/2 + 1/2 h_a; h_a = 1/2 h_b  =>  h_a = 1/3, h_b = 2/3.
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  chain.add_state("end1");
+  chain.add_state("end2");
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(0, 3, 1.0);
+  chain.add_rate(1, 2, 1.0);
+  chain.add_rate(1, 0, 1.0);
+  const auto probs = absorption_probabilities(chain, 0);
+  EXPECT_NEAR(probs[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(probs[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(ExpectedOccupancy, SumsToMeanTimeToAbsorption) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  chain.add_state("end");
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 0, 1.0);
+  chain.add_rate(1, 2, 1.0);
+  const auto occupancy = expected_occupancy(chain, 0);
+  const auto result = mean_time_to_absorption(chain);
+  EXPECT_NEAR(occupancy[0] + occupancy[1] + occupancy[2], result.mean_time[0],
+              1e-12);
+  EXPECT_DOUBLE_EQ(occupancy[2], 0.0);
+}
+
+TEST(ExpectedOccupancy, ErlangStagesSpendTheirMeans) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  chain.add_state("end");
+  chain.add_rate(0, 1, 4.0);
+  chain.add_rate(1, 2, 2.0);
+  const auto occupancy = expected_occupancy(chain, 0);
+  EXPECT_NEAR(occupancy[0], 0.25, 1e-12);
+  EXPECT_NEAR(occupancy[1], 0.5, 1e-12);
+}
+
+TEST(ExpectedOccupancy, FromAbsorbedIsZero) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("end");
+  chain.add_rate(0, 1, 1.0);
+  const auto occupancy = expected_occupancy(chain, 1);
+  EXPECT_DOUBLE_EQ(occupancy[0], 0.0);
+  EXPECT_DOUBLE_EQ(occupancy[1], 0.0);
+}
+
+}  // namespace
+}  // namespace sigcomp::markov

@@ -1,0 +1,114 @@
+// Tests of staged (exponentially backed-off) retransmission timers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "protocols/engine.hpp"
+#include "protocols/single_hop_run.hpp"
+#include "sim/simulator.hpp"
+
+namespace sigcomp::protocols {
+namespace {
+
+/// Sender facing a blackholed channel; counts transmissions over time.
+struct BlackholeSender {
+  explicit BlackholeSender(double backoff)
+      : rng(1),
+        out(sim, rng, 1.0, 0.03, sim::Distribution::kDeterministic,
+            [](const Message&) {}) {
+    TimerSettings timers;
+    timers.dist = sim::Distribution::kDeterministic;
+    timers.retrans = 0.1;
+    timers.backoff = backoff;
+    sender = std::make_unique<SenderEngine>(
+        sim, rng, mechanisms(ProtocolKind::kHS), timers, out, nullptr);
+  }
+
+  sim::Simulator sim;
+  sim::Rng rng;
+  MessageChannel out;
+  std::unique_ptr<SenderEngine> sender;
+};
+
+TEST(Backoff, FixedTimerRetransmitsLinearly) {
+  BlackholeSender fixture(1.0);
+  fixture.sender->install(1);
+  fixture.sim.run_until(2.0);
+  // Initial send + one retransmission per 0.1 s.
+  EXPECT_NEAR(double(fixture.out.counters().sent), 21.0, 1.0);
+}
+
+TEST(Backoff, StagedTimerRetransmitsLogarithmically) {
+  BlackholeSender fixture(2.0);
+  fixture.sender->install(1);
+  fixture.sim.run_until(2.0);
+  // Retransmissions at 0.1, 0.3, 0.7, 1.5 after the initial send: 5 total.
+  EXPECT_EQ(fixture.out.counters().sent, 5u);
+}
+
+TEST(Backoff, StageResetsOnNewContent) {
+  BlackholeSender fixture(2.0);
+  fixture.sender->install(1);
+  fixture.sim.run_until(2.0);  // interval now backed off to 1.6
+  const auto before = fixture.out.counters().sent;
+  fixture.sender->update(2);   // fresh trigger: stage resets to 0.1
+  fixture.sim.run_until(2.45); // 0.45 s: sends at 2.0, 2.1, 2.3 (next 2.7)
+  EXPECT_EQ(fixture.out.counters().sent, before + 3);
+}
+
+TEST(Backoff, CapBoundsTheInterval) {
+  BlackholeSender fixture(1000.0);  // absurd factor: capped at 64 * 0.1
+  fixture.sender->install(1);
+  fixture.sim.run_until(20.0);
+  // Sends at 0 and 0.1; then capped 6.4 s stages: 6.5, 12.9, 19.3.
+  EXPECT_EQ(fixture.out.counters().sent, 5u);
+}
+
+TEST(Backoff, AckStillCancelsStagedRetransmission) {
+  BlackholeSender fixture(2.0);
+  fixture.sender->install(1);
+  fixture.sim.run_until(0.25);  // two sends so far (0, 0.1)
+  fixture.sender->handle(Message{MessageType::kAckTrigger, 0, 1, 0});
+  fixture.sim.run_until(30.0);
+  EXPECT_EQ(fixture.out.counters().sent, 2u);
+}
+
+TEST(Backoff, HarnessRejectsFactorBelowOne) {
+  SimOptions options;
+  options.retrans_backoff = 0.5;
+  EXPECT_THROW(
+      (void)run_single_hop(ProtocolKind::kHS, SingleHopParams{}, options),
+      std::invalid_argument);
+}
+
+TEST(Backoff, SavesMessagesUnderHeavyLossAtSomeConsistencyCost) {
+  SingleHopParams p = SingleHopParams::kazaa_defaults();
+  p.loss = 0.4;
+  p.removal_rate = 1.0 / 300.0;
+  SimOptions fixed;
+  fixed.sessions = 300;
+  fixed.seed = 12;
+  SimOptions staged = fixed;
+  staged.retrans_backoff = 2.0;
+  const SimResult f = run_single_hop(ProtocolKind::kHS, p, fixed);
+  const SimResult s = run_single_hop(ProtocolKind::kHS, p, staged);
+  EXPECT_LT(s.metrics.message_rate, f.metrics.message_rate);
+  EXPECT_GE(s.metrics.inconsistency, 0.8 * f.metrics.inconsistency);
+}
+
+TEST(Backoff, DefaultIsFixedTimerBehaviour) {
+  // retrans_backoff defaults to 1.0: results identical to an explicit 1.0.
+  const SingleHopParams p = SingleHopParams::kazaa_defaults();
+  SimOptions a;
+  a.sessions = 100;
+  a.seed = 5;
+  SimOptions b = a;
+  b.retrans_backoff = 1.0;
+  const SimResult ra = run_single_hop(ProtocolKind::kSSRT, p, a);
+  const SimResult rb = run_single_hop(ProtocolKind::kSSRT, p, b);
+  EXPECT_EQ(ra.messages, rb.messages);
+  EXPECT_DOUBLE_EQ(ra.metrics.inconsistency, rb.metrics.inconsistency);
+}
+
+}  // namespace
+}  // namespace sigcomp::protocols

@@ -1,0 +1,118 @@
+#include "exp/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sigcomp::exp {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser("prog", "test parser");
+  parser.add_option("loss", "loss rate", "0.02");
+  parser.add_option("count", "a count", "10");
+  parser.add_flag("verbose", "be chatty");
+  return parser;
+}
+
+TEST(ArgParser, DefaultsApplyWhenNotPassed) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get("loss"), "0.02");
+  EXPECT_DOUBLE_EQ(parser.get_double("loss"), 0.02);
+  EXPECT_FALSE(parser.flag("verbose"));
+  EXPECT_FALSE(parser.passed("loss"));
+}
+
+TEST(ArgParser, SpaceSeparatedValue) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--loss", "0.1"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_DOUBLE_EQ(parser.get_double("loss"), 0.1);
+  EXPECT_TRUE(parser.passed("loss"));
+}
+
+TEST(ArgParser, EqualsSeparatedValue) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--loss=0.25"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_DOUBLE_EQ(parser.get_double("loss"), 0.25);
+}
+
+TEST(ArgParser, FlagsAndPositionals) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "alpha", "--verbose", "beta"};
+  ASSERT_TRUE(parser.parse(4, argv));
+  EXPECT_TRUE(parser.flag("verbose"));
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "alpha");
+  EXPECT_EQ(parser.positional()[1], "beta");
+}
+
+TEST(ArgParser, UnknownOptionFails) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(parser.parse(3, argv));
+  EXPECT_NE(parser.error().find("bogus"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueFails) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--loss"};
+  EXPECT_FALSE(parser.parse(2, argv));
+  EXPECT_NE(parser.error().find("requires a value"), std::string::npos);
+}
+
+TEST(ArgParser, FlagWithValueFails) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--verbose=yes"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParser, HelpShortCircuits) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--help", "--bogus"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_TRUE(parser.help_requested());
+}
+
+TEST(ArgParser, HelpTextListsOptionsAndDefaults) {
+  ArgParser parser = make_parser();
+  const std::string help = parser.help();
+  EXPECT_NE(help.find("--loss"), std::string::npos);
+  EXPECT_NE(help.find("default: 0.02"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+  EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
+TEST(ArgParser, NumericValidation) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--loss", "abc", "--count", "12"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_THROW((void)parser.get_double("loss"), std::invalid_argument);
+  EXPECT_EQ(parser.get_long("count"), 12);
+  const char* argv2[] = {"prog", "--count", "12.5"};
+  ArgParser parser2 = make_parser();
+  ASSERT_TRUE(parser2.parse(3, argv2));
+  EXPECT_THROW((void)parser2.get_long("count"), std::invalid_argument);
+}
+
+TEST(ArgParser, UnregisteredAccessIsALogicError) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_THROW((void)parser.get("nope"), std::logic_error);
+  EXPECT_THROW((void)parser.flag("loss"), std::logic_error);   // not a flag
+  EXPECT_THROW((void)parser.get("verbose"), std::logic_error); // is a flag
+}
+
+TEST(ArgParser, LastValueWins) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--loss", "0.1", "--loss=0.3"};
+  ASSERT_TRUE(parser.parse(4, argv));
+  EXPECT_DOUBLE_EQ(parser.get_double("loss"), 0.3);
+}
+
+}  // namespace
+}  // namespace sigcomp::exp

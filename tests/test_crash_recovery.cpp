@@ -1,0 +1,127 @@
+// Tests of the sender-crash extension: orphaned state cleanup per protocol
+// (Clark's survivability scenario, Sec. II of the paper).
+#include <gtest/gtest.h>
+
+#include "core/params.hpp"
+#include "protocols/engine.hpp"
+#include "protocols/single_hop_run.hpp"
+#include "sim/simulator.hpp"
+
+namespace sigcomp::protocols {
+namespace {
+
+SingleHopParams short_sessions() {
+  SingleHopParams p = SingleHopParams::kazaa_defaults();
+  p.removal_rate = 1.0 / 120.0;
+  return p;
+}
+
+SimOptions crash_options(double fraction, double detection_delay = 10.0,
+                         std::uint64_t seed = 1) {
+  SimOptions o;
+  o.sessions = 400;
+  o.seed = seed;
+  o.crash_fraction = fraction;
+  o.crash_detection_delay = detection_delay;
+  return o;
+}
+
+TEST(EngineCrash, CrashIsSilent) {
+  sim::Simulator sim;
+  sim::Rng rng(1);
+  MessageChannel out(sim, rng, 0.0, 0.03, sim::Distribution::kDeterministic,
+                     [](const Message&) {});
+  SenderEngine sender(sim, rng, mechanisms(ProtocolKind::kSSER),
+                      TimerSettings{}, out, nullptr);
+  sender.install(1);
+  sim.run_until(0.1);
+  const auto sent_before = out.counters().sent;
+  sender.crash();
+  sim.run_until(1000.0);
+  EXPECT_EQ(out.counters().sent, sent_before);  // no removal, no refreshes
+  EXPECT_EQ(sender.value(), std::nullopt);
+  EXPECT_FALSE(sender.removal_pending());
+}
+
+TEST(CrashRecovery, CrashCountMatchesFraction) {
+  const SimResult all =
+      run_single_hop(ProtocolKind::kSSER, short_sessions(), crash_options(1.0));
+  EXPECT_EQ(all.crashes, all.sessions);
+  const SimResult none =
+      run_single_hop(ProtocolKind::kSSER, short_sessions(), crash_options(0.0));
+  EXPECT_EQ(none.crashes, 0u);
+  const SimResult half =
+      run_single_hop(ProtocolKind::kSSER, short_sessions(), crash_options(0.5));
+  EXPECT_NEAR(double(half.crashes) / double(half.sessions), 0.5, 0.08);
+}
+
+TEST(CrashRecovery, InvalidFractionRejected) {
+  EXPECT_THROW((void)run_single_hop(ProtocolKind::kSS, short_sessions(),
+                                    crash_options(1.5)),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_single_hop(ProtocolKind::kSS, short_sessions(),
+                                    crash_options(-0.1)),
+               std::invalid_argument);
+}
+
+TEST(CrashRecovery, SoftStateOrphanWindowIsBoundedByTimeout) {
+  // With deterministic timers the receiver's timeout fires at most T after
+  // the last refresh, so the orphan window lives in (T - R, T].
+  const SingleHopParams p = short_sessions();  // R = 5, T = 15
+  const SimResult result =
+      run_single_hop(ProtocolKind::kSS, p, crash_options(1.0));
+  EXPECT_GT(result.mean_orphan_time, p.timeout_timer - p.refresh_timer - 1.0);
+  EXPECT_LT(result.mean_orphan_time, p.timeout_timer + 1.0);
+}
+
+TEST(CrashRecovery, ExplicitRemovalDoesNotHelpAgainstCrashes) {
+  // SS+ER's advantage is the graceful path; a crashed sender never sends
+  // the removal, so SS and SS+ER orphan windows match under 100% crashes.
+  const SimResult ss =
+      run_single_hop(ProtocolKind::kSS, short_sessions(), crash_options(1.0, 10, 4));
+  const SimResult sser =
+      run_single_hop(ProtocolKind::kSSER, short_sessions(), crash_options(1.0, 10, 4));
+  EXPECT_NEAR(ss.mean_orphan_time, sser.mean_orphan_time,
+              0.15 * ss.mean_orphan_time);
+}
+
+TEST(CrashRecovery, HardStateOrphanWindowIsDetectorLatency) {
+  for (const double delay : {2.0, 20.0}) {
+    const SimResult hs = run_single_hop(ProtocolKind::kHS, short_sessions(),
+                                        crash_options(1.0, delay));
+    EXPECT_NEAR(hs.mean_orphan_time, delay, 0.25 * delay) << "delay " << delay;
+  }
+}
+
+TEST(CrashRecovery, FastDetectorBeatsSoftStateSlowDetectorLoses) {
+  const SingleHopParams p = short_sessions();  // timeout T = 15 s
+  const SimResult fast =
+      run_single_hop(ProtocolKind::kHS, p, crash_options(1.0, 1.0));
+  const SimResult slow =
+      run_single_hop(ProtocolKind::kHS, p, crash_options(1.0, 120.0));
+  const SimResult soft =
+      run_single_hop(ProtocolKind::kSSRTR, p, crash_options(1.0, 1.0));
+  EXPECT_LT(fast.metrics.inconsistency, soft.metrics.inconsistency);
+  EXPECT_GT(slow.metrics.inconsistency, soft.metrics.inconsistency);
+}
+
+TEST(CrashRecovery, GracefulOrphanWindowIsMuchSmallerWithExplicitRemoval) {
+  const SimResult graceful =
+      run_single_hop(ProtocolKind::kSSER, short_sessions(), crash_options(0.0));
+  const SimResult crashed =
+      run_single_hop(ProtocolKind::kSSER, short_sessions(), crash_options(1.0));
+  EXPECT_LT(graceful.mean_orphan_time, 0.1 * crashed.mean_orphan_time);
+}
+
+TEST(CrashRecovery, CrashesDegradeConsistencyMonotonically) {
+  double previous = -1.0;
+  for (const double f : {0.0, 0.5, 1.0}) {
+    const SimResult r = run_single_hop(ProtocolKind::kSSRTR, short_sessions(),
+                                       crash_options(f, 10.0, 11));
+    EXPECT_GT(r.metrics.inconsistency, previous) << "fraction " << f;
+    previous = r.metrics.inconsistency;
+  }
+}
+
+}  // namespace
+}  // namespace sigcomp::protocols

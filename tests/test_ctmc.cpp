@@ -1,0 +1,136 @@
+#include "markov/ctmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+namespace sigcomp::markov {
+namespace {
+
+TEST(Ctmc, AddStateAssignsSequentialIds) {
+  Ctmc chain;
+  EXPECT_EQ(chain.add_state("a"), 0u);
+  EXPECT_EQ(chain.add_state("b"), 1u);
+  EXPECT_EQ(chain.num_states(), 2u);
+  EXPECT_EQ(chain.name(0), "a");
+  EXPECT_EQ(chain.name(1), "b");
+}
+
+TEST(Ctmc, DuplicateOrEmptyNameThrows) {
+  Ctmc chain;
+  chain.add_state("a");
+  EXPECT_THROW(chain.add_state("a"), std::invalid_argument);
+  EXPECT_THROW(chain.add_state(""), std::invalid_argument);
+}
+
+TEST(Ctmc, FindByName) {
+  Ctmc chain;
+  chain.add_state("x");
+  chain.add_state("y");
+  EXPECT_EQ(chain.find("y"), std::optional<StateId>{1});
+  EXPECT_EQ(chain.find("z"), std::nullopt);
+}
+
+TEST(Ctmc, NameOutOfRangeThrows) {
+  const Ctmc chain;
+  EXPECT_THROW((void)chain.name(0), std::out_of_range);
+}
+
+TEST(Ctmc, RatesAccumulate) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  chain.add_rate(0, 1, 1.5);
+  chain.add_rate(0, 1, 0.5);
+  EXPECT_DOUBLE_EQ(chain.rate(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(chain.rate(1, 0), 0.0);
+}
+
+TEST(Ctmc, ZeroRateIsIgnored) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  chain.add_rate(0, 1, 0.0);
+  EXPECT_TRUE(chain.transitions().empty());
+}
+
+TEST(Ctmc, InvalidRatesThrow) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  EXPECT_THROW(chain.add_rate(0, 0, 1.0), std::invalid_argument);  // self loop
+  EXPECT_THROW(chain.add_rate(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(chain.add_rate(0, 1, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(chain.add_rate(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(Ctmc, ExitRateSumsOutgoing) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  chain.add_state("c");
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(0, 2, 2.5);
+  EXPECT_DOUBLE_EQ(chain.exit_rate(0), 3.5);
+  EXPECT_DOUBLE_EQ(chain.exit_rate(1), 0.0);
+}
+
+TEST(Ctmc, TransitionsSortedByFromThenTo) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  chain.add_state("c");
+  chain.add_rate(1, 0, 3.0);
+  chain.add_rate(0, 2, 1.0);
+  chain.add_rate(0, 1, 2.0);
+  const auto ts = chain.transitions();
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[0], (Transition{0, 1, 2.0}));
+  EXPECT_EQ(ts[1], (Transition{0, 2, 1.0}));
+  EXPECT_EQ(ts[2], (Transition{1, 0, 3.0}));
+}
+
+TEST(Ctmc, GeneratorRowSumsAreZero) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  chain.add_state("c");
+  chain.add_rate(0, 1, 2.0);
+  chain.add_rate(0, 2, 1.0);
+  chain.add_rate(1, 0, 4.0);
+  const DenseMatrix q = chain.generator();
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_NEAR(q.row_sum(r), 0.0, 1e-15);
+  EXPECT_DOUBLE_EQ(q(0, 0), -3.0);
+  EXPECT_DOUBLE_EQ(q(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(q(2, 2), 0.0);  // absorbing
+}
+
+TEST(Ctmc, ReachableFollowsDirectedEdges) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  chain.add_state("c");
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 2, 1.0);
+  EXPECT_TRUE(chain.reachable(0, 2));
+  EXPECT_TRUE(chain.reachable(0, 0));  // trivially
+  EXPECT_FALSE(chain.reachable(2, 0));
+  EXPECT_FALSE(chain.reachable(1, 0));
+}
+
+TEST(Ctmc, AbsorbingStatesAreThoseWithoutExits) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  chain.add_state("c");
+  chain.add_rate(0, 1, 1.0);
+  const auto absorbing = chain.absorbing_states();
+  ASSERT_EQ(absorbing.size(), 2u);
+  EXPECT_EQ(absorbing[0], 1u);
+  EXPECT_EQ(absorbing[1], 2u);
+}
+
+}  // namespace
+}  // namespace sigcomp::markov

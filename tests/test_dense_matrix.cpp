@@ -1,0 +1,150 @@
+#include "markov/dense_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sigcomp::markov {
+namespace {
+
+TEST(DenseMatrix, DefaultConstructedIsEmpty) {
+  const DenseMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(DenseMatrix, SizedConstructorFills) {
+  const DenseMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(DenseMatrix, InitializerListLaysOutRowMajor) {
+  const DenseMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(DenseMatrix, RaggedInitializerThrows) {
+  EXPECT_THROW((DenseMatrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(DenseMatrix, IdentityHasOnesOnDiagonal) {
+  const DenseMatrix id = DenseMatrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrix, AtChecksBounds) {
+  DenseMatrix m(2, 2);
+  EXPECT_NO_THROW((void)m.at(1, 1));
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 2), std::out_of_range);
+  const DenseMatrix& cm = m;
+  EXPECT_THROW((void)cm.at(2, 2), std::out_of_range);
+}
+
+TEST(DenseMatrix, RowSum) {
+  const DenseMatrix m{{1.0, 2.0, 3.0}, {-1.0, 0.0, 1.0}};
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 6.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 0.0);
+  EXPECT_THROW((void)m.row_sum(2), std::out_of_range);
+}
+
+TEST(DenseMatrix, MatrixVectorProduct) {
+  const DenseMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> y = m.multiply(std::vector<double>{1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(DenseMatrix, MatrixVectorDimensionMismatchThrows) {
+  const DenseMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_THROW((void)m.multiply({1.0}), std::invalid_argument);
+}
+
+TEST(DenseMatrix, VectorMatrixProduct) {
+  const DenseMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> y = m.left_multiply({1.0, 2.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);   // 1*1 + 2*3
+  EXPECT_DOUBLE_EQ(y[1], 10.0);  // 1*2 + 2*4
+}
+
+TEST(DenseMatrix, LeftMultiplyDimensionMismatchThrows) {
+  const DenseMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_THROW((void)m.left_multiply({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(DenseMatrix, MatrixMatrixProduct) {
+  const DenseMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const DenseMatrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const DenseMatrix ab = a.multiply(b);
+  EXPECT_DOUBLE_EQ(ab(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(ab(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ab(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(ab(1, 1), 3.0);
+}
+
+TEST(DenseMatrix, MatrixProductDimensionMismatchThrows) {
+  const DenseMatrix a(2, 3);
+  const DenseMatrix b(2, 3);
+  EXPECT_THROW((void)a.multiply(b), std::invalid_argument);
+}
+
+TEST(DenseMatrix, MultiplyByIdentityIsIdentityOperation) {
+  const DenseMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(a.multiply(DenseMatrix::identity(2)), a);
+  EXPECT_EQ(DenseMatrix::identity(2).multiply(a), a);
+}
+
+TEST(DenseMatrix, Transposed) {
+  const DenseMatrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const DenseMatrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(DenseMatrix, ScaleInPlace) {
+  DenseMatrix m{{1.0, -2.0}};
+  m.scale(-3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), -3.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 6.0);
+}
+
+TEST(DenseMatrix, AddInPlace) {
+  DenseMatrix a{{1.0, 2.0}};
+  a.add(DenseMatrix{{10.0, 20.0}});
+  EXPECT_DOUBLE_EQ(a(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 22.0);
+  EXPECT_THROW(a.add(DenseMatrix(2, 2)), std::invalid_argument);
+}
+
+TEST(DenseMatrix, MaxAbs) {
+  const DenseMatrix m{{1.0, -5.0}, {3.0, 2.0}};
+  EXPECT_DOUBLE_EQ(m.max_abs(), 5.0);
+  EXPECT_DOUBLE_EQ(DenseMatrix(2, 2).max_abs(), 0.0);
+}
+
+TEST(DenseMatrix, StreamOutputShowsRows) {
+  std::ostringstream os;
+  os << DenseMatrix{{1.0, 2.0}};
+  EXPECT_EQ(os.str(), "[1, 2]\n");
+}
+
+}  // namespace
+}  // namespace sigcomp::markov

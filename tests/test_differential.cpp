@@ -1,0 +1,130 @@
+// Randomized differential tests: independent implementations must agree.
+//  * GTH stationary solver vs embedded-jump-chain power iteration on random
+//    irreducible chains.
+//  * Mean-time-to-absorption (linear solve) vs Monte-Carlo trajectory
+//    simulation of the same chain.
+//  * Analytic single-hop metrics vs the packet-level simulator at random
+//    parameter points (loose band: different abstraction levels).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/single_hop.hpp"
+#include "markov/absorption.hpp"
+#include "markov/dtmc.hpp"
+#include "markov/stationary.hpp"
+#include "protocols/single_hop_run.hpp"
+#include "sim/rng.hpp"
+
+namespace sigcomp {
+namespace {
+
+/// Random irreducible chain: a directed cycle (guarantees irreducibility)
+/// plus random extra edges with rates spanning three decades.
+markov::Ctmc random_irreducible_chain(sim::Rng& rng, std::size_t n) {
+  markov::Ctmc chain;
+  for (std::size_t i = 0; i < n; ++i) chain.add_state("s" + std::to_string(i));
+  for (std::size_t i = 0; i < n; ++i) {
+    chain.add_rate(i, (i + 1) % n, std::pow(10.0, rng.uniform(-1.5, 1.5)));
+  }
+  const std::size_t extras = n + rng.uniform_int(2 * n);
+  for (std::size_t e = 0; e < extras; ++e) {
+    const std::size_t from = rng.uniform_int(n);
+    const std::size_t to = rng.uniform_int(n);
+    if (from == to) continue;
+    chain.add_rate(from, to, std::pow(10.0, rng.uniform(-1.5, 1.5)));
+  }
+  return chain;
+}
+
+TEST(Differential, GthAgreesWithPowerIterationOnRandomChains) {
+  sim::Rng rng(20260612);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 3 + rng.uniform_int(8);
+    const markov::Ctmc chain = random_irreducible_chain(rng, n);
+    const auto gth = markov::stationary_distribution(chain);
+    const auto power = markov::ctmc_stationary_via_jump_chain(chain);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(gth[i], power[i], 1e-7) << "trial " << trial << " state " << i;
+    }
+  }
+}
+
+TEST(Differential, MttaAgreesWithMonteCarloTrajectories) {
+  sim::Rng rng(777);
+  // A fixed 4-state chain with one absorbing state.
+  markov::Ctmc chain;
+  for (int i = 0; i < 4; ++i) chain.add_state("s" + std::to_string(i));
+  chain.add_rate(0, 1, 2.0);
+  chain.add_rate(1, 0, 1.0);
+  chain.add_rate(1, 2, 0.5);
+  chain.add_rate(2, 0, 0.25);
+  chain.add_rate(2, 3, 0.75);  // state 3 absorbing
+
+  const auto analytic_result = markov::mean_time_to_absorption(chain);
+
+  // Monte-Carlo: jump-chain trajectories with exponential holding times.
+  constexpr int kTrajectories = 40000;
+  double total = 0.0;
+  for (int t = 0; t < kTrajectories; ++t) {
+    markov::StateId s = 0;
+    double clock = 0.0;
+    while (s != 3) {
+      const double exit = chain.exit_rate(s);
+      clock += rng.exponential(1.0 / exit);
+      // Choose the next state proportionally to the outgoing rates.
+      double u = rng.uniform() * exit;
+      markov::StateId next = s;
+      for (const auto& tr : chain.transitions()) {
+        if (tr.from != s) continue;
+        if (u < tr.rate) {
+          next = tr.to;
+          break;
+        }
+        u -= tr.rate;
+      }
+      s = next;
+    }
+    total += clock;
+  }
+  const double empirical = total / kTrajectories;
+  EXPECT_NEAR(empirical, analytic_result.mean_time[0],
+              0.03 * analytic_result.mean_time[0]);
+}
+
+class RandomPointDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPointDifferential, SimulatorTracksModelAtRandomParameters) {
+  sim::Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  SingleHopParams p;
+  p.loss = rng.uniform(0.0, 0.15);
+  p.delay = rng.uniform(0.005, 0.1);
+  p.update_rate = 1.0 / rng.uniform(5.0, 60.0);
+  p.removal_rate = 1.0 / rng.uniform(120.0, 2400.0);
+  p.refresh_timer = rng.uniform(1.0, 12.0);
+  p.timeout_timer = 3.0 * p.refresh_timer;
+  p.retrans_timer = 4.0 * p.delay;
+  p.validate();
+
+  for (const ProtocolKind kind : {ProtocolKind::kSSER, ProtocolKind::kHS}) {
+    const Metrics model = analytic::evaluate_single_hop(kind, p);
+    protocols::SimOptions options;
+    options.sessions = 500;
+    options.seed = 42 + static_cast<std::uint64_t>(GetParam());
+    const protocols::SimResult sim = protocols::run_single_hop(kind, p, options);
+    // Loose band: same order, same ballpark.
+    EXPECT_GT(sim.metrics.inconsistency, 0.3 * model.inconsistency)
+        << to_string(kind) << " " << GetParam();
+    EXPECT_LT(sim.metrics.inconsistency, 3.0 * model.inconsistency + 1e-4)
+        << to_string(kind) << " " << GetParam();
+    EXPECT_NEAR(sim.metrics.message_rate, model.message_rate,
+                0.35 * model.message_rate)
+        << to_string(kind) << " " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPoints, RandomPointDifferential,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace sigcomp

@@ -1,0 +1,83 @@
+#include "markov/dtmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "markov/stationary.hpp"
+
+namespace sigcomp::markov {
+namespace {
+
+Ctmc ring_chain() {
+  Ctmc chain;
+  for (int i = 0; i < 3; ++i) chain.add_state("s" + std::to_string(i));
+  chain.add_rate(0, 1, 2.0);
+  chain.add_rate(1, 2, 1.0);
+  chain.add_rate(2, 0, 4.0);
+  chain.add_rate(1, 0, 1.0);
+  return chain;
+}
+
+TEST(EmbeddedJumpMatrix, RowsAreStochastic) {
+  const DenseMatrix p = embedded_jump_matrix(ring_chain());
+  EXPECT_LT(stochastic_violation(p), 1e-12);
+}
+
+TEST(EmbeddedJumpMatrix, ProbabilitiesAreRateFractions) {
+  const DenseMatrix p = embedded_jump_matrix(ring_chain());
+  EXPECT_NEAR(p(1, 2), 0.5, 1e-12);
+  EXPECT_NEAR(p(1, 0), 0.5, 1e-12);
+  EXPECT_NEAR(p(0, 1), 1.0, 1e-12);
+}
+
+TEST(EmbeddedJumpMatrix, AbsorbingStateSelfLoops) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("end");
+  chain.add_rate(0, 1, 1.0);
+  const DenseMatrix p = embedded_jump_matrix(chain);
+  EXPECT_DOUBLE_EQ(p(1, 1), 1.0);
+}
+
+TEST(UniformizedMatrix, IsStochasticForValidLambda) {
+  const Ctmc chain = ring_chain();
+  const DenseMatrix p = uniformized_matrix(chain, 10.0);
+  EXPECT_LT(stochastic_violation(p), 1e-12);
+}
+
+TEST(UniformizedMatrix, RejectsTooSmallLambda) {
+  const Ctmc chain = ring_chain();  // max exit rate is 4
+  EXPECT_THROW((void)uniformized_matrix(chain, 1.0), std::invalid_argument);
+}
+
+TEST(DtmcStationaryPower, TwoStateClosedForm) {
+  const DenseMatrix p{{0.5, 0.5}, {0.25, 0.75}};
+  const auto pi = dtmc_stationary_power(p);
+  // Balance: pi0 * 0.5 = pi1 * 0.25 -> pi1 = 2 pi0 -> (1/3, 2/3).
+  EXPECT_NEAR(pi[0], 1.0 / 3.0, 1e-10);
+  EXPECT_NEAR(pi[1], 2.0 / 3.0, 1e-10);
+}
+
+TEST(DtmcStationaryPower, RejectsNonSquare) {
+  EXPECT_THROW((void)dtmc_stationary_power(DenseMatrix(2, 3)),
+               std::invalid_argument);
+}
+
+TEST(CtmcStationaryViaJumpChain, AgreesWithGth) {
+  const Ctmc chain = ring_chain();
+  const auto a = stationary_distribution(chain);
+  const auto b = ctmc_stationary_via_jump_chain(chain);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-8);
+}
+
+TEST(CtmcStationaryViaJumpChain, RejectsAbsorbingStates) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("end");
+  chain.add_rate(0, 1, 1.0);
+  EXPECT_THROW((void)ctmc_stationary_via_jump_chain(chain), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sigcomp::markov

@@ -1,0 +1,248 @@
+// Unit tests of the single-hop protocol engines, driven over scripted
+// channels (loss toggled between 0 and 1 for fault injection).
+#include "protocols/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/simulator.hpp"
+
+namespace sigcomp::protocols {
+namespace {
+
+/// Sender + receiver wired over two channels with controllable loss.
+class EnginePair {
+ public:
+  explicit EnginePair(ProtocolKind kind,
+                      TimerSettings timers = {sim::Distribution::kDeterministic,
+                                              5.0, 15.0, 0.5})
+      : rng_(123),
+        forward_(sim_, rng_, 0.0, 0.1, sim::Distribution::kDeterministic,
+                 [this](const Message& m) { receiver_->handle(m); }),
+        reverse_(sim_, rng_, 0.0, 0.1, sim::Distribution::kDeterministic,
+                 [this](const Message& m) { sender_->handle(m); }) {
+    sender_ = std::make_unique<SenderEngine>(sim_, rng_, mechanisms(kind), timers,
+                                             forward_, nullptr);
+    receiver_ = std::make_unique<ReceiverEngine>(sim_, rng_, mechanisms(kind),
+                                                 timers, reverse_, nullptr);
+  }
+
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  MessageChannel forward_;
+  MessageChannel reverse_;
+  std::unique_ptr<SenderEngine> sender_;
+  std::unique_ptr<ReceiverEngine> receiver_;
+};
+
+TEST(Engine, InstallPropagatesValue) {
+  EnginePair pair(ProtocolKind::kSS);
+  pair.sender_->install(7);
+  pair.sim_.run_until(0.2);
+  EXPECT_EQ(pair.receiver_->value(), std::optional<std::int64_t>{7});
+  EXPECT_EQ(pair.sender_->value(), std::optional<std::int64_t>{7});
+}
+
+TEST(Engine, UpdateReplacesValue) {
+  EnginePair pair(ProtocolKind::kSS);
+  pair.sender_->install(1);
+  pair.sim_.run_until(0.2);
+  pair.sender_->update(2);
+  pair.sim_.run_until(0.4);
+  EXPECT_EQ(pair.receiver_->value(), std::optional<std::int64_t>{2});
+}
+
+TEST(Engine, RefreshKeepsSoftStateAlive) {
+  EnginePair pair(ProtocolKind::kSS);  // R=5, T=15
+  pair.sender_->install(1);
+  pair.sim_.run_until(100.0);  // many timeout intervals
+  EXPECT_EQ(pair.receiver_->value(), std::optional<std::int64_t>{1});
+  EXPECT_EQ(pair.receiver_->timeouts(), 0u);
+  // Refreshes flowed roughly every 5 s.
+  EXPECT_GE(pair.forward_.counters().sent, 20u);
+}
+
+TEST(Engine, SoftStateTimesOutWhenRefreshesStop) {
+  EnginePair pair(ProtocolKind::kSS);
+  pair.sender_->install(1);
+  pair.sim_.run_until(0.2);
+  // Blackhole the channel: receiver must drop state after T = 15 s.
+  pair.forward_.set_loss(1.0);
+  pair.sim_.run_until(20.0);
+  EXPECT_EQ(pair.receiver_->value(), std::nullopt);
+  EXPECT_EQ(pair.receiver_->timeouts(), 1u);
+}
+
+TEST(Engine, PureSoftStateRemovalWaitsForTimeout) {
+  EnginePair pair(ProtocolKind::kSS);
+  pair.sender_->install(1);
+  pair.sim_.run_until(0.2);
+  pair.sender_->remove();
+  // No explicit removal: state lingers until timeout (armed at the last
+  // refresh/trigger receipt).
+  pair.sim_.run_until(1.0);
+  EXPECT_EQ(pair.receiver_->value(), std::optional<std::int64_t>{1});
+  pair.sim_.run_until(20.0);
+  EXPECT_EQ(pair.receiver_->value(), std::nullopt);
+}
+
+TEST(Engine, ExplicitRemovalIsFast) {
+  EnginePair pair(ProtocolKind::kSSER);
+  pair.sender_->install(1);
+  pair.sim_.run_until(0.2);
+  pair.sender_->remove();
+  pair.sim_.run_until(0.4);  // one channel delay later
+  EXPECT_EQ(pair.receiver_->value(), std::nullopt);
+}
+
+TEST(Engine, SsNeverSendsAcks) {
+  EnginePair pair(ProtocolKind::kSS);
+  pair.sender_->install(1);
+  pair.sim_.run_until(50.0);
+  EXPECT_EQ(pair.reverse_.counters().sent, 0u);
+}
+
+TEST(Engine, ReliableTriggerIsAcked) {
+  EnginePair pair(ProtocolKind::kSSRT);
+  pair.sender_->install(1);
+  pair.sim_.run_until(0.5);
+  EXPECT_EQ(pair.reverse_.counters().sent, 1u);  // the ACK
+  // No retransmission needed: exactly one trigger went forward.
+  EXPECT_EQ(pair.forward_.counters().sent, 1u);
+}
+
+TEST(Engine, LostTriggerIsRetransmitted) {
+  EnginePair pair(ProtocolKind::kSSRT);
+  pair.forward_.set_loss(1.0);
+  pair.sender_->install(1);
+  pair.sim_.run_until(1.6);  // a few retransmission timers (Gamma = 0.5)
+  EXPECT_GE(pair.forward_.counters().sent, 3u);
+  EXPECT_EQ(pair.receiver_->value(), std::nullopt);
+  // Heal the channel: the next retransmission installs the state.
+  pair.forward_.set_loss(0.0);
+  pair.sim_.run_until(3.0);
+  EXPECT_EQ(pair.receiver_->value(), std::optional<std::int64_t>{1});
+}
+
+TEST(Engine, AckStopsRetransmissions) {
+  EnginePair pair(ProtocolKind::kSSRT);
+  pair.sender_->install(1);
+  pair.sim_.run_until(10.0);
+  // Only the initial trigger plus refreshes at R=5 (t=5 and t=10 edges);
+  // no retransmission storm.
+  EXPECT_LE(pair.forward_.counters().sent, 4u);
+}
+
+TEST(Engine, TimeoutNotificationTriggersReinstall) {
+  EnginePair pair(ProtocolKind::kSSRT);
+  pair.sender_->install(1);
+  pair.sim_.run_until(0.2);
+  // Lose everything long enough for the receiver to time out (T = 15), then
+  // heal; the NOTICE prompts the sender to re-trigger immediately.
+  pair.forward_.set_loss(1.0);
+  pair.sim_.run_until(16.0);
+  ASSERT_EQ(pair.receiver_->value(), std::nullopt);
+  pair.forward_.set_loss(0.0);
+  pair.sim_.run_until(17.0);
+  EXPECT_EQ(pair.receiver_->value(), std::optional<std::int64_t>{1});
+}
+
+TEST(Engine, ReliableRemovalSurvivesLoss) {
+  EnginePair pair(ProtocolKind::kSSRTR);
+  pair.sender_->install(1);
+  pair.sim_.run_until(0.2);
+  pair.forward_.set_loss(1.0);
+  pair.sender_->remove();
+  EXPECT_TRUE(pair.sender_->removal_pending());
+  pair.sim_.run_until(1.0);
+  EXPECT_EQ(pair.receiver_->value(), std::optional<std::int64_t>{1});  // still
+  pair.forward_.set_loss(0.0);
+  pair.sim_.run_until(2.0);
+  EXPECT_EQ(pair.receiver_->value(), std::nullopt);
+  pair.sim_.run_until(3.0);
+  EXPECT_FALSE(pair.sender_->removal_pending());  // ACK arrived
+}
+
+TEST(Engine, HardStateHasNoRefreshTraffic) {
+  EnginePair pair(ProtocolKind::kHS);
+  pair.sender_->install(1);
+  pair.sim_.run_until(200.0);
+  // Exactly one trigger (plus nothing else) forward; one ACK back.
+  EXPECT_EQ(pair.forward_.counters().sent, 1u);
+  EXPECT_EQ(pair.reverse_.counters().sent, 1u);
+  EXPECT_EQ(pair.receiver_->value(), std::optional<std::int64_t>{1});
+}
+
+TEST(Engine, HardStateNeverTimesOut) {
+  EnginePair pair(ProtocolKind::kHS);
+  pair.sender_->install(1);
+  pair.sim_.run_until(0.5);
+  pair.forward_.set_loss(1.0);  // no traffic at all from now on
+  pair.sim_.run_until(10000.0);
+  EXPECT_EQ(pair.receiver_->value(), std::optional<std::int64_t>{1});
+  EXPECT_EQ(pair.receiver_->timeouts(), 0u);
+}
+
+TEST(Engine, ExternalSignalRemovesStateAndNotifies) {
+  EnginePair pair(ProtocolKind::kHS);
+  pair.sender_->install(1);
+  pair.sim_.run_until(0.5);
+  pair.receiver_->external_removal_signal();
+  EXPECT_EQ(pair.receiver_->value(), std::nullopt);
+  // The notice reaches the live sender, which re-installs.
+  pair.sim_.run_until(1.0);
+  EXPECT_EQ(pair.receiver_->value(), std::optional<std::int64_t>{1});
+}
+
+TEST(Engine, ExternalSignalWithoutStateIsNoOp) {
+  EnginePair pair(ProtocolKind::kHS);
+  pair.receiver_->external_removal_signal();
+  pair.sim_.run_until(1.0);
+  EXPECT_EQ(pair.reverse_.counters().sent, 0u);
+}
+
+TEST(Engine, StaleEpochMessagesAreIgnored) {
+  EnginePair pair(ProtocolKind::kSS);
+  pair.sender_->begin_epoch(1);
+  pair.receiver_->begin_epoch(2);  // mismatched on purpose
+  pair.sender_->install(9);
+  pair.sim_.run_until(1.0);
+  EXPECT_EQ(pair.receiver_->value(), std::nullopt);
+}
+
+TEST(Engine, BeginEpochResetsState) {
+  EnginePair pair(ProtocolKind::kSS);
+  pair.sender_->install(1);
+  pair.sim_.run_until(0.2);
+  pair.sender_->begin_epoch(5);
+  pair.receiver_->begin_epoch(5);
+  EXPECT_EQ(pair.sender_->value(), std::nullopt);
+  EXPECT_EQ(pair.receiver_->value(), std::nullopt);
+  EXPECT_EQ(pair.sender_->epoch(), 5u);
+  EXPECT_EQ(pair.receiver_->epoch(), 5u);
+}
+
+TEST(Engine, RemoveCancelsRefreshes) {
+  EnginePair pair(ProtocolKind::kSS);
+  pair.sender_->install(1);
+  pair.sim_.run_until(0.2);
+  const auto sent_before = pair.forward_.counters().sent;
+  pair.sender_->remove();
+  pair.sim_.run_until(100.0);
+  EXPECT_EQ(pair.forward_.counters().sent, sent_before);  // silence after remove
+}
+
+TEST(Engine, UpdateSupersedesPendingTrigger) {
+  EnginePair pair(ProtocolKind::kSSRT);
+  pair.forward_.set_loss(1.0);
+  pair.sender_->install(1);
+  pair.sender_->update(2);
+  pair.forward_.set_loss(0.0);
+  pair.sim_.run_until(2.0);
+  // Receiver must end with the latest value, never regressing to 1.
+  EXPECT_EQ(pair.receiver_->value(), std::optional<std::int64_t>{2});
+}
+
+}  // namespace
+}  // namespace sigcomp::protocols

@@ -1,0 +1,150 @@
+// Tests of the heavy-tailed lifetime extension: the new RNG distributions
+// and the lifetime-law option of the single-hop harness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "protocols/single_hop_run.hpp"
+#include "sim/rng.hpp"
+
+namespace sigcomp {
+namespace {
+
+TEST(ParetoRng, RespectsScaleMinimum) {
+  sim::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(1.5, 2.0), 2.0);
+  }
+}
+
+TEST(ParetoRng, MeanMatchesClosedForm) {
+  sim::Rng rng(2);
+  // shape 3: light enough for the sample mean to converge quickly.
+  constexpr double kShape = 3.0, kScale = 2.0;
+  double sum = 0.0;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.pareto(kShape, kScale);
+  EXPECT_NEAR(sum / kSamples, kScale * kShape / (kShape - 1.0), 0.05);
+}
+
+TEST(ParetoRng, WithMeanHitsRequestedMean) {
+  sim::Rng rng(3);
+  double sum = 0.0;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.pareto_with_mean(3.0, 10.0);
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.25);
+}
+
+TEST(ParetoRng, TailFollowsPowerLaw) {
+  sim::Rng rng(4);
+  // P(X > 2*scale) = 2^-shape.
+  constexpr double kShape = 1.5, kScale = 1.0;
+  int over = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) over += (rng.pareto(kShape, kScale) > 2.0);
+  EXPECT_NEAR(over / double(kSamples), std::pow(2.0, -kShape), 0.01);
+}
+
+TEST(ParetoRng, DegenerateInputsReturnZero) {
+  sim::Rng rng(5);
+  EXPECT_DOUBLE_EQ(rng.pareto(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(rng.pareto(1.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(rng.pareto_with_mean(1.0, 10.0), 0.0);  // infinite mean
+}
+
+TEST(LognormalRng, MedianIsExpMu) {
+  sim::Rng rng(6);
+  std::vector<double> samples;
+  constexpr int kSamples = 100001;
+  samples.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) samples.push_back(rng.lognormal(1.0, 0.8));
+  std::nth_element(samples.begin(), samples.begin() + kSamples / 2, samples.end());
+  EXPECT_NEAR(samples[kSamples / 2], std::exp(1.0), 0.1);
+}
+
+TEST(LognormalRng, WithMeanHitsRequestedMean) {
+  sim::Rng rng(7);
+  double sum = 0.0;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.lognormal_with_mean(5.0, 1.0);
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.15);
+}
+
+SingleHopParams short_sessions() {
+  SingleHopParams p = SingleHopParams::kazaa_defaults();
+  p.removal_rate = 1.0 / 200.0;
+  return p;
+}
+
+protocols::SimOptions heavy_options(protocols::LifetimeDistribution dist,
+                                    double shape) {
+  protocols::SimOptions o;
+  o.sessions = 1500;
+  o.seed = 33;
+  o.lifetime_dist = dist;
+  o.lifetime_shape = shape;
+  return o;
+}
+
+TEST(HeavyTailLifetimes, MeanSessionLengthIsPreserved) {
+  // All laws are parameterized by the same mean.
+  for (const auto& [dist, shape] :
+       {std::pair{protocols::LifetimeDistribution::kExponential, 0.0},
+        std::pair{protocols::LifetimeDistribution::kPareto, 2.0},
+        std::pair{protocols::LifetimeDistribution::kLognormal, 1.0}}) {
+    const auto result = protocols::run_single_hop(
+        ProtocolKind::kSSER, short_sessions(), heavy_options(dist, shape));
+    EXPECT_NEAR(result.metrics.session_length, 200.0, 30.0)
+        << "law " << static_cast<int>(dist);
+  }
+}
+
+TEST(HeavyTailLifetimes, ParetoWithoutFiniteMeanRejected) {
+  EXPECT_THROW(
+      (void)protocols::run_single_hop(
+          ProtocolKind::kSS, short_sessions(),
+          heavy_options(protocols::LifetimeDistribution::kPareto, 1.0)),
+      std::invalid_argument);
+}
+
+TEST(HeavyTailLifetimes, HeavyTailHurtsPureSoftStateMost) {
+  // Under a heavy tail most sessions are much shorter than the mean, so
+  // the per-session teardown penalty is paid more often: SS degrades,
+  // SS+ER barely moves.
+  const auto exp_opts =
+      heavy_options(protocols::LifetimeDistribution::kExponential, 0.0);
+  const auto pareto_opts =
+      heavy_options(protocols::LifetimeDistribution::kPareto, 1.2);
+  const double ss_exp = protocols::run_single_hop(ProtocolKind::kSS,
+                                                  short_sessions(), exp_opts)
+                            .metrics.inconsistency;
+  const double ss_pareto = protocols::run_single_hop(ProtocolKind::kSS,
+                                                     short_sessions(), pareto_opts)
+                               .metrics.inconsistency;
+  EXPECT_GT(ss_pareto, 1.2 * ss_exp);
+}
+
+TEST(HeavyTailLifetimes, ProtocolRankingSurvivesHeavyTails) {
+  // The paper's headline ordering holds under every lifetime law.
+  for (const auto& [dist, shape] :
+       {std::pair{protocols::LifetimeDistribution::kPareto, 1.5},
+        std::pair{protocols::LifetimeDistribution::kLognormal, 1.5}}) {
+    const auto options = heavy_options(dist, shape);
+    const double ss = protocols::run_single_hop(ProtocolKind::kSS,
+                                                short_sessions(), options)
+                          .metrics.inconsistency;
+    const double sser = protocols::run_single_hop(ProtocolKind::kSSER,
+                                                  short_sessions(), options)
+                            .metrics.inconsistency;
+    const double ssrtr = protocols::run_single_hop(ProtocolKind::kSSRTR,
+                                                   short_sessions(), options)
+                             .metrics.inconsistency;
+    EXPECT_GT(ss, sser) << "law " << static_cast<int>(dist);
+    EXPECT_GT(sser, ssrtr) << "law " << static_cast<int>(dist);
+  }
+}
+
+}  // namespace
+}  // namespace sigcomp

@@ -1,0 +1,82 @@
+#include "markov/linear_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace sigcomp::markov {
+namespace {
+
+TEST(LinearSolver, SolvesDiagonalSystem) {
+  const DenseMatrix a{{2.0, 0.0}, {0.0, 4.0}};
+  const auto x = solve_linear(a, {2.0, 8.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LinearSolver, SolvesGeneralSystem) {
+  // x + 2y = 5; 3x - y = 1  =>  x = 1, y = 2.
+  const DenseMatrix a{{1.0, 2.0}, {3.0, -1.0}};
+  const auto x = solve_linear(a, {5.0, 1.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LinearSolver, RequiresPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  const DenseMatrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const auto x = solve_linear(a, {3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinearSolver, SingularMatrixThrows) {
+  const DenseMatrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW((void)solve_linear(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(LinearSolver, NonSquareThrows) {
+  EXPECT_THROW((void)solve_linear(DenseMatrix(2, 3), {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(LinearSolver, RhsSizeMismatchThrows) {
+  EXPECT_THROW((void)solve_linear(DenseMatrix::identity(2), {1.0}),
+               std::invalid_argument);
+}
+
+TEST(LinearSolver, LeftSolveMatchesTransposedSolve) {
+  const DenseMatrix a{{1.0, 2.0}, {3.0, -1.0}};
+  const auto x = solve_linear_left(a, {5.0, 1.0});
+  // x^T A = b^T: check residual directly.
+  EXPECT_NEAR(x[0] * 1.0 + x[1] * 3.0, 5.0, 1e-12);
+  EXPECT_NEAR(x[0] * 2.0 + x[1] * -1.0, 1.0, 1e-12);
+}
+
+TEST(LinearSolver, RandomSystemsHaveTinyResiduals) {
+  sim::Rng rng(12345);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + rng.uniform_int(10);
+    DenseMatrix a(n, n);
+    std::vector<double> b(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      b[r] = rng.uniform(-10.0, 10.0);
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-5.0, 5.0);
+      a(r, r) += 10.0;  // diagonal dominance keeps the system well-conditioned
+    }
+    const auto x = solve_linear(a, b);
+    EXPECT_LT(residual_inf_norm(a, x, b), 1e-9)
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(LinearSolver, ResidualNormDetectsWrongSolution) {
+  const DenseMatrix a = DenseMatrix::identity(2);
+  EXPECT_DOUBLE_EQ(residual_inf_norm(a, {1.0, 1.0}, {1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(residual_inf_norm(a, {2.0, 1.0}, {1.0, 1.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace sigcomp::markov

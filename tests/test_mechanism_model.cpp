@@ -1,0 +1,138 @@
+// Tests of the mechanism-set generalization of the single-hop model (the
+// ablation surface beyond the paper's five named protocols).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analytic/single_hop.hpp"
+
+namespace sigcomp::analytic {
+namespace {
+
+const SingleHopParams kDefaults = SingleHopParams::kazaa_defaults();
+
+MechanismSet soft_base() {
+  MechanismSet m;
+  m.refresh = true;
+  m.soft_timeout = true;
+  return m;
+}
+
+TEST(ValidateMechanisms, NamedProtocolsAreAllValid) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    EXPECT_NO_THROW(validate_mechanisms(mechanisms(kind))) << to_string(kind);
+  }
+}
+
+TEST(ValidateMechanisms, TimeoutWithoutRefreshRejected) {
+  MechanismSet m;
+  m.soft_timeout = true;
+  m.explicit_removal = true;
+  m.reliable_removal = true;
+  EXPECT_THROW(validate_mechanisms(m), std::invalid_argument);
+}
+
+TEST(ValidateMechanisms, ReliableRemovalWithoutExplicitRemovalRejected) {
+  MechanismSet m = soft_base();
+  m.reliable_removal = true;
+  EXPECT_THROW(validate_mechanisms(m), std::invalid_argument);
+}
+
+TEST(ValidateMechanisms, NoRemovalPathRejected) {
+  MechanismSet m;
+  m.refresh = true;  // refresh but no timeout, no explicit removal
+  EXPECT_THROW(validate_mechanisms(m), std::invalid_argument);
+}
+
+TEST(ValidateMechanisms, UnrecoverableRemovalLossRejected) {
+  // Explicit removal with neither a timeout backstop nor retransmission:
+  // a single lost REMOVE strands the receiver's state forever.
+  MechanismSet m;
+  m.explicit_removal = true;
+  m.reliable_trigger = true;
+  EXPECT_THROW(validate_mechanisms(m), std::invalid_argument);
+}
+
+TEST(ValidateMechanisms, RefreshWithoutTimeoutIsAllowed) {
+  // Refresh repairs losses; removal is explicit and reliable.  Odd but
+  // well-formed.
+  MechanismSet m;
+  m.refresh = true;
+  m.explicit_removal = true;
+  m.reliable_removal = true;
+  EXPECT_NO_THROW(validate_mechanisms(m));
+}
+
+TEST(MechanismModel, NamedConstructorEquivalentToMechanismConstructor) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    const SingleHopModel by_name(kind, kDefaults);
+    const SingleHopModel by_mech(mechanisms(kind), kDefaults);
+    EXPECT_DOUBLE_EQ(by_name.inconsistency(), by_mech.inconsistency())
+        << to_string(kind);
+    EXPECT_DOUBLE_EQ(by_name.metrics().message_rate,
+                     by_mech.metrics().message_rate)
+        << to_string(kind);
+    EXPECT_EQ(by_name.mechanism_set(), mechanisms(kind)) << to_string(kind);
+  }
+}
+
+TEST(MechanismModel, DetectorFreeHardStateBeatsHs) {
+  // The ablation's headline: HS without the (false-signal-generating)
+  // external detector is strictly more consistent at the model's lifecycle
+  // -- the detector exists for crash cleanup, which costs consistency here.
+  MechanismSet m;
+  m.explicit_removal = true;
+  m.reliable_trigger = true;
+  m.reliable_removal = true;
+  const SingleHopModel detector_free(m, kDefaults);
+  const SingleHopModel hs(ProtocolKind::kHS, kDefaults);
+  EXPECT_LT(detector_free.inconsistency(), hs.inconsistency());
+  EXPECT_LT(detector_free.metrics().message_rate, hs.metrics().message_rate);
+}
+
+TEST(MechanismModel, NotificationOnlyAffectsMessageAccounting) {
+  MechanismSet with = soft_base();
+  with.removal_notification = true;
+  MechanismSet without = soft_base();
+  const SingleHopModel a(with, kDefaults);
+  const SingleHopModel b(without, kDefaults);
+  EXPECT_DOUBLE_EQ(a.inconsistency(), b.inconsistency());
+  EXPECT_GE(a.metrics().raw_message_rate, b.metrics().raw_message_rate);
+}
+
+TEST(MechanismModel, RefreshWithoutTimeoutNeverFalselyRemoves) {
+  MechanismSet m;
+  m.refresh = true;
+  m.explicit_removal = true;
+  m.reliable_removal = true;
+  const SingleHopModel model(m, kDefaults);
+  // No timeout and no detector: the false-removal transition is absent, so
+  // C -> (1,0)2 never happens and the slow setup state carries no mass
+  // except from initial loss.
+  EXPECT_DOUBLE_EQ(model.transient_chain().rate(
+                       *model.transient_chain().find("C"),
+                       *model.transient_chain().find("(1,0)2")),
+                   0.0);
+}
+
+TEST(MechanismModel, PureExplicitUnreliableInstallIsCheapButInconsistent) {
+  // ER+RR without refresh or reliable triggers: the cheapest protocol in
+  // the ablation.  Lost installs wait for the next update; consistency is
+  // far worse than HS but the message rate is about half.
+  MechanismSet m;
+  m.explicit_removal = true;
+  m.reliable_removal = true;
+  const SingleHopModel cheap(m, kDefaults);
+  const SingleHopModel hs(ProtocolKind::kHS, kDefaults);
+  EXPECT_GT(cheap.inconsistency(), 5.0 * hs.inconsistency());
+  EXPECT_LT(cheap.metrics().message_rate, 0.7 * hs.metrics().message_rate);
+}
+
+TEST(MechanismModel, InvalidMechanismSetThrowsAtConstruction) {
+  MechanismSet m;
+  m.explicit_removal = true;  // unrecoverable removal loss
+  EXPECT_THROW(SingleHopModel(m, kDefaults), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sigcomp::analytic

@@ -1,0 +1,49 @@
+#include "protocols/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sigcomp::protocols {
+namespace {
+
+TEST(Message, TypeNamesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (const MessageType t :
+       {MessageType::kTrigger, MessageType::kRefresh, MessageType::kRemove,
+        MessageType::kAckTrigger, MessageType::kAckRemove,
+        MessageType::kAckNotice, MessageType::kNotice, MessageType::kTeardown}) {
+    const std::string_view name = to_string(t);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << name << " duplicated";
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(Message, EqualityComparesAllFields) {
+  const Message a{MessageType::kTrigger, 5, 1, 2};
+  Message b = a;
+  EXPECT_EQ(a, b);
+  b.value = 6;
+  EXPECT_NE(a, b);
+  b = a;
+  b.seq = 9;
+  EXPECT_NE(a, b);
+  b = a;
+  b.epoch = 3;
+  EXPECT_NE(a, b);
+  b = a;
+  b.type = MessageType::kRefresh;
+  EXPECT_NE(a, b);
+}
+
+TEST(Message, DefaultsAreSane) {
+  const Message m;
+  EXPECT_EQ(m.type, MessageType::kTrigger);
+  EXPECT_EQ(m.value, 0);
+  EXPECT_EQ(m.seq, 0u);
+  EXPECT_EQ(m.epoch, 0u);
+}
+
+}  // namespace
+}  // namespace sigcomp::protocols

@@ -1,0 +1,50 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sigcomp {
+namespace {
+
+TEST(MessageRateBreakdown, TotalSumsAllComponents) {
+  MessageRateBreakdown b;
+  b.trigger = 1.0;
+  b.refresh = 2.0;
+  b.explicit_removal = 3.0;
+  b.reliable_trigger = 4.0;
+  b.reliable_removal = 5.0;
+  EXPECT_DOUBLE_EQ(b.total(), 15.0);
+}
+
+TEST(MessageRateBreakdown, DefaultIsZero) {
+  EXPECT_DOUBLE_EQ(MessageRateBreakdown{}.total(), 0.0);
+}
+
+TEST(IntegratedCost, DefaultWeightIsTen) {
+  Metrics m;
+  m.inconsistency = 0.1;
+  m.message_rate = 0.5;
+  EXPECT_DOUBLE_EQ(integrated_cost(m), 1.5);
+}
+
+TEST(IntegratedCost, CustomWeight) {
+  Metrics m;
+  m.inconsistency = 0.25;
+  m.message_rate = 1.0;
+  EXPECT_DOUBLE_EQ(integrated_cost(m, 4.0), 2.0);
+  EXPECT_DOUBLE_EQ(integrated_cost(m, 0.0), 1.0);
+}
+
+TEST(Metrics, StreamOutputMentionsFields) {
+  Metrics m;
+  m.inconsistency = 0.125;
+  m.message_rate = 0.5;
+  std::ostringstream os;
+  os << m;
+  EXPECT_NE(os.str().find("I=0.125"), std::string::npos);
+  EXPECT_NE(os.str().find("M=0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sigcomp

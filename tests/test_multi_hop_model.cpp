@@ -1,0 +1,220 @@
+#include "analytic/multi_hop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sigcomp::analytic {
+namespace {
+
+const MultiHopParams kDefaults = MultiHopParams::reservation_defaults();
+
+TEST(MultiHopModel, RejectsProtocolsOutsidePaperScope) {
+  EXPECT_THROW(MultiHopModel(ProtocolKind::kSSER, kDefaults), std::invalid_argument);
+  EXPECT_THROW(MultiHopModel(ProtocolKind::kSSRTR, kDefaults), std::invalid_argument);
+}
+
+TEST(MultiHopModel, StateSpaceSize) {
+  MultiHopParams p = kDefaults;
+  p.hops = 5;
+  // (k, fast) for k = 0..5, (k, slow) for k = 0..4.
+  EXPECT_EQ(MultiHopModel(ProtocolKind::kSS, p).chain().num_states(), 11u);
+  // HS adds the recovery state.
+  EXPECT_EQ(MultiHopModel(ProtocolKind::kHS, p).chain().num_states(), 12u);
+}
+
+TEST(MultiHopModel, TimeoutRateFirstHopMatchesSingleHopFalseRemoval) {
+  // j = 0: first timeout at hop 1 has probability pl^(T/R) -- identical to
+  // the single-hop lambda_F.
+  const double rate = MultiHopModel::timeout_rate(kDefaults, 0);
+  EXPECT_NEAR(rate,
+              std::pow(kDefaults.loss,
+                       kDefaults.timeout_timer / kDefaults.refresh_timer) /
+                  kDefaults.timeout_timer,
+              1e-15);
+}
+
+TEST(MultiHopModel, TimeoutRatesArePartialTelescope) {
+  // Summing the "first timeout at hop j+1" probabilities over all j gives
+  // the probability that a timeout happens anywhere, which is bounded by
+  // [1 - (1-pl)^K]^(T/R).
+  double total = 0.0;
+  for (std::size_t j = 0; j < kDefaults.hops; ++j) {
+    const double r = MultiHopModel::timeout_rate(kDefaults, j);
+    EXPECT_GE(r, 0.0);
+    total += r * kDefaults.timeout_timer;
+  }
+  const double anywhere = std::pow(
+      1.0 - std::pow(1.0 - kDefaults.loss, double(kDefaults.hops)),
+      kDefaults.timeout_timer / kDefaults.refresh_timer);
+  EXPECT_NEAR(total, anywhere, 1e-12);
+}
+
+TEST(MultiHopModel, TimeoutRateIncreasesWithHopIndex) {
+  // Later hops are behind more lossy links, so the "first timeout here"
+  // probability grows with j at small j.
+  EXPECT_GT(MultiHopModel::timeout_rate(kDefaults, 1),
+            MultiHopModel::timeout_rate(kDefaults, 0));
+}
+
+TEST(MultiHopModel, StationarySumsToOne) {
+  for (const ProtocolKind kind : kMultiHopProtocols) {
+    const MultiHopModel model(kind, kDefaults);
+    double total = model.recovery_probability();
+    for (std::size_t k = 0; k <= kDefaults.hops; ++k) {
+      total += model.stationary(k, 0);
+      if (k < kDefaults.hops) total += model.stationary(k, 1);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10) << to_string(kind);
+  }
+}
+
+TEST(MultiHopModel, InconsistencyComplementOfFullConsistency) {
+  for (const ProtocolKind kind : kMultiHopProtocols) {
+    const MultiHopModel model(kind, kDefaults);
+    EXPECT_NEAR(model.inconsistency(),
+                1.0 - model.stationary(kDefaults.hops, 0), 1e-12);
+    EXPECT_GT(model.inconsistency(), 0.0);
+    EXPECT_LT(model.inconsistency(), 1.0);
+  }
+}
+
+TEST(MultiHopModel, RecoveryOnlyForHardState) {
+  EXPECT_DOUBLE_EQ(MultiHopModel(ProtocolKind::kSS, kDefaults).recovery_probability(), 0.0);
+  EXPECT_DOUBLE_EQ(MultiHopModel(ProtocolKind::kSSRT, kDefaults).recovery_probability(), 0.0);
+  EXPECT_GT(MultiHopModel(ProtocolKind::kHS, kDefaults).recovery_probability(), 0.0);
+}
+
+TEST(MultiHopModel, HopInconsistencyIncreasesWithDistance) {
+  // Fig. 17: hops further from the sender are inconsistent more often.
+  for (const ProtocolKind kind : kMultiHopProtocols) {
+    const MultiHopModel model(kind, kDefaults);
+    for (std::size_t hop = 2; hop <= kDefaults.hops; ++hop) {
+      EXPECT_GE(model.hop_inconsistency(hop), model.hop_inconsistency(hop - 1))
+          << to_string(kind) << " hop " << hop;
+    }
+  }
+}
+
+TEST(MultiHopModel, LastHopInconsistencyEqualsTotal) {
+  // "All hops consistent" fails exactly when fewer than K hops are
+  // consistent, which is the hop-K inconsistency event.
+  for (const ProtocolKind kind : kMultiHopProtocols) {
+    const MultiHopModel model(kind, kDefaults);
+    EXPECT_NEAR(model.hop_inconsistency(kDefaults.hops), model.inconsistency(),
+                1e-9)
+        << to_string(kind);
+  }
+}
+
+TEST(MultiHopModel, HopInconsistencyRangeChecked) {
+  const MultiHopModel model(ProtocolKind::kSS, kDefaults);
+  EXPECT_THROW((void)model.hop_inconsistency(0), std::out_of_range);
+  EXPECT_THROW((void)model.hop_inconsistency(kDefaults.hops + 1), std::out_of_range);
+}
+
+TEST(MultiHopModel, InconsistencyGrowsWithHops) {
+  // Fig. 18(a).
+  for (const ProtocolKind kind : kMultiHopProtocols) {
+    double previous = 0.0;
+    for (const std::size_t hops : {1u, 5u, 10u, 20u}) {
+      MultiHopParams p = kDefaults;
+      p.hops = hops;
+      const double inconsistency = MultiHopModel(kind, p).inconsistency();
+      EXPECT_GT(inconsistency, previous) << to_string(kind) << " K=" << hops;
+      previous = inconsistency;
+    }
+  }
+}
+
+TEST(MultiHopModel, MessageRateGrowsWithHops) {
+  // Fig. 18(b).
+  for (const ProtocolKind kind : kMultiHopProtocols) {
+    double previous = 0.0;
+    for (const std::size_t hops : {1u, 5u, 10u, 20u}) {
+      MultiHopParams p = kDefaults;
+      p.hops = hops;
+      const double rate = MultiHopModel(kind, p).metrics().raw_message_rate;
+      EXPECT_GT(rate, previous) << to_string(kind) << " K=" << hops;
+      previous = rate;
+    }
+  }
+}
+
+TEST(MultiHopModel, ProtocolOrderingAtDefaults) {
+  // Fig. 17/18: SS is much worse; HS has a slight edge over SS+RT.
+  const double ss = MultiHopModel(ProtocolKind::kSS, kDefaults).inconsistency();
+  const double ssrt = MultiHopModel(ProtocolKind::kSSRT, kDefaults).inconsistency();
+  const double hs = MultiHopModel(ProtocolKind::kHS, kDefaults).inconsistency();
+  EXPECT_GT(ss, 3.0 * ssrt);
+  EXPECT_LT(hs, ssrt);
+  EXPECT_NEAR(hs, ssrt, 0.2 * ssrt);  // but comparable
+}
+
+TEST(MultiHopModel, ReliableTriggerCostsLittleExtra) {
+  // Fig. 18(b): SS+RT adds only modest signaling overhead over SS.
+  const double ss = MultiHopModel(ProtocolKind::kSS, kDefaults).metrics().raw_message_rate;
+  const double ssrt = MultiHopModel(ProtocolKind::kSSRT, kDefaults).metrics().raw_message_rate;
+  EXPECT_GT(ssrt, ss);
+  EXPECT_LT(ssrt, 1.25 * ss);
+}
+
+TEST(MultiHopModel, HardStateUsesFarFewerMessages) {
+  const double ss = MultiHopModel(ProtocolKind::kSS, kDefaults).metrics().raw_message_rate;
+  const double hs = MultiHopModel(ProtocolKind::kHS, kDefaults).metrics().raw_message_rate;
+  EXPECT_LT(hs, 0.3 * ss);
+}
+
+TEST(MultiHopModel, RefreshBreakdownOnlyForSoftState) {
+  EXPECT_GT(MultiHopModel(ProtocolKind::kSS, kDefaults).message_rates().refresh, 0.0);
+  EXPECT_GT(MultiHopModel(ProtocolKind::kSSRT, kDefaults).message_rates().refresh, 0.0);
+  EXPECT_DOUBLE_EQ(MultiHopModel(ProtocolKind::kHS, kDefaults).message_rates().refresh, 0.0);
+}
+
+TEST(MultiHopModel, SsMessageRateFallsWithLongerRefresh) {
+  // Fig. 19(b).
+  MultiHopParams fast = kDefaults;
+  fast.refresh_timer = 1.0;
+  fast.timeout_timer = 3.0;
+  MultiHopParams slow = kDefaults;
+  slow.refresh_timer = 50.0;
+  slow.timeout_timer = 150.0;
+  EXPECT_GT(MultiHopModel(ProtocolKind::kSS, fast).metrics().raw_message_rate,
+            MultiHopModel(ProtocolKind::kSS, slow).metrics().raw_message_rate);
+}
+
+TEST(MultiHopModel, HsInsensitiveToRefreshTimer) {
+  MultiHopParams a = kDefaults;
+  a.refresh_timer = 1.0;
+  a.timeout_timer = 3.0;
+  MultiHopParams b = kDefaults;
+  b.refresh_timer = 100.0;
+  b.timeout_timer = 300.0;
+  EXPECT_NEAR(MultiHopModel(ProtocolKind::kHS, a).inconsistency(),
+              MultiHopModel(ProtocolKind::kHS, b).inconsistency(), 1e-12);
+  EXPECT_NEAR(MultiHopModel(ProtocolKind::kHS, a).metrics().raw_message_rate,
+              MultiHopModel(ProtocolKind::kHS, b).metrics().raw_message_rate, 1e-12);
+}
+
+TEST(MultiHopModel, SingleHopChainDegenerates) {
+  MultiHopParams p = kDefaults;
+  p.hops = 1;
+  const MultiHopModel model(ProtocolKind::kSS, p);
+  EXPECT_EQ(model.chain().num_states(), 3u);  // (0,f), (1,f), (0,s)
+  EXPECT_GT(model.inconsistency(), 0.0);
+}
+
+TEST(MultiHopModel, LossFreeChainStillHasPropagationInconsistency) {
+  MultiHopParams p = kDefaults;
+  p.loss = 0.0;
+  const MultiHopModel model(ProtocolKind::kSS, p);
+  // Updates still need K x D to propagate: inconsistency cannot vanish.
+  EXPECT_GT(model.inconsistency(), 0.0);
+  // But it is tiny compared to the lossy default.
+  EXPECT_LT(model.inconsistency(),
+            MultiHopModel(ProtocolKind::kSS, kDefaults).inconsistency());
+}
+
+}  // namespace
+}  // namespace sigcomp::analytic

@@ -1,0 +1,172 @@
+#include "protocols/multi_hop_run.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analytic/multi_hop.hpp"
+
+namespace sigcomp::protocols {
+namespace {
+
+MultiHopParams small_chain() {
+  MultiHopParams p = MultiHopParams::reservation_defaults();
+  p.hops = 5;
+  return p;
+}
+
+MultiHopSimOptions quick_options(std::uint64_t seed = 1) {
+  MultiHopSimOptions o;
+  o.seed = seed;
+  o.duration = 4000.0;
+  return o;
+}
+
+TEST(MultiHopSim, ProducesValidMetricsForSupportedProtocols) {
+  for (const ProtocolKind kind : kMultiHopProtocols) {
+    const MultiHopSimResult result =
+        run_multi_hop(kind, small_chain(), quick_options());
+    EXPECT_GT(result.metrics.inconsistency, 0.0) << to_string(kind);
+    EXPECT_LT(result.metrics.inconsistency, 1.0) << to_string(kind);
+    EXPECT_GT(result.messages, 0u) << to_string(kind);
+    EXPECT_EQ(result.hop_inconsistency.size(), 5u) << to_string(kind);
+    EXPECT_DOUBLE_EQ(result.duration, 4000.0) << to_string(kind);
+  }
+}
+
+TEST(MultiHopSim, RejectsUnsupportedProtocols) {
+  EXPECT_THROW((void)run_multi_hop(ProtocolKind::kSSER, small_chain(), quick_options()),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_multi_hop(ProtocolKind::kSSRTR, small_chain(), quick_options()),
+               std::invalid_argument);
+}
+
+TEST(MultiHopSim, RejectsNonPositiveDuration) {
+  MultiHopSimOptions options;
+  options.duration = 0.0;
+  EXPECT_THROW((void)run_multi_hop(ProtocolKind::kSS, small_chain(), options),
+               std::invalid_argument);
+}
+
+TEST(MultiHopSim, SameSeedIsReproducible) {
+  const MultiHopSimResult a =
+      run_multi_hop(ProtocolKind::kSSRT, small_chain(), quick_options(4));
+  const MultiHopSimResult b =
+      run_multi_hop(ProtocolKind::kSSRT, small_chain(), quick_options(4));
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_DOUBLE_EQ(a.metrics.inconsistency, b.metrics.inconsistency);
+}
+
+TEST(MultiHopSim, FarHopsAreWorseOff) {
+  // Fig. 17's monotone trend; compare first vs last hop with margin to
+  // absorb noise.
+  for (const ProtocolKind kind : kMultiHopProtocols) {
+    MultiHopSimOptions options = quick_options(8);
+    options.duration = 8000.0;
+    const MultiHopSimResult result = run_multi_hop(kind, small_chain(), options);
+    EXPECT_GT(result.hop_inconsistency.back(), result.hop_inconsistency.front())
+        << to_string(kind);
+  }
+}
+
+TEST(MultiHopSim, SsIsLeastConsistent) {
+  MultiHopSimOptions options = quick_options(10);
+  options.duration = 8000.0;
+  const double ss =
+      run_multi_hop(ProtocolKind::kSS, small_chain(), options).metrics.inconsistency;
+  const double ssrt =
+      run_multi_hop(ProtocolKind::kSSRT, small_chain(), options).metrics.inconsistency;
+  const double hs =
+      run_multi_hop(ProtocolKind::kHS, small_chain(), options).metrics.inconsistency;
+  EXPECT_GT(ss, ssrt);
+  EXPECT_GT(ss, hs);
+}
+
+TEST(MultiHopSim, HardStateSendsFarFewerMessages) {
+  const MultiHopSimResult ss =
+      run_multi_hop(ProtocolKind::kSS, small_chain(), quick_options(12));
+  const MultiHopSimResult hs =
+      run_multi_hop(ProtocolKind::kHS, small_chain(), quick_options(12));
+  EXPECT_LT(hs.messages, ss.messages / 2);
+}
+
+TEST(MultiHopSim, SoftStateTimeoutsOccurUnderLoss) {
+  MultiHopParams p = small_chain();
+  p.loss = 0.3;
+  MultiHopSimOptions options = quick_options(14);
+  options.duration = 20000.0;
+  const MultiHopSimResult result = run_multi_hop(ProtocolKind::kSS, p, options);
+  EXPECT_GT(result.relay_timeouts, 0u);
+}
+
+TEST(MultiHopSim, HardStateNeverTimesOut) {
+  const MultiHopSimResult result =
+      run_multi_hop(ProtocolKind::kHS, small_chain(), quick_options(16));
+  EXPECT_EQ(result.relay_timeouts, 0u);
+}
+
+TEST(MultiHopSim, LossFreeChainIsNearlyAlwaysConsistent) {
+  MultiHopParams p = small_chain();
+  p.loss = 0.0;
+  const MultiHopSimResult result =
+      run_multi_hop(ProtocolKind::kSS, p, quick_options(18));
+  // Only update propagation (5 hops x 30 ms every ~60 s) is inconsistent.
+  EXPECT_LT(result.metrics.inconsistency, 0.01);
+}
+
+TEST(MultiHopSim, HsRecoversFromFalseExternalSignals) {
+  MultiHopParams p = small_chain();
+  p.false_signal_rate = 1.0 / 500.0;  // frequent false signals
+  MultiHopSimOptions options = quick_options(20);
+  options.duration = 10000.0;
+  const MultiHopSimResult result = run_multi_hop(ProtocolKind::kHS, p, options);
+  // Signals happen (~20 per relay) yet consistency recovers each time.
+  EXPECT_GT(result.metrics.inconsistency, 0.0);
+  EXPECT_LT(result.metrics.inconsistency, 0.2);
+}
+
+TEST(MultiHopSimReplicated, ProducesConfidenceIntervals) {
+  MultiHopSimOptions options = quick_options();
+  options.duration = 1500.0;
+  const MultiHopReplicatedResult result =
+      run_multi_hop_replicated(ProtocolKind::kSS, small_chain(), options, 6);
+  EXPECT_EQ(result.replications, 6u);
+  EXPECT_GT(result.inconsistency.mean, 0.0);
+  EXPECT_GT(result.inconsistency.half_width, 0.0);
+  EXPECT_GT(result.message_rate.mean, 0.0);
+  EXPECT_GE(result.last_hop_inconsistency.mean, result.inconsistency.mean * 0.5);
+}
+
+TEST(MultiHopSimReplicated, CoversTheAnalyticModel) {
+  MultiHopParams p = small_chain();
+  MultiHopSimOptions options = quick_options(40);
+  options.duration = 6000.0;
+  const MultiHopReplicatedResult sim =
+      run_multi_hop_replicated(ProtocolKind::kSS, p, options, 8);
+  const double model =
+      analytic::MultiHopModel(ProtocolKind::kSS, p).inconsistency();
+  // Within 4 CI half-widths or 30% relative.
+  const double tolerance =
+      std::max(4.0 * sim.inconsistency.half_width, 0.30 * model);
+  EXPECT_NEAR(sim.inconsistency.mean, model, tolerance);
+}
+
+TEST(MultiHopSimReplicated, ZeroReplicationsRejected) {
+  EXPECT_THROW((void)run_multi_hop_replicated(ProtocolKind::kSS, small_chain(),
+                                              MultiHopSimOptions{}, 0),
+               std::invalid_argument);
+}
+
+TEST(MultiHopSim, SingleHopChainWorks) {
+  MultiHopParams p = small_chain();
+  p.hops = 1;
+  const MultiHopSimResult result =
+      run_multi_hop(ProtocolKind::kSSRT, p, quick_options(22));
+  EXPECT_EQ(result.hop_inconsistency.size(), 1u);
+  EXPECT_GT(result.messages, 0u);
+}
+
+}  // namespace
+}  // namespace sigcomp::protocols

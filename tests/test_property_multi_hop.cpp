@@ -1,0 +1,130 @@
+// Parameterized property tests for the multi-hop model across the
+// (protocol x hops x loss) grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "analytic/multi_hop.hpp"
+
+namespace sigcomp::analytic {
+namespace {
+
+using Grid = std::tuple<ProtocolKind, std::size_t /*hops*/, double /*loss*/>;
+
+class MultiHopGrid : public ::testing::TestWithParam<Grid> {
+ protected:
+  static MultiHopParams params() {
+    const auto& [kind, hops, loss] = GetParam();
+    (void)kind;
+    MultiHopParams p = MultiHopParams::reservation_defaults();
+    p.hops = hops;
+    p.loss = loss;
+    p.false_signal_rate = std::pow(loss, 4.0);
+    return p;
+  }
+  static ProtocolKind kind() { return std::get<0>(GetParam()); }
+};
+
+TEST_P(MultiHopGrid, ProbabilityMassIsConserved) {
+  const MultiHopModel model(kind(), params());
+  double total = model.recovery_probability();
+  for (std::size_t k = 0; k <= params().hops; ++k) {
+    total += model.stationary(k, 0);
+    if (k < params().hops) total += model.stationary(k, 1);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(MultiHopGrid, InconsistencyIsAProbability) {
+  const MultiHopModel model(kind(), params());
+  EXPECT_GT(model.inconsistency(), 0.0);
+  EXPECT_LT(model.inconsistency(), 1.0);
+}
+
+TEST_P(MultiHopGrid, HopInconsistencyIsMonotoneInHop) {
+  const MultiHopModel model(kind(), params());
+  for (std::size_t hop = 2; hop <= params().hops; ++hop) {
+    EXPECT_GE(model.hop_inconsistency(hop),
+              model.hop_inconsistency(hop - 1) - 1e-12)
+        << "hop " << hop;
+  }
+}
+
+TEST_P(MultiHopGrid, HopInconsistencyBoundedByTotal) {
+  const MultiHopModel model(kind(), params());
+  for (std::size_t hop = 1; hop <= params().hops; ++hop) {
+    EXPECT_LE(model.hop_inconsistency(hop), model.inconsistency() + 1e-12);
+  }
+}
+
+TEST_P(MultiHopGrid, MessageRatesAreFiniteAndNonNegative) {
+  const MultiHopModel model(kind(), params());
+  const MessageRateBreakdown b = model.message_rates();
+  for (const double rate : {b.trigger, b.refresh, b.explicit_removal,
+                            b.reliable_trigger, b.reliable_removal}) {
+    EXPECT_TRUE(std::isfinite(rate));
+    EXPECT_GE(rate, 0.0);
+  }
+  EXPECT_GT(b.total(), 0.0);
+}
+
+TEST_P(MultiHopGrid, ReliableTriggersNeverHurtConsistency) {
+  if (kind() != ProtocolKind::kSS) GTEST_SKIP();
+  const double ss = MultiHopModel(ProtocolKind::kSS, params()).inconsistency();
+  const double ssrt = MultiHopModel(ProtocolKind::kSSRT, params()).inconsistency();
+  EXPECT_LE(ssrt, ss * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MultiHopGrid,
+    ::testing::Combine(::testing::ValuesIn(kMultiHopProtocols),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{12}, std::size_t{20}),
+                       ::testing::Values(0.005, 0.02, 0.1)),
+    [](const auto& info) {
+      std::string name{to_string(std::get<0>(info.param))};
+      for (char& c : name) {
+        if (c == '+') c = '_';
+      }
+      name += "_K" + std::to_string(std::get<1>(info.param));
+      name += "_loss" + std::to_string(int(std::get<2>(info.param) * 1000));
+      return name;
+    });
+
+class HopMonotonicity : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(HopMonotonicity, InconsistencyGrowsWithChainLength) {
+  double previous = 0.0;
+  for (const std::size_t hops : {1u, 2u, 4u, 8u, 16u}) {
+    MultiHopParams p = MultiHopParams::reservation_defaults();
+    p.hops = hops;
+    const double inconsistency = MultiHopModel(GetParam(), p).inconsistency();
+    EXPECT_GT(inconsistency, previous) << "hops " << hops;
+    previous = inconsistency;
+  }
+}
+
+TEST_P(HopMonotonicity, MessageRateGrowsWithChainLength) {
+  double previous = 0.0;
+  for (const std::size_t hops : {1u, 2u, 4u, 8u, 16u}) {
+    MultiHopParams p = MultiHopParams::reservation_defaults();
+    p.hops = hops;
+    const double rate = MultiHopModel(GetParam(), p).metrics().raw_message_rate;
+    EXPECT_GT(rate, previous) << "hops " << hops;
+    previous = rate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MultiHopProtocols, HopMonotonicity,
+                         ::testing::ValuesIn(kMultiHopProtocols),
+                         [](const auto& info) {
+                           std::string name{to_string(info.param)};
+                           for (char& c : name) {
+                             if (c == '+') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace sigcomp::analytic

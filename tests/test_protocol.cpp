@@ -1,0 +1,97 @@
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sigcomp {
+namespace {
+
+TEST(Protocol, NamesMatchPaper) {
+  EXPECT_EQ(to_string(ProtocolKind::kSS), "SS");
+  EXPECT_EQ(to_string(ProtocolKind::kSSER), "SS+ER");
+  EXPECT_EQ(to_string(ProtocolKind::kSSRT), "SS+RT");
+  EXPECT_EQ(to_string(ProtocolKind::kSSRTR), "SS+RTR");
+  EXPECT_EQ(to_string(ProtocolKind::kHS), "HS");
+}
+
+TEST(Protocol, ParseRoundTrips) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    EXPECT_EQ(parse_protocol(to_string(kind)), kind);
+  }
+  EXPECT_EQ(parse_protocol("nope"), std::nullopt);
+  EXPECT_EQ(parse_protocol(""), std::nullopt);
+  EXPECT_EQ(parse_protocol("ss"), std::nullopt);  // case-sensitive
+}
+
+TEST(Protocol, DescriptionsAreDistinct) {
+  for (const ProtocolKind a : kAllProtocols) {
+    for (const ProtocolKind b : kAllProtocols) {
+      if (a != b) {
+        EXPECT_NE(describe(a), describe(b));
+      }
+    }
+  }
+}
+
+TEST(Protocol, PureSoftStateMechanisms) {
+  const MechanismSet m = mechanisms(ProtocolKind::kSS);
+  EXPECT_TRUE(m.refresh);
+  EXPECT_TRUE(m.soft_timeout);
+  EXPECT_FALSE(m.explicit_removal);
+  EXPECT_FALSE(m.reliable_trigger);
+  EXPECT_FALSE(m.reliable_removal);
+  EXPECT_FALSE(m.removal_notification);
+  EXPECT_FALSE(m.external_failure_detector);
+}
+
+TEST(Protocol, ExplicitRemovalOnlyAddsRemoval) {
+  const MechanismSet ss = mechanisms(ProtocolKind::kSS);
+  MechanismSet expected = ss;
+  expected.explicit_removal = true;
+  EXPECT_EQ(mechanisms(ProtocolKind::kSSER), expected);
+}
+
+TEST(Protocol, ReliableTriggerAddsNotification) {
+  const MechanismSet m = mechanisms(ProtocolKind::kSSRT);
+  EXPECT_TRUE(m.reliable_trigger);
+  EXPECT_TRUE(m.removal_notification);
+  EXPECT_FALSE(m.explicit_removal);
+  EXPECT_FALSE(m.reliable_removal);
+}
+
+TEST(Protocol, SsRtrHasEverythingSoft) {
+  const MechanismSet m = mechanisms(ProtocolKind::kSSRTR);
+  EXPECT_TRUE(m.refresh);
+  EXPECT_TRUE(m.soft_timeout);
+  EXPECT_TRUE(m.explicit_removal);
+  EXPECT_TRUE(m.reliable_trigger);
+  EXPECT_TRUE(m.reliable_removal);
+  EXPECT_FALSE(m.external_failure_detector);
+}
+
+TEST(Protocol, HardStateHasNoSoftMechanisms) {
+  const MechanismSet m = mechanisms(ProtocolKind::kHS);
+  EXPECT_FALSE(m.refresh);
+  EXPECT_FALSE(m.soft_timeout);
+  EXPECT_TRUE(m.explicit_removal);
+  EXPECT_TRUE(m.reliable_trigger);
+  EXPECT_TRUE(m.reliable_removal);
+  EXPECT_TRUE(m.external_failure_detector);
+}
+
+TEST(Protocol, SoftStateClassification) {
+  EXPECT_TRUE(is_soft_state(ProtocolKind::kSS));
+  EXPECT_TRUE(is_soft_state(ProtocolKind::kSSER));
+  EXPECT_TRUE(is_soft_state(ProtocolKind::kSSRT));
+  EXPECT_TRUE(is_soft_state(ProtocolKind::kSSRTR));
+  EXPECT_FALSE(is_soft_state(ProtocolKind::kHS));
+}
+
+TEST(Protocol, MultiHopSubsetIsConsistent) {
+  EXPECT_EQ(kMultiHopProtocols.size(), 3u);
+  EXPECT_EQ(kMultiHopProtocols[0], ProtocolKind::kSS);
+  EXPECT_EQ(kMultiHopProtocols[1], ProtocolKind::kSSRT);
+  EXPECT_EQ(kMultiHopProtocols[2], ProtocolKind::kHS);
+}
+
+}  // namespace
+}  // namespace sigcomp

@@ -1,0 +1,156 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sigcomp::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStreamIsDeterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  Rng a(42, 0), b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIsInHalfOpenUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMomentsAreRight) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(17);
+  constexpr std::uint64_t kBuckets = 10;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.uniform_int(kBuckets)];
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / double(kBuckets), 0.05 * kSamples / kBuckets)
+        << "bucket " << b;
+  }
+}
+
+TEST(Rng, UniformIntZeroIsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.uniform_int(0), 0u);
+  EXPECT_EQ(rng.uniform_int(1), 0u);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(23);
+  constexpr int kSamples = 200000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) hits += rng.bernoulli(0.02);
+  EXPECT_NEAR(hits / double(kSamples), 0.02, 0.002);
+}
+
+TEST(Rng, ExponentialMeanAndNonNegativity) {
+  Rng rng(29);
+  constexpr int kSamples = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.exponential(5.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.1);
+}
+
+TEST(Rng, ExponentialZeroMeanIsZero) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(rng.exponential(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(rng.exponential(-1.0), 0.0);
+}
+
+TEST(Rng, ExponentialMemorylessTail) {
+  // P(X > mean) should be e^{-1} ~ 0.368.
+  Rng rng(31);
+  constexpr int kSamples = 100000;
+  int over = 0;
+  for (int i = 0; i < kSamples; ++i) over += (rng.exponential(2.0) > 2.0);
+  EXPECT_NEAR(over / double(kSamples), std::exp(-1.0), 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(37);
+  constexpr int kSamples = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.02);
+}
+
+TEST(SampleHelper, DeterministicReturnsMean) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(sample(rng, Distribution::kDeterministic, 3.5), 3.5);
+  EXPECT_DOUBLE_EQ(sample(rng, Distribution::kDeterministic, -1.0), 0.0);
+}
+
+TEST(SampleHelper, ExponentialHasRequestedMean) {
+  Rng rng(41);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += sample(rng, Distribution::kExponential, 2.0);
+  }
+  EXPECT_NEAR(sum / kSamples, 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace sigcomp::sim

@@ -1,0 +1,130 @@
+#include "exp/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analytic/single_hop.hpp"
+
+namespace sigcomp::exp {
+namespace {
+
+const SingleHopParams kDefaults = SingleHopParams::kazaa_defaults();
+
+std::vector<Sensitivity> for_protocol(ProtocolKind kind) {
+  return sensitivity_analysis(kind, kDefaults);
+}
+
+const Sensitivity& find(const std::vector<Sensitivity>& all,
+                        std::string_view name) {
+  for (const Sensitivity& s : all) {
+    if (s.parameter == name) return s;
+  }
+  throw std::logic_error("parameter missing: " + std::string(name));
+}
+
+TEST(Sensitivity, ParameterListMatchesAnalysisOrder) {
+  const auto names = sensitivity_parameters();
+  const auto all = for_protocol(ProtocolKind::kSS);
+  ASSERT_EQ(all.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(all[i].parameter, names[i]);
+  }
+}
+
+TEST(Sensitivity, UnusedParametersReportZero) {
+  const auto hs = for_protocol(ProtocolKind::kHS);
+  EXPECT_DOUBLE_EQ(find(hs, "refresh_timer").inconsistency, 0.0);
+  EXPECT_DOUBLE_EQ(find(hs, "refresh_timer").message_rate, 0.0);
+  EXPECT_DOUBLE_EQ(find(hs, "timeout_timer").inconsistency, 0.0);
+
+  const auto ss = for_protocol(ProtocolKind::kSS);
+  EXPECT_DOUBLE_EQ(find(ss, "retrans_timer").inconsistency, 0.0);
+  EXPECT_DOUBLE_EQ(find(ss, "false_signal_rate").inconsistency, 0.0);
+}
+
+TEST(Sensitivity, LossHurtsEveryProtocol) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    EXPECT_GT(find(for_protocol(kind), "loss").inconsistency, 0.0)
+        << to_string(kind);
+  }
+}
+
+TEST(Sensitivity, DelayHurtsEveryProtocol) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    EXPECT_GT(find(for_protocol(kind), "delay").inconsistency, 0.0)
+        << to_string(kind);
+  }
+}
+
+TEST(Sensitivity, LongerLifetimeImprovesConsistency) {
+  // d I / d removal_rate > 0: faster removal (shorter sessions) hurts.
+  for (const ProtocolKind kind : kAllProtocols) {
+    EXPECT_GT(find(for_protocol(kind), "removal_rate").inconsistency, 0.0)
+        << to_string(kind);
+  }
+}
+
+TEST(Sensitivity, RefreshTimerDrivesSoftStateMessageBudget) {
+  // Refreshes are ~80% of the message budget at defaults, so the elasticity
+  // of M in R sits close to (but above) -1.
+  for (const ProtocolKind kind :
+       {ProtocolKind::kSS, ProtocolKind::kSSER}) {
+    const double e = find(for_protocol(kind), "refresh_timer").message_rate;
+    EXPECT_LT(e, -0.6) << to_string(kind);
+    EXPECT_GT(e, -1.0) << to_string(kind);
+  }
+}
+
+TEST(Sensitivity, OrphanWaitDominatesSsInconsistency) {
+  // At defaults, SS inconsistency is mostly the orphan wait lambda_r * T:
+  // the lifecycle rate and the timeout timer are the (nearly tied) top
+  // knobs, each with elasticity near +0.6.
+  const auto ss = for_protocol(ProtocolKind::kSS);
+  const double timeout = find(ss, "timeout_timer").inconsistency;
+  const double removal = find(ss, "removal_rate").inconsistency;
+  EXPECT_GT(timeout, 0.4);
+  EXPECT_GT(removal, 0.4);
+  EXPECT_NEAR(timeout, removal, 0.15);
+  const Sensitivity top = most_sensitive(ProtocolKind::kSS, kDefaults);
+  EXPECT_TRUE(top.parameter == "timeout_timer" || top.parameter == "removal_rate")
+      << top.parameter;
+}
+
+TEST(Sensitivity, RetransTimerMattersMostWhereItIsTheOnlyRepair) {
+  const double hs = find(for_protocol(ProtocolKind::kHS), "retrans_timer").inconsistency;
+  const double ssrt = find(for_protocol(ProtocolKind::kSSRT), "retrans_timer").inconsistency;
+  EXPECT_GT(hs, 0.0);
+  EXPECT_GT(hs, ssrt);  // Fig. 8(b): HS is the most Gamma-sensitive
+}
+
+TEST(Sensitivity, StepValidation) {
+  EXPECT_THROW((void)sensitivity_analysis(ProtocolKind::kSS, kDefaults, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)sensitivity_analysis(ProtocolKind::kSS, kDefaults, 0.6),
+               std::invalid_argument);
+}
+
+TEST(Sensitivity, ZeroValuedParameterReportsZero) {
+  SingleHopParams p = kDefaults;
+  p.update_rate = 0.0;
+  const auto all = sensitivity_analysis(ProtocolKind::kSS, p);
+  EXPECT_DOUBLE_EQ(find(all, "update_rate").inconsistency, 0.0);
+}
+
+TEST(Sensitivity, ElasticityApproximatesActualChange) {
+  // Verify the elasticity against a direct 5% perturbation.
+  const double e = find(for_protocol(ProtocolKind::kSSER), "loss").inconsistency;
+  SingleHopParams p = kDefaults;
+  p.loss *= 1.05;
+  const double before =
+      analytic::evaluate_single_hop(ProtocolKind::kSSER, kDefaults).inconsistency;
+  const double after =
+      analytic::evaluate_single_hop(ProtocolKind::kSSER, p).inconsistency;
+  const double observed = (std::log(after) - std::log(before)) / std::log(1.05);
+  EXPECT_NEAR(e, observed, 0.05 * std::abs(observed) + 0.01);
+}
+
+}  // namespace
+}  // namespace sigcomp::exp

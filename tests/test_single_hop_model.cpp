@@ -1,0 +1,341 @@
+#include "analytic/single_hop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sigcomp::analytic {
+namespace {
+
+const SingleHopParams kDefaults = SingleHopParams::kazaa_defaults();
+
+double total_stationary(const SingleHopModel& model) {
+  double total = 0.0;
+  for (const ShState s : kAllShStates) total += model.stationary(s);
+  return total;
+}
+
+TEST(SingleHopModel, StateNamesMatchPaper) {
+  EXPECT_EQ(to_string(ShState::kSetup1), "(1,0)1");
+  EXPECT_EQ(to_string(ShState::kSetup2), "(1,0)2");
+  EXPECT_EQ(to_string(ShState::kConsistent), "C");
+  EXPECT_EQ(to_string(ShState::kUpdate1), "IC1");
+  EXPECT_EQ(to_string(ShState::kUpdate2), "IC2");
+  EXPECT_EQ(to_string(ShState::kRemoval1), "(0,1)1");
+  EXPECT_EQ(to_string(ShState::kRemoval2), "(0,1)2");
+  EXPECT_EQ(to_string(ShState::kAbsorbed), "(0,0)");
+}
+
+TEST(SingleHopModel, Removal2ExistsOnlyWithExplicitRemoval) {
+  EXPECT_FALSE(SingleHopModel(ProtocolKind::kSS, kDefaults).has_removal2());
+  EXPECT_FALSE(SingleHopModel(ProtocolKind::kSSRT, kDefaults).has_removal2());
+  EXPECT_TRUE(SingleHopModel(ProtocolKind::kSSER, kDefaults).has_removal2());
+  EXPECT_TRUE(SingleHopModel(ProtocolKind::kSSRTR, kDefaults).has_removal2());
+  EXPECT_TRUE(SingleHopModel(ProtocolKind::kHS, kDefaults).has_removal2());
+}
+
+TEST(SingleHopModel, TransientChainStateCounts) {
+  EXPECT_EQ(SingleHopModel(ProtocolKind::kSS, kDefaults).transient_chain().num_states(), 7u);
+  EXPECT_EQ(SingleHopModel(ProtocolKind::kSSER, kDefaults).transient_chain().num_states(), 8u);
+  EXPECT_EQ(SingleHopModel(ProtocolKind::kHS, kDefaults).transient_chain().num_states(), 8u);
+}
+
+TEST(SingleHopModel, RecurrentChainHasNoAbsorbingState) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    const SingleHopModel model(kind, kDefaults);
+    EXPECT_TRUE(model.recurrent_chain().absorbing_states().empty())
+        << to_string(kind);
+  }
+}
+
+TEST(SingleHopModel, TransientChainHasExactlyOneAbsorbingState) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    const SingleHopModel model(kind, kDefaults);
+    const auto absorbing = model.transient_chain().absorbing_states();
+    ASSERT_EQ(absorbing.size(), 1u) << to_string(kind);
+    EXPECT_EQ(model.transient_chain().name(absorbing[0]), "(0,0)");
+  }
+}
+
+// --- Table I rates, protocol by protocol -----------------------------------
+
+struct RateCheck {
+  const markov::Ctmc& chain;
+  double rate(std::string_view from, std::string_view to) const {
+    const auto f = chain.find(from);
+    const auto t = chain.find(to);
+    if (!f || !t) return -1.0;  // state not instantiated
+    return chain.rate(*f, *t);
+  }
+};
+
+TEST(SingleHopModel, TableOneRatesSS) {
+  const SingleHopParams& p = kDefaults;
+  const SingleHopModel model(ProtocolKind::kSS, p);
+  const RateCheck check{model.transient_chain()};
+  const double fast_ok = (1.0 - p.loss) / p.delay;
+  const double fast_lost = p.loss / p.delay;
+
+  EXPECT_DOUBLE_EQ(check.rate("(1,0)1", "C"), fast_ok);
+  EXPECT_DOUBLE_EQ(check.rate("(1,0)1", "(1,0)2"), fast_lost);
+  EXPECT_DOUBLE_EQ(check.rate("(1,0)2", "C"), (1.0 - p.loss) / p.refresh_timer);
+  EXPECT_DOUBLE_EQ(check.rate("IC1", "C"), fast_ok);
+  EXPECT_DOUBLE_EQ(check.rate("IC1", "IC2"), fast_lost);
+  EXPECT_DOUBLE_EQ(check.rate("IC2", "C"), (1.0 - p.loss) / p.refresh_timer);
+  // Timeout-only removal of orphaned state.
+  EXPECT_DOUBLE_EQ(check.rate("(0,1)1", "(0,0)"), 1.0 / p.timeout_timer);
+  // False removal from C and IC2 into the slow-path setup state.
+  EXPECT_DOUBLE_EQ(check.rate("C", "(1,0)2"), p.false_removal_rate());
+  EXPECT_DOUBLE_EQ(check.rate("IC2", "(1,0)2"), p.false_removal_rate());
+  // Lifecycle rates.
+  EXPECT_DOUBLE_EQ(check.rate("C", "IC1"), p.update_rate);
+  EXPECT_DOUBLE_EQ(check.rate("(1,0)2", "(1,0)1"), p.update_rate);
+  EXPECT_DOUBLE_EQ(check.rate("IC2", "IC1"), p.update_rate);
+  EXPECT_DOUBLE_EQ(check.rate("C", "(0,1)1"), p.removal_rate);
+  EXPECT_DOUBLE_EQ(check.rate("IC2", "(0,1)1"), p.removal_rate);
+  EXPECT_DOUBLE_EQ(check.rate("(1,0)2", "(0,0)"), p.removal_rate);
+  // Serialization: no removal out of fast-path states.
+  EXPECT_DOUBLE_EQ(check.rate("(1,0)1", "(0,0)"), 0.0);
+  EXPECT_DOUBLE_EQ(check.rate("IC1", "(0,1)1"), 0.0);
+}
+
+TEST(SingleHopModel, TableOneRatesSSER) {
+  const SingleHopParams& p = kDefaults;
+  const SingleHopModel model(ProtocolKind::kSSER, p);
+  const RateCheck check{model.transient_chain()};
+  // Explicit removal message in flight.
+  EXPECT_DOUBLE_EQ(check.rate("(0,1)1", "(0,0)"), (1.0 - p.loss) / p.delay);
+  EXPECT_DOUBLE_EQ(check.rate("(0,1)1", "(0,1)2"), p.loss / p.delay);
+  // Lost removal falls back to the timeout.
+  EXPECT_DOUBLE_EQ(check.rate("(0,1)2", "(0,0)"), 1.0 / p.timeout_timer);
+  // Setup/update identical to SS.
+  EXPECT_DOUBLE_EQ(check.rate("(1,0)2", "C"), (1.0 - p.loss) / p.refresh_timer);
+}
+
+TEST(SingleHopModel, TableOneRatesSSRT) {
+  const SingleHopParams& p = kDefaults;
+  const SingleHopModel model(ProtocolKind::kSSRT, p);
+  const RateCheck check{model.transient_chain()};
+  const double repair =
+      (1.0 / p.refresh_timer + 1.0 / p.retrans_timer) * (1.0 - p.loss);
+  EXPECT_DOUBLE_EQ(check.rate("(1,0)2", "C"), repair);
+  EXPECT_DOUBLE_EQ(check.rate("IC2", "C"), repair);
+  // Removal is timeout-only (no explicit removal in SS+RT).
+  EXPECT_DOUBLE_EQ(check.rate("(0,1)1", "(0,0)"), 1.0 / p.timeout_timer);
+  EXPECT_EQ(check.rate("(0,1)2", "(0,0)"), -1.0);  // state absent
+}
+
+TEST(SingleHopModel, TableOneRatesSSRTR) {
+  const SingleHopParams& p = kDefaults;
+  const SingleHopModel model(ProtocolKind::kSSRTR, p);
+  const RateCheck check{model.transient_chain()};
+  EXPECT_DOUBLE_EQ(check.rate("(0,1)1", "(0,0)"), (1.0 - p.loss) / p.delay);
+  // Lost removal: timeout OR retransmission.
+  EXPECT_DOUBLE_EQ(check.rate("(0,1)2", "(0,0)"),
+                   1.0 / p.timeout_timer + (1.0 - p.loss) / p.retrans_timer);
+}
+
+TEST(SingleHopModel, TableOneRatesHS) {
+  const SingleHopParams& p = kDefaults;
+  const SingleHopModel model(ProtocolKind::kHS, p);
+  const RateCheck check{model.transient_chain()};
+  // No refresh: slow-path repair is retransmission only.
+  EXPECT_DOUBLE_EQ(check.rate("(1,0)2", "C"), (1.0 - p.loss) / p.retrans_timer);
+  // Reliable removal without soft timeout.
+  EXPECT_DOUBLE_EQ(check.rate("(0,1)2", "(0,0)"), (1.0 - p.loss) / p.retrans_timer);
+  // False removal driven by the external signal rate.
+  EXPECT_DOUBLE_EQ(check.rate("C", "(1,0)2"), p.false_signal_rate);
+}
+
+// --- Solution properties ----------------------------------------------------
+
+TEST(SingleHopModel, StationaryDistributionSumsToOne) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    const SingleHopModel model(kind, kDefaults);
+    EXPECT_NEAR(total_stationary(model), 1.0, 1e-10) << to_string(kind);
+  }
+}
+
+TEST(SingleHopModel, InconsistencyIsOneMinusConsistent) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    const SingleHopModel model(kind, kDefaults);
+    EXPECT_NEAR(model.inconsistency(),
+                1.0 - model.stationary(ShState::kConsistent), 1e-12);
+    EXPECT_GT(model.inconsistency(), 0.0);
+    EXPECT_LT(model.inconsistency(), 1.0);
+  }
+}
+
+TEST(SingleHopModel, SessionLengthNearMeanLifetimePlusCleanup) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    const SingleHopModel model(kind, kDefaults);
+    const double lifetime = kDefaults.mean_lifetime();
+    EXPECT_GT(model.session_length(), 0.95 * lifetime) << to_string(kind);
+    EXPECT_LT(model.session_length(), 1.05 * lifetime + 2.0 * kDefaults.timeout_timer)
+        << to_string(kind);
+  }
+}
+
+TEST(SingleHopModel, ProtocolOrderingAtDefaults) {
+  // Fig. 4 at 1/lr = 1800 s: SS worst, explicit removal helps a lot,
+  // reliable removal approaches hard state.
+  const double ss = SingleHopModel(ProtocolKind::kSS, kDefaults).inconsistency();
+  const double sser = SingleHopModel(ProtocolKind::kSSER, kDefaults).inconsistency();
+  const double ssrt = SingleHopModel(ProtocolKind::kSSRT, kDefaults).inconsistency();
+  const double ssrtr = SingleHopModel(ProtocolKind::kSSRTR, kDefaults).inconsistency();
+  const double hs = SingleHopModel(ProtocolKind::kHS, kDefaults).inconsistency();
+  EXPECT_GT(ss, sser);
+  EXPECT_GT(ss, ssrt);
+  EXPECT_GT(sser, ssrtr);
+  EXPECT_GT(ssrt, ssrtr);
+  EXPECT_NEAR(ssrtr, hs, 0.2 * hs);  // "essentially the same" (Sec. III-A.3)
+}
+
+TEST(SingleHopModel, SsRtrCanBeatHardState) {
+  // The paper: "in some cases SS+RTR already performs slightly better
+  // than HS" -- at defaults the refresh path gives SS+RTR the edge.
+  const double ssrtr = SingleHopModel(ProtocolKind::kSSRTR, kDefaults).inconsistency();
+  const double hs = SingleHopModel(ProtocolKind::kHS, kDefaults).inconsistency();
+  EXPECT_LT(ssrtr, hs);
+}
+
+TEST(SingleHopModel, MessageBreakdownRespectsMechanisms) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    const MechanismSet mech = mechanisms(kind);
+    const MessageRateBreakdown b =
+        SingleHopModel(kind, kDefaults).message_rates();
+    EXPECT_GT(b.trigger, 0.0) << to_string(kind);
+    EXPECT_EQ(b.refresh > 0.0, mech.refresh) << to_string(kind);
+    EXPECT_EQ(b.explicit_removal > 0.0, mech.explicit_removal) << to_string(kind);
+    EXPECT_EQ(b.reliable_trigger > 0.0, mech.reliable_trigger) << to_string(kind);
+    EXPECT_EQ(b.reliable_removal > 0.0, mech.reliable_removal) << to_string(kind);
+  }
+}
+
+TEST(SingleHopModel, RefreshDominatesSsMessageRate) {
+  const MessageRateBreakdown b = SingleHopModel(ProtocolKind::kSS, kDefaults).message_rates();
+  // R = 5 s refreshes vs one update per 20 s: refreshes dominate.
+  EXPECT_GT(b.refresh, b.trigger);
+  EXPECT_NEAR(b.refresh, 1.0 / kDefaults.refresh_timer, 0.02);
+}
+
+TEST(SingleHopModel, HardStateSendsFewestMessagesAtDefaults) {
+  double hs_rate = 0.0, min_other = 1e9;
+  for (const ProtocolKind kind : kAllProtocols) {
+    const double rate = SingleHopModel(kind, kDefaults).metrics().message_rate;
+    if (kind == ProtocolKind::kHS) {
+      hs_rate = rate;
+    } else {
+      min_other = std::min(min_other, rate);
+    }
+  }
+  EXPECT_LT(hs_rate, min_other);
+}
+
+TEST(SingleHopModel, MetricsBundleIsSelfConsistent) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    const SingleHopModel model(kind, kDefaults);
+    const Metrics m = model.metrics();
+    EXPECT_DOUBLE_EQ(m.inconsistency, model.inconsistency());
+    EXPECT_NEAR(m.raw_message_rate, m.breakdown.total(), 1e-12);
+    EXPECT_NEAR(m.message_rate,
+                m.session_length * m.raw_message_rate * kDefaults.removal_rate,
+                1e-12);
+  }
+}
+
+TEST(SingleHopModel, EvaluateHelperMatchesModel) {
+  const Metrics a = evaluate_single_hop(ProtocolKind::kSSER, kDefaults);
+  const Metrics b = SingleHopModel(ProtocolKind::kSSER, kDefaults).metrics();
+  EXPECT_DOUBLE_EQ(a.inconsistency, b.inconsistency);
+  EXPECT_DOUBLE_EQ(a.message_rate, b.message_rate);
+}
+
+TEST(SingleHopModel, LossFreeChannelIsHandled) {
+  SingleHopParams p = kDefaults;
+  p.loss = 0.0;
+  for (const ProtocolKind kind : kAllProtocols) {
+    const SingleHopModel model(kind, p);
+    EXPECT_GT(model.inconsistency(), 0.0) << to_string(kind);
+    EXPECT_LT(model.inconsistency(), 0.05) << to_string(kind);
+    // Slow-path states are unreachable without loss (except via HS false
+    // signals); their stationary mass is ~0.
+    if (kind != ProtocolKind::kHS) {
+      EXPECT_DOUBLE_EQ(model.stationary(ShState::kSetup2), 0.0) << to_string(kind);
+    }
+  }
+}
+
+TEST(SingleHopModel, HigherLossHurtsConsistency) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    SingleHopParams low = kDefaults;
+    low.loss = 0.01;
+    SingleHopParams high = kDefaults;
+    high.loss = 0.25;
+    EXPECT_LT(SingleHopModel(kind, low).inconsistency(),
+              SingleHopModel(kind, high).inconsistency())
+        << to_string(kind);
+  }
+}
+
+TEST(SingleHopModel, LongerLifetimeImprovesBothMetrics) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    SingleHopParams s = kDefaults;
+    s.removal_rate = 1.0 / 60.0;
+    SingleHopParams l = kDefaults;
+    l.removal_rate = 1.0 / 6000.0;
+    const Metrics short_m = SingleHopModel(kind, s).metrics();
+    const Metrics long_m = SingleHopModel(kind, l).metrics();
+    EXPECT_GT(short_m.inconsistency, long_m.inconsistency) << to_string(kind);
+    EXPECT_GT(short_m.message_rate, long_m.message_rate) << to_string(kind);
+  }
+}
+
+TEST(SingleHopModel, TimeoutBelowRefreshIsPoisonForSoftState) {
+  // Fig. 8(a): with T < R refreshes arrive too late and state thrashes.
+  SingleHopParams p = kDefaults;  // R = 5
+  p.timeout_timer = 1.0;
+  const double ss_bad = SingleHopModel(ProtocolKind::kSS, p).inconsistency();
+  const double ss_good = SingleHopModel(ProtocolKind::kSS, kDefaults).inconsistency();
+  EXPECT_GT(ss_bad, 10.0 * ss_good);
+  // HS does not use the timeout timer and is unaffected.
+  EXPECT_NEAR(SingleHopModel(ProtocolKind::kHS, p).inconsistency(),
+              SingleHopModel(ProtocolKind::kHS, kDefaults).inconsistency(), 1e-9);
+}
+
+TEST(SingleHopModel, TransitionTableMatchesChainRates) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    const SingleHopModel model(kind, kDefaults);
+    for (const TransitionSpec& spec :
+         SingleHopModel::transition_table(kind, kDefaults)) {
+      const auto from = model.transient_chain().find(to_string(spec.from));
+      const auto to = model.transient_chain().find(to_string(spec.to));
+      if (!from || !to) {
+        EXPECT_DOUBLE_EQ(spec.rate, 0.0)
+            << to_string(kind) << " " << spec.formula;
+        continue;
+      }
+      // The chain may accumulate several mechanisms on one edge (e.g. the
+      // update rate plus a redirected absorption in the recurrent view);
+      // in the transient view Table I rows map 1:1 except lifecycle rows
+      // sharing an edge with nothing else here.
+      if (spec.formula == "lambda_u" &&
+          (to_string(spec.from) == "(1,0)2" || to_string(spec.from) == "IC2")) {
+        EXPECT_DOUBLE_EQ(model.transient_chain().rate(*from, *to), spec.rate);
+      } else if (spec.rate > 0.0) {
+        EXPECT_DOUBLE_EQ(model.transient_chain().rate(*from, *to), spec.rate)
+            << to_string(kind) << " " << to_string(spec.from) << "->"
+            << to_string(spec.to);
+      }
+    }
+  }
+}
+
+TEST(SingleHopModel, InvalidParamsThrow) {
+  SingleHopParams p = kDefaults;
+  p.loss = 1.5;
+  EXPECT_THROW(SingleHopModel(ProtocolKind::kSS, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sigcomp::analytic

@@ -1,0 +1,149 @@
+#include "protocols/single_hop_run.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sigcomp::protocols {
+namespace {
+
+SimOptions quick_options(std::uint64_t seed = 1) {
+  SimOptions o;
+  o.seed = seed;
+  o.sessions = 200;
+  return o;
+}
+
+TEST(SingleHopSim, ProducesValidMetricsForEveryProtocol) {
+  const SingleHopParams params = SingleHopParams::kazaa_defaults();
+  for (const ProtocolKind kind : kAllProtocols) {
+    const SimResult result = run_single_hop(kind, params, quick_options());
+    EXPECT_EQ(result.sessions, 200u) << to_string(kind);
+    EXPECT_GT(result.total_time, 0.0) << to_string(kind);
+    EXPECT_GT(result.messages, 0u) << to_string(kind);
+    EXPECT_GT(result.metrics.inconsistency, 0.0) << to_string(kind);
+    EXPECT_LT(result.metrics.inconsistency, 1.0) << to_string(kind);
+    EXPECT_GT(result.metrics.message_rate, 0.0) << to_string(kind);
+    EXPECT_GT(result.metrics.session_length, 0.0) << to_string(kind);
+  }
+}
+
+TEST(SingleHopSim, SameSeedIsBitReproducible) {
+  const SingleHopParams params = SingleHopParams::kazaa_defaults();
+  const SimResult a = run_single_hop(ProtocolKind::kSSER, params, quick_options(9));
+  const SimResult b = run_single_hop(ProtocolKind::kSSER, params, quick_options(9));
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_DOUBLE_EQ(a.metrics.inconsistency, b.metrics.inconsistency);
+}
+
+TEST(SingleHopSim, DifferentSeedsDiffer) {
+  const SingleHopParams params = SingleHopParams::kazaa_defaults();
+  const SimResult a = run_single_hop(ProtocolKind::kSS, params, quick_options(1));
+  const SimResult b = run_single_hop(ProtocolKind::kSS, params, quick_options(2));
+  EXPECT_NE(a.messages, b.messages);
+}
+
+TEST(SingleHopSim, SessionLengthTracksConfiguredLifetime) {
+  SingleHopParams params = SingleHopParams::kazaa_defaults();
+  params.removal_rate = 1.0 / 300.0;
+  SimOptions options = quick_options();
+  options.sessions = 400;
+  const SimResult result = run_single_hop(ProtocolKind::kSSER, params, options);
+  EXPECT_NEAR(result.metrics.session_length, 300.0, 45.0);
+}
+
+TEST(SingleHopSim, LossFreeChannelHasTinyInconsistency) {
+  SingleHopParams params = SingleHopParams::kazaa_defaults();
+  params.loss = 0.0;
+  const SimResult result =
+      run_single_hop(ProtocolKind::kSSER, params, quick_options());
+  // Only propagation delays (30 ms per event) contribute.
+  EXPECT_LT(result.metrics.inconsistency, 0.005);
+  EXPECT_EQ(result.receiver_timeouts, 0u);
+}
+
+TEST(SingleHopSim, ExplicitRemovalBeatsTimeoutRemoval) {
+  const SingleHopParams params = SingleHopParams::kazaa_defaults();
+  SimOptions options = quick_options(3);
+  options.sessions = 2000;  // message-per-session noise is ~1/sqrt(sessions)
+  const SimResult ss = run_single_hop(ProtocolKind::kSS, params, options);
+  const SimResult sser = run_single_hop(ProtocolKind::kSSER, params, options);
+  EXPECT_GT(ss.metrics.inconsistency, sser.metrics.inconsistency);
+  // ...while barely changing the message budget (paper's headline claim).
+  EXPECT_NEAR(sser.metrics.message_rate, ss.metrics.message_rate,
+              0.06 * ss.metrics.message_rate);
+}
+
+TEST(SingleHopSim, HardStateUsesFewestMessages) {
+  const SingleHopParams params = SingleHopParams::kazaa_defaults();
+  const double hs =
+      run_single_hop(ProtocolKind::kHS, params, quick_options(5)).metrics.message_rate;
+  for (const ProtocolKind kind :
+       {ProtocolKind::kSS, ProtocolKind::kSSER, ProtocolKind::kSSRT,
+        ProtocolKind::kSSRTR}) {
+    EXPECT_LT(hs, run_single_hop(kind, params, quick_options(5)).metrics.message_rate)
+        << to_string(kind);
+  }
+}
+
+TEST(SingleHopSim, SoftStateTimeoutsHappenUnderHeavyLoss) {
+  SingleHopParams params = SingleHopParams::kazaa_defaults();
+  params.loss = 0.45;
+  params.removal_rate = 1.0 / 200.0;
+  const SimResult result = run_single_hop(ProtocolKind::kSS, params, quick_options());
+  // With pl = 0.45, pl^3 ~ 9% of timeout windows lose all refreshes.
+  EXPECT_GT(result.receiver_timeouts, 100u);
+}
+
+TEST(SingleHopSim, ExponentialTimersIncreaseFalseRemovals) {
+  SingleHopParams params = SingleHopParams::kazaa_defaults();
+  params.loss = 0.3;
+  SimOptions det = quick_options(7);
+  det.timer_dist = sim::Distribution::kDeterministic;
+  SimOptions expo = quick_options(7);
+  expo.timer_dist = sim::Distribution::kExponential;
+  // An exponential timeout can fire "early" (before 3 refresh chances), so
+  // false removals are more frequent than with deterministic timers.
+  const SimResult d = run_single_hop(ProtocolKind::kSS, params, det);
+  const SimResult e = run_single_hop(ProtocolKind::kSS, params, expo);
+  EXPECT_GT(e.receiver_timeouts, d.receiver_timeouts);
+}
+
+TEST(SingleHopSim, ZeroSessionsRejected) {
+  SimOptions options;
+  options.sessions = 0;
+  EXPECT_THROW(
+      (void)run_single_hop(ProtocolKind::kSS, SingleHopParams{}, options),
+      std::invalid_argument);
+}
+
+TEST(SingleHopSim, InvalidParamsRejected) {
+  SingleHopParams params;
+  params.delay = -1.0;
+  EXPECT_THROW((void)run_single_hop(ProtocolKind::kSS, params, quick_options()),
+               std::invalid_argument);
+}
+
+TEST(SingleHopSimReplicated, ConfidenceIntervalsShrinkWithMoreReps) {
+  const SingleHopParams params = SingleHopParams::kazaa_defaults();
+  SimOptions options = quick_options();
+  options.sessions = 60;
+  const ReplicatedResult few =
+      run_single_hop_replicated(ProtocolKind::kSS, params, options, 4);
+  const ReplicatedResult many =
+      run_single_hop_replicated(ProtocolKind::kSS, params, options, 16);
+  EXPECT_EQ(few.replications, 4u);
+  EXPECT_EQ(many.replications, 16u);
+  EXPECT_GT(few.inconsistency.half_width, 0.0);
+  EXPECT_LT(many.inconsistency.half_width, few.inconsistency.half_width);
+}
+
+TEST(SingleHopSimReplicated, ZeroReplicationsRejected) {
+  EXPECT_THROW((void)run_single_hop_replicated(
+                   ProtocolKind::kSS, SingleHopParams{}, SimOptions{}, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sigcomp::protocols

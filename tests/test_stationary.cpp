@@ -1,0 +1,169 @@
+#include "markov/stationary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "markov/dtmc.hpp"
+
+namespace sigcomp::markov {
+namespace {
+
+Ctmc two_state(double up, double down) {
+  Ctmc chain;
+  chain.add_state("off");
+  chain.add_state("on");
+  chain.add_rate(0, 1, up);
+  chain.add_rate(1, 0, down);
+  return chain;
+}
+
+TEST(Stationary, TwoStateClosedForm) {
+  // pi = (down, up) / (up + down).
+  const auto pi = stationary_distribution(two_state(2.0, 3.0));
+  ASSERT_EQ(pi.size(), 2u);
+  EXPECT_NEAR(pi[0], 0.6, 1e-12);
+  EXPECT_NEAR(pi[1], 0.4, 1e-12);
+}
+
+TEST(Stationary, SumsToOne) {
+  const auto pi = stationary_distribution(two_state(0.001, 1234.5));
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);
+}
+
+TEST(Stationary, MM1KQueueClosedForm) {
+  // M/M/1/K with lambda=1, mu=2: pi_i proportional to rho^i, rho=0.5.
+  constexpr std::size_t kCapacity = 6;
+  Ctmc chain;
+  for (std::size_t i = 0; i <= kCapacity; ++i) {
+    chain.add_state("n" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    chain.add_rate(i, i + 1, 1.0);
+    chain.add_rate(i + 1, i, 2.0);
+  }
+  const auto pi = stationary_distribution(chain);
+  double norm = 0.0;
+  for (std::size_t i = 0; i <= kCapacity; ++i) norm += std::pow(0.5, double(i));
+  for (std::size_t i = 0; i <= kCapacity; ++i) {
+    EXPECT_NEAR(pi[i], std::pow(0.5, double(i)) / norm, 1e-12) << "state " << i;
+  }
+}
+
+TEST(Stationary, MatchesJumpChainCrossCheck) {
+  // A 4-state irreducible chain with asymmetric rates.
+  Ctmc chain;
+  for (int i = 0; i < 4; ++i) chain.add_state("s" + std::to_string(i));
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 2, 2.0);
+  chain.add_rate(2, 3, 3.0);
+  chain.add_rate(3, 0, 4.0);
+  chain.add_rate(2, 0, 0.5);
+  chain.add_rate(1, 3, 0.25);
+  const auto gth = stationary_distribution(chain);
+  const auto via_jump = ctmc_stationary_via_jump_chain(chain);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(gth[i], via_jump[i], 1e-8) << "state " << i;
+  }
+}
+
+TEST(Stationary, ResidualIsSmall) {
+  const Ctmc chain = two_state(0.7, 0.9);
+  const auto pi = stationary_distribution(chain);
+  EXPECT_LT(stationary_residual(chain.generator(), pi), 1e-12);
+}
+
+TEST(Stationary, StiffRatesRemainAccurate) {
+  // Rates spanning 8 orders of magnitude (milliseconds vs ~days) -- the
+  // regime the signaling models live in; GTH must not lose mass.
+  const auto pi = stationary_distribution(two_state(1e-5, 1e3));
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);
+  EXPECT_NEAR(pi[1], 1e-5 / (1e-5 + 1e3), 1e-18);
+}
+
+TEST(Stationary, NonSquareGeneratorThrows) {
+  EXPECT_THROW((void)stationary_distribution(DenseMatrix(2, 3)),
+               std::invalid_argument);
+}
+
+TEST(Stationary, NonZeroRowSumThrows) {
+  DenseMatrix q(2, 2);
+  q(0, 0) = -1.0;
+  q(0, 1) = 2.0;  // row sum 1 != 0
+  q(1, 0) = 1.0;
+  q(1, 1) = -1.0;
+  EXPECT_THROW((void)stationary_distribution(q), std::invalid_argument);
+}
+
+TEST(Stationary, ReducibleChainThrows) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  chain.add_state("c");
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 0, 1.0);
+  // c is isolated: reducible.
+  DenseMatrix q = chain.generator();
+  EXPECT_THROW((void)stationary_distribution(q), std::runtime_error);
+}
+
+TEST(ClosedClasses, FindsTerminalComponents) {
+  Ctmc chain;
+  for (int i = 0; i < 4; ++i) chain.add_state("s" + std::to_string(i));
+  // 0 -> 1 <-> 2 (closed), 3 isolated (closed by itself).
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 2, 1.0);
+  chain.add_rate(2, 1, 1.0);
+  const auto classes = closed_classes(chain);
+  ASSERT_EQ(classes.size(), 2u);
+}
+
+TEST(StationaryFrom, RestrictsToReachableClosedClass) {
+  Ctmc chain;
+  for (int i = 0; i < 4; ++i) chain.add_state("s" + std::to_string(i));
+  chain.add_rate(0, 1, 1.0);   // transient start
+  chain.add_rate(1, 2, 2.0);   // closed class {1, 2}
+  chain.add_rate(2, 1, 3.0);
+  // state 3 is an unreachable closed class
+  const auto pi = stationary_distribution_from(chain, 0);
+  EXPECT_DOUBLE_EQ(pi[0], 0.0);
+  EXPECT_DOUBLE_EQ(pi[3], 0.0);
+  EXPECT_NEAR(pi[1], 0.6, 1e-12);
+  EXPECT_NEAR(pi[2], 0.4, 1e-12);
+}
+
+TEST(StationaryFrom, SingletonClosedClass) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("absorbing");
+  chain.add_rate(0, 1, 1.0);
+  const auto pi = stationary_distribution_from(chain, 0);
+  EXPECT_DOUBLE_EQ(pi[0], 0.0);
+  EXPECT_DOUBLE_EQ(pi[1], 1.0);
+}
+
+TEST(StationaryFrom, MultipleReachableClosedClassesThrow) {
+  Ctmc chain;
+  for (int i = 0; i < 3; ++i) chain.add_state("s" + std::to_string(i));
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(0, 2, 1.0);
+  // {1} and {2} are both absorbing and reachable: long-run law not unique.
+  EXPECT_THROW((void)stationary_distribution_from(chain, 0), std::runtime_error);
+}
+
+TEST(StationaryFrom, IrreducibleChainMatchesPlainSolver) {
+  const Ctmc chain = two_state(2.0, 3.0);
+  const auto a = stationary_distribution(chain);
+  const auto b = stationary_distribution_from(chain, 0);
+  EXPECT_NEAR(a[0], b[0], 1e-14);
+  EXPECT_NEAR(a[1], b[1], 1e-14);
+}
+
+TEST(StationaryFrom, InvalidStartThrows) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_THROW((void)stationary_distribution_from(chain, 5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sigcomp::markov

@@ -1,0 +1,113 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sigcomp::sim {
+namespace {
+
+TEST(TimeWeightedValue, IntegratesPiecewiseConstantSignal) {
+  TimeWeightedValue v;
+  v.set(0.0, 1.0);   // 1 from t=0
+  v.set(2.0, 0.0);   // 0 from t=2
+  v.set(5.0, 2.0);   // 2 from t=5
+  EXPECT_DOUBLE_EQ(v.integral(10.0), 1.0 * 2.0 + 0.0 * 3.0 + 2.0 * 5.0);
+}
+
+TEST(TimeWeightedValue, MeanOverWindow) {
+  TimeWeightedValue v;
+  v.set(0.0, 1.0);
+  v.set(5.0, 0.0);
+  EXPECT_DOUBLE_EQ(v.mean(10.0), 0.5);
+}
+
+TEST(TimeWeightedValue, InitialValueCountsFromStart) {
+  TimeWeightedValue v(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(v.integral(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(v.value(), 1.0);
+}
+
+TEST(TimeWeightedValue, EmptyWindowMeanIsZero) {
+  TimeWeightedValue v;
+  EXPECT_DOUBLE_EQ(v.mean(0.0), 0.0);
+}
+
+TEST(TimeWeightedValue, TimeGoingBackwardsThrows) {
+  TimeWeightedValue v;
+  v.set(5.0, 1.0);
+  EXPECT_THROW(v.set(4.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)v.integral(4.0), std::invalid_argument);
+}
+
+TEST(TimeWeightedValue, RepeatedSetAtSameInstantKeepsLastValue) {
+  TimeWeightedValue v;
+  v.set(0.0, 1.0);
+  v.set(1.0, 5.0);
+  v.set(1.0, 0.0);  // zero-width interval at value 5
+  EXPECT_DOUBLE_EQ(v.integral(2.0), 1.0);
+}
+
+TEST(RunningStats, MeanAndVarianceMatchKnownData) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance is 4; sample variance 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.std_error(), 0.0);
+}
+
+TEST(RunningStats, WelfordIsNumericallyStableForLargeOffsets) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25 * 1000 / 999, 1e-6);
+}
+
+TEST(StudentT, CriticalValuesMatchTables) {
+  EXPECT_NEAR(student_t_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_95(5), 2.571, 1e-3);
+  EXPECT_NEAR(student_t_95(10), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_95(30), 2.042, 1e-3);
+  EXPECT_NEAR(student_t_95(1000), 1.96, 1e-3);
+  EXPECT_GT(student_t_95(0), 0.0);  // degenerate input falls back sanely
+}
+
+TEST(StudentT, DecreasesWithDegreesOfFreedom) {
+  for (std::size_t df = 2; df <= 200; ++df) {
+    EXPECT_LE(student_t_95(df), student_t_95(df - 1)) << "df " << df;
+  }
+}
+
+TEST(ConfidenceInterval, CoversKnownMean) {
+  RunningStats s;
+  for (const double x : {9.8, 10.1, 10.0, 9.9, 10.2}) s.add(x);
+  const ConfidenceInterval ci = confidence_interval_95(s);
+  EXPECT_EQ(ci.samples, 5u);
+  EXPECT_TRUE(ci.contains(10.0));
+  EXPECT_GT(ci.half_width, 0.0);
+  EXPECT_LT(ci.lower(), ci.upper());
+}
+
+TEST(ConfidenceInterval, SingleSampleHasZeroWidth) {
+  RunningStats s;
+  s.add(1.0);
+  const ConfidenceInterval ci = confidence_interval_95(s);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+  EXPECT_TRUE(ci.contains(1.0));
+  EXPECT_FALSE(ci.contains(1.1));
+}
+
+}  // namespace
+}  // namespace sigcomp::sim

@@ -1,0 +1,67 @@
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sigcomp::exp {
+namespace {
+
+TEST(LogSpace, EndpointsAreExact) {
+  const auto v = log_space(0.1, 100.0, 7);
+  ASSERT_EQ(v.size(), 7u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.1);
+  EXPECT_DOUBLE_EQ(v.back(), 100.0);
+}
+
+TEST(LogSpace, IsGeometric) {
+  const auto v = log_space(1.0, 16.0, 5);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i] / v[i - 1], 2.0, 1e-9);
+  }
+}
+
+TEST(LogSpace, IsStrictlyIncreasing) {
+  const auto v = log_space(0.001, 1000.0, 30);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_GT(v[i], v[i - 1]);
+}
+
+TEST(LogSpace, DegenerateCounts) {
+  EXPECT_TRUE(log_space(1.0, 2.0, 0).empty());
+  const auto one = log_space(3.0, 9.0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 3.0);
+}
+
+TEST(LogSpace, RejectsBadRange) {
+  EXPECT_THROW((void)log_space(0.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW((void)log_space(-1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW((void)log_space(2.0, 1.0, 5), std::invalid_argument);
+}
+
+TEST(LinSpace, EndpointsAndSpacing) {
+  const auto v = lin_space(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.25);
+  EXPECT_DOUBLE_EQ(v[4], 1.0);
+}
+
+TEST(LinSpace, SinglePointAndEmpty) {
+  EXPECT_TRUE(lin_space(0.0, 1.0, 0).empty());
+  const auto one = lin_space(5.0, 9.0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 5.0);
+}
+
+TEST(LinSpace, RejectsReversedRange) {
+  EXPECT_THROW((void)lin_space(2.0, 1.0, 5), std::invalid_argument);
+}
+
+TEST(LinSpace, NegativeRangeWorks) {
+  const auto v = lin_space(-2.0, 2.0, 5);
+  EXPECT_DOUBLE_EQ(v[2], 0.0);
+}
+
+}  // namespace
+}  // namespace sigcomp::exp

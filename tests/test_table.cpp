@@ -1,0 +1,125 @@
+#include "exp/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sigcomp::exp {
+namespace {
+
+TEST(Table, RequiresAtLeastOneColumn) {
+  EXPECT_THROW(Table("t", {}), std::invalid_argument);
+}
+
+TEST(Table, AddRowEnforcesColumnCount) {
+  Table t("t", {"a", "b"});
+  EXPECT_NO_THROW(t.add_row({1.0, 2.0}));
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({1.0, 2.0, 3.0}), std::invalid_argument);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, AtAccessesCells) {
+  Table t("t", {"a", "b"});
+  t.add_row({std::string("x"), 2.5});
+  EXPECT_EQ(std::get<std::string>(t.at(0, 0)), "x");
+  EXPECT_DOUBLE_EQ(std::get<double>(t.at(0, 1)), 2.5);
+  EXPECT_THROW((void)t.at(1, 0), std::out_of_range);
+  EXPECT_THROW((void)t.at(0, 2), std::out_of_range);
+}
+
+TEST(Table, PrintContainsTitleHeadersAndValues) {
+  Table t("my title", {"name", "value"});
+  t.add_row({std::string("alpha"), 1.25});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# my title"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t("t", {"a", "b"});
+  t.add_row({std::string("long-cell-content"), 1.0});
+  t.add_row({std::string("x"), 2.0});
+  std::ostringstream os;
+  t.print(os);
+  // Find the two data lines and check the second column starts at the same
+  // offset (the "1" and "2" characters align).
+  std::istringstream lines(os.str());
+  std::string line;
+  std::vector<std::string> data;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && (line[0] == 'l' || line[0] == 'x')) data.push_back(line);
+  }
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data[0].find('1'), data[1].find('2'));
+}
+
+TEST(Table, CsvBasicFormat) {
+  Table t("t", {"a", "b"});
+  t.add_row({1.0, std::string("x")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,x\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t("t", {"a"});
+  t.add_row({std::string("has,comma")});
+  t.add_row({std::string("has\"quote")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(Table, WriteCsvFileRoundTrips) {
+  Table t("t", {"x", "y"});
+  t.add_row({1.5, 2.5});
+  const std::string path = ::testing::TempDir() + "/sigcomp_table_test.csv";
+  t.write_csv_file(path);
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "x,y");
+  EXPECT_EQ(line2, "1.5,2.5");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvFileBadPathThrows) {
+  Table t("t", {"a"});
+  EXPECT_THROW(t.write_csv_file("/nonexistent-dir-xyz/file.csv"),
+               std::runtime_error);
+}
+
+TEST(FormatNumber, UsesCompactRepresentation) {
+  EXPECT_EQ(format_number(1.0), "1");
+  EXPECT_EQ(format_number(0.25), "0.25");
+  EXPECT_EQ(format_number(1e-9), "1e-09");
+  EXPECT_EQ(format_number(123456789.0), "1.23457e+08");
+}
+
+TEST(CsvPathFromArgs, FindsFlag) {
+  const char* argv[] = {"prog", "--csv", "/tmp/out.csv"};
+  EXPECT_EQ(csv_path_from_args(3, argv), "/tmp/out.csv");
+}
+
+TEST(CsvPathFromArgs, AbsentOrDanglingFlagIsEmpty) {
+  const char* argv1[] = {"prog"};
+  EXPECT_EQ(csv_path_from_args(1, argv1), "");
+  const char* argv2[] = {"prog", "--csv"};
+  EXPECT_EQ(csv_path_from_args(2, argv2), "");
+  const char* argv3[] = {"prog", "--quick"};
+  EXPECT_EQ(csv_path_from_args(2, argv3), "");
+}
+
+}  // namespace
+}  // namespace sigcomp::exp

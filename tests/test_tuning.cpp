@@ -1,0 +1,158 @@
+#include "exp/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analytic/multi_hop.hpp"
+#include "analytic/single_hop.hpp"
+
+namespace sigcomp::exp {
+namespace {
+
+const SingleHopParams kDefaults = SingleHopParams::kazaa_defaults();
+
+TEST(MinimizeLogGrid, FindsParabolaMinimum) {
+  // f(x) = (log x - log 3)^2 has its minimum at x = 3.
+  const auto cost = [](double x) {
+    const double d = std::log(x) - std::log(3.0);
+    return d * d;
+  };
+  const double argmin = minimize_log_grid(cost, 0.1, 100.0);
+  EXPECT_NEAR(argmin, 3.0, 0.02);
+}
+
+TEST(MinimizeLogGrid, HandlesMinimumAtBoundary) {
+  const auto decreasing = [](double x) { return -x; };
+  EXPECT_NEAR(minimize_log_grid(decreasing, 1.0, 10.0), 10.0, 0.1);
+  const auto increasing = [](double x) { return x; };
+  EXPECT_NEAR(minimize_log_grid(increasing, 1.0, 10.0), 1.0, 0.1);
+}
+
+TEST(MinimizeLogGrid, InputValidation) {
+  const auto f = [](double x) { return x; };
+  EXPECT_THROW((void)minimize_log_grid(f, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)minimize_log_grid(f, 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)minimize_log_grid(f, 1.0, 2.0, 2), std::invalid_argument);
+}
+
+TEST(OptimalRefreshTimer, IsAnInteriorMinimumForSS) {
+  const TuningResult best = optimal_refresh_timer(ProtocolKind::kSS, kDefaults);
+  // Fig. 7: the SS optimum sits in the mid-single-digit seconds at w = 10.
+  EXPECT_GT(best.argmin, 1.0);
+  EXPECT_LT(best.argmin, 30.0);
+  // It is a genuine minimum: doubling or halving R costs more.
+  const auto cost_at = [&](double refresh) {
+    return integrated_cost(analytic::evaluate_single_hop(
+        ProtocolKind::kSS, kDefaults.with_refresh_scaled_timeout(refresh)));
+  };
+  EXPECT_LT(best.cost, cost_at(2.0 * best.argmin));
+  EXPECT_LT(best.cost, cost_at(0.5 * best.argmin));
+  EXPECT_NEAR(best.cost, cost_at(best.argmin), 1e-9);
+}
+
+TEST(OptimalRefreshTimer, SsErOptimumIsLongerThanSs) {
+  // Explicit removal detaches consistency from the timeout, so SS+ER can
+  // afford a longer refresh timer (Fig. 7's "not very sensitive" remark).
+  const double ss = optimal_refresh_timer(ProtocolKind::kSS, kDefaults).argmin;
+  const double sser = optimal_refresh_timer(ProtocolKind::kSSER, kDefaults).argmin;
+  EXPECT_GT(sser, ss);
+}
+
+TEST(OptimalRefreshTimer, SsRtrPrefersTheLongestTimer) {
+  const TuningResult best =
+      optimal_refresh_timer(ProtocolKind::kSSRTR, kDefaults, 10.0, 0.05, 500.0);
+  EXPECT_GT(best.argmin, 400.0);  // pinned near the upper bound
+}
+
+TEST(OptimalRefreshTimer, HigherWeightShortensTheTimer) {
+  // The more inconsistency costs, the more refreshes are worth sending.
+  const double cheap = optimal_refresh_timer(ProtocolKind::kSS, kDefaults, 1.0).argmin;
+  const double dear = optimal_refresh_timer(ProtocolKind::kSS, kDefaults, 100.0).argmin;
+  EXPECT_LT(dear, cheap);
+}
+
+TEST(OptimalRefreshTimer, RejectsHardState) {
+  EXPECT_THROW((void)optimal_refresh_timer(ProtocolKind::kHS, kDefaults),
+               std::invalid_argument);
+}
+
+TEST(OptimalTimeoutTimer, ExceedsTheRefreshTimer) {
+  // Fig. 8(a): T < R is catastrophic, so any optimum must sit above R.
+  for (const ProtocolKind kind :
+       {ProtocolKind::kSS, ProtocolKind::kSSER, ProtocolKind::kSSRT,
+        ProtocolKind::kSSRTR}) {
+    const TuningResult best = optimal_timeout_timer(kind, kDefaults);
+    EXPECT_GT(best.argmin, kDefaults.refresh_timer) << to_string(kind);
+  }
+}
+
+TEST(OptimalTimeoutTimer, SsRtToleratesShorterTimeoutThanSs) {
+  // SS+RT's notification repairs false removals, so it prefers a tighter
+  // timeout than SS (paper's Fig. 8(a) discussion).
+  const double ss = optimal_timeout_timer(ProtocolKind::kSS, kDefaults).argmin;
+  const double ssrt = optimal_timeout_timer(ProtocolKind::kSSRT, kDefaults).argmin;
+  EXPECT_LT(ssrt, ss);
+}
+
+TEST(OptimalTimeoutTimer, RejectsHardState) {
+  EXPECT_THROW((void)optimal_timeout_timer(ProtocolKind::kHS, kDefaults),
+               std::invalid_argument);
+}
+
+TEST(OptimalMultiHopRefresh, SsHasAnInteriorCostOptimum) {
+  // With w = 10 the message budget matters, so the cost optimum sits in the
+  // tens of seconds; it is a genuine interior minimum.
+  const MultiHopParams p = MultiHopParams::reservation_defaults();
+  const TuningResult best =
+      optimal_multi_hop_refresh_timer(ProtocolKind::kSS, p, 10.0);
+  EXPECT_GT(best.argmin, 3.0);
+  EXPECT_LT(best.argmin, 100.0);
+  const auto cost_at = [&](double refresh) {
+    MultiHopParams q = p;
+    q.refresh_timer = refresh;
+    q.timeout_timer = 3.0 * refresh;
+    return integrated_cost(analytic::evaluate_multi_hop(ProtocolKind::kSS, q));
+  };
+  EXPECT_LT(best.cost, cost_at(4.0 * best.argmin));
+  EXPECT_LT(best.cost, cost_at(0.25 * best.argmin));
+}
+
+TEST(OptimalMultiHopRefresh, ConsistencyOnlyOptimumIsSubSecond) {
+  // Fig. 19(a): the pure-inconsistency minimum of SS sits below ~1 s for
+  // K = 20.  A huge weight makes the integrated cost I-dominated.
+  const MultiHopParams p = MultiHopParams::reservation_defaults();
+  const TuningResult best =
+      optimal_multi_hop_refresh_timer(ProtocolKind::kSS, p, 1e7);
+  EXPECT_GT(best.argmin, 0.05);
+  EXPECT_LT(best.argmin, 1.5);
+}
+
+TEST(OptimalMultiHopRefresh, SsRtPrefersLongerTimerThanSs) {
+  // Fig. 19(a): SS+RT keeps improving toward long refresh timers while SS
+  // turns around early.
+  const MultiHopParams p = MultiHopParams::reservation_defaults();
+  const double ss =
+      optimal_multi_hop_refresh_timer(ProtocolKind::kSS, p).argmin;
+  const double ssrt =
+      optimal_multi_hop_refresh_timer(ProtocolKind::kSSRT, p).argmin;
+  EXPECT_GT(ssrt, 3.0 * ss);
+}
+
+TEST(OptimalMultiHopRefresh, RejectsHardState) {
+  EXPECT_THROW((void)optimal_multi_hop_refresh_timer(
+                   ProtocolKind::kHS, MultiHopParams::reservation_defaults()),
+               std::invalid_argument);
+}
+
+TEST(TuningResult, MetricsMatchTheReportedOptimum) {
+  const TuningResult best = optimal_refresh_timer(ProtocolKind::kSSER, kDefaults);
+  const Metrics check = analytic::evaluate_single_hop(
+      ProtocolKind::kSSER, kDefaults.with_refresh_scaled_timeout(best.argmin));
+  EXPECT_DOUBLE_EQ(best.metrics.inconsistency, check.inconsistency);
+  EXPECT_DOUBLE_EQ(best.cost, integrated_cost(check));
+}
+
+}  // namespace
+}  // namespace sigcomp::exp

@@ -1,0 +1,95 @@
+#include "markov/uniformization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "markov/stationary.hpp"
+
+namespace sigcomp::markov {
+namespace {
+
+Ctmc two_state(double up, double down) {
+  Ctmc chain;
+  chain.add_state("off");
+  chain.add_state("on");
+  chain.add_rate(0, 1, up);
+  chain.add_rate(1, 0, down);
+  return chain;
+}
+
+TEST(Uniformization, TimeZeroReturnsInitialDistribution) {
+  const Ctmc chain = two_state(1.0, 2.0);
+  const auto p = transient_distribution(chain, {0.3, 0.7}, 0.0);
+  EXPECT_DOUBLE_EQ(p[0], 0.3);
+  EXPECT_DOUBLE_EQ(p[1], 0.7);
+}
+
+TEST(Uniformization, TwoStateClosedForm) {
+  // p_on(t) = pi_on + (p_on(0) - pi_on) e^{-(a+b) t}, a=up, b=down.
+  const double up = 1.5, down = 0.5;
+  const Ctmc chain = two_state(up, down);
+  const double pi_on = up / (up + down);
+  for (const double t : {0.1, 0.5, 1.0, 3.0}) {
+    const double expected = pi_on - pi_on * std::exp(-(up + down) * t);
+    EXPECT_NEAR(transient_probability(chain, 0, 1, t), expected, 1e-9)
+        << "t = " << t;
+  }
+}
+
+TEST(Uniformization, ConvergesToStationary) {
+  const Ctmc chain = two_state(2.0, 3.0);
+  const auto pi = stationary_distribution(chain);
+  const auto p = transient_distribution(chain, {1.0, 0.0}, 100.0);
+  EXPECT_NEAR(p[0], pi[0], 1e-9);
+  EXPECT_NEAR(p[1], pi[1], 1e-9);
+}
+
+TEST(Uniformization, MassIsConserved) {
+  Ctmc chain;
+  for (int i = 0; i < 5; ++i) chain.add_state("s" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) {
+    chain.add_rate(i, i + 1, 1.0 + i);
+    chain.add_rate(i + 1, i, 2.0);
+  }
+  const auto p = transient_distribution(chain, {1.0, 0.0, 0.0, 0.0, 0.0}, 2.5);
+  double total = 0.0;
+  for (const double v : p) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Uniformization, AbsorbingChainAccumulatesInSink) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("end");
+  chain.add_rate(0, 1, 1.0);
+  // P(absorbed by t) = 1 - e^{-t}.
+  EXPECT_NEAR(transient_probability(chain, 0, 1, 2.0), 1.0 - std::exp(-2.0), 1e-9);
+}
+
+TEST(Uniformization, NoTransitionsIsIdentity) {
+  Ctmc chain;
+  chain.add_state("a");
+  chain.add_state("b");
+  const auto p = transient_distribution(chain, {0.25, 0.75}, 10.0);
+  EXPECT_DOUBLE_EQ(p[0], 0.25);
+  EXPECT_DOUBLE_EQ(p[1], 0.75);
+}
+
+TEST(Uniformization, InputValidation) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_THROW((void)transient_distribution(chain, {1.0}, 1.0),
+               std::invalid_argument);  // wrong size
+  EXPECT_THROW((void)transient_distribution(chain, {0.4, 0.4}, 1.0),
+               std::invalid_argument);  // does not sum to 1
+  EXPECT_THROW((void)transient_distribution(chain, {1.0, 0.0}, -1.0),
+               std::invalid_argument);  // negative time
+  EXPECT_THROW((void)transient_probability(chain, 0, 7, 1.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sigcomp::markov

@@ -1,0 +1,354 @@
+// sigcomp -- command-line front end to the signaling-protocol library.
+//
+//   sigcomp_cli evaluate  [--protocol SS+ER] [--loss 0.05] [--sim] ...
+//   sigcomp_cli multihop  [--hops 20] [--per-hop] ...
+//   sigcomp_cli sweep     --param refresh --from 0.1 --to 100 [--points 15]
+//   sigcomp_cli latency   [--loss 0.1]
+//   sigcomp_cli tune      [--weight 10]
+//
+// Every command prints an aligned table; `--csv PATH` writes the same rows
+// as CSV.
+#include <iostream>
+#include <string>
+
+#include "analytic/latency.hpp"
+#include "analytic/multi_hop.hpp"
+#include "core/evaluator.hpp"
+#include "exp/cli.hpp"
+#include "exp/sensitivity.hpp"
+#include "exp/sweep.hpp"
+#include "exp/table.hpp"
+#include "exp/tuning.hpp"
+
+namespace {
+
+using namespace sigcomp;
+
+void add_single_hop_options(exp::ArgParser& parser) {
+  parser.add_option("loss", "channel loss probability pl", "0.02");
+  parser.add_option("delay", "one-way channel delay D in seconds", "0.03");
+  parser.add_option("update-interval", "mean seconds between updates (1/lu)", "20");
+  parser.add_option("lifetime", "mean session lifetime in seconds (1/lr)", "1800");
+  parser.add_option("refresh", "refresh timer R in seconds", "5");
+  parser.add_option("timeout", "state-timeout timer T in seconds", "15");
+  parser.add_option("retrans", "retransmission timer Gamma in seconds", "0.12");
+  parser.add_option("false-signal", "HS external false-signal rate (1/s)", "1e-4");
+}
+
+SingleHopParams single_hop_params(const exp::ArgParser& parser) {
+  SingleHopParams p;
+  p.loss = parser.get_double("loss");
+  p.delay = parser.get_double("delay");
+  const double update_interval = parser.get_double("update-interval");
+  p.update_rate = update_interval <= 0.0 ? 0.0 : 1.0 / update_interval;
+  p.removal_rate = 1.0 / parser.get_double("lifetime");
+  p.refresh_timer = parser.get_double("refresh");
+  p.timeout_timer = parser.get_double("timeout");
+  p.retrans_timer = parser.get_double("retrans");
+  p.false_signal_rate = parser.get_double("false-signal");
+  p.validate();
+  return p;
+}
+
+void finish(const exp::Table& table, const exp::ArgParser& parser) {
+  table.print(std::cout);
+  const std::string csv = parser.get("csv");
+  if (!csv.empty()) table.write_csv_file(csv);
+}
+
+int cmd_evaluate(int argc, const char* const* argv) {
+  exp::ArgParser parser("sigcomp_cli evaluate",
+                        "Evaluate the five protocols at one parameter point "
+                        "(analytic model; --sim adds a simulation column).");
+  add_single_hop_options(parser);
+  parser.add_option("weight", "inconsistency weight w for the cost C", "10");
+  parser.add_option("sessions", "simulated sessions when --sim is given", "500");
+  parser.add_option("seed", "simulation seed", "1");
+  parser.add_option("csv", "write rows to this CSV file", "");
+  parser.add_flag("sim", "also run the discrete-event simulator");
+  if (!parser.parse(argc, argv)) {
+    std::cerr << parser.error() << '\n';
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.help();
+    return 0;
+  }
+  const SingleHopParams p = single_hop_params(parser);
+  const double weight = parser.get_double("weight");
+  const bool with_sim = parser.flag("sim");
+
+  std::vector<std::string> headers{"protocol", "I", "M", "cost C"};
+  if (with_sim) headers.insert(headers.end(), {"I (sim)", "M (sim)"});
+  exp::Table table("single-hop evaluation", std::move(headers));
+  for (const auto& [kind, metrics] : compare_all(p)) {
+    std::vector<exp::Cell> row{std::string(to_string(kind)),
+                               metrics.inconsistency, metrics.message_rate,
+                               integrated_cost(metrics, weight)};
+    if (with_sim) {
+      protocols::SimOptions options;
+      options.sessions = static_cast<std::size_t>(parser.get_long("sessions"));
+      options.seed = static_cast<std::uint64_t>(parser.get_long("seed"));
+      const auto sim = evaluate_simulated(kind, p, options);
+      row.emplace_back(sim.metrics.inconsistency);
+      row.emplace_back(sim.metrics.message_rate);
+    }
+    table.add_row(std::move(row));
+  }
+  finish(table, parser);
+  return 0;
+}
+
+int cmd_multihop(int argc, const char* const* argv) {
+  exp::ArgParser parser("sigcomp_cli multihop",
+                        "Evaluate SS, SS+RT and HS on a K-hop chain.");
+  parser.add_option("hops", "number of hops K", "20");
+  parser.add_option("loss", "per-hop loss probability", "0.02");
+  parser.add_option("delay", "per-hop delay in seconds", "0.03");
+  parser.add_option("update-interval", "mean seconds between updates", "60");
+  parser.add_option("refresh", "refresh timer R in seconds", "5");
+  parser.add_option("timeout", "state-timeout timer T in seconds", "15");
+  parser.add_option("retrans", "retransmission timer Gamma in seconds", "0.12");
+  parser.add_option("csv", "write rows to this CSV file", "");
+  parser.add_flag("per-hop", "print the per-hop inconsistency table instead");
+  if (!parser.parse(argc, argv)) {
+    std::cerr << parser.error() << '\n';
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.help();
+    return 0;
+  }
+  MultiHopParams p;
+  p.hops = static_cast<std::size_t>(parser.get_long("hops"));
+  p.loss = parser.get_double("loss");
+  p.delay = parser.get_double("delay");
+  const double update_interval = parser.get_double("update-interval");
+  p.update_rate = update_interval <= 0.0 ? 0.0 : 1.0 / update_interval;
+  p.refresh_timer = parser.get_double("refresh");
+  p.timeout_timer = parser.get_double("timeout");
+  p.retrans_timer = parser.get_double("retrans");
+  p.validate();
+
+  if (parser.flag("per-hop")) {
+    exp::Table table("per-hop inconsistency", {"hop", "SS", "SS+RT", "HS"});
+    const analytic::MultiHopModel ss(ProtocolKind::kSS, p);
+    const analytic::MultiHopModel ssrt(ProtocolKind::kSSRT, p);
+    const analytic::MultiHopModel hs(ProtocolKind::kHS, p);
+    for (std::size_t hop = 1; hop <= p.hops; ++hop) {
+      table.add_row({static_cast<double>(hop), ss.hop_inconsistency(hop),
+                     ssrt.hop_inconsistency(hop), hs.hop_inconsistency(hop)});
+    }
+    finish(table, parser);
+    return 0;
+  }
+
+  exp::Table table("multi-hop evaluation",
+                   {"protocol", "I", "rate (msg/s)"});
+  for (const auto& [kind, metrics] : compare_all(p)) {
+    table.add_row({std::string(to_string(kind)), metrics.inconsistency,
+                   metrics.raw_message_rate});
+  }
+  finish(table, parser);
+  return 0;
+}
+
+int cmd_sweep(int argc, const char* const* argv) {
+  exp::ArgParser parser(
+      "sigcomp_cli sweep",
+      "Sweep one single-hop parameter and print I per protocol.  --param is "
+      "one of: loss, delay, refresh, timeout, retrans, lifetime, "
+      "update-interval.");
+  add_single_hop_options(parser);
+  parser.add_option("param", "parameter to sweep", "refresh");
+  parser.add_option("from", "sweep start", "0.1");
+  parser.add_option("to", "sweep end", "100");
+  parser.add_option("points", "number of sweep points", "15");
+  parser.add_option("csv", "write rows to this CSV file", "");
+  parser.add_flag("linear", "linear spacing instead of logarithmic");
+  parser.add_flag("couple-timeout", "keep T = 3R while sweeping refresh");
+  if (!parser.parse(argc, argv)) {
+    std::cerr << parser.error() << '\n';
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.help();
+    return 0;
+  }
+  const SingleHopParams base = single_hop_params(parser);
+  const std::string param = parser.get("param");
+  const auto apply = [&](double v) {
+    SingleHopParams p = base;
+    if (param == "loss") {
+      p.loss = v;
+    } else if (param == "delay") {
+      p.delay = v;
+    } else if (param == "refresh") {
+      if (parser.flag("couple-timeout")) {
+        p = p.with_refresh_scaled_timeout(v);
+      } else {
+        p.refresh_timer = v;
+      }
+    } else if (param == "timeout") {
+      p.timeout_timer = v;
+    } else if (param == "retrans") {
+      p.retrans_timer = v;
+    } else if (param == "lifetime") {
+      p.removal_rate = 1.0 / v;
+    } else if (param == "update-interval") {
+      p.update_rate = 1.0 / v;
+    } else {
+      throw std::invalid_argument("unknown sweep parameter: " + param);
+    }
+    p.validate();
+    return p;
+  };
+
+  const double from = parser.get_double("from");
+  const double to = parser.get_double("to");
+  const std::size_t points = static_cast<std::size_t>(parser.get_long("points"));
+  const std::vector<double> axis = parser.flag("linear")
+                                       ? exp::lin_space(from, to, points)
+                                       : exp::log_space(from, to, points);
+
+  exp::Table table("sweep of " + param,
+                   {param, "I(SS)", "I(SS+ER)", "I(SS+RT)", "I(SS+RTR)",
+                    "I(HS)", "M(SS)", "M(HS)"});
+  for (const double v : axis) {
+    const SingleHopParams p = apply(v);
+    std::vector<exp::Cell> row{v};
+    for (const ProtocolKind kind : kAllProtocols) {
+      row.emplace_back(evaluate_analytic(kind, p).inconsistency);
+    }
+    row.emplace_back(evaluate_analytic(ProtocolKind::kSS, p).message_rate);
+    row.emplace_back(evaluate_analytic(ProtocolKind::kHS, p).message_rate);
+    table.add_row(std::move(row));
+  }
+  finish(table, parser);
+  return 0;
+}
+
+int cmd_latency(int argc, const char* const* argv) {
+  exp::ArgParser parser("sigcomp_cli latency",
+                        "First-passage-to-consistency latency per protocol.");
+  add_single_hop_options(parser);
+  parser.add_option("csv", "write rows to this CSV file", "");
+  if (!parser.parse(argc, argv)) {
+    std::cerr << parser.error() << '\n';
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.help();
+    return 0;
+  }
+  const SingleHopParams p = single_hop_params(parser);
+  exp::Table table("convergence latency",
+                   {"protocol", "mean (s)", "p50", "p95", "p99"});
+  for (const ProtocolKind kind : kAllProtocols) {
+    const analytic::LatencyAnalysis latency(kind, p);
+    table.add_row({std::string(to_string(kind)), latency.mean_setup_latency(),
+                   latency.setup_quantile(0.5), latency.setup_quantile(0.95),
+                   latency.setup_quantile(0.99)});
+  }
+  finish(table, parser);
+  return 0;
+}
+
+int cmd_tune(int argc, const char* const* argv) {
+  exp::ArgParser parser("sigcomp_cli tune",
+                        "Cost-optimal refresh timer per soft-state protocol.");
+  add_single_hop_options(parser);
+  parser.add_option("weight", "inconsistency weight w", "10");
+  parser.add_option("csv", "write rows to this CSV file", "");
+  if (!parser.parse(argc, argv)) {
+    std::cerr << parser.error() << '\n';
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.help();
+    return 0;
+  }
+  const SingleHopParams p = single_hop_params(parser);
+  const double weight = parser.get_double("weight");
+  exp::Table table("optimal refresh timer (T = 3R)",
+                   {"protocol", "R* (s)", "cost", "I", "M"});
+  for (const ProtocolKind kind :
+       {ProtocolKind::kSS, ProtocolKind::kSSER, ProtocolKind::kSSRT,
+        ProtocolKind::kSSRTR}) {
+    const exp::TuningResult best = exp::optimal_refresh_timer(kind, p, weight);
+    table.add_row({std::string(to_string(kind)), best.argmin, best.cost,
+                   best.metrics.inconsistency, best.metrics.message_rate});
+  }
+  finish(table, parser);
+  return 0;
+}
+
+int cmd_sensitivity(int argc, const char* const* argv) {
+  exp::ArgParser parser("sigcomp_cli sensitivity",
+                        "Parameter elasticities d(log I)/d(log param).");
+  add_single_hop_options(parser);
+  parser.add_option("csv", "write rows to this CSV file", "");
+  if (!parser.parse(argc, argv)) {
+    std::cerr << parser.error() << '\n';
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.help();
+    return 0;
+  }
+  const SingleHopParams p = single_hop_params(parser);
+  exp::Table table("elasticities of the inconsistency ratio",
+                   {"parameter", "SS", "SS+ER", "SS+RT", "SS+RTR", "HS"});
+  std::vector<std::vector<exp::Sensitivity>> per_protocol;
+  for (const ProtocolKind kind : kAllProtocols) {
+    per_protocol.push_back(exp::sensitivity_analysis(kind, p));
+  }
+  const auto names = exp::sensitivity_parameters();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::vector<exp::Cell> row{names[i]};
+    for (const auto& s : per_protocol) row.emplace_back(s[i].inconsistency);
+    table.add_row(std::move(row));
+  }
+  finish(table, parser);
+  return 0;
+}
+
+void print_usage() {
+  std::cout << "usage: sigcomp_cli <command> [options]\n\n"
+               "commands:\n"
+               "  evaluate     compare the five protocols at one point\n"
+               "  multihop     evaluate the K-hop chain (SS, SS+RT, HS)\n"
+               "  sweep        sweep one parameter across a range\n"
+               "  latency      convergence-latency distribution\n"
+               "  tune         cost-optimal refresh timer\n"
+               "  sensitivity  parameter elasticities\n\n"
+               "run 'sigcomp_cli <command> --help' for command options.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "evaluate") return cmd_evaluate(argc - 1, argv + 1);
+    if (command == "multihop") return cmd_multihop(argc - 1, argv + 1);
+    if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
+    if (command == "latency") return cmd_latency(argc - 1, argv + 1);
+    if (command == "tune") return cmd_tune(argc - 1, argv + 1);
+    if (command == "sensitivity") return cmd_sensitivity(argc - 1, argv + 1);
+    if (command == "--help" || command == "-h" || command == "help") {
+      print_usage();
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  std::cerr << "unknown command: " << command << '\n';
+  print_usage();
+  return 2;
+}
