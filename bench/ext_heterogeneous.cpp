@@ -3,13 +3,16 @@
 // baseline loss) is slid along a 10-hop chain.  Where does the bad hop
 // hurt most, and which protocol is most robust to it?
 //
-// Usage: ext_heterogeneous [--csv PATH]
+// Usage: ext_heterogeneous [--csv PATH] [--threads N]
+#include <cstddef>
 #include <iostream>
+#include <vector>
 
 #include "analytic/hetero_multi_hop.hpp"
+#include "exp/parallel.hpp"
 #include "exp/table.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace sigcomp;
   using analytic::HeteroMultiHopModel;
   using analytic::HeteroMultiHopParams;
@@ -17,34 +20,51 @@ int main(int argc, char** argv) {
   MultiHopParams base = MultiHopParams::reservation_defaults();
   base.hops = 10;
 
-  // Reference: homogeneous chain.
+  // Grid point 0 is the homogeneous reference chain; point b >= 1 puts the
+  // bad hop at position b.
+  std::vector<std::size_t> bad_positions;
+  for (std::size_t bad = 0; bad <= base.hops; ++bad) {
+    bad_positions.push_back(bad);
+  }
+
+  struct Row {
+    std::vector<double> inconsistency;  ///< per protocol, kMultiHopProtocols order
+    std::vector<double> rate;
+    double ss_last_hop = 0.0;
+  };
+
+  // Each grid point builds all three models, so the whole row is one unit of
+  // work for the sweep engine (per-hop numbers are not part of Metrics).
+  exp::ParallelSweep sweep(exp::threads_from_args(argc, argv));
+  const std::vector<Row> rows =
+      sweep.map(bad_positions, [&base](std::size_t bad) {
+        HeteroMultiHopParams p = HeteroMultiHopParams::from_homogeneous(base);
+        if (bad >= 1) p.loss[bad - 1] = 0.2;
+        Row row;
+        for (const ProtocolKind kind : kMultiHopProtocols) {
+          const HeteroMultiHopModel model(kind, p);
+          row.inconsistency.push_back(model.inconsistency());
+          row.rate.push_back(model.metrics().raw_message_rate);
+          if (kind == ProtocolKind::kSS) {
+            row.ss_last_hop = model.hop_inconsistency(base.hops);
+          }
+        }
+        return row;
+      });
+
   exp::Table table(
       "Heterogeneous-path extension: one hop with 10x loss (0.2) slid along "
       "a 10-hop chain (baseline per-hop loss 0.02)",
       {"bad hop", "I(SS)", "I(SS+RT)", "I(HS)", "I(SS) hop10",
        "rate(SS)", "rate(SS+RT)", "rate(HS)"});
-
-  for (std::size_t bad = 0; bad <= base.hops; ++bad) {
-    HeteroMultiHopParams p = HeteroMultiHopParams::from_homogeneous(base);
-    std::string label = "none";
-    if (bad >= 1) {
-      p.loss[bad - 1] = 0.2;
-      label = std::to_string(bad);
-    }
-    std::vector<exp::Cell> row{label};
-    std::vector<double> rates;
-    double ss_last_hop = 0.0;
-    for (const ProtocolKind kind : kMultiHopProtocols) {
-      const HeteroMultiHopModel model(kind, p);
-      row.emplace_back(model.inconsistency());
-      rates.push_back(model.metrics().raw_message_rate);
-      if (kind == ProtocolKind::kSS) {
-        ss_last_hop = model.hop_inconsistency(base.hops);
-      }
-    }
-    row.emplace_back(ss_last_hop);
-    for (const double rate : rates) row.emplace_back(rate);
-    table.add_row(std::move(row));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::size_t bad = bad_positions[i];
+    std::vector<exp::Cell> cells{bad == 0 ? std::string("none")
+                                          : std::to_string(bad)};
+    for (const double value : rows[i].inconsistency) cells.emplace_back(value);
+    cells.emplace_back(rows[i].ss_last_hop);
+    for (const double rate : rows[i].rate) cells.emplace_back(rate);
+    table.add_row(std::move(cells));
   }
   table.print(std::cout);
 
@@ -59,4 +79,7 @@ int main(int argc, char** argv) {
   const std::string csv = exp::csv_path_from_args(argc, argv);
   if (!csv.empty()) table.write_csv_file(csv);
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 2;
 }

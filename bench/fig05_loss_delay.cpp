@@ -1,42 +1,69 @@
 // Figure 5: inconsistency ratio versus (a) channel loss rate pl in [0, 0.3]
 // and (b) one-way channel delay D in (0, 1] s (with Gamma = 4D), for all
-// five protocols at single-hop defaults.
+// five protocols at single-hop defaults.  Both sweeps are evaluated through
+// the parallel experiment engine (evaluate_grid_analytic).
 //
-// Usage: fig05_loss_delay [--csv PATH]  (CSV gets the loss sweep; the delay
-// sweep goes to PATH with a ".delay.csv" suffix)
+// Usage: fig05_loss_delay [--csv PATH] [--threads N]  (CSV gets the loss
+// sweep; the delay sweep goes to PATH with a ".delay.csv" suffix)
 #include <iostream>
 
 #include "core/evaluator.hpp"
+#include "exp/parallel.hpp"
 #include "exp/sweep.hpp"
 #include "exp/table.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace sigcomp;
+
+  // One pool for all ten grids (5 protocols x 2 sweeps).
+  exp::ParallelSweep engine(exp::threads_from_args(argc, argv));
+  GridOptions grid_options;
+  grid_options.engine = &engine;
+
+  const std::vector<double> losses = exp::lin_space(0.0, 0.30, 13);
+  std::vector<SingleHopParams> loss_grid;
+  for (const double loss : losses) {
+    SingleHopParams p = SingleHopParams::kazaa_defaults();
+    p.loss = loss;
+    loss_grid.push_back(p);
+  }
 
   exp::Table loss_table("Fig. 5(a): I vs signaling channel loss rate pl",
                         {"loss", "I(SS)", "I(SS+ER)", "I(SS+RT)", "I(SS+RTR)",
                          "I(HS)"});
-  for (const double loss : exp::lin_space(0.0, 0.30, 13)) {
-    SingleHopParams p = SingleHopParams::kazaa_defaults();
-    p.loss = loss;
-    std::vector<exp::Cell> row{loss};
-    for (const ProtocolKind kind : kAllProtocols) {
-      row.emplace_back(evaluate_analytic(kind, p).inconsistency);
+  std::vector<std::vector<Metrics>> loss_series;
+  for (const ProtocolKind kind : kAllProtocols) {
+    loss_series.push_back(evaluate_grid_analytic(kind, loss_grid, grid_options));
+  }
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    std::vector<exp::Cell> row{losses[i]};
+    for (const auto& series : loss_series) {
+      row.emplace_back(series[i].inconsistency);
     }
     loss_table.add_row(std::move(row));
   }
   loss_table.print(std::cout);
   std::cout << '\n';
 
+  const std::vector<double> delays = exp::lin_space(0.05, 1.0, 20);
+  std::vector<SingleHopParams> delay_grid;
+  for (const double delay : delays) {
+    delay_grid.push_back(
+        SingleHopParams::kazaa_defaults().with_delay_scaled_retrans(delay));
+  }
+
   exp::Table delay_table(
       "Fig. 5(b): I vs signaling channel delay D (Gamma = 4D)",
       {"delay_s", "I(SS)", "I(SS+ER)", "I(SS+RT)", "I(SS+RTR)", "I(HS)"});
-  for (const double delay : exp::lin_space(0.05, 1.0, 20)) {
-    const SingleHopParams p =
-        SingleHopParams::kazaa_defaults().with_delay_scaled_retrans(delay);
-    std::vector<exp::Cell> row{delay};
-    for (const ProtocolKind kind : kAllProtocols) {
-      row.emplace_back(evaluate_analytic(kind, p).inconsistency);
+  std::vector<std::vector<Metrics>> delay_series;
+  for (const ProtocolKind kind : kAllProtocols) {
+    delay_series.push_back(
+        evaluate_grid_analytic(kind, delay_grid, grid_options));
+  }
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    std::vector<exp::Cell> row{delays[i]};
+    for (const auto& series : delay_series) {
+      row.emplace_back(series[i].inconsistency);
     }
     delay_table.add_row(std::move(row));
   }
@@ -48,4 +75,7 @@ int main(int argc, char** argv) {
     delay_table.write_csv_file(csv + ".delay.csv");
   }
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 2;
 }

@@ -1,17 +1,21 @@
 // Figure 11: analytic model (exponential timers) versus discrete-event
 // simulation (deterministic timers), inconsistency ratio and normalized
 // message rate as a function of the mean state lifetime 1/lambda_r.
-// Simulation columns carry 95% confidence half-widths.
+// Simulation columns carry 95% confidence half-widths.  The replicated
+// sweep runs through the parallel experiment engine (evaluate_grid_simulated
+// with deterministic per-replica seeding), so thread count never changes
+// the numbers.
 //
-// Usage: fig11_sim_lifetime [--csv PATH] [--quick]
+// Usage: fig11_sim_lifetime [--csv PATH] [--quick] [--threads N]
 #include <iostream>
 #include <string_view>
 
 #include "core/evaluator.hpp"
+#include "exp/parallel.hpp"
 #include "exp/sweep.hpp"
 #include "exp/table.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace sigcomp;
 
   bool quick = false;
@@ -21,24 +25,41 @@ int main(int argc, char** argv) {
   const std::size_t replications = quick ? 5 : 10;
   const std::size_t sessions = quick ? 200 : 600;
 
+  const std::vector<double> lifetimes = exp::log_space(10.0, 10000.0, 7);
+  std::vector<SingleHopParams> grid;
+  for (const double lifetime : lifetimes) {
+    SingleHopParams p = SingleHopParams::kazaa_defaults();
+    p.removal_rate = 1.0 / lifetime;
+    grid.push_back(p);
+  }
+
+  exp::ParallelSweep engine(exp::threads_from_args(argc, argv));
+  SimGridOptions options;
+  options.sim.sessions = sessions;
+  options.sim.seed = 42;
+  options.sim.timer_dist = sim::Distribution::kDeterministic;
+  options.replications = replications;
+  options.engine = &engine;
+
   exp::Table table(
       "Fig. 11: analytic (exp timers) vs simulation (deterministic timers) "
       "vs mean lifetime 1/lr",
       {"lifetime_s", "protocol", "I(model)", "I(sim)", "I(sim)ci95",
        "M(model)", "M(sim)", "M(sim)ci95"});
 
-  for (const double lifetime : exp::log_space(10.0, 10000.0, 7)) {
-    SingleHopParams p = SingleHopParams::kazaa_defaults();
-    p.removal_rate = 1.0 / lifetime;
-    for (const ProtocolKind kind : kAllProtocols) {
-      const Metrics model = evaluate_analytic(kind, p);
-      protocols::SimOptions options;
-      options.sessions = sessions;
-      options.seed = 42;
-      options.timer_dist = sim::Distribution::kDeterministic;
-      const protocols::ReplicatedResult sim =
-          protocols::run_single_hop_replicated(kind, p, options, replications);
-      table.add_row({lifetime, std::string(to_string(kind)),
+  GridOptions analytic_options;
+  analytic_options.engine = &engine;
+  std::vector<std::vector<Metrics>> model_series;
+  std::vector<std::vector<exp::MetricsSummary>> sim_series;
+  for (const ProtocolKind kind : kAllProtocols) {
+    model_series.push_back(evaluate_grid_analytic(kind, grid, analytic_options));
+    sim_series.push_back(evaluate_grid_simulated(kind, grid, options));
+  }
+  for (std::size_t i = 0; i < lifetimes.size(); ++i) {
+    for (std::size_t k = 0; k < kAllProtocols.size(); ++k) {
+      const Metrics& model = model_series[k][i];
+      const exp::MetricsSummary& sim = sim_series[k][i];
+      table.add_row({lifetimes[i], std::string(to_string(kAllProtocols[k])),
                      model.inconsistency, sim.inconsistency.mean,
                      sim.inconsistency.half_width, model.message_rate,
                      sim.message_rate.mean, sim.message_rate.half_width});
@@ -49,4 +70,7 @@ int main(int argc, char** argv) {
   const std::string csv = exp::csv_path_from_args(argc, argv);
   if (!csv.empty()) table.write_csv_file(csv);
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 2;
 }

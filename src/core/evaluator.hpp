@@ -3,11 +3,13 @@
 // need -- see examples/quickstart.cpp.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/metrics.hpp"
 #include "core/params.hpp"
 #include "core/protocol.hpp"
+#include "exp/parallel.hpp"
 #include "protocols/multi_hop_run.hpp"
 #include "protocols/single_hop_run.hpp"
 
@@ -43,5 +45,54 @@ struct ProtocolMetrics {
 
 /// Analytic comparison of the three multi-hop protocols.
 [[nodiscard]] std::vector<ProtocolMetrics> compare_all(const MultiHopParams& params);
+
+// ---------------------------------------------------------------------------
+// Batch (grid) evaluation through the parallel experiment engine.  Every
+// figure bench, the CLI and the examples route sweeps through these so one
+// engine owns threading and replica seeding.  Results are bit-identical to
+// a serial run of the same grid (see exp/parallel.hpp).
+
+/// Threading of a batch evaluation.  When `engine` is set, its pool is
+/// reused (spawning a fresh pool per call is wasteful when one binary
+/// evaluates many grids -- e.g. one per protocol) and `threads` is ignored.
+struct GridOptions {
+  std::size_t threads = 0;  ///< worker threads; 0 = hardware concurrency
+  exp::ParallelSweep* engine = nullptr;  ///< optional shared engine
+};
+
+/// Analytic metrics at every grid point, evaluated in parallel; out[i]
+/// corresponds to grid[i].
+[[nodiscard]] std::vector<Metrics> evaluate_grid_analytic(
+    ProtocolKind kind, const std::vector<SingleHopParams>& grid,
+    const GridOptions& options = {});
+[[nodiscard]] std::vector<Metrics> evaluate_grid_analytic(
+    ProtocolKind kind, const std::vector<MultiHopParams>& grid,
+    const GridOptions& options = {});
+
+/// Replicated simulation of a single-hop grid.  `sim.seed` is the base seed
+/// of the deterministic per-replica seeding (exp::replica_seed); `sim.trace`
+/// must be null (replicas run concurrently).
+struct SimGridOptions {
+  protocols::SimOptions sim;      ///< per-replica options; seed = base seed
+  std::size_t replications = 10;  ///< independent replicas per grid point
+  std::size_t threads = 0;        ///< worker threads; 0 = hardware
+  exp::ParallelSweep* engine = nullptr;  ///< optional shared engine
+};
+
+[[nodiscard]] std::vector<exp::MetricsSummary> evaluate_grid_simulated(
+    ProtocolKind kind, const std::vector<SingleHopParams>& grid,
+    const SimGridOptions& options = {});
+
+/// Replicated simulation of a multi-hop grid.
+struct MultiHopSimGridOptions {
+  protocols::MultiHopSimOptions sim;  ///< per-replica options; seed = base
+  std::size_t replications = 10;
+  std::size_t threads = 0;
+  exp::ParallelSweep* engine = nullptr;  ///< optional shared engine
+};
+
+[[nodiscard]] std::vector<exp::MetricsSummary> evaluate_grid_simulated(
+    ProtocolKind kind, const std::vector<MultiHopParams>& grid,
+    const MultiHopSimGridOptions& options = {});
 
 }  // namespace sigcomp

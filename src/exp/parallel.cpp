@@ -1,0 +1,101 @@
+#include "exp/parallel.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sigcomp::exp {
+
+namespace {
+
+// SplitMix64 finalizer (Vigna); full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t replica_seed(std::uint64_t base_seed, std::uint64_t point_index,
+                           std::uint64_t replica_index) noexcept {
+  // Fold the triple through three dependent avalanche rounds; any change in
+  // any input flips ~half the output bits, so consecutive points/replicas
+  // get unrelated sim::Rng families.
+  std::uint64_t h = mix64(base_seed);
+  h = mix64(h ^ point_index);
+  h = mix64(h ^ replica_index);
+  return h;
+}
+
+std::size_t threads_from_args(int argc, const char* const* argv,
+                              std::size_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) != "--threads") continue;
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("--threads requires a value");
+    }
+    const std::string value = argv[i + 1];
+    long parsed = 0;
+    std::size_t consumed = 0;
+    try {
+      parsed = std::stol(value, &consumed);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--threads must be a number, got '" + value +
+                                  "'");
+    }
+    // stol accepts partial parses ("4x" -> 4); require the whole token.
+    if (consumed != value.size()) {
+      throw std::invalid_argument("--threads must be a number, got '" + value +
+                                  "'");
+    }
+    if (parsed < 0) {
+      throw std::invalid_argument("--threads must be >= 0, got " + value);
+    }
+    return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+MetricsSummary summarize_replicas(const std::vector<Metrics>& replicas) {
+  if (replicas.empty()) {
+    throw std::invalid_argument("summarize_replicas: need >= 1 replica");
+  }
+  sim::RunningStats inconsistency, message_rate, raw_rate, session_length;
+  sim::RunningStats trigger, refresh, explicit_removal, reliable_trigger,
+      reliable_removal;
+  for (const Metrics& m : replicas) {
+    inconsistency.add(m.inconsistency);
+    message_rate.add(m.message_rate);
+    raw_rate.add(m.raw_message_rate);
+    session_length.add(m.session_length);
+    trigger.add(m.breakdown.trigger);
+    refresh.add(m.breakdown.refresh);
+    explicit_removal.add(m.breakdown.explicit_removal);
+    reliable_trigger.add(m.breakdown.reliable_trigger);
+    reliable_removal.add(m.breakdown.reliable_removal);
+  }
+
+  MetricsSummary out;
+  out.replications = replicas.size();
+  out.mean.inconsistency = inconsistency.mean();
+  out.mean.message_rate = message_rate.mean();
+  out.mean.raw_message_rate = raw_rate.mean();
+  out.mean.session_length = session_length.mean();
+  out.mean.breakdown = {trigger.mean(), refresh.mean(), explicit_removal.mean(),
+                        reliable_trigger.mean(), reliable_removal.mean()};
+  out.stddev.inconsistency = inconsistency.stddev();
+  out.stddev.message_rate = message_rate.stddev();
+  out.stddev.raw_message_rate = raw_rate.stddev();
+  out.stddev.session_length = session_length.stddev();
+  out.stddev.breakdown = {trigger.stddev(), refresh.stddev(),
+                          explicit_removal.stddev(), reliable_trigger.stddev(),
+                          reliable_removal.stddev()};
+  out.inconsistency = sim::confidence_interval_95(inconsistency);
+  out.message_rate = sim::confidence_interval_95(message_rate);
+  out.raw_message_rate = sim::confidence_interval_95(raw_rate);
+  return out;
+}
+
+}  // namespace sigcomp::exp

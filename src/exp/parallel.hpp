@@ -1,0 +1,134 @@
+// Parallel experiment engine: fans parameter grids and simulation replicas
+// across a fixed ThreadPool with results that are bit-identical to a serial
+// run of the same grid.
+//
+// Determinism contract: every unit of work is keyed by its grid index (and
+// replica index), draws randomness only from replica_seed(base, point,
+// replica), and writes its result into a slot owned by that index.  Thread
+// count and scheduling order therefore cannot change any output bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "exp/thread_pool.hpp"
+#include "sim/stats.hpp"
+
+namespace sigcomp::exp {
+
+/// Deterministic per-replica RNG seed: a SplitMix64-style avalanche of
+/// (base_seed, point_index, replica_index).  The result feeds sim::Rng as
+/// its family seed.  Unlike the `base + replica` convention, nearby grid
+/// points get statistically unrelated streams, and the value is independent
+/// of thread count and execution order by construction.
+[[nodiscard]] std::uint64_t replica_seed(std::uint64_t base_seed,
+                                         std::uint64_t point_index,
+                                         std::uint64_t replica_index) noexcept;
+
+/// Parses "--threads N" out of an argv-style argument list; returns
+/// `fallback` (default 0 = hardware concurrency) when absent.  Companion to
+/// csv_path_from_args for the bench binaries.
+[[nodiscard]] std::size_t threads_from_args(int argc, const char* const* argv,
+                                            std::size_t fallback = 0);
+
+/// Runs an indexed computation over a parameter grid on a fixed pool.
+/// Results come back in grid order regardless of which worker finished
+/// first, so parallel output is bit-identical to `threads = 1`.
+class ParallelSweep {
+ public:
+  /// 0 = one worker per hardware thread.
+  explicit ParallelSweep(std::size_t threads = 0) : pool_(threads) {}
+
+  [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+
+  /// map_indexed(n, fn) -> {fn(0), ..., fn(n-1)}, computed in parallel.
+  /// The result type must be default-constructible (slots are pre-allocated
+  /// so workers only ever write their own index).
+  template <typename Fn>
+  [[nodiscard]] auto map_indexed(std::size_t n, Fn&& fn)
+      -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+    using Result = std::decay_t<decltype(fn(std::size_t{0}))>;
+    std::vector<Result> out(n);
+    parallel_for(pool_, n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// map(items, fn) -> {fn(items[0]), ...}: the grid is an explicit vector
+  /// of parameter points (e.g. from log_space/lin_space).
+  template <typename T, typename Fn>
+  [[nodiscard]] auto map(const std::vector<T>& items, Fn&& fn)
+      -> std::vector<std::decay_t<decltype(fn(items[std::size_t{0}])) >> {
+    return map_indexed(items.size(),
+                       [&](std::size_t i) { return fn(items[i]); });
+  }
+
+ private:
+  ThreadPool pool_;
+};
+
+/// Mean/stddev/95%-CI aggregate of replicated Metrics -- the Metrics-shaped
+/// members are field-wise, the named intervals cover the headline metrics.
+struct MetricsSummary {
+  Metrics mean;    ///< field-wise mean across replicas
+  Metrics stddev;  ///< field-wise unbiased sample stddev
+  sim::ConfidenceInterval inconsistency;    ///< 95% CI of Metrics::inconsistency
+  sim::ConfidenceInterval message_rate;     ///< 95% CI of Metrics::message_rate
+  sim::ConfidenceInterval raw_message_rate; ///< 95% CI of the raw msg/s rate
+  std::size_t replications = 0;
+};
+
+/// Reduces one grid point's replica results (in replica order).
+[[nodiscard]] MetricsSummary summarize_replicas(const std::vector<Metrics>& replicas);
+
+/// Executes N independent replicas per grid point, flattened across the
+/// pool as point-major jobs, and reduces each point's replicas in replica
+/// order.  `run(point_index, seed)` performs one replica with the given
+/// deterministic seed and returns its Metrics.
+class ReplicatedRun {
+ public:
+  ReplicatedRun(std::size_t replications, std::uint64_t base_seed)
+      : replications_(replications == 0 ? 1 : replications),
+        base_seed_(base_seed) {}
+
+  [[nodiscard]] std::size_t replications() const noexcept {
+    return replications_;
+  }
+  [[nodiscard]] std::uint64_t base_seed() const noexcept { return base_seed_; }
+
+  /// Seed of replica r at grid point p under this run's base seed.
+  [[nodiscard]] std::uint64_t seed_for(std::size_t point,
+                                       std::size_t replica) const noexcept {
+    return replica_seed(base_seed_, point, replica);
+  }
+
+  template <typename RunFn>
+  [[nodiscard]] std::vector<MetricsSummary> over_grid(ParallelSweep& sweep,
+                                                      std::size_t points,
+                                                      RunFn&& run) const {
+    const std::size_t jobs = points * replications_;
+    const std::vector<Metrics> flat =
+        sweep.map_indexed(jobs, [&](std::size_t job) {
+          const std::size_t point = job / replications_;
+          const std::size_t replica = job % replications_;
+          return run(point, seed_for(point, replica));
+        });
+    std::vector<MetricsSummary> out;
+    out.reserve(points);
+    for (std::size_t p = 0; p < points; ++p) {
+      const auto first = flat.begin() + static_cast<std::ptrdiff_t>(p * replications_);
+      out.push_back(summarize_replicas(std::vector<Metrics>(
+          first, first + static_cast<std::ptrdiff_t>(replications_))));
+    }
+    return out;
+  }
+
+ private:
+  std::size_t replications_;
+  std::uint64_t base_seed_;
+};
+
+}  // namespace sigcomp::exp

@@ -1,0 +1,117 @@
+#include "exp/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace sigcomp::exp {
+
+std::size_t ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (pool.size() <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Per-call completion state so concurrent parallel_for calls on one pool
+  // never wait on each other's tasks.  The waiter blocks until every spawned
+  // task has returned, which also guarantees no worker still references
+  // `body` (or its captures) once parallel_for returns -- including on the
+  // error path, where unclaimed indices are abandoned.
+  struct State {
+    std::atomic<std::size_t> next{0};  ///< next unclaimed index
+    std::size_t total = 0;
+    std::size_t tasks = 0;
+    std::size_t finished_tasks = 0;  ///< guarded by mutex
+    std::exception_ptr error;        ///< first exception, guarded by mutex
+    std::mutex mutex;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->total = n;
+  state->tasks = pool.size() < n ? pool.size() : n;
+
+  for (std::size_t t = 0; t < state->tasks; ++t) {
+    pool.submit([state, &body] {
+      for (;;) {
+        const std::size_t i = state->next.fetch_add(1);
+        if (i >= state->total) break;
+        try {
+          body(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(state->mutex);
+          if (!state->error) state->error = std::current_exception();
+          // Stop further claims; workers drain out via the break above.
+          state->next.store(state->total);
+        }
+      }
+      const std::lock_guard<std::mutex> lock(state->mutex);
+      ++state->finished_tasks;
+      if (state->finished_tasks == state->tasks) state->cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock,
+                 [&state] { return state->finished_tasks == state->tasks; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace sigcomp::exp

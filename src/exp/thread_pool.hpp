@@ -1,0 +1,69 @@
+// Fixed-size thread pool for the experiment engine.
+//
+// Deliberately work-stealing-free: a single locked queue is plenty when the
+// unit of work is a whole simulation replica or an analytic solve (tens of
+// microseconds and up), and the simple structure keeps scheduling easy to
+// reason about.  Determinism of results is guaranteed one level up, in
+// ParallelSweep, by keying every result to its grid index rather than to
+// the order in which workers finish.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sigcomp::exp {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue (running every task already submitted), then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks must not throw; wrap anything that can (see
+  /// parallel_for, which captures the first exception and rethrows it on
+  /// the calling thread).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished and the queue is empty.
+  void wait_idle();
+
+  /// hardware_concurrency with a floor of 1 (the standard allows 0).
+  [[nodiscard]] static std::size_t default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< signals workers: task ready / stop
+  std::condition_variable idle_cv_;  ///< signals wait_idle: all work done
+  std::size_t in_flight_ = 0;        ///< queued + currently running tasks
+  bool stop_ = false;
+};
+
+/// Runs body(0), ..., body(n-1) across the pool and blocks until all are
+/// done.  Indices are claimed dynamically (contiguous counter), so uneven
+/// per-index cost load-balances; callers that need deterministic output
+/// must key results by index, never by completion order.  If any invocation
+/// throws, the first exception (by completion time) is rethrown here after
+/// every claimed index has finished; remaining unclaimed indices are
+/// abandoned.  A pool of size 1 degenerates to a serial loop on the calling
+/// thread.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace sigcomp::exp

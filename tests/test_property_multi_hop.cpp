@@ -82,13 +82,13 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(std::size_t{1}, std::size_t{4},
                                          std::size_t{12}, std::size_t{20}),
                        ::testing::Values(0.005, 0.02, 0.1)),
-    [](const auto& info) {
-      std::string name{to_string(std::get<0>(info.param))};
+    [](const auto& param_info) {
+      std::string name{to_string(std::get<0>(param_info.param))};
       for (char& c : name) {
         if (c == '+') c = '_';
       }
-      name += "_K" + std::to_string(std::get<1>(info.param));
-      name += "_loss" + std::to_string(int(std::get<2>(info.param) * 1000));
+      name += "_K" + std::to_string(std::get<1>(param_info.param));
+      name += "_loss" + std::to_string(int(std::get<2>(param_info.param) * 1000));
       return name;
     });
 
@@ -118,8 +118,8 @@ TEST_P(HopMonotonicity, MessageRateGrowsWithChainLength) {
 
 INSTANTIATE_TEST_SUITE_P(MultiHopProtocols, HopMonotonicity,
                          ::testing::ValuesIn(kMultiHopProtocols),
-                         [](const auto& info) {
-                           std::string name{to_string(info.param)};
+                         [](const auto& param_info) {
+                           std::string name{to_string(param_info.param)};
                            for (char& c : name) {
                              if (c == '+') c = '_';
                            }

@@ -135,14 +135,14 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0.0, 0.02, 0.1, 0.3),
                        ::testing::Values(0.5, 5.0, 50.0),
                        ::testing::Values(60.0, 1800.0, 20000.0)),
-    [](const auto& info) {
-      std::string name{to_string(std::get<0>(info.param))};
+    [](const auto& param_info) {
+      std::string name{to_string(std::get<0>(param_info.param))};
       for (char& c : name) {
         if (c == '+') c = '_';
       }
-      name += "_loss" + std::to_string(int(std::get<1>(info.param) * 100));
-      name += "_R" + std::to_string(int(std::get<2>(info.param) * 10));
-      name += "_L" + std::to_string(int(std::get<3>(info.param)));
+      name += "_loss" + std::to_string(int(std::get<1>(param_info.param) * 100));
+      name += "_R" + std::to_string(int(std::get<2>(param_info.param) * 10));
+      name += "_L" + std::to_string(int(std::get<3>(param_info.param)));
       return name;
     });
 
@@ -207,8 +207,8 @@ TEST_P(LossMonotonicity, CostWeightOnlyScalesTheInconsistencyTerm) {
 
 INSTANTIATE_TEST_SUITE_P(AllProtocols, LossMonotonicity,
                          ::testing::ValuesIn(kAllProtocols),
-                         [](const auto& info) {
-                           std::string name{to_string(info.param)};
+                         [](const auto& param_info) {
+                           std::string name{to_string(param_info.param)};
                            for (char& c : name) {
                              if (c == '+') c = '_';
                            }

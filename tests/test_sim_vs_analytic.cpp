@@ -94,8 +94,8 @@ TEST_P(SimVsAnalytic, DeterministicTimersStayInPaperBands) {
 
 INSTANTIATE_TEST_SUITE_P(AllProtocols, SimVsAnalytic,
                          ::testing::ValuesIn(kAllProtocols),
-                         [](const auto& info) {
-                           std::string name{to_string(info.param)};
+                         [](const auto& param_info) {
+                           std::string name{to_string(param_info.param)};
                            for (char& c : name) {
                              if (c == '+') c = '_';
                            }
@@ -136,8 +136,8 @@ TEST_P(MultiHopSimVsAnalytic, SimTracksModelShape) {
 
 INSTANTIATE_TEST_SUITE_P(MultiHopProtocols, MultiHopSimVsAnalytic,
                          ::testing::ValuesIn(kMultiHopProtocols),
-                         [](const auto& info) {
-                           std::string name{to_string(info.param)};
+                         [](const auto& param_info) {
+                           std::string name{to_string(param_info.param)};
                            for (char& c : name) {
                              if (c == '+') c = '_';
                            }

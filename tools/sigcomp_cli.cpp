@@ -9,12 +9,16 @@
 // Every command prints an aligned table; `--csv PATH` writes the same rows
 // as CSV.
 #include <iostream>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "analytic/latency.hpp"
 #include "analytic/multi_hop.hpp"
 #include "core/evaluator.hpp"
 #include "exp/cli.hpp"
+#include "exp/parallel.hpp"
 #include "exp/sensitivity.hpp"
 #include "exp/sweep.hpp"
 #include "exp/table.hpp"
@@ -50,6 +54,17 @@ SingleHopParams single_hop_params(const exp::ArgParser& parser) {
   return p;
 }
 
+/// Reads a count-valued option; rejects negatives before the size_t cast
+/// (a raw cast would turn "-1" into a 2^64 allocation request).
+std::size_t count_option(const exp::ArgParser& parser, std::string_view name) {
+  const long value = parser.get_long(name);
+  if (value < 0) {
+    throw std::invalid_argument("--" + std::string(name) +
+                                " must be >= 0, got " + std::to_string(value));
+  }
+  return static_cast<std::size_t>(value);
+}
+
 void finish(const exp::Table& table, const exp::ArgParser& parser) {
   table.print(std::cout);
   const std::string csv = parser.get("csv");
@@ -64,6 +79,8 @@ int cmd_evaluate(int argc, const char* const* argv) {
   parser.add_option("weight", "inconsistency weight w for the cost C", "10");
   parser.add_option("sessions", "simulated sessions when --sim is given", "500");
   parser.add_option("seed", "simulation seed", "1");
+  parser.add_option("replications", "simulation replicas per protocol", "5");
+  parser.add_option("threads", "worker threads (0 = all cores)", "0");
   parser.add_option("csv", "write rows to this CSV file", "");
   parser.add_flag("sim", "also run the discrete-event simulator");
   if (!parser.parse(argc, argv)) {
@@ -79,19 +96,32 @@ int cmd_evaluate(int argc, const char* const* argv) {
   const bool with_sim = parser.flag("sim");
 
   std::vector<std::string> headers{"protocol", "I", "M", "cost C"};
-  if (with_sim) headers.insert(headers.end(), {"I (sim)", "M (sim)"});
+  if (with_sim) {
+    headers.insert(headers.end(),
+                   {"I (sim)", "I ci95", "M (sim)", "M ci95"});
+  }
+  std::unique_ptr<exp::ParallelSweep> engine;
+  if (with_sim) {
+    engine = std::make_unique<exp::ParallelSweep>(count_option(parser, "threads"));
+  }
+
   exp::Table table("single-hop evaluation", std::move(headers));
   for (const auto& [kind, metrics] : compare_all(p)) {
     std::vector<exp::Cell> row{std::string(to_string(kind)),
                                metrics.inconsistency, metrics.message_rate,
                                integrated_cost(metrics, weight)};
     if (with_sim) {
-      protocols::SimOptions options;
-      options.sessions = static_cast<std::size_t>(parser.get_long("sessions"));
-      options.seed = static_cast<std::uint64_t>(parser.get_long("seed"));
-      const auto sim = evaluate_simulated(kind, p, options);
-      row.emplace_back(sim.metrics.inconsistency);
-      row.emplace_back(sim.metrics.message_rate);
+      SimGridOptions options;
+      options.sim.sessions = count_option(parser, "sessions");
+      options.sim.seed = static_cast<std::uint64_t>(parser.get_long("seed"));
+      options.replications = count_option(parser, "replications");
+      options.engine = engine.get();
+      const exp::MetricsSummary sim =
+          evaluate_grid_simulated(kind, {p}, options).front();
+      row.emplace_back(sim.inconsistency.mean);
+      row.emplace_back(sim.inconsistency.half_width);
+      row.emplace_back(sim.message_rate.mean);
+      row.emplace_back(sim.message_rate.half_width);
     }
     table.add_row(std::move(row));
   }
@@ -120,7 +150,7 @@ int cmd_multihop(int argc, const char* const* argv) {
     return 0;
   }
   MultiHopParams p;
-  p.hops = static_cast<std::size_t>(parser.get_long("hops"));
+  p.hops = count_option(parser, "hops");
   p.loss = parser.get_double("loss");
   p.delay = parser.get_double("delay");
   const double update_interval = parser.get_double("update-interval");
@@ -164,6 +194,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   parser.add_option("from", "sweep start", "0.1");
   parser.add_option("to", "sweep end", "100");
   parser.add_option("points", "number of sweep points", "15");
+  parser.add_option("threads", "worker threads (0 = all cores)", "0");
   parser.add_option("csv", "write rows to this CSV file", "");
   parser.add_flag("linear", "linear spacing instead of logarithmic");
   parser.add_flag("couple-timeout", "keep T = 3R while sweeping refresh");
@@ -206,22 +237,38 @@ int cmd_sweep(int argc, const char* const* argv) {
 
   const double from = parser.get_double("from");
   const double to = parser.get_double("to");
-  const std::size_t points = static_cast<std::size_t>(parser.get_long("points"));
+  const std::size_t points = count_option(parser, "points");
   const std::vector<double> axis = parser.flag("linear")
                                        ? exp::lin_space(from, to, points)
                                        : exp::log_space(from, to, points);
 
+  std::vector<SingleHopParams> grid;
+  grid.reserve(axis.size());
+  for (const double v : axis) grid.push_back(apply(v));
+
+  exp::ParallelSweep engine(count_option(parser, "threads"));
+  GridOptions grid_options;
+  grid_options.engine = &engine;
+  std::vector<std::vector<Metrics>> series;
+  std::size_t ss_index = 0;
+  std::size_t hs_index = 0;
+  for (std::size_t k = 0; k < kAllProtocols.size(); ++k) {
+    if (kAllProtocols[k] == ProtocolKind::kSS) ss_index = k;
+    if (kAllProtocols[k] == ProtocolKind::kHS) hs_index = k;
+    series.push_back(
+        evaluate_grid_analytic(kAllProtocols[k], grid, grid_options));
+  }
+
   exp::Table table("sweep of " + param,
                    {param, "I(SS)", "I(SS+ER)", "I(SS+RT)", "I(SS+RTR)",
                     "I(HS)", "M(SS)", "M(HS)"});
-  for (const double v : axis) {
-    const SingleHopParams p = apply(v);
-    std::vector<exp::Cell> row{v};
-    for (const ProtocolKind kind : kAllProtocols) {
-      row.emplace_back(evaluate_analytic(kind, p).inconsistency);
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    std::vector<exp::Cell> row{axis[i]};
+    for (const auto& protocol_series : series) {
+      row.emplace_back(protocol_series[i].inconsistency);
     }
-    row.emplace_back(evaluate_analytic(ProtocolKind::kSS, p).message_rate);
-    row.emplace_back(evaluate_analytic(ProtocolKind::kHS, p).message_rate);
+    row.emplace_back(series[ss_index][i].message_rate);
+    row.emplace_back(series[hs_index][i].message_rate);
     table.add_row(std::move(row));
   }
   finish(table, parser);
