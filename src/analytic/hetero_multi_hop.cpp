@@ -30,7 +30,33 @@ HeteroMultiHopParams HeteroMultiHopParams::from_homogeneous(
   out.timeout_timer = params.timeout_timer;
   out.retrans_timer = params.retrans_timer;
   out.false_signal_rate = params.false_signal_rate;
+  if (params.loss_model != sim::LossModel::kIid) {
+    out.loss_process.assign(params.hops, params.loss_config());
+  }
   return out;
+}
+
+sim::LossConfig HeteroMultiHopParams::hop_loss_config(std::size_t hop) const {
+  if (hop >= hops()) {
+    throw std::out_of_range("HeteroMultiHopParams::hop_loss_config");
+  }
+  if (loss_process.empty()) return sim::LossConfig::iid(loss[hop]);
+  return loss_process[hop];
+}
+
+void HeteroMultiHopParams::set_hop_bursty(std::size_t hop, double burst_length,
+                                          double loss_bad) {
+  if (hop >= hops()) {
+    throw std::out_of_range("HeteroMultiHopParams::set_hop_bursty");
+  }
+  if (loss_process.empty()) {
+    loss_process.reserve(hops());
+    for (const double pl : loss) {
+      loss_process.push_back(sim::LossConfig::iid(pl));
+    }
+  }
+  loss_process[hop] = sim::LossConfig::gilbert_elliott_matched(
+      loss[hop], burst_length, loss_bad);
 }
 
 double HeteroMultiHopParams::survival_through(std::size_t k) const {
@@ -71,6 +97,14 @@ void HeteroMultiHopParams::validate() const {
     if (!std::isfinite(d) || d <= 0.0) {
       throw std::invalid_argument("HeteroMultiHopParams: delay must be > 0");
     }
+  }
+  if (!loss_process.empty()) {
+    if (loss_process.size() != loss.size()) {
+      throw std::invalid_argument(
+          "HeteroMultiHopParams: loss_process must be empty or have one "
+          "entry per hop");
+    }
+    for (const sim::LossConfig& config : loss_process) config.validate();
   }
   if (!std::isfinite(update_rate) || update_rate < 0.0) {
     throw std::invalid_argument("HeteroMultiHopParams: update_rate must be >= 0");

@@ -13,13 +13,20 @@
 #include "core/params.hpp"
 #include "core/protocol.hpp"
 #include "markov/ctmc.hpp"
+#include "sim/channel_process.hpp"
 
 namespace sigcomp::analytic {
 
 /// Per-hop channel characteristics of a heterogeneous chain.
 struct HeteroMultiHopParams {
-  std::vector<double> loss;   ///< per-hop loss probability (size = K)
+  std::vector<double> loss;   ///< per-hop *average* loss probability (size = K)
   std::vector<double> delay;  ///< per-hop one-way delay (size = K)
+  /// Per-hop loss processes for the simulator.  Empty means every hop runs
+  /// iid Bernoulli at loss[i] (the paper's model); otherwise size must be K
+  /// and hop i runs loss_process[i] (heterogeneous burstiness -- e.g. one
+  /// bursty peering link in an otherwise iid chain).  The analytic model
+  /// only ever sees the averages in `loss`.
+  std::vector<sim::LossConfig> loss_process;
   double update_rate = 1.0 / 60.0;
   double refresh_timer = 5.0;
   double timeout_timer = 15.0;
@@ -28,9 +35,19 @@ struct HeteroMultiHopParams {
 
   [[nodiscard]] std::size_t hops() const noexcept { return loss.size(); }
 
-  /// Builds a heterogeneous view of a homogeneous parameter set.
+  /// Builds a heterogeneous view of a homogeneous parameter set (including
+  /// its loss-process selection, replicated to every hop).
   [[nodiscard]] static HeteroMultiHopParams from_homogeneous(
       const MultiHopParams& params);
+
+  /// The loss process hop i (0-based) should run in the simulator.
+  [[nodiscard]] sim::LossConfig hop_loss_config(std::size_t hop) const;
+
+  /// Makes hop i (0-based) bursty: Gilbert-Elliott with stationary mean
+  /// loss[hop] and mean burst length `burst_length` messages.  Other hops
+  /// keep their current process (iid when none was set).
+  void set_hop_bursty(std::size_t hop, double burst_length,
+                      double loss_bad = 1.0);
 
   /// Probability that a message from the sender survives hops 1..k.
   [[nodiscard]] double survival_through(std::size_t k) const;

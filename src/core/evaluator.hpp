@@ -24,7 +24,12 @@ namespace sigcomp {
 [[nodiscard]] Metrics evaluate_analytic(ProtocolKind kind,
                                         const MultiHopParams& params);
 
-/// Simulated metrics of one protocol in the single-hop setting.
+/// Simulated metrics of one protocol in the single-hop setting.  The
+/// channel's loss process (iid Bernoulli or Gilbert-Elliott bursty loss)
+/// comes from the parameter set (SingleHopParams::loss_config /
+/// with_bursty_loss); the delay law comes from the options
+/// (SimOptions::delay_model).  The analytic engines above always see the
+/// *average* loss rate only.
 [[nodiscard]] protocols::SimResult evaluate_simulated(
     ProtocolKind kind, const SingleHopParams& params,
     const protocols::SimOptions& options = {});

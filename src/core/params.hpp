@@ -8,6 +8,7 @@
 #include <cstddef>
 
 #include "core/protocol.hpp"
+#include "sim/channel_process.hpp"
 
 namespace sigcomp {
 
@@ -24,9 +25,33 @@ struct SingleHopParams {
   double retrans_timer = 0.120;  ///< Gamma: retransmission timer (default 4D)
   double false_signal_rate = 1e-4;  ///< lambda_e: HS external false signal rate
 
+  /// Loss-process selection for the simulator.  `loss` always remains the
+  /// *average* loss rate (the analytic model only sees averages); under
+  /// kGilbertElliott the simulator drops messages in correlated bursts
+  /// driven by the ge_* chain parameters instead of iid coin flips.
+  /// validate() enforces that `loss` equals the chain's stationary mean,
+  /// so model-vs-sim comparisons stay apples-to-apples -- prefer
+  /// with_bursty_loss(), which guarantees it by construction.
+  sim::LossModel loss_model = sim::LossModel::kIid;
+  double ge_p_gb = 0.0;       ///< GE: P(good -> bad) per message
+  double ge_p_bg = 1.0;       ///< GE: P(bad -> good) per message
+  double ge_loss_good = 0.0;  ///< GE: drop probability in the good state
+  double ge_loss_bad = 1.0;   ///< GE: drop probability in the bad state
+
   /// Paper defaults for the Kazaa scenario (already the member defaults;
   /// spelled out for readability at call sites).
   [[nodiscard]] static SingleHopParams kazaa_defaults() { return {}; }
+
+  /// The loss process the simulator should run for this parameter set.
+  [[nodiscard]] sim::LossConfig loss_config() const;
+
+  /// Returns a copy with Gilbert-Elliott bursty loss whose stationary mean
+  /// equals the current `loss` and whose mean burst length is
+  /// `burst_length` messages (sim::LossConfig::gilbert_elliott_matched) --
+  /// the analytic prediction is unchanged, only the correlation structure
+  /// of the simulated channel moves.
+  [[nodiscard]] SingleHopParams with_bursty_loss(double burst_length,
+                                                 double loss_bad = 1.0) const;
 
   /// lambda_F: rate at which soft state is falsely removed at the receiver
   /// because every refresh within a timeout interval was lost:
@@ -65,7 +90,24 @@ struct MultiHopParams {
   /// this to a power of the loss rate (OCR-ambiguous exponent); we use pl^4.
   double false_signal_rate = 0.02 * 0.02 * 0.02 * 0.02;
 
+  /// Loss-process selection for the simulator (applied to every hop; see
+  /// SingleHopParams and analytic::HeteroMultiHopParams for per-hop
+  /// heterogeneous burstiness).  `loss` stays the per-hop average.
+  sim::LossModel loss_model = sim::LossModel::kIid;
+  double ge_p_gb = 0.0;       ///< GE: P(good -> bad) per message
+  double ge_p_bg = 1.0;       ///< GE: P(bad -> good) per message
+  double ge_loss_good = 0.0;  ///< GE: drop probability in the good state
+  double ge_loss_bad = 1.0;   ///< GE: drop probability in the bad state
+
   [[nodiscard]] static MultiHopParams reservation_defaults() { return {}; }
+
+  /// The per-hop loss process the simulator should run.
+  [[nodiscard]] sim::LossConfig loss_config() const;
+
+  /// Returns a copy with per-hop GE bursty loss matched to the current
+  /// per-hop mean `loss` (see SingleHopParams::with_bursty_loss).
+  [[nodiscard]] MultiHopParams with_bursty_loss(double burst_length,
+                                                double loss_bad = 1.0) const;
 
   /// Rate of leaving the HS recovery state: the false-removal notification
   /// must reach the other receivers and the sender across the chain before a

@@ -97,6 +97,24 @@ std::string ArgParser::get(std::string_view name) const {
   return spec.value;
 }
 
+std::string ArgParser::get_choice(
+    std::string_view name,
+    std::initializer_list<std::string_view> allowed) const {
+  std::string value = get(name);
+  for (const std::string_view candidate : allowed) {
+    if (value == candidate) return value;
+  }
+  std::string message = "option --" + std::string(name) + ": must be one of {";
+  bool first = true;
+  for (const std::string_view candidate : allowed) {
+    if (!first) message += ", ";
+    message += candidate;
+    first = false;
+  }
+  message += "}, got '" + value + "'";
+  throw std::invalid_argument(message);
+}
+
 bool ArgParser::passed(std::string_view name) const { return require(name).seen; }
 
 double ArgParser::get_double(std::string_view name) const {

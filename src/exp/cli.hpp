@@ -5,6 +5,7 @@
 // and unit-tested -- the CLI binary stays a thin shell over the library.
 #pragma once
 
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <string>
@@ -38,6 +39,13 @@ class ArgParser {
 
   /// Value of an option (its default when not passed).
   [[nodiscard]] std::string get(std::string_view name) const;
+
+  /// Value of an enumerated option; throws std::invalid_argument (with the
+  /// allowed values in the message) when it is not one of `allowed`.
+  /// Used for flags like `--loss-model {iid, ge}`.
+  [[nodiscard]] std::string get_choice(
+      std::string_view name,
+      std::initializer_list<std::string_view> allowed) const;
 
   /// True when the user explicitly passed the option.
   [[nodiscard]] bool passed(std::string_view name) const;

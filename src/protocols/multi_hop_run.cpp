@@ -42,12 +42,13 @@ class MultiHopRun {
     // Channels first (nodes keep pointers to them); sinks wired afterwards.
     // Hop i's forward and reverse directions share the link's loss/delay.
     for (std::size_t i = 0; i < k; ++i) {
+      const sim::LossConfig hop_loss = params_.hop_loss_config(i);
+      const sim::DelayConfig hop_delay{options.delay_model, params_.delay[i],
+                                       options.delay_shape};
       down_.push_back(std::make_unique<MessageChannel>(
-          sim_, rng_channel_, params_.loss[i], params_.delay[i],
-          options.delay_dist, MessageChannel::Sink{}));
+          sim_, rng_channel_, hop_loss, hop_delay, MessageChannel::Sink{}));
       up_.push_back(std::make_unique<MessageChannel>(
-          sim_, rng_channel_, params_.loss[i], params_.delay[i],
-          options.delay_dist, MessageChannel::Sink{}));
+          sim_, rng_channel_, hop_loss, hop_delay, MessageChannel::Sink{}));
     }
 
     sender_ = std::make_unique<ChainSender>(sim_, rng_nodes_, mech_, timers,

@@ -10,6 +10,7 @@
 #include "core/metrics.hpp"
 #include "core/params.hpp"
 #include "core/protocol.hpp"
+#include "sim/channel_process.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
@@ -19,7 +20,12 @@ struct MultiHopSimOptions {
   std::uint64_t seed = 1;
   double duration = 50000.0;  ///< simulated seconds
   sim::Distribution timer_dist = sim::Distribution::kDeterministic;
-  sim::Distribution delay_dist = sim::Distribution::kExponential;
+  /// Per-hop channel delay law (mean = the per-hop delay parameter; see
+  /// SimOptions::delay_model).  The per-hop loss processes come from the
+  /// parameter set (MultiHopParams::loss_config /
+  /// HeteroMultiHopParams::loss_process).
+  sim::DelayModel delay_model = sim::DelayModel::kExponential;
+  double delay_shape = 1.5;
 };
 
 struct MultiHopSimResult {

@@ -25,10 +25,14 @@ class SingleHopRun {
         rng_receiver_(options.seed, 2),
         rng_lifecycle_(options.seed, 3),
         rng_failure_(options.seed, 4),
-        forward_(sim_, rng_channel_, params.loss, params.delay,
-                 options.delay_dist, [this](const Message& m) { receiver_->handle(m); }),
-        reverse_(sim_, rng_channel_, params.loss, params.delay,
-                 options.delay_dist, [this](const Message& m) { sender_->handle(m); }) {
+        forward_(sim_, rng_channel_, params.loss_config(),
+                 sim::DelayConfig{options.delay_model, params.delay,
+                                  options.delay_shape},
+                 [this](const Message& m) { receiver_->handle(m); }),
+        reverse_(sim_, rng_channel_, params.loss_config(),
+                 sim::DelayConfig{options.delay_model, params.delay,
+                                  options.delay_shape},
+                 [this](const Message& m) { sender_->handle(m); }) {
     params_.validate();
     if (options_.crash_fraction < 0.0 || options_.crash_fraction > 1.0) {
       throw std::invalid_argument("SimOptions: crash_fraction must be in [0, 1]");

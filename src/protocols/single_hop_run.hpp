@@ -12,6 +12,7 @@
 #include "core/metrics.hpp"
 #include "core/params.hpp"
 #include "core/protocol.hpp"
+#include "sim/channel_process.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
@@ -35,8 +36,12 @@ struct SimOptions {
   /// (Figs. 11-12); exponential matches the analytic model's assumption
   /// (used by the validation tests).
   sim::Distribution timer_dist = sim::Distribution::kDeterministic;
-  /// Channel delay distribution.
-  sim::Distribution delay_dist = sim::Distribution::kExponential;
+  /// Channel delay law.  The mean is always params.delay; `delay_shape` is
+  /// the Pareto tail index or lognormal sigma for the heavy-tail laws.
+  /// (The loss process comes from the parameter set: see
+  /// SingleHopParams::loss_config and with_bursty_loss.)
+  sim::DelayModel delay_model = sim::DelayModel::kExponential;
+  double delay_shape = 1.5;
 
   /// Fraction of sessions that end in a sender CRASH instead of a graceful
   /// removal: nothing is signaled and the receiver's orphaned state must be

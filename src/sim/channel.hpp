@@ -2,7 +2,10 @@
 // "a network that can delay and lose, but not reorder, messages").
 //
 // Templated on the message payload so the sim substrate stays independent of
-// the protocol layer.
+// the protocol layer.  Loss and delay are pluggable processes
+// (sim/channel_process.hpp): iid Bernoulli loss with deterministic or
+// exponential delay reproduces the paper; the Gilbert-Elliott loss process
+// and the heavy-tail delay laws extend it to bursty, correlated channels.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +13,7 @@
 #include <string>
 #include <utility>
 
+#include "sim/channel_process.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -30,29 +34,38 @@ class Channel {
  public:
   using Sink = std::function<void(const Payload&)>;
 
-  /// `delay_dist` selects deterministic vs exponential per-message delay.
-  /// Losses are iid Bernoulli(loss).  FIFO order is enforced even with
-  /// random delays: a message never arrives before one sent earlier.
-  Channel(Simulator& sim, Rng& rng, double loss, double mean_delay,
-          Distribution delay_dist, Sink sink)
+  /// Fully configured channel.  Both configurations are validated (throws
+  /// std::invalid_argument -- e.g. a loss probability outside [0, 1]).
+  /// FIFO order is enforced even with random delays: a message never
+  /// arrives before one sent earlier.
+  Channel(Simulator& sim, Rng& rng, LossConfig loss, DelayConfig delay,
+          Sink sink)
       : sim_(&sim),
         rng_(&rng),
         loss_(loss),
-        mean_delay_(mean_delay),
-        delay_dist_(delay_dist),
-        sink_(std::move(sink)) {}
+        delay_(delay),
+        sink_(std::move(sink)) {
+    delay_.validate();
+  }
+
+  /// Legacy convenience: iid Bernoulli(loss) with deterministic or
+  /// exponential per-message delay -- the paper's channel.
+  Channel(Simulator& sim, Rng& rng, double loss, double mean_delay,
+          Distribution delay_dist, Sink sink)
+      : Channel(sim, rng, LossConfig::iid(loss),
+                DelayConfig::from(delay_dist, mean_delay), std::move(sink)) {}
 
   /// Sends a message: counts it, applies the loss process, and if it
   /// survives schedules delivery after the (order-corrected) delay.
   void send(Payload message) {
     ++counters_.sent;
     trace(TraceCategory::kSend, message);
-    if (rng_->bernoulli(loss_)) {
+    if (loss_.drop(*rng_)) {
       ++counters_.lost;
       trace(TraceCategory::kDrop, message);
       return;
     }
-    Time arrival = sim_->now() + sample(*rng_, delay_dist_, mean_delay_);
+    Time arrival = sim_->now() + delay_.sample(*rng_);
     if (arrival < last_arrival_) arrival = last_arrival_;  // no reordering
     last_arrival_ = arrival;
     sim_->schedule_at(arrival, [this, m = std::move(message)] {
@@ -63,15 +76,26 @@ class Channel {
   }
 
   [[nodiscard]] const ChannelCounters& counters() const noexcept { return counters_; }
-  [[nodiscard]] double loss() const noexcept { return loss_; }
-  [[nodiscard]] double mean_delay() const noexcept { return mean_delay_; }
+
+  /// Long-run average loss probability (the iid loss, or the GE stationary
+  /// mean).
+  [[nodiscard]] double loss() const { return loss_.config().mean_loss(); }
+  [[nodiscard]] double mean_delay() const noexcept { return delay_.mean; }
+
+  [[nodiscard]] const LossConfig& loss_config() const noexcept {
+    return loss_.config();
+  }
+  [[nodiscard]] const DelayConfig& delay_config() const noexcept {
+    return delay_;
+  }
 
   /// Replaces the delivery sink (used when wiring mutually-connected nodes).
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
-  /// Changes the loss probability mid-run (fault injection in tests:
-  /// blackhole a link with loss = 1, then heal it).
-  void set_loss(double loss) noexcept { loss_ = loss; }
+  /// Changes the loss process mid-run to iid Bernoulli(loss) -- fault
+  /// injection in tests: blackhole a link with loss = 1, then heal it.
+  /// Throws std::invalid_argument when `loss` is outside [0, 1].
+  void set_loss(double loss) { loss_.set_loss(loss); }
 
   /// Attaches a trace log.  `describe` renders a payload for the trace
   /// detail field; `label` identifies this channel in the records.
@@ -95,9 +119,8 @@ class Channel {
 
   Simulator* sim_;
   Rng* rng_;
-  double loss_;
-  double mean_delay_;
-  Distribution delay_dist_;
+  LossProcess loss_;
+  DelayConfig delay_;
   Sink sink_;
   Time last_arrival_ = 0.0;
   ChannelCounters counters_;

@@ -1,9 +1,19 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
 namespace sigcomp::sim {
+
+namespace {
+
+// Below this heap size, lazy deletion alone is cheap enough; compacting
+// would just thrash on the tiny queues every protocol run starts with.
+constexpr std::size_t kCompactionThreshold = 64;
+
+}  // namespace
 
 EventId EventQueue::push(Time time, std::function<void()> action) {
   if (!std::isfinite(time)) {
@@ -13,7 +23,8 @@ EventId EventQueue::push(Time time, std::function<void()> action) {
     throw std::invalid_argument("EventQueue::push: empty action");
   }
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{time, seq});
+  heap_.push_back(Entry{time, seq});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   actions_.emplace(seq, std::move(action));
   ++live_;
   return EventId{seq};
@@ -25,29 +36,45 @@ bool EventQueue::cancel(EventId id) {
   actions_.erase(it);
   cancelled_.insert(id.value);
   --live_;
+  // Reclaim eagerly once dead entries outnumber live ones, so a
+  // cancel-heavy run (soft-state refresh churn) holds O(live) memory
+  // instead of O(cancelled).
+  if (heap_.size() > kCompactionThreshold && heap_.size() - live_ > live_) {
+    compact();
+  }
   return true;
+}
+
+void EventQueue::compact() {
+  std::erase_if(heap_, [this](const Entry& entry) {
+    return cancelled_.find(entry.seq) != cancelled_.end();
+  });
+  cancelled_.clear();
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
 }
 
 void EventQueue::drop_dead() const {
   while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().seq);
+    const auto it = cancelled_.find(heap_.front().seq);
     if (it == cancelled_.end()) return;
     cancelled_.erase(it);
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
   }
 }
 
 Time EventQueue::next_time() const {
   drop_dead();
   if (heap_.empty()) throw std::logic_error("EventQueue::next_time: queue empty");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::PoppedEvent EventQueue::pop() {
   drop_dead();
   if (heap_.empty()) throw std::logic_error("EventQueue::pop: queue empty");
-  const Entry top = heap_.top();
-  heap_.pop();
+  const Entry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
   const auto it = actions_.find(top.seq);
   PoppedEvent out{top.time, std::move(it->second)};
   actions_.erase(it);

@@ -1,14 +1,16 @@
 // Pending-event set of the discrete-event simulator.
 //
 // A binary heap with lazy deletion: cancelling marks the event dead and the
-// slot is reclaimed when the event surfaces.  Ties in time are broken by
-// insertion order so that simultaneous events execute deterministically in
-// schedule order (important for reproducible runs).
+// slot is reclaimed when the event surfaces -- or, so that cancel-heavy
+// workloads (refresh/backoff timer churn) cannot accumulate unbounded
+// garbage, by compacting the heap whenever dead entries outnumber live
+// ones.  Ties in time are broken by insertion order so that simultaneous
+// events execute deterministically in schedule order (important for
+// reproducible runs).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -39,6 +41,13 @@ class EventQueue {
   /// Number of live (pending, uncancelled) events.
   [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
+  /// Entries physically held by the heap: live events plus cancelled ones
+  /// not yet reclaimed.  Compaction keeps this below
+  /// max(2 * size(), compaction threshold); tests assert the bound.
+  [[nodiscard]] std::size_t heap_entries() const noexcept {
+    return heap_.size();
+  }
+
   /// Time of the earliest live event.  Throws std::logic_error when empty.
   [[nodiscard]] Time next_time() const;
 
@@ -61,8 +70,9 @@ class EventQueue {
   };
 
   void drop_dead() const;
+  void compact();
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable std::vector<Entry> heap_;
   mutable std::unordered_set<std::uint64_t> cancelled_;
   std::unordered_map<std::uint64_t, std::function<void()>> actions_;
   std::uint64_t next_seq_ = 1;

@@ -47,7 +47,11 @@ double Rng::uniform() noexcept {
 }
 
 double Rng::uniform(double lo, double hi) noexcept {
-  return lo + (hi - lo) * uniform();
+  const double v = lo + (hi - lo) * uniform();
+  // lo + (hi - lo) * u can round up to exactly hi (e.g. when hi - lo spans
+  // few representable values); clamp to keep the documented [lo, hi).
+  if (v >= hi) return std::nextafter(hi, lo);
+  return v;
 }
 
 std::uint64_t Rng::uniform_int(std::uint64_t n) noexcept {

@@ -22,7 +22,8 @@ class Rng {
   /// Uniform double in [0, 1).
   double uniform() noexcept;
 
-  /// Uniform double in [lo, hi).  Requires lo < hi.
+  /// Uniform double in [lo, hi).  Requires lo < hi.  The half-open contract
+  /// holds even when rounding of lo + (hi - lo) * u lands on hi exactly.
   double uniform(double lo, double hi) noexcept;
 
   /// Uniform integer in [0, n).  Requires n > 0.

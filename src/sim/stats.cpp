@@ -67,10 +67,32 @@ double student_t_95(std::size_t df) noexcept {
       2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
   if (df == 0) return kTable[0];
   if (df <= kTable.size()) return kTable[df - 1];
-  if (df <= 40) return 2.021;
-  if (df <= 60) return 2.000;
-  if (df <= 120) return 1.980;
-  return 1.960;
+  // Above the dense table, return the value at the largest tabulated df
+  // that does not exceed the requested one.  t decreases in df, so this is
+  // always conservative (a slightly *wider* interval); returning the value
+  // of the upper breakpoint -- as this function once did -- silently
+  // narrowed every CI (e.g. df = 31 got the df = 40 value 2.021 < 2.040).
+  // Entries are rounded up at the 4th decimal to stay conservative at the
+  // breakpoints themselves.
+  struct Breakpoint {
+    std::size_t df;
+    double value;
+  };
+  static constexpr std::array<Breakpoint, 9> kCoarse = {{{40, 2.0211},
+                                                         {50, 2.0086},
+                                                         {60, 2.0003},
+                                                         {80, 1.9901},
+                                                         {100, 1.9840},
+                                                         {120, 1.9800},
+                                                         {200, 1.9719},
+                                                         {500, 1.9648},
+                                                         {1000, 1.9624}}};
+  double value = kTable.back();
+  for (const Breakpoint& bp : kCoarse) {
+    if (df < bp.df) break;
+    value = bp.value;
+  }
+  return value;
 }
 
 ConfidenceInterval confidence_interval_95(const RunningStats& s) noexcept {

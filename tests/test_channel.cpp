@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -142,6 +143,45 @@ TEST(Channel, AccessorsReportConfiguration) {
                      [](const Packet&) {});
   EXPECT_DOUBLE_EQ(ch.loss(), 0.1);
   EXPECT_DOUBLE_EQ(ch.mean_delay(), 0.3);
+  EXPECT_EQ(ch.loss_config().model, LossModel::kIid);
+  EXPECT_EQ(ch.delay_config().model, DelayModel::kDeterministic);
+}
+
+TEST(Channel, ConstructorAndSetLossValidateProbability) {
+  Simulator sim;
+  Rng rng(9);
+  const auto sink = [](const Packet&) {};
+  EXPECT_THROW((Channel<Packet>(sim, rng, -0.1, 0.1,
+                                Distribution::kDeterministic, sink)),
+               std::invalid_argument);
+  EXPECT_THROW((Channel<Packet>(sim, rng, 1.5, 0.1,
+                                Distribution::kDeterministic, sink)),
+               std::invalid_argument);
+  EXPECT_THROW((Channel<Packet>(sim, rng, std::nan(""), 0.1,
+                                Distribution::kDeterministic, sink)),
+               std::invalid_argument);
+  Channel<Packet> ch(sim, rng, 0.5, 0.1, Distribution::kDeterministic, sink);
+  EXPECT_THROW(ch.set_loss(-0.01), std::invalid_argument);
+  EXPECT_THROW(ch.set_loss(1.01), std::invalid_argument);
+  ch.set_loss(1.0);  // blackhole is legal
+  EXPECT_DOUBLE_EQ(ch.loss(), 1.0);
+}
+
+TEST(Channel, GilbertElliottChannelDropsInBursts) {
+  Simulator sim;
+  Rng rng(10);
+  int delivered = 0;
+  // Mean loss 0.2 but concentrated in bursts of mean length 5.
+  Channel<Packet> ch(sim, rng,
+                     LossConfig::gilbert_elliott_matched(0.2, 5.0),
+                     DelayConfig::deterministic(0.001),
+                     [&](const Packet&) { ++delivered; });
+  constexpr int kSent = 50000;
+  for (int i = 0; i < kSent; ++i) ch.send({i});
+  sim.run();
+  EXPECT_EQ(ch.counters().sent, static_cast<std::uint64_t>(kSent));
+  EXPECT_NEAR(static_cast<double>(ch.counters().lost) / kSent, 0.2, 0.02);
+  EXPECT_NEAR(ch.loss(), 0.2, 1e-12);
 }
 
 }  // namespace

@@ -98,6 +98,22 @@ TEST(ArgParser, NumericValidation) {
   EXPECT_THROW((void)parser2.get_long("count"), std::invalid_argument);
 }
 
+TEST(ArgParser, GetChoiceAcceptsAllowedValuesOnly) {
+  ArgParser parser("prog", "test parser");
+  parser.add_option("loss-model", "loss process", "iid");
+  const char* argv[] = {"prog", "--loss-model", "ge"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_choice("loss-model", {"iid", "ge"}), "ge");
+  EXPECT_THROW((void)parser.get_choice("loss-model", {"iid", "bernoulli"}),
+               std::invalid_argument);
+  try {
+    (void)parser.get_choice("loss-model", {"iid", "bernoulli"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("iid, bernoulli"), std::string::npos);
+  }
+}
+
 TEST(ArgParser, UnregisteredAccessIsALogicError) {
   ArgParser parser = make_parser();
   const char* argv[] = {"prog"};

@@ -88,6 +88,53 @@ TEST(EventQueue, RejectsNonFiniteTimeAndEmptyAction) {
   EXPECT_THROW(q.push(1.0, std::function<void()>{}), std::invalid_argument);
 }
 
+TEST(EventQueue, CancelHeavyWorkloadKeepsHeapCompact) {
+  // Regression: cancel() used to leave dead entries in the heap until they
+  // surfaced, so a refresh/backoff-heavy run (schedule + cancel churn at
+  // far-future times that never surface) carried O(cancelled) garbage.
+  EventQueue q;
+  std::vector<EventId> live;
+  for (int i = 0; i < 100; ++i) {
+    live.push_back(q.push(1e9 + i, [] {}));  // long-lived timers, never pop
+  }
+  for (int round = 0; round < 200000; ++round) {
+    // A timer is set and re-set before ever firing -- the soft-state
+    // refresh pattern.
+    const EventId id = q.push(1e6 + round, [] {});
+    ASSERT_TRUE(q.cancel(id));
+    EXPECT_LE(q.heap_entries(), 2 * q.size() + 65)
+        << "round " << round << ": dead entries accumulate";
+  }
+  EXPECT_EQ(q.size(), live.size());
+  EXPECT_LE(q.heap_entries(), 2 * q.size() + 65);
+}
+
+TEST(EventQueue, CompactionPreservesOrderAndLiveEvents) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    ids.push_back(q.push(t, [] {}));
+  }
+  // Cancel enough to trigger compaction several times over.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_TRUE(q.cancel(ids[i]));
+    }
+  }
+  EXPECT_EQ(q.size(), 500u);
+  double last = -1.0;
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    const double t = q.next_time();
+    EXPECT_LE(last, t);
+    last = t;
+    q.pop();
+    ++popped;
+  }
+  EXPECT_EQ(popped, 500u);
+}
+
 TEST(EventQueue, ManyEventsStressOrdering) {
   EventQueue q;
   std::vector<double> popped;

@@ -36,6 +36,55 @@ TEST(MultiHopSim, ProducesValidMetricsForSupportedProtocols) {
   }
 }
 
+TEST(MultiHopSim, DegenerateGilbertElliottReproducesIidBitForBit) {
+  const MultiHopParams iid = small_chain();
+  MultiHopParams ge = iid;
+  ge.loss_model = sim::LossModel::kGilbertElliott;
+  ge.ge_p_gb = iid.loss;
+  ge.ge_p_bg = 1.0 - iid.loss;
+  ge.ge_loss_bad = 1.0;
+  ge.ge_loss_good = 0.0;
+  const MultiHopSimResult a =
+      run_multi_hop(ProtocolKind::kSS, iid, quick_options(17));
+  const MultiHopSimResult b =
+      run_multi_hop(ProtocolKind::kSS, ge, quick_options(17));
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_DOUBLE_EQ(a.metrics.inconsistency, b.metrics.inconsistency);
+  EXPECT_EQ(a.relay_timeouts, b.relay_timeouts);
+}
+
+TEST(MultiHopSim, PerHopBurstyLossIsHeterogeneous) {
+  // One bursty hop in an otherwise iid chain: the chain still runs, the
+  // bursty hop's mean loss is unchanged, and making *every* hop bursty
+  // degrades soft state at equal average loss.
+  MultiHopParams base = small_chain();
+  base.loss = 0.05;
+  analytic::HeteroMultiHopParams one_bursty =
+      analytic::HeteroMultiHopParams::from_homogeneous(base);
+  one_bursty.set_hop_bursty(2, 10.0);
+  one_bursty.validate();
+  EXPECT_EQ(one_bursty.loss_process.size(), 5u);
+  EXPECT_NEAR(one_bursty.hop_loss_config(2).mean_loss(), 0.05, 1e-12);
+  EXPECT_EQ(one_bursty.hop_loss_config(0).model, sim::LossModel::kIid);
+
+  MultiHopSimOptions options = quick_options(5);
+  options.duration = 20000.0;
+  const double iid_inconsistency =
+      run_multi_hop(ProtocolKind::kSS, base, options).metrics.inconsistency;
+  const double all_bursty =
+      run_multi_hop(ProtocolKind::kSS, base.with_bursty_loss(10.0), options)
+          .metrics.inconsistency;
+  EXPECT_GT(all_bursty, 1.3 * iid_inconsistency);
+
+  // End-to-end through the heterogeneous overload: one bursty hop sits
+  // between the all-iid and all-bursty chains.
+  const MultiHopSimResult mixed =
+      run_multi_hop(ProtocolKind::kSS, one_bursty, options);
+  EXPECT_EQ(mixed.hop_inconsistency.size(), 5u);
+  EXPECT_GT(mixed.metrics.inconsistency, iid_inconsistency);
+  EXPECT_LT(mixed.metrics.inconsistency, all_bursty);
+}
+
 TEST(MultiHopSim, RejectsUnsupportedProtocols) {
   EXPECT_THROW((void)run_multi_hop(ProtocolKind::kSSER, small_chain(), quick_options()),
                std::invalid_argument);

@@ -87,6 +87,31 @@ TEST(SingleHopParams, ZeroUpdateRateIsAllowed) {
   EXPECT_NO_THROW(p.validate());
 }
 
+TEST(SingleHopParams, WithBurstyLossPinsStationaryMean) {
+  SingleHopParams p;
+  p.loss = 0.05;
+  const SingleHopParams bursty = p.with_bursty_loss(10.0);
+  EXPECT_EQ(bursty.loss_model, sim::LossModel::kGilbertElliott);
+  EXPECT_DOUBLE_EQ(bursty.loss, 0.05);  // the advertised average is kept
+  EXPECT_NEAR(bursty.loss_config().mean_loss(), 0.05, 1e-12);
+  EXPECT_NO_THROW(bursty.validate());
+}
+
+TEST(SingleHopParams, ValidateRejectsIncoherentGeMeanLoss) {
+  // A GE chain whose stationary mean disagrees with `loss` would make every
+  // model-vs-sim comparison apples-to-oranges.
+  SingleHopParams p;
+  p.loss_model = sim::LossModel::kGilbertElliott;
+  p.ge_p_gb = 0.3;  // stationary mean ~0.23, but loss still says 0.02
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.loss = p.loss_config().mean_loss();
+  EXPECT_NO_THROW(p.validate());
+  MultiHopParams mh;
+  mh.loss_model = sim::LossModel::kGilbertElliott;
+  mh.ge_p_gb = 0.3;
+  EXPECT_THROW(mh.validate(), std::invalid_argument);
+}
+
 TEST(MultiHopParams, ReservationDefaultsMatchPaper) {
   const MultiHopParams p = MultiHopParams::reservation_defaults();
   EXPECT_EQ(p.hops, 20u);

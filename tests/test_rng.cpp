@@ -60,6 +60,20 @@ TEST(Rng, UniformRange) {
   }
 }
 
+TEST(Rng, UniformRangeStaysHalfOpenUnderRounding) {
+  // When [lo, hi) spans a single representable double, lo + (hi - lo) * u
+  // rounds to hi for roughly half the draws; the contract requires the
+  // result to stay strictly below hi.
+  Rng rng(99);
+  const double lo = 1.0;
+  const double hi = std::nextafter(lo, 2.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LT(v, hi);  // the only representable value in range is lo itself
+  }
+}
+
 TEST(Rng, UniformIntCoversRangeUniformly) {
   Rng rng(17);
   constexpr std::uint64_t kBuckets = 10;

@@ -33,7 +33,7 @@ TEST_P(SimVsAnalytic, ExponentialDelayMatchesModel) {
   options.sessions = 400;
   options.seed = 1234;
   options.timer_dist = sim::Distribution::kDeterministic;
-  options.delay_dist = sim::Distribution::kExponential;
+  options.delay_model = sim::DelayModel::kExponential;
   const protocols::ReplicatedResult sim =
       protocols::run_single_hop_replicated(kind, params, options, 8);
 

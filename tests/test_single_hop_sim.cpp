@@ -37,6 +37,41 @@ TEST(SingleHopSim, SameSeedIsBitReproducible) {
   EXPECT_DOUBLE_EQ(a.metrics.inconsistency, b.metrics.inconsistency);
 }
 
+TEST(SingleHopSim, DegenerateGilbertElliottReproducesIidBitForBit) {
+  // p_gb = pl, p_bg = 1 - pl with deterministic per-state drops *is* the
+  // iid channel; under a shared seed the whole run must be bit-identical.
+  const SingleHopParams iid = SingleHopParams::kazaa_defaults();
+  SingleHopParams ge = iid;
+  ge.loss_model = sim::LossModel::kGilbertElliott;
+  ge.ge_p_gb = iid.loss;
+  ge.ge_p_bg = 1.0 - iid.loss;
+  ge.ge_loss_bad = 1.0;
+  ge.ge_loss_good = 0.0;
+  for (const ProtocolKind kind : {ProtocolKind::kSS, ProtocolKind::kHS}) {
+    const SimResult a = run_single_hop(kind, iid, quick_options(31));
+    const SimResult b = run_single_hop(kind, ge, quick_options(31));
+    EXPECT_EQ(a.messages, b.messages) << to_string(kind);
+    EXPECT_DOUBLE_EQ(a.total_time, b.total_time) << to_string(kind);
+    EXPECT_DOUBLE_EQ(a.metrics.inconsistency, b.metrics.inconsistency)
+        << to_string(kind);
+    EXPECT_DOUBLE_EQ(a.metrics.message_rate, b.metrics.message_rate)
+        << to_string(kind);
+  }
+}
+
+TEST(SingleHopSim, BurstyLossHurtsSoftStateAtEqualMeanLoss) {
+  SingleHopParams params = SingleHopParams::kazaa_defaults();
+  params.loss = 0.05;
+  const SingleHopParams bursty = params.with_bursty_loss(10.0);
+  SimOptions options = quick_options(3);
+  options.sessions = 600;
+  const double iid_inconsistency =
+      run_single_hop(ProtocolKind::kSS, params, options).metrics.inconsistency;
+  const double ge_inconsistency =
+      run_single_hop(ProtocolKind::kSS, bursty, options).metrics.inconsistency;
+  EXPECT_GT(ge_inconsistency, 1.5 * iid_inconsistency);
+}
+
 TEST(SingleHopSim, DifferentSeedsDiffer) {
   const SingleHopParams params = SingleHopParams::kazaa_defaults();
   const SimResult a = run_single_hop(ProtocolKind::kSS, params, quick_options(1));

@@ -80,8 +80,29 @@ TEST(StudentT, CriticalValuesMatchTables) {
   EXPECT_NEAR(student_t_95(5), 2.571, 1e-3);
   EXPECT_NEAR(student_t_95(10), 2.228, 1e-3);
   EXPECT_NEAR(student_t_95(30), 2.042, 1e-3);
-  EXPECT_NEAR(student_t_95(1000), 1.96, 1e-3);
+  EXPECT_NEAR(student_t_95(1000), 1.9624, 1e-3);
   EXPECT_GT(student_t_95(0), 0.0);  // degenerate input falls back sanely
+}
+
+TEST(StudentT, NeverAntiConservativeBetweenBreakpoints) {
+  // Regression: df in the coarse ranges used to get the critical value of
+  // the *upper* breakpoint (e.g. df = 31 got the df = 40 value 2.021,
+  // below the true 2.0395), silently narrowing every reported 95% CI.
+  // The returned value must bracket the true critical value from above,
+  // and stay within a bounded conservative slack.
+  struct Case {
+    std::size_t df;
+    double true_value;  // two-sided 95% critical value of Student's t
+  };
+  constexpr Case kCases[] = {
+      {31, 2.0395},  {40, 2.0211}, {45, 2.0141},  {59, 2.0010},
+      {61, 1.9996},  {90, 1.9867}, {119, 1.9801}, {150, 1.9759},
+      {400, 1.9659}, {5000, 1.9604}};
+  for (const Case& c : kCases) {
+    const double returned = student_t_95(c.df);
+    EXPECT_GE(returned, c.true_value - 1e-9) << "df " << c.df;
+    EXPECT_LE(returned, c.true_value + 0.025) << "df " << c.df;
+  }
 }
 
 TEST(StudentT, DecreasesWithDegreesOfFreedom) {

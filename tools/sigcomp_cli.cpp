@@ -28,6 +28,76 @@ namespace {
 
 using namespace sigcomp;
 
+void add_loss_model_options(exp::ArgParser& parser) {
+  parser.add_option("loss-model",
+                    "channel loss process: iid (Bernoulli, the paper) or ge "
+                    "(Gilbert-Elliott bursty loss)", "iid");
+  parser.add_option("p-gb", "GE: good->bad transition probability per message",
+                    "0");
+  parser.add_option("p-bg", "GE: bad->good transition probability per message",
+                    "1");
+  parser.add_option("loss-bad", "GE: drop probability in the bad state", "1");
+  parser.add_option("loss-good", "GE: drop probability in the good state", "0");
+  parser.add_option("burst",
+                    "GE shortcut: mean burst length in messages; derives "
+                    "p-gb/p-bg so the stationary mean equals --loss", "0");
+}
+
+/// Applies the --loss-model family of flags to a parameter set (single- or
+/// multi-hop: both carry the same loss_model/ge_* fields).  Under GE the
+/// chain comes either from --burst (derived so the stationary mean equals
+/// --loss) or from explicit --p-gb/--p-bg, in which case the mean-loss
+/// field `p.loss` is re-derived from the chain's stationary distribution
+/// so the analytic columns stay comparable at equal average loss.
+/// `analytic_only` commands still accept the flags (the explicit-chain form
+/// moves their mean), but the user is told burstiness itself cannot show up
+/// in purely analytic numbers.
+template <typename Params>
+void apply_loss_model(const exp::ArgParser& parser, Params& p,
+                      bool analytic_only) {
+  const std::string model = parser.get_choice("loss-model", {"iid", "ge"});
+  if (model == "iid") {
+    // A chain flag without --loss-model ge would be a silent no-op; the
+    // user almost certainly forgot the selector.
+    for (const char* flag : {"burst", "p-gb", "p-bg", "loss-bad", "loss-good"}) {
+      if (parser.passed(flag)) {
+        throw std::invalid_argument("--" + std::string(flag) +
+                                    " requires --loss-model ge");
+      }
+    }
+    return;
+  }
+  if (analytic_only) {
+    std::cerr << "note: the analytic model sees only the average loss rate; "
+                 "--loss-model ge changes simulated columns (--sim) only\n";
+  }
+  if (parser.passed("burst")) {
+    // --burst derives the whole chain; a simultaneously passed raw-chain
+    // flag would be silently overridden, so reject the combination.
+    for (const char* flag : {"p-gb", "p-bg", "loss-good"}) {
+      if (parser.passed(flag)) {
+        throw std::invalid_argument(
+            "--burst derives the GE chain from --loss; it cannot be "
+            "combined with --" + std::string(flag));
+      }
+    }
+    p = p.with_bursty_loss(parser.get_double("burst"),
+                           parser.get_double("loss-bad"));
+    return;
+  }
+  if (!parser.passed("p-gb")) {
+    throw std::invalid_argument(
+        "--loss-model ge needs either --burst (mean matched to --loss) or "
+        "an explicit chain via --p-gb/--p-bg");
+  }
+  p.loss_model = sim::LossModel::kGilbertElliott;
+  p.ge_p_gb = parser.get_double("p-gb");
+  p.ge_p_bg = parser.get_double("p-bg");
+  p.ge_loss_bad = parser.get_double("loss-bad");
+  p.ge_loss_good = parser.get_double("loss-good");
+  p.loss = p.loss_config().mean_loss();
+}
+
 void add_single_hop_options(exp::ArgParser& parser) {
   parser.add_option("loss", "channel loss probability pl", "0.02");
   parser.add_option("delay", "one-way channel delay D in seconds", "0.03");
@@ -37,9 +107,11 @@ void add_single_hop_options(exp::ArgParser& parser) {
   parser.add_option("timeout", "state-timeout timer T in seconds", "15");
   parser.add_option("retrans", "retransmission timer Gamma in seconds", "0.12");
   parser.add_option("false-signal", "HS external false-signal rate (1/s)", "1e-4");
+  add_loss_model_options(parser);
 }
 
-SingleHopParams single_hop_params(const exp::ArgParser& parser) {
+SingleHopParams single_hop_params(const exp::ArgParser& parser,
+                                  bool analytic_only = true) {
   SingleHopParams p;
   p.loss = parser.get_double("loss");
   p.delay = parser.get_double("delay");
@@ -50,6 +122,7 @@ SingleHopParams single_hop_params(const exp::ArgParser& parser) {
   p.timeout_timer = parser.get_double("timeout");
   p.retrans_timer = parser.get_double("retrans");
   p.false_signal_rate = parser.get_double("false-signal");
+  apply_loss_model(parser, p, analytic_only);
   p.validate();
   return p;
 }
@@ -63,6 +136,15 @@ std::size_t count_option(const exp::ArgParser& parser, std::string_view name) {
                                 " must be >= 0, got " + std::to_string(value));
   }
   return static_cast<std::size_t>(value);
+}
+
+sim::DelayModel delay_model_option(const exp::ArgParser& parser) {
+  const std::string model =
+      parser.get_choice("delay-model", {"det", "exp", "pareto", "lognormal"});
+  if (model == "det") return sim::DelayModel::kDeterministic;
+  if (model == "pareto") return sim::DelayModel::kPareto;
+  if (model == "lognormal") return sim::DelayModel::kLognormal;
+  return sim::DelayModel::kExponential;
 }
 
 void finish(const exp::Table& table, const exp::ArgParser& parser) {
@@ -81,6 +163,12 @@ int cmd_evaluate(int argc, const char* const* argv) {
   parser.add_option("seed", "simulation seed", "1");
   parser.add_option("replications", "simulation replicas per protocol", "5");
   parser.add_option("threads", "worker threads (0 = all cores)", "0");
+  parser.add_option("delay-model",
+                    "sim channel delay law: det, exp, pareto or lognormal",
+                    "exp");
+  parser.add_option("delay-shape",
+                    "Pareto tail index / lognormal sigma of --delay-model",
+                    "1.5");
   parser.add_option("csv", "write rows to this CSV file", "");
   parser.add_flag("sim", "also run the discrete-event simulator");
   if (!parser.parse(argc, argv)) {
@@ -91,9 +179,20 @@ int cmd_evaluate(int argc, const char* const* argv) {
     std::cout << parser.help();
     return 0;
   }
-  const SingleHopParams p = single_hop_params(parser);
-  const double weight = parser.get_double("weight");
   const bool with_sim = parser.flag("sim");
+  const SingleHopParams p = single_hop_params(parser, !with_sim);
+  const double weight = parser.get_double("weight");
+  // Validate the delay flags even when the sim column is off, so a typo
+  // never passes silently -- but tell the user they have no effect there.
+  const sim::DelayModel delay_model = delay_model_option(parser);
+  const sim::DelayConfig delay_config{delay_model, p.delay,
+                                      parser.get_double("delay-shape")};
+  delay_config.validate();
+  if (!with_sim &&
+      (parser.passed("delay-model") || parser.passed("delay-shape"))) {
+    std::cerr << "note: --delay-model/--delay-shape affect only the "
+                 "simulated columns; pass --sim to see them\n";
+  }
 
   std::vector<std::string> headers{"protocol", "I", "M", "cost C"};
   if (with_sim) {
@@ -114,6 +213,8 @@ int cmd_evaluate(int argc, const char* const* argv) {
       SimGridOptions options;
       options.sim.sessions = count_option(parser, "sessions");
       options.sim.seed = static_cast<std::uint64_t>(parser.get_long("seed"));
+      options.sim.delay_model = delay_config.model;
+      options.sim.delay_shape = delay_config.shape;
       options.replications = count_option(parser, "replications");
       options.engine = engine.get();
       const exp::MetricsSummary sim =
@@ -139,6 +240,7 @@ int cmd_multihop(int argc, const char* const* argv) {
   parser.add_option("refresh", "refresh timer R in seconds", "5");
   parser.add_option("timeout", "state-timeout timer T in seconds", "15");
   parser.add_option("retrans", "retransmission timer Gamma in seconds", "0.12");
+  add_loss_model_options(parser);
   parser.add_option("csv", "write rows to this CSV file", "");
   parser.add_flag("per-hop", "print the per-hop inconsistency table instead");
   if (!parser.parse(argc, argv)) {
@@ -158,6 +260,7 @@ int cmd_multihop(int argc, const char* const* argv) {
   p.refresh_timer = parser.get_double("refresh");
   p.timeout_timer = parser.get_double("timeout");
   p.retrans_timer = parser.get_double("retrans");
+  apply_loss_model(parser, p, /*analytic_only=*/true);
   p.validate();
 
   if (parser.flag("per-hop")) {
@@ -211,6 +314,20 @@ int cmd_sweep(int argc, const char* const* argv) {
   const auto apply = [&](double v) {
     SingleHopParams p = base;
     if (param == "loss") {
+      if (p.loss_model == sim::LossModel::kGilbertElliott) {
+        // Sweep the mean at constant burstiness: rebuild the chain per
+        // point (keeping burst length and per-state drop probabilities)
+        // so `loss` stays coherent with the GE stationary mean.
+        if (p.ge_p_bg <= 0.0) {
+          throw std::invalid_argument(
+              "cannot sweep loss under an absorbing GE chain (p-bg = 0)");
+        }
+        const sim::LossConfig matched =
+            sim::LossConfig::gilbert_elliott_matched(
+                v, 1.0 / base.ge_p_bg, base.ge_loss_bad, base.ge_loss_good);
+        p.ge_p_gb = matched.p_gb;
+        p.ge_p_bg = matched.p_bg;
+      }
       p.loss = v;
     } else if (param == "delay") {
       p.delay = v;
