@@ -1,0 +1,338 @@
+// Scale benchmarks of the event core and the many-session farm.
+//
+// Part 1 pits the pooled, allocation-free sim::EventQueue against the
+// pre-refactor reference implementation (sim::ReferenceEventQueue:
+// std::function + unordered_map + lazily-deleted binary heap) on identical
+// operation streams: a schedule/pop flood with small (timer-sized) and
+// large (delivery-sized) captures, and the soft-state re-arm churn pattern
+// (schedule + cancel, the hot path of refresh timers).
+//
+// Part 2 drives the session farm at N in {1k, 10k, 100k} concurrent
+// single-hop sessions for all five protocols, plus a 100k-session
+// single-simulator stress row and a multi-hop farm row, reporting events/s
+// and sessions/s.
+//
+// --quick shrinks the Ns for CI and always runs the determinism self-check:
+// farm results must be bit-identical across thread counts AND shard sizes
+// (exit 1 on mismatch).
+//
+// Usage: perf_scale [--quick] [--csv PATH] [--threads N]
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/parallel.hpp"
+#include "exp/session_farm.hpp"
+#include "exp/table.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/reference_event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace sigcomp;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------- event core --
+
+/// Timer-sized capture: one pointer, like the engines' `[this]` lambdas.
+struct SmallPayload {
+  std::uint64_t* counter;
+  void operator()() const { ++*counter; }
+};
+
+/// Delivery-sized capture: pointer + a wire-message-sized value, like the
+/// channel's `[this, m]` delivery closures (40 bytes).
+struct LargePayload {
+  std::uint64_t* counter;
+  std::uint64_t body[4] = {1, 2, 3, 4};
+  void operator()() const { *counter += body[0]; }
+};
+
+/// Set false when any workload loses or invents callback executions; the
+/// process exits nonzero so the CI smoke run catches event-core
+/// regressions, not just determinism breaks.
+bool g_core_ok = true;
+
+void expect_fired(const char* workload, std::uint64_t got,
+                  std::uint64_t want) {
+  if (got != want) {
+    std::cerr << workload << ": executed " << got << " callbacks, expected "
+              << want << "\n";
+    g_core_ok = false;
+  }
+}
+
+/// Schedule `events` callbacks at random times, then pop-execute all.
+/// Returns ops/second (one push + one pop per event).
+template <typename Queue, typename Payload>
+double flood_rate(std::size_t events) {
+  Queue q;
+  sim::Rng rng(7);
+  std::uint64_t fired = 0;
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < events; ++i) {
+    q.push(rng.uniform(0.0, 1000.0), Payload{&fired});
+  }
+  while (!q.empty()) q.pop().action();
+  const double elapsed = seconds_since(start);
+  expect_fired("flood", fired, events);
+  return static_cast<double>(2 * events) / elapsed;
+}
+
+/// The classic DES "hold" pattern: steady-state depth, each round pops the
+/// earliest event and schedules a successor.  Returns ops/second.
+template <typename Queue>
+double hold_rate(std::size_t depth, std::size_t rounds) {
+  Queue q;
+  sim::Rng rng(9);
+  std::uint64_t fired = 0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    q.push(rng.uniform(0.0, 100.0), SmallPayload{&fired});
+  }
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    auto event = q.pop();
+    event.action();
+    q.push(event.time + rng.uniform(0.0, 100.0), SmallPayload{&fired});
+  }
+  const double elapsed = seconds_since(start);
+  while (!q.empty()) q.pop();  // drained without executing
+  expect_fired("hold", fired, rounds);
+  return static_cast<double>(2 * rounds) / elapsed;
+}
+
+/// The soft-state refresh pattern: `live` long-lived timers, each round
+/// re-arms one (cancel + push at a later time).  Returns ops/second.
+template <typename Queue>
+double churn_rate(std::size_t live, std::size_t rounds) {
+  Queue q;
+  sim::Rng rng(11);
+  std::uint64_t fired = 0;
+  std::vector<decltype(q.push(0.0, SmallPayload{nullptr}))> ids;
+  ids.reserve(live);
+  for (std::size_t i = 0; i < live; ++i) {
+    ids.push_back(q.push(rng.uniform(0.0, 100.0), SmallPayload{&fired}));
+  }
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::size_t victim = r % live;
+    q.cancel(ids[victim]);
+    ids[victim] = q.push(100.0 + static_cast<double>(r) * 0.01 + rng.uniform(),
+                         SmallPayload{&fired});
+  }
+  const double elapsed = seconds_since(start);
+  while (!q.empty()) q.pop();  // drained without executing
+  expect_fired("churn", fired, 0);  // every timer was cancelled or drained
+  return static_cast<double>(2 * rounds) / elapsed;
+}
+
+/// Ratio of pooled-queue to reference-queue throughput per workload.
+double add_core_row(exp::Table& table, const std::string& name, double pooled,
+                    double reference) {
+  const double speedup = pooled / reference;
+  table.add_row({name, reference, pooled, speedup});
+  return speedup;
+}
+
+double bench_event_core(exp::Table& table, bool quick) {
+  const std::size_t flood = quick ? 100000 : 1000000;
+  const std::size_t live = 10000;
+  const std::size_t rounds = quick ? 200000 : 2000000;
+  const std::size_t hold_depth = quick ? 10000 : 100000;
+
+  add_core_row(table, "flood, timer-sized capture",
+               flood_rate<sim::EventQueue, SmallPayload>(flood),
+               flood_rate<sim::ReferenceEventQueue, SmallPayload>(flood));
+  add_core_row(table, "flood, delivery-sized capture",
+               flood_rate<sim::EventQueue, LargePayload>(flood),
+               flood_rate<sim::ReferenceEventQueue, LargePayload>(flood));
+  add_core_row(table, "hold, steady depth",
+               hold_rate<sim::EventQueue>(hold_depth, rounds),
+               hold_rate<sim::ReferenceEventQueue>(hold_depth, rounds));
+  // The headline workload: the soft-state refresh/backoff timer churn that
+  // dominates every protocol simulation (see ISSUE/PR notes).
+  return add_core_row(table, "re-arm churn (cancel-heavy)",
+                      churn_rate<sim::EventQueue>(live, rounds),
+                      churn_rate<sim::ReferenceEventQueue>(live, rounds));
+}
+
+// -------------------------------------------------------- session farm --
+
+exp::SessionFarmOptions farm_options(std::size_t sessions,
+                                     exp::ParallelSweep* engine) {
+  exp::SessionFarmOptions options;
+  options.seed = 42;
+  options.sessions = sessions;
+  // Arrival window = N/rate = 30 s against a 60 s mean lifetime: most of
+  // the N sessions are in flight at once in steady state.
+  options.arrival_rate = static_cast<double>(sessions) / 30.0;
+  options.session_lifetime = 60.0;
+  options.engine = engine;
+  return options;
+}
+
+void bench_farm(exp::Table& table, std::size_t sessions,
+                exp::ParallelSweep& engine) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    const auto start = Clock::now();
+    const exp::SessionFarmResult result =
+        run_session_farm(kind, SingleHopParams::kazaa_defaults(),
+                         farm_options(sessions, &engine));
+    const double elapsed = seconds_since(start);
+    table.add_row({"single-hop " + std::string(to_string(kind)),
+                   static_cast<double>(sessions),
+                   static_cast<double>(result.peak_sessions_in_flight),
+                   static_cast<double>(result.events_executed), elapsed,
+                   static_cast<double>(result.events_executed) / elapsed,
+                   static_cast<double>(result.sessions) / elapsed,
+                   result.summary.mean.inconsistency});
+  }
+}
+
+void bench_farm_stress(exp::Table& table, std::size_t sessions,
+                       exp::ParallelSweep& engine) {
+  // One Simulator hosting every session: the true "N concurrent sessions
+  // in one event queue" stress.  peak_sessions_in_flight is exact here.
+  exp::SessionFarmOptions options = farm_options(sessions, &engine);
+  options.shard_size = sessions;
+  const auto start = Clock::now();
+  const exp::SessionFarmResult result =
+      run_session_farm(ProtocolKind::kSSRT, SingleHopParams::kazaa_defaults(),
+                       options);
+  const double elapsed = seconds_since(start);
+  table.add_row({"one-sim stress SS+RT", static_cast<double>(sessions),
+                 static_cast<double>(result.peak_sessions_in_flight),
+                 static_cast<double>(result.events_executed), elapsed,
+                 static_cast<double>(result.events_executed) / elapsed,
+                 static_cast<double>(result.sessions) / elapsed,
+                 result.summary.mean.inconsistency});
+}
+
+void bench_farm_multihop(exp::Table& table, std::size_t sessions,
+                         exp::ParallelSweep& engine) {
+  MultiHopParams params;
+  params.hops = 4;
+  const auto start = Clock::now();
+  const exp::SessionFarmResult result =
+      run_session_farm(ProtocolKind::kSSRT, params,
+                       farm_options(sessions, &engine));
+  const double elapsed = seconds_since(start);
+  table.add_row({"multi-hop SS+RT K=4", static_cast<double>(sessions),
+                 static_cast<double>(result.peak_sessions_in_flight),
+                 static_cast<double>(result.events_executed), elapsed,
+                 static_cast<double>(result.events_executed) / elapsed,
+                 static_cast<double>(result.sessions) / elapsed,
+                 result.summary.mean.inconsistency});
+}
+
+// ---------------------------------------------------------- self-check --
+
+bool summaries_identical(const exp::SessionFarmResult& a,
+                         const exp::SessionFarmResult& b) {
+  return a.summary.mean.inconsistency == b.summary.mean.inconsistency &&
+         a.summary.mean.message_rate == b.summary.mean.message_rate &&
+         a.summary.mean.raw_message_rate == b.summary.mean.raw_message_rate &&
+         a.summary.mean.session_length == b.summary.mean.session_length &&
+         a.summary.inconsistency.half_width ==
+             b.summary.inconsistency.half_width &&
+         a.messages == b.messages && a.events_executed == b.events_executed &&
+         a.receiver_timeouts == b.receiver_timeouts && a.horizon == b.horizon;
+}
+
+/// Farm determinism: results must not depend on thread count or shard size.
+/// (events_executed and the peak do depend on the shard decomposition, so
+/// the shard-size check compares the metric fields only.)
+bool self_check(exp::Table& table) {
+  exp::SessionFarmOptions base = farm_options(1500, nullptr);
+  bool all_ok = true;
+
+  base.threads = 1;
+  base.shard_size = 512;
+  const exp::SessionFarmResult serial = run_session_farm(
+      ProtocolKind::kSS, SingleHopParams::kazaa_defaults(), base);
+  for (const std::size_t threads : {2, 8}) {
+    exp::SessionFarmOptions opt = base;
+    opt.threads = threads;
+    const exp::SessionFarmResult parallel = run_session_farm(
+        ProtocolKind::kSS, SingleHopParams::kazaa_defaults(), opt);
+    const bool ok = summaries_identical(serial, parallel);
+    all_ok = all_ok && ok;
+    table.add_row({"threads=" + std::to_string(threads) + " vs 1",
+                   ok ? "identical" : "MISMATCH -- BUG"});
+  }
+
+  exp::SessionFarmOptions resharded = base;
+  resharded.shard_size = 97;  // deliberately ragged
+  const exp::SessionFarmResult other = run_session_farm(
+      ProtocolKind::kSS, SingleHopParams::kazaa_defaults(), resharded);
+  const bool ok =
+      serial.summary.mean.inconsistency == other.summary.mean.inconsistency &&
+      serial.summary.mean.message_rate == other.summary.mean.message_rate &&
+      serial.summary.inconsistency.half_width ==
+          other.summary.inconsistency.half_width &&
+      serial.messages == other.messages &&
+      serial.receiver_timeouts == other.receiver_timeouts;
+  all_ok = all_ok && ok;
+  table.add_row(
+      {"shard_size=97 vs 512", ok ? "identical" : "MISMATCH -- BUG"});
+  return all_ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == "--quick") quick = true;
+    }
+    const std::size_t threads = exp::threads_from_args(argc, argv);
+    exp::ParallelSweep engine(threads);
+
+    exp::Table core("event core: pooled EventQueue vs pre-refactor reference "
+                    "(ops/s; one push+pop or cancel+push per op pair)",
+                    {"workload", "reference ops/s", "pooled ops/s", "speedup"});
+    const double churn_speedup = bench_event_core(core, quick);
+    core.print(std::cout);
+    std::cout << '\n';
+
+    exp::Table farm("session farm scale (single-hop sessions per protocol)",
+                    {"workload", "sessions", "peak in flight", "events",
+                     "seconds", "events/s", "sessions/s", "I (mean)"});
+    const std::vector<std::size_t> ns =
+        quick ? std::vector<std::size_t>{200, 1000}
+              : std::vector<std::size_t>{1000, 10000, 100000};
+    for (const std::size_t n : ns) bench_farm(farm, n, engine);
+    // 120k sessions against a 30 s arrival window and 60 s lifetimes puts
+    // the peak above 100k sessions concurrently inside ONE simulator.
+    bench_farm_stress(farm, quick ? 2000 : 120000, engine);
+    bench_farm_multihop(farm, quick ? 200 : 10000, engine);
+    farm.print(std::cout);
+    std::cout << '\n';
+
+    exp::Table check("determinism self-check (SS, 1500 sessions)",
+                     {"comparison", "result"});
+    const bool deterministic = self_check(check);
+    check.print(std::cout);
+    std::cout << "\nevent-core speedup on the soft-state churn workload: "
+              << churn_speedup << "x\n";
+
+    const std::string csv = exp::csv_path_from_args(argc, argv);
+    if (!csv.empty()) {
+      core.write_csv_file(csv);
+      farm.write_csv_file(csv + ".farm.csv");
+    }
+    return (deterministic && g_core_ok) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "perf_scale: " << e.what() << '\n';
+    return 2;
+  }
+}

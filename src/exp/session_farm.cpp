@@ -1,0 +1,466 @@
+#include "exp/session_farm.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "protocols/chain.hpp"
+#include "protocols/engine.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace sigcomp::exp {
+
+namespace {
+
+using protocols::MessageChannel;
+using protocols::Message;
+
+void validate_options(const SessionFarmOptions& options) {
+  if (options.sessions == 0) {
+    throw std::invalid_argument("SessionFarmOptions: sessions must be > 0");
+  }
+  if (options.arrival_rate <= 0.0) {
+    throw std::invalid_argument("SessionFarmOptions: arrival_rate must be > 0");
+  }
+  if (options.session_lifetime <= 0.0) {
+    throw std::invalid_argument(
+        "SessionFarmOptions: session_lifetime must be > 0");
+  }
+  if (options.shard_size == 0) {
+    throw std::invalid_argument("SessionFarmOptions: shard_size must be > 0");
+  }
+}
+
+/// Callbacks a session uses to report lifecycle transitions to its shard.
+struct ShardHooks {
+  std::size_t active = 0;
+  std::size_t peak = 0;
+  std::size_t completed = 0;
+
+  void on_started() {
+    ++active;
+    peak = std::max(peak, active);
+  }
+  void on_completed() {
+    --active;
+    ++completed;
+  }
+};
+
+/// Per-session randomness: five independent streams keyed to the session's
+/// global index, mirroring the stream layout of the single-hop harness.
+struct SessionRngs {
+  sim::Rng channel;
+  sim::Rng sender;
+  sim::Rng receiver;
+  sim::Rng lifecycle;
+  sim::Rng failure;
+
+  SessionRngs(std::uint64_t base_seed, std::uint64_t global_index)
+      : channel(replica_seed(base_seed, global_index, 0), 0),
+        sender(replica_seed(base_seed, global_index, 0), 1),
+        receiver(replica_seed(base_seed, global_index, 0), 2),
+        lifecycle(replica_seed(base_seed, global_index, 0), 3),
+        failure(replica_seed(base_seed, global_index, 0), 4) {}
+};
+
+/// One single-hop session: arrival -> install -> updates -> removal ->
+/// absorption, measured over [arrival, absorption].  A one-shot version of
+/// the renewal construction in protocols/single_hop_run.cpp.
+class SingleHopSession {
+ public:
+  SingleHopSession(sim::Simulator& sim, ProtocolKind kind,
+                   const SingleHopParams& params,
+                   const SessionFarmOptions& options,
+                   std::uint64_t global_index, ShardHooks& hooks)
+      : sim_(sim),
+        params_(params),
+        options_(options),
+        mech_(mechanisms(kind)),
+        hooks_(hooks),
+        rngs_(options.seed, global_index),
+        forward_(sim, rngs_.channel, params.loss_config(),
+                 sim::DelayConfig{options.delay_model, params.delay,
+                                  options.delay_shape},
+                 [this](const Message& m) { receiver_->handle(m); }),
+        reverse_(sim, rngs_.channel, params.loss_config(),
+                 sim::DelayConfig{options.delay_model, params.delay,
+                                  options.delay_shape},
+                 [this](const Message& m) { sender_->handle(m); }) {
+    protocols::TimerSettings timers{options.timer_dist, params.refresh_timer,
+                                    params.timeout_timer,
+                                    params.retrans_timer};
+    sender_ = std::make_unique<protocols::SenderEngine>(
+        sim_, rngs_.sender, mech_, timers, forward_, [this] { on_change(); });
+    receiver_ = std::make_unique<protocols::ReceiverEngine>(
+        sim_, rngs_.receiver, mech_, timers, reverse_,
+        [this] { on_change(); });
+    // Staggered Poisson arrivals: conditioned on N arrivals in the window,
+    // arrival times are iid uniform over it -- and drawing from the
+    // session's own stream keys the time to the global index alone.
+    const double window =
+        static_cast<double>(options.sessions) / options.arrival_rate;
+    arrival_ = window * rngs_.lifecycle.uniform();
+    lifetime_ = rngs_.lifecycle.exponential(options.session_lifetime);
+    sim_.schedule_at(arrival_, [this] { begin(); });
+  }
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  /// Counters frozen at absorption time, so results cannot depend on which
+  /// straggler events the shard's simulator happened to execute afterwards.
+  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+  [[nodiscard]] std::uint64_t receiver_timeouts() const noexcept {
+    return timeouts_;
+  }
+
+ private:
+  void begin() {
+    hooks_.on_started();
+    inconsistent_ = sim::TimeWeightedValue(arrival_);
+    sender_->begin_epoch(1);
+    receiver_->begin_epoch(1);
+    sender_->install(++version_);
+    schedule_update();
+    removal_event_ = sim_.schedule_in(lifetime_, [this] {
+      removal_event_.reset();
+      sender_removed_ = true;
+      sender_->remove();
+      check_absorption();
+    });
+    if (mech_.external_failure_detector && params_.false_signal_rate > 0.0) {
+      schedule_false_signal();
+    }
+    on_change();
+  }
+
+  void schedule_update() {
+    if (params_.update_rate <= 0.0) return;
+    update_event_ = sim_.schedule_in(
+        rngs_.lifecycle.exponential(1.0 / params_.update_rate), [this] {
+          update_event_.reset();
+          if (!sender_removed_ && sender_->value()) {
+            sender_->update(++version_);
+          }
+          schedule_update();
+        });
+  }
+
+  void schedule_false_signal() {
+    false_signal_event_ = sim_.schedule_in(
+        rngs_.failure.exponential(1.0 / params_.false_signal_rate), [this] {
+          false_signal_event_.reset();
+          receiver_->external_removal_signal();
+          schedule_false_signal();
+        });
+  }
+
+  void cancel(std::optional<sim::EventId>& id) {
+    if (id) {
+      sim_.cancel(*id);
+      id.reset();
+    }
+  }
+
+  void on_change() {
+    if (done_) return;
+    const bool consistent = sender_->value() == receiver_->value();
+    inconsistent_.set(sim_.now(), consistent ? 0.0 : 1.0);
+    check_absorption();
+  }
+
+  void check_absorption() {
+    if (done_ || !sender_removed_ || receiver_->value()) return;
+    done_ = true;
+    const double end = sim_.now();
+    const double length = end - arrival_;
+    messages_ = forward_.counters().sent + reverse_.counters().sent;
+    timeouts_ = receiver_->timeouts();
+    const auto sent = static_cast<double>(messages_);
+    metrics_.inconsistency = inconsistent_.mean(end);
+    metrics_.session_length = length;
+    metrics_.raw_message_rate = length > 0.0 ? sent / length : 0.0;
+    // M-bar = (messages per session) * lambda_r, as in Eq. (2); the farm's
+    // removal rate is 1 / mean lifetime.
+    metrics_.message_rate = sent / options_.session_lifetime;
+    cancel(update_event_);
+    cancel(false_signal_event_);
+    cancel(removal_event_);
+    // Jump both engines to a dead epoch: stragglers still in flight can no
+    // longer resurrect state (there is no next session to protect, but a
+    // resurrected receiver would re-arm timers and skew event counts).
+    sender_->begin_epoch(2);
+    receiver_->begin_epoch(2);
+    hooks_.on_completed();
+  }
+
+  sim::Simulator& sim_;
+  // The shard keeps params/options alive for the sessions' whole lifetime;
+  // 100k sessions should not hold 100k copies.
+  const SingleHopParams& params_;
+  const SessionFarmOptions& options_;
+  MechanismSet mech_;
+  ShardHooks& hooks_;
+  SessionRngs rngs_;
+  MessageChannel forward_;
+  MessageChannel reverse_;
+  std::unique_ptr<protocols::SenderEngine> sender_;
+  std::unique_ptr<protocols::ReceiverEngine> receiver_;
+
+  double arrival_ = 0.0;
+  double lifetime_ = 0.0;
+  std::int64_t version_ = 0;
+  bool sender_removed_ = false;
+  bool done_ = false;
+  std::uint64_t messages_ = 0;
+  std::uint64_t timeouts_ = 0;
+  sim::TimeWeightedValue inconsistent_;
+  std::optional<sim::EventId> update_event_;
+  std::optional<sim::EventId> removal_event_;
+  std::optional<sim::EventId> false_signal_event_;
+  Metrics metrics_;
+};
+
+/// One multi-hop chain session: arrival -> start -> updates, measured over
+/// the lifetime window [arrival, arrival + lifetime], then silently torn
+/// down with ChainSender/ChainRelay::stop().
+class MultiHopSession {
+ public:
+  MultiHopSession(sim::Simulator& sim, ProtocolKind kind,
+                  const MultiHopParams& params,
+                  const SessionFarmOptions& options,
+                  std::uint64_t global_index, ShardHooks& hooks)
+      : sim_(sim),
+        params_(params),
+        options_(options),
+        mech_(mechanisms(kind)),
+        hooks_(hooks),
+        rngs_(options.seed, global_index) {
+    protocols::TimerSettings timers{options.timer_dist, params.refresh_timer,
+                                    params.timeout_timer,
+                                    params.retrans_timer};
+    const std::vector<sim::LossConfig> hop_loss(params.hops,
+                                                params.loss_config());
+    const std::vector<sim::DelayConfig> hop_delay(
+        params.hops, sim::DelayConfig{options.delay_model, params.delay,
+                                      options.delay_shape});
+    // Nodes use distinct streams in the single-hop farm; the chain keeps
+    // the multi-hop harness convention of one node stream.
+    chain_ = std::make_unique<protocols::Chain>(
+        sim, rngs_.channel, rngs_.sender, mech_, timers, hop_loss, hop_delay,
+        [this] { on_change(); });
+    const double window =
+        static_cast<double>(options.sessions) / options.arrival_rate;
+    arrival_ = window * rngs_.lifecycle.uniform();
+    lifetime_ = rngs_.lifecycle.exponential(options.session_lifetime);
+    sim_.schedule_at(arrival_, [this] { begin(); });
+  }
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  /// Counters frozen at window end: stragglers delivered to a stopped
+  /// chain may still execute (and even re-install relay state briefly),
+  /// and how many do depends on how long the shard keeps simulating --
+  /// snapshotting keeps results independent of the shard decomposition.
+  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+  [[nodiscard]] std::uint64_t receiver_timeouts() const noexcept {
+    return timeouts_;
+  }
+
+ private:
+  void begin() {
+    hooks_.on_started();
+    inconsistent_ = sim::TimeWeightedValue(arrival_);
+    chain_->sender().start(++version_);
+    schedule_update();
+    if (mech_.external_failure_detector && params_.false_signal_rate > 0.0) {
+      false_signal_events_.resize(chain_->hops());
+      for (std::size_t i = 0; i < chain_->hops(); ++i) {
+        schedule_false_signal(i);
+      }
+    }
+    sim_.schedule_in(lifetime_, [this] { finish(); });
+    on_change();
+  }
+
+  void schedule_update() {
+    if (params_.update_rate <= 0.0) return;
+    update_event_ = sim_.schedule_in(
+        rngs_.lifecycle.exponential(1.0 / params_.update_rate), [this] {
+          update_event_.reset();
+          chain_->sender().update(++version_);
+          schedule_update();
+        });
+  }
+
+  void schedule_false_signal(std::size_t relay) {
+    false_signal_events_[relay] = sim_.schedule_in(
+        rngs_.failure.exponential(1.0 / params_.false_signal_rate),
+        [this, relay] {
+          false_signal_events_[relay].reset();
+          chain_->relay(relay).external_removal_signal();
+          schedule_false_signal(relay);
+        });
+  }
+
+  void on_change() {
+    if (done_) return;
+    bool all_ok = true;
+    for (std::size_t i = 0; i < chain_->hops(); ++i) {
+      all_ok = all_ok && chain_->relay(i).value() == chain_->sender().value();
+    }
+    inconsistent_.set(sim_.now(), all_ok ? 0.0 : 1.0);
+  }
+
+  void finish() {
+    done_ = true;
+    const double end = sim_.now();
+    messages_ = chain_->messages_sent();
+    timeouts_ = chain_->relay_timeouts();
+    const auto sent = static_cast<double>(messages_);
+    metrics_.inconsistency = inconsistent_.mean(end);
+    metrics_.session_length = lifetime_;
+    metrics_.raw_message_rate = lifetime_ > 0.0 ? sent / lifetime_ : 0.0;
+    metrics_.message_rate = metrics_.raw_message_rate;
+    if (update_event_) {
+      sim_.cancel(*update_event_);
+      update_event_.reset();
+    }
+    for (auto& id : false_signal_events_) {
+      if (id) sim_.cancel(*id);
+    }
+    false_signal_events_.clear();
+    chain_->stop();
+    hooks_.on_completed();
+  }
+
+  sim::Simulator& sim_;
+  const MultiHopParams& params_;
+  const SessionFarmOptions& options_;
+  MechanismSet mech_;
+  ShardHooks& hooks_;
+  SessionRngs rngs_;
+  std::unique_ptr<protocols::Chain> chain_;
+
+  double arrival_ = 0.0;
+  double lifetime_ = 0.0;
+  std::int64_t version_ = 0;
+  bool done_ = false;
+  std::uint64_t messages_ = 0;
+  std::uint64_t timeouts_ = 0;
+  sim::TimeWeightedValue inconsistent_;
+  std::optional<sim::EventId> update_event_;
+  std::vector<std::optional<sim::EventId>> false_signal_events_;
+  Metrics metrics_;
+};
+
+/// Everything one shard reports back to the aggregator.
+struct ShardOutcome {
+  std::vector<Metrics> per_session;  ///< in global session order
+  std::uint64_t messages = 0;
+  std::uint64_t events = 0;
+  std::uint64_t receiver_timeouts = 0;
+  double end_time = 0.0;
+  std::size_t peak = 0;
+};
+
+/// Simulates sessions [first, first + count) of the farm in one Simulator.
+template <typename Session, typename Params>
+ShardOutcome run_shard(ProtocolKind kind, const Params& params,
+                       const SessionFarmOptions& options, std::size_t first,
+                       std::size_t count) {
+  sim::Simulator sim;
+  ShardHooks hooks;
+  std::vector<std::unique_ptr<Session>> sessions;
+  sessions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sessions.push_back(std::make_unique<Session>(
+        sim, kind, params, options, static_cast<std::uint64_t>(first + i),
+        hooks));
+  }
+  while (hooks.completed < count && sim.step()) {
+  }
+  if (hooks.completed < count) {
+    throw std::logic_error("session farm: shard stalled before completing");
+  }
+
+  ShardOutcome out;
+  out.per_session.reserve(count);
+  for (const auto& session : sessions) {
+    out.per_session.push_back(session->metrics());
+    out.messages += session->messages();
+    out.receiver_timeouts += session->receiver_timeouts();
+  }
+  out.events = sim.events_executed();
+  out.end_time = sim.now();
+  out.peak = hooks.peak;
+  return out;
+}
+
+template <typename Session, typename Params>
+SessionFarmResult run_farm(ProtocolKind kind, const Params& params,
+                           const SessionFarmOptions& options) {
+  validate_options(options);
+  params.validate();
+
+  const std::size_t n = options.sessions;
+  const std::size_t shard_size = std::min(options.shard_size, n);
+  const std::size_t shards = (n + shard_size - 1) / shard_size;
+
+  std::optional<ParallelSweep> local_engine;
+  ParallelSweep* engine = options.engine;
+  if (engine == nullptr) {
+    local_engine.emplace(options.threads);
+    engine = &*local_engine;
+  }
+
+  const std::vector<ShardOutcome> outcomes =
+      engine->map_indexed(shards, [&](std::size_t shard) {
+        const std::size_t first = shard * shard_size;
+        const std::size_t count = std::min(shard_size, n - first);
+        return run_shard<Session>(kind, params, options, first, count);
+      });
+
+  SessionFarmResult result;
+  result.shards = shards;
+  std::vector<Metrics> all_sessions;
+  all_sessions.reserve(n);
+  for (const ShardOutcome& outcome : outcomes) {
+    all_sessions.insert(all_sessions.end(), outcome.per_session.begin(),
+                        outcome.per_session.end());
+    result.messages += outcome.messages;
+    result.events_executed += outcome.events;
+    result.receiver_timeouts += outcome.receiver_timeouts;
+    result.horizon = std::max(result.horizon, outcome.end_time);
+    result.peak_sessions_in_flight += outcome.peak;
+  }
+  result.sessions = all_sessions.size();
+  result.summary = summarize_replicas(all_sessions);
+  return result;
+}
+
+}  // namespace
+
+SessionFarmResult run_session_farm(ProtocolKind kind,
+                                   const SingleHopParams& params,
+                                   const SessionFarmOptions& options) {
+  return run_farm<SingleHopSession>(kind, params, options);
+}
+
+SessionFarmResult run_session_farm(ProtocolKind kind,
+                                   const MultiHopParams& params,
+                                   const SessionFarmOptions& options) {
+  if (std::find(kMultiHopProtocols.begin(), kMultiHopProtocols.end(), kind) ==
+      kMultiHopProtocols.end()) {
+    throw std::invalid_argument(
+        "run_session_farm: multi-hop sessions need SS, SS+RT or HS");
+  }
+  return run_farm<MultiHopSession>(kind, params, options);
+}
+
+}  // namespace sigcomp::exp

@@ -1,0 +1,91 @@
+// Many-session scale harness: drives N concurrent signaling sessions --
+// single-hop sender/receiver pairs or multi-hop chains -- inside shared
+// discrete-event simulators, the way a real RSVP/IGMP-style router juggles
+// hundreds of thousands of soft-state sessions at once.
+//
+// Workload model: session i (i = 0..N-1) arrives at a time drawn uniformly
+// from the arrival window [0, N / arrival_rate) -- the order statistics of a
+// Poisson process of rate `arrival_rate` conditioned on N arrivals -- lives
+// an exponential lifetime with the configured mean, is removed gracefully,
+// and is measured from arrival to absorption (single-hop) or over its
+// lifetime window (multi-hop).  Per-session metrics aggregate into the
+// MetricsSummary machinery: each session is one "replica".
+//
+// Determinism contract (the ParallelSweep contract, extended): every
+// session's randomness is keyed to its GLOBAL index through
+// replica_seed(seed, session, stream), and sessions never interact, so
+// results are bit-identical at any thread count AND any shard size.  Shards
+// partition [0, N) into fixed consecutive blocks, each simulated in its own
+// Simulator and fanned across the pool; per-session metrics are concatenated
+// back in global session order before summarizing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "exp/parallel.hpp"
+#include "sim/channel_process.hpp"
+#include "sim/rng.hpp"
+
+namespace sigcomp::exp {
+
+/// Workload and execution options of a session-farm run.
+struct SessionFarmOptions {
+  std::uint64_t seed = 1;        ///< base seed of the per-session keying
+  std::size_t sessions = 1000;   ///< N: total sessions to drive
+  /// Poisson arrival rate (sessions/second).  The arrival window is
+  /// N / arrival_rate long; with lifetimes longer than the window most of
+  /// the N sessions are concurrently in flight.
+  double arrival_rate = 100.0;
+  double session_lifetime = 60.0;  ///< mean exponential lifetime (seconds)
+  sim::Distribution timer_dist = sim::Distribution::kDeterministic;
+  sim::DelayModel delay_model = sim::DelayModel::kExponential;
+  double delay_shape = 1.5;
+  /// Sessions per shard (per Simulator).  Shard boundaries are fixed by
+  /// this value alone, so results do not depend on the thread count; they
+  /// do not depend on the shard size either (see the file comment), which
+  /// lets the scale bench pit one 100k-session simulator against many
+  /// small ones and get the same numbers.
+  std::size_t shard_size = 4096;
+  /// Worker threads when no engine is passed (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Optional shared pool; `threads` is ignored when set.
+  ParallelSweep* engine = nullptr;
+};
+
+/// Aggregate outcome of a farm run.
+struct SessionFarmResult {
+  /// Per-session metrics summarized as mean/stddev/95%-CI ("replications"
+  /// = completed sessions).
+  MetricsSummary summary;
+  std::size_t sessions = 0;  ///< completed sessions (== options.sessions)
+  std::size_t shards = 0;
+  std::uint64_t messages = 0;  ///< signaling messages across all sessions
+  std::uint64_t events_executed = 0;  ///< simulator events across all shards
+  std::uint64_t receiver_timeouts = 0;  ///< soft-state timeout expirations
+  /// Latest session end time across shards (the simulated horizon).
+  double horizon = 0.0;
+  /// Peak number of sessions simultaneously in flight, summed over shards.
+  /// Exact when everything runs in one shard; an upper bound otherwise
+  /// (per-shard peaks need not align in simulated time).
+  std::size_t peak_sessions_in_flight = 0;
+};
+
+/// Runs N single-hop sessions of `kind`.  `params.removal_rate` is ignored
+/// (the lifetime law comes from the options); everything else -- loss
+/// process, delay, timers, update rate -- is honored per session.  Throws
+/// std::invalid_argument on bad options.
+[[nodiscard]] SessionFarmResult run_session_farm(
+    ProtocolKind kind, const SingleHopParams& params,
+    const SessionFarmOptions& options);
+
+/// Runs N multi-hop chain sessions of `kind` (SS, SS+RT or HS) with
+/// `params.hops` hops each.  Sessions are measured over their lifetime
+/// window and then silently torn down (protocols::ChainSender::stop).
+[[nodiscard]] SessionFarmResult run_session_farm(
+    ProtocolKind kind, const MultiHopParams& params,
+    const SessionFarmOptions& options);
+
+}  // namespace sigcomp::exp

@@ -1,0 +1,67 @@
+// A fully wired multi-hop signaling chain: sender -> relay 1 -> ... ->
+// relay K with per-hop bidirectional channels, sinks connected, and
+// optional per-hop tracing.  One builder shared by the multi-hop harness
+// (protocols/multi_hop_run.cpp) and the session farm (exp/session_farm.cpp)
+// so the two can never drift apart in topology or wiring.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "protocols/engine.hpp"
+#include "protocols/multi_hop_node.hpp"
+#include "sim/channel_process.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace sigcomp::protocols {
+
+/// Owns the chain's nodes and channels.  Hop i's two directions share the
+/// link's loss and delay configuration; channel trace labels are "dn<i>"
+/// (toward the tail) and "up<i>" (toward the sender).
+class Chain {
+ public:
+  /// `hop_loss` and `hop_delay` must have equal, nonzero size K.  Both
+  /// `channel_rng` and `node_rng` must outlive the chain.
+  Chain(sim::Simulator& sim, sim::Rng& channel_rng, sim::Rng& node_rng,
+        MechanismSet mech, const TimerSettings& timers,
+        const std::vector<sim::LossConfig>& hop_loss,
+        const std::vector<sim::DelayConfig>& hop_delay,
+        std::function<void()> on_change, sim::TraceLog* trace = nullptr);
+
+  Chain(const Chain&) = delete;
+  Chain& operator=(const Chain&) = delete;
+
+  [[nodiscard]] std::size_t hops() const noexcept { return relays_.size(); }
+  [[nodiscard]] ChainSender& sender() noexcept { return *sender_; }
+  [[nodiscard]] const ChainSender& sender() const noexcept { return *sender_; }
+  [[nodiscard]] ChainRelay& relay(std::size_t i) { return *relays_[i]; }
+  [[nodiscard]] const ChainRelay& relay(std::size_t i) const {
+    return *relays_[i];
+  }
+
+  /// Messages handed to hop i's channels (both directions).
+  [[nodiscard]] std::uint64_t hop_messages_sent(std::size_t i) const noexcept;
+
+  /// Messages handed to all channels of the chain.
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept;
+
+  /// Soft-state timeout expirations summed across relays.
+  [[nodiscard]] std::uint64_t relay_timeouts() const noexcept;
+
+  /// Silently tears the whole chain down (ChainSender/ChainRelay::stop):
+  /// state cleared, timers cancelled, nothing signaled.
+  void stop();
+
+ private:
+  std::vector<std::unique_ptr<MessageChannel>> down_;  ///< i: node i -> i+1
+  std::vector<std::unique_ptr<MessageChannel>> up_;  ///< i: relay i+1 -> node i
+  std::unique_ptr<ChainSender> sender_;
+  std::vector<std::unique_ptr<ChainRelay>> relays_;
+};
+
+}  // namespace sigcomp::protocols

@@ -98,6 +98,15 @@ void ChainSender::arm_refresh() {
       });
 }
 
+void ChainSender::stop() {
+  value_.reset();
+  if (refresh_timer_) {
+    sim_.cancel(*refresh_timer_);
+    refresh_timer_.reset();
+  }
+  reliable_down_.cancel();
+}
+
 void ChainSender::handle_from_downstream(const Message& msg) {
   switch (msg.type) {
     case MessageType::kAckTrigger:
@@ -240,6 +249,13 @@ void ChainRelay::handle_from_downstream(const Message& msg) {
     default:
       break;
   }
+}
+
+void ChainRelay::stop() {
+  value_.reset();
+  clear_timeout();
+  reliable_up_.cancel();
+  reliable_down_.cancel();
 }
 
 void ChainRelay::external_removal_signal() {

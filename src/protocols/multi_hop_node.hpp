@@ -71,6 +71,11 @@ class ChainSender {
   /// Message arriving from relay 1 (ACKs, notices).
   void handle_from_downstream(const Message& msg);
 
+  /// Silently ends the session: clears state and cancels every pending
+  /// timer WITHOUT signaling anything.  Used by the session farm when a
+  /// finite-lifetime chain session's observation window closes.
+  void stop();
+
   [[nodiscard]] std::optional<std::int64_t> value() const noexcept { return value_; }
 
  private:
@@ -106,6 +111,9 @@ class ChainRelay {
   /// HS external failure detector fired (falsely) at this node: remove
   /// state, notify upstream (toward the sender) and tear down downstream.
   void external_removal_signal();
+
+  /// Silently ends the session (see ChainSender::stop).
+  void stop();
 
   [[nodiscard]] std::optional<std::int64_t> value() const noexcept { return value_; }
   [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }

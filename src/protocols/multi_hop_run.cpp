@@ -4,8 +4,9 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
-#include "protocols/multi_hop_node.hpp"
+#include "protocols/chain.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -39,45 +40,24 @@ class MultiHopRun {
     timers.timeout = params_.timeout_timer;
     timers.retrans = params_.retrans_timer;
 
-    // Channels first (nodes keep pointers to them); sinks wired afterwards.
     // Hop i's forward and reverse directions share the link's loss/delay.
+    std::vector<sim::LossConfig> hop_loss;
+    std::vector<sim::DelayConfig> hop_delay;
     for (std::size_t i = 0; i < k; ++i) {
-      const sim::LossConfig hop_loss = params_.hop_loss_config(i);
-      const sim::DelayConfig hop_delay{options.delay_model, params_.delay[i],
-                                       options.delay_shape};
-      down_.push_back(std::make_unique<MessageChannel>(
-          sim_, rng_channel_, hop_loss, hop_delay, MessageChannel::Sink{}));
-      up_.push_back(std::make_unique<MessageChannel>(
-          sim_, rng_channel_, hop_loss, hop_delay, MessageChannel::Sink{}));
+      hop_loss.push_back(params_.hop_loss_config(i));
+      hop_delay.push_back(sim::DelayConfig{options.delay_model,
+                                           params_.delay[i],
+                                           options.delay_shape});
     }
-
-    sender_ = std::make_unique<ChainSender>(sim_, rng_nodes_, mech_, timers,
-                                            down_[0].get(), [this] { on_change(); });
-    for (std::size_t i = 0; i < k; ++i) {
-      MessageChannel* toward_sender = up_[i].get();
-      MessageChannel* toward_tail = (i + 1 < k) ? down_[i + 1].get() : nullptr;
-      relays_.push_back(std::make_unique<ChainRelay>(
-          sim_, rng_nodes_, mech_, timers, toward_sender, toward_tail,
-          [this] { on_change(); }));
-    }
-
-    for (std::size_t i = 0; i < k; ++i) {
-      down_[i]->set_sink(
-          [this, i](const Message& m) { relays_[i]->handle_from_upstream(m); });
-      up_[i]->set_sink([this, i](const Message& m) {
-        if (i == 0) {
-          sender_->handle_from_downstream(m);
-        } else {
-          relays_[i - 1]->handle_from_downstream(m);
-        }
-      });
-    }
+    chain_ = std::make_unique<Chain>(sim_, rng_channel_, rng_nodes_, mech_,
+                                     timers, hop_loss, hop_delay,
+                                     [this] { on_change(); }, options_.trace);
 
     inconsistent_hops_.assign(k, sim::TimeWeightedValue{});
   }
 
   MultiHopSimResult run() {
-    sender_->start(++version_);
+    chain_->sender().start(++version_);
     schedule_update();
     if (mech_.external_failure_detector && params_.false_signal_rate > 0.0) {
       for (std::size_t i = 0; i < params_.hops(); ++i) schedule_false_signal(i);
@@ -86,11 +66,11 @@ class MultiHopRun {
 
     MultiHopSimResult out;
     out.duration = options_.duration;
+    out.messages = chain_->messages_sent();
+    out.relay_timeouts = chain_->relay_timeouts();
     for (std::size_t i = 0; i < params_.hops(); ++i) {
-      out.messages += down_[i]->counters().sent + up_[i]->counters().sent;
       out.hop_inconsistency.push_back(
           inconsistent_hops_[i].mean(options_.duration));
-      out.relay_timeouts += relays_[i]->timeouts();
     }
     out.metrics.inconsistency = any_inconsistent_.mean(options_.duration);
     out.metrics.raw_message_rate =
@@ -104,7 +84,7 @@ class MultiHopRun {
     if (params_.update_rate <= 0.0) return;
     sim_.schedule_in(rng_lifecycle_.exponential(1.0 / params_.update_rate),
                      [this] {
-                       sender_->update(++version_);
+                       chain_->sender().update(++version_);
                        schedule_update();
                      });
   }
@@ -113,15 +93,15 @@ class MultiHopRun {
     sim_.schedule_in(
         rng_failure_.exponential(1.0 / params_.false_signal_rate),
         [this, relay] {
-          relays_[relay]->external_removal_signal();
+          chain_->relay(relay).external_removal_signal();
           schedule_false_signal(relay);
         });
   }
 
   void on_change() {
     bool all_ok = true;
-    for (std::size_t i = 0; i < relays_.size(); ++i) {
-      const bool ok = relays_[i]->value() == sender_->value();
+    for (std::size_t i = 0; i < chain_->hops(); ++i) {
+      const bool ok = chain_->relay(i).value() == chain_->sender().value();
       inconsistent_hops_[i].set(sim_.now(), ok ? 0.0 : 1.0);
       all_ok = all_ok && ok;
     }
@@ -137,10 +117,7 @@ class MultiHopRun {
   sim::Rng rng_nodes_;
   sim::Rng rng_lifecycle_;
   sim::Rng rng_failure_;
-  std::vector<std::unique_ptr<MessageChannel>> down_;  ///< i: node i -> i+1
-  std::vector<std::unique_ptr<MessageChannel>> up_;    ///< i: relay i+1 -> node i
-  std::unique_ptr<ChainSender> sender_;
-  std::vector<std::unique_ptr<ChainRelay>> relays_;
+  std::unique_ptr<Chain> chain_;
 
   std::vector<sim::TimeWeightedValue> inconsistent_hops_;
   sim::TimeWeightedValue any_inconsistent_;

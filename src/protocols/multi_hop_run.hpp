@@ -13,6 +13,7 @@
 #include "sim/channel_process.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace.hpp"
 
 namespace sigcomp::protocols {
 
@@ -26,6 +27,11 @@ struct MultiHopSimOptions {
   /// HeteroMultiHopParams::loss_process).
   sim::DelayModel delay_model = sim::DelayModel::kExponential;
   double delay_shape = 1.5;
+  /// Optional trace sink; when set, every per-hop channel records its
+  /// send/drop/deliver events (labels "dn0"/"up0", "dn1"/"up1", ...).
+  /// Formatting is fully skipped when null -- tracing costs nothing when
+  /// absent.
+  sim::TraceLog* trace = nullptr;
 };
 
 struct MultiHopSimResult {

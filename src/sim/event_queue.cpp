@@ -1,8 +1,6 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <functional>
 #include <stdexcept>
 
 namespace sigcomp::sim {
@@ -13,30 +11,96 @@ namespace {
 // would just thrash on the tiny queues every protocol run starts with.
 constexpr std::size_t kCompactionThreshold = 64;
 
+// 4-ary heap: shallower than binary (log4 vs log2 levels) and the four
+// children of a node share cache lines, which is what the pop path is
+// bound by at scale-harness queue depths.
+constexpr std::size_t kArity = 4;
+
 }  // namespace
 
-EventId EventQueue::push(Time time, std::function<void()> action) {
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  if (slots_.size() >= kMaxSlots) {
+    throw std::length_error("EventQueue: slot pool exhausted");
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  s.action.reset();
+  s.seq = 0;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::sift_up(std::size_t i) noexcept {
+  HeapEntry moving = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(moving, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = moving;
+}
+
+void EventQueue::sift_down(std::size_t i) const noexcept {
+  const std::size_t n = heap_.size();
+  HeapEntry moving = heap_[i];
+  while (true) {
+    const std::size_t first_child = i * kArity + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child =
+        first_child + kArity < n ? first_child + kArity : n;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], moving)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moving;
+}
+
+void EventQueue::heap_remove_front() const noexcept {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+EventId EventQueue::push(Time time, EventCallback action) {
   if (!std::isfinite(time)) {
     throw std::invalid_argument("EventQueue::push: time must be finite");
   }
   if (!action) {
     throw std::invalid_argument("EventQueue::push: empty action");
   }
+  if (next_seq_ >= kMaxSeq) {
+    throw std::length_error("EventQueue: sequence space exhausted");
+  }
   const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Entry{time, seq});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  actions_.emplace(seq, std::move(action));
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].seq = seq;
+  slots_[slot].action = std::move(action);
+  heap_.push_back(HeapEntry{time, (seq << kSlotBits) | slot});
+  sift_up(heap_.size() - 1);
   ++live_;
-  return EventId{seq};
+  return EventId{seq, slot};
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = actions_.find(id.value);
-  if (it == actions_.end()) return false;
-  actions_.erase(it);
-  cancelled_.insert(id.value);
+  if (id.value == 0 || id.slot >= slots_.size()) return false;
+  if (slots_[id.slot].seq != id.value) return false;
+  release_slot(id.slot);
   --live_;
-  // Reclaim eagerly once dead entries outnumber live ones, so a
+  // Reclaim eagerly once dead husks outnumber live events, so a
   // cancel-heavy run (soft-state refresh churn) holds O(live) memory
   // instead of O(cancelled).
   if (heap_.size() > kCompactionThreshold && heap_.size() - live_ > live_) {
@@ -46,20 +110,22 @@ bool EventQueue::cancel(EventId id) {
 }
 
 void EventQueue::compact() {
-  std::erase_if(heap_, [this](const Entry& entry) {
-    return cancelled_.find(entry.seq) != cancelled_.end();
-  });
-  cancelled_.clear();
-  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  std::erase_if(heap_,
+                [this](const HeapEntry& entry) { return !entry_live(entry); });
+  if (heap_.size() > 1) {
+    // Re-heapify bottom-up from the last parent, the d-ary make_heap.
+    for (std::size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;) {
+      sift_down(i);
+    }
+  }
 }
 
-void EventQueue::drop_dead() const {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.front().seq);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    heap_.pop_back();
+void EventQueue::drop_dead() const noexcept {
+  // Dead husks never touch the slot pool: their slot was released (and
+  // possibly reused) at cancel time, so shedding them only mutates the
+  // mutable heap vector.
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    heap_remove_front();
   }
 }
 
@@ -72,12 +138,11 @@ Time EventQueue::next_time() const {
 EventQueue::PoppedEvent EventQueue::pop() {
   drop_dead();
   if (heap_.empty()) throw std::logic_error("EventQueue::pop: queue empty");
-  const Entry top = heap_.front();
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  heap_.pop_back();
-  const auto it = actions_.find(top.seq);
-  PoppedEvent out{top.time, std::move(it->second)};
-  actions_.erase(it);
+  const HeapEntry top = heap_.front();
+  heap_remove_front();
+  const std::uint32_t slot = top.slot();
+  PoppedEvent out{top.time, std::move(slots_[slot].action)};
+  release_slot(slot);
   --live_;
   return out;
 }

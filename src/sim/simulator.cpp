@@ -4,14 +4,14 @@
 
 namespace sigcomp::sim {
 
-EventId Simulator::schedule_at(Time t, std::function<void()> action) {
+EventId Simulator::schedule_at(Time t, EventCallback action) {
   if (t < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
   return queue_.push(t, std::move(action));
 }
 
-EventId Simulator::schedule_in(Time delay, std::function<void()> action) {
+EventId Simulator::schedule_in(Time delay, EventCallback action) {
   if (delay < 0.0) delay = 0.0;
   return queue_.push(now_ + delay, std::move(action));
 }

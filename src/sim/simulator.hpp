@@ -2,7 +2,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 
 #include "sim/event_queue.hpp"
@@ -20,12 +19,14 @@ class Simulator {
   /// Current simulation time (seconds).
   [[nodiscard]] Time now() const noexcept { return now_; }
 
-  /// Schedules `action` at absolute time `t` (must be >= now()).
-  EventId schedule_at(Time t, std::function<void()> action);
+  /// Schedules `action` at absolute time `t` (must be >= now()).  Callbacks
+  /// are EventCallback: any `void()` callable, stored inline when its
+  /// captures fit kInlineCapacity (always, on the library's own paths).
+  EventId schedule_at(Time t, EventCallback action);
 
   /// Schedules `action` after `delay` seconds (negative delays are clamped
   /// to "immediately").
-  EventId schedule_in(Time delay, std::function<void()> action);
+  EventId schedule_in(Time delay, EventCallback action);
 
   /// Cancels a pending event.  Returns false when it already ran/cancelled.
   bool cancel(EventId id) { return queue_.cancel(id); }

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace sigcomp::sim {
@@ -85,7 +90,7 @@ TEST(EventQueue, CancelledHeadIsSkipped) {
 TEST(EventQueue, RejectsNonFiniteTimeAndEmptyAction) {
   EventQueue q;
   EXPECT_THROW(q.push(std::nan(""), [] {}), std::invalid_argument);
-  EXPECT_THROW(q.push(1.0, std::function<void()>{}), std::invalid_argument);
+  EXPECT_THROW(q.push(1.0, EventCallback{}), std::invalid_argument);
 }
 
 TEST(EventQueue, CancelHeavyWorkloadKeepsHeapCompact) {
@@ -133,6 +138,122 @@ TEST(EventQueue, CompactionPreservesOrderAndLiveEvents) {
     ++popped;
   }
   EXPECT_EQ(popped, 500u);
+}
+
+TEST(EventQueue, RejectsInfiniteTimes) {
+  EventQueue q;
+  EXPECT_THROW(q.push(std::numeric_limits<double>::infinity(), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(q.push(-std::numeric_limits<double>::infinity(), [] {}),
+               std::invalid_argument);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PopAfterDrainThrowsAndQueueStaysUsable) {
+  EventQueue q;
+  q.push(1.0, [] {});
+  q.pop();
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+  // The queue must remain fully usable after the failed pop.
+  int fired = 0;
+  q.push(2.0, [&] { ++fired; });
+  q.pop().action();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, StaleIdAfterSlotReuseCancelsNothing) {
+  // The popped event's slot is recycled by the next push; the stale handle
+  // must not cancel the new occupant (generation check).
+  EventQueue q;
+  const EventId stale = q.push(1.0, [] {});
+  q.pop();
+  int fired = 0;
+  const EventId fresh = q.push(2.0, [&] { ++fired; });
+  EXPECT_EQ(stale.slot, fresh.slot);  // the pool really did recycle the slot
+  EXPECT_FALSE(q.cancel(stale));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().action();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, DefaultEventIdNeverCancels) {
+  EventQueue q;
+  q.push(1.0, [] {});
+  EXPECT_FALSE(q.cancel(EventId{}));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, FreeListReusePreventsPoolGrowth) {
+  // One million schedule/cancel cycles against a fixed backdrop of live
+  // timers: the slot pool and the heap must both stay flat (the
+  // zero-allocation steady-state contract).
+  EventQueue q;
+  for (int i = 0; i < 100; ++i) q.push(1e9 + i, [] {});
+  {
+    const EventId id = q.push(1e6, [] {});
+    ASSERT_TRUE(q.cancel(id));
+  }
+  const std::size_t slots_high_water = q.slot_capacity();
+  const std::uint64_t heap_allocs_before = EventCallback::heap_allocations();
+  for (int cycle = 0; cycle < 1000000; ++cycle) {
+    const EventId id = q.push(1e6 + cycle, [] {});
+    ASSERT_TRUE(q.cancel(id));
+  }
+  EXPECT_EQ(q.slot_capacity(), slots_high_water) << "slot pool grew";
+  EXPECT_LE(q.heap_entries(), 2 * q.size() + 65) << "heap garbage grew";
+  EXPECT_EQ(EventCallback::heap_allocations(), heap_allocs_before)
+      << "a callback spilled to the heap";
+  EXPECT_EQ(q.size(), 100u);
+}
+
+TEST(EventCallback, InlineCapturesNeverTouchTheHeap) {
+  const std::uint64_t before = EventCallback::heap_allocations();
+  int fired = 0;
+  // Timer-sized ([this]) and delivery-sized ([this, message]) captures.
+  EventCallback small([&fired] { ++fired; });
+  struct {
+    int* p;
+    std::uint64_t body[4] = {1, 2, 3, 4};
+  } payload{&fired};
+  EventCallback large([payload] { *payload.p += int(payload.body[0]); });
+  small();
+  large();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(EventCallback::heap_allocations(), before);
+}
+
+TEST(EventCallback, OversizedCapturesSpillToHeapAndStillRun) {
+  const std::uint64_t before = EventCallback::heap_allocations();
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > kInlineCapacity
+  big[15] = 7;
+  std::uint64_t out = 0;
+  EventCallback cb([big, &out] { out = big[15]; });
+  EXPECT_EQ(EventCallback::heap_allocations(), before + 1);
+  EventCallback moved = std::move(cb);  // heap case: pointer relocation
+  moved();
+  EXPECT_EQ(out, 7u);
+}
+
+TEST(EventCallback, MoveTransfersOwnershipExactlyOnce) {
+  int fired = 0;
+  EventCallback a([&fired] { ++fired; });
+  EventCallback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventCallback, DestructorRunsCaptureDestructors) {
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  {
+    EventCallback cb([token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(watch.expired());  // the callback keeps the capture alive
+  }
+  EXPECT_TRUE(watch.expired()) << "capture leaked";
 }
 
 TEST(EventQueue, ManyEventsStressOrdering) {

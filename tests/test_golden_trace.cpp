@@ -1,0 +1,161 @@
+// Golden-trace determinism lock: run every protocol single- and multi-hop
+// under a pinned seed, hash the full TraceLog record stream, and compare
+// against checked-in digests.
+//
+// The digest covers every record's time (as IEEE-754 bits), category and
+// detail string, so ANY change in event ordering, channel arithmetic, RNG
+// consumption or trace formatting moves it.  This is the tripwire for
+// accidental behavior changes from event-core/scheduler refactors: when a
+// digest moves and the change is *intended*, regenerate by running this
+// test and copying the "actual" values from the failure message (see
+// README, Testing section).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "protocols/multi_hop_run.hpp"
+#include "protocols/single_hop_run.hpp"
+#include "sim/trace.hpp"
+
+namespace sigcomp {
+namespace {
+
+/// FNV-1a 64-bit over the full record stream.
+class TraceDigest {
+ public:
+  void add_bytes(const void* data, std::size_t n) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+
+  void add_record(const sim::TraceRecord& record) noexcept {
+    const auto time_bits = std::bit_cast<std::uint64_t>(record.time);
+    add_bytes(&time_bits, sizeof(time_bits));
+    const auto category = static_cast<unsigned char>(record.category);
+    add_bytes(&category, 1);
+    add_bytes(record.detail.data(), record.detail.size());
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+std::uint64_t digest_of(const sim::TraceLog& log) {
+  TraceDigest digest;
+  for (const sim::TraceRecord& record : log.records()) {
+    digest.add_record(record);
+  }
+  return digest.value();
+}
+
+std::string hex(std::uint64_t v) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+std::uint64_t single_hop_digest(ProtocolKind kind) {
+  sim::TraceLog log(1 << 20);
+  protocols::SimOptions options;
+  options.seed = 2024;
+  options.sessions = 30;
+  options.trace = &log;
+  SingleHopParams params = SingleHopParams::kazaa_defaults();
+  params.removal_rate = 1.0 / 30.0;  // short sessions keep the trace bounded
+  const auto result = protocols::run_single_hop(kind, params, options);
+  EXPECT_EQ(result.sessions, 30u);
+  EXPECT_LT(log.total_recorded(), log.capacity())  // nothing evicted
+      << "trace overflowed; the digest would silently cover a suffix only";
+  return digest_of(log);
+}
+
+std::uint64_t multi_hop_digest(ProtocolKind kind) {
+  sim::TraceLog log(1 << 20);
+  protocols::MultiHopSimOptions options;
+  options.seed = 2024;
+  options.duration = 300.0;
+  options.trace = &log;
+  MultiHopParams params;
+  params.hops = 3;
+  (void)protocols::run_multi_hop(kind, params, options);
+  EXPECT_LT(log.total_recorded(), log.capacity())
+      << "trace overflowed; the digest would silently cover a suffix only";
+  return digest_of(log);
+}
+
+struct GoldenEntry {
+  ProtocolKind kind;
+  std::uint64_t digest;
+};
+
+TEST(GoldenTrace, SingleHopRecordStreamsArePinned) {
+  // Pinned against the PR 3 event core.  See the file comment before
+  // "fixing" a mismatch by editing these constants.
+  const GoldenEntry golden[] = {
+      {ProtocolKind::kSS, 0x5369480b0c5f602dULL},
+      {ProtocolKind::kSSER, 0xe9b3b8395351ff0aULL},
+      {ProtocolKind::kSSRT, 0xea6c3714f0f6b7b9ULL},
+      {ProtocolKind::kSSRTR, 0xd967c29bef6d3287ULL},
+      {ProtocolKind::kHS, 0x4cd155646150f6f1ULL},
+  };
+  for (const GoldenEntry& entry : golden) {
+    const std::uint64_t actual = single_hop_digest(entry.kind);
+    EXPECT_EQ(actual, entry.digest)
+        << "single-hop " << to_string(entry.kind)
+        << " trace digest moved; actual " << hex(actual);
+  }
+}
+
+TEST(GoldenTrace, MultiHopRecordStreamsArePinned) {
+  const GoldenEntry golden[] = {
+      {ProtocolKind::kSS, 0xeca1ca36a4fe8658ULL},
+      {ProtocolKind::kSSRT, 0xf9691707db6155edULL},
+      {ProtocolKind::kHS, 0x7ddfdce05e469af2ULL},
+  };
+  for (const GoldenEntry& entry : golden) {
+    const std::uint64_t actual = multi_hop_digest(entry.kind);
+    EXPECT_EQ(actual, entry.digest)
+        << "multi-hop " << to_string(entry.kind)
+        << " trace digest moved; actual " << hex(actual);
+  }
+}
+
+TEST(GoldenTrace, DigestIsReproducibleWithinProcess) {
+  // The digest itself must be a pure function of the run.
+  EXPECT_EQ(single_hop_digest(ProtocolKind::kSS),
+            single_hop_digest(ProtocolKind::kSS));
+  EXPECT_EQ(multi_hop_digest(ProtocolKind::kSSRT),
+            multi_hop_digest(ProtocolKind::kSSRT));
+}
+
+TEST(GoldenTrace, DigestIsSensitiveToEveryField) {
+  sim::TraceRecord a{1.0, sim::TraceCategory::kSend, "fwd TRIGGER"};
+  TraceDigest base;
+  base.add_record(a);
+
+  TraceDigest time_moved;
+  time_moved.add_record({1.0000000001, a.category, a.detail});
+  EXPECT_NE(base.value(), time_moved.value());
+
+  TraceDigest category_moved;
+  category_moved.add_record({a.time, sim::TraceCategory::kDeliver, a.detail});
+  EXPECT_NE(base.value(), category_moved.value());
+
+  TraceDigest detail_moved;
+  detail_moved.add_record({a.time, a.category, "fwd REFRESH"});
+  EXPECT_NE(base.value(), detail_moved.value());
+}
+
+}  // namespace
+}  // namespace sigcomp

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/params.hpp"
+#include "protocols/multi_hop_run.hpp"
 #include "protocols/single_hop_run.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
@@ -124,6 +125,75 @@ TEST(HarnessTrace, SingleHopRunEmitsSessionAndMessageEvents) {
     }
   }
   EXPECT_TRUE(saw_trigger);
+}
+
+TEST(ChannelTrace, DetachedTracingIsZeroCost) {
+  // With no log attached, tracing must not record anything AND must not
+  // evaluate the describe formatter -- formatting a detail string per
+  // message would make tracing pay even when off.
+  Simulator sim;
+  Rng rng(1);
+  int describe_calls = 0;
+  const auto counting_describe = [&describe_calls](const int& v) {
+    ++describe_calls;
+    return std::to_string(v);
+  };
+
+  Channel<int> detached(sim, rng, 0.0, 0.1, Distribution::kDeterministic,
+                        [](const int&) {});
+  // A describe formatter installed with a null log must never run.
+  detached.set_trace(nullptr, "link", counting_describe);
+  for (int i = 0; i < 100; ++i) detached.send(i);
+  sim.run();
+  EXPECT_EQ(describe_calls, 0);
+
+  // Attaching the log turns both recording and formatting on; detaching
+  // turns both off again.
+  TraceLog log;
+  detached.set_trace(&log, "link", counting_describe);
+  detached.send(1);
+  sim.run();
+  EXPECT_EQ(describe_calls, 2);  // send + deliver
+  EXPECT_EQ(log.size(), 2u);
+  detached.set_trace(nullptr, "link", counting_describe);
+  detached.send(2);
+  sim.run();
+  EXPECT_EQ(describe_calls, 2);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(HarnessTrace, DetachedSingleHopRunRecordsNothing) {
+  protocols::SimOptions options;
+  options.sessions = 5;
+  options.seed = 3;
+  options.trace = nullptr;  // detached: the default
+  SingleHopParams params = SingleHopParams::kazaa_defaults();
+  params.removal_rate = 1.0 / 30.0;
+  const auto result =
+      protocols::run_single_hop(ProtocolKind::kSSER, params, options);
+  EXPECT_EQ(result.sessions, 5u);
+}
+
+TEST(HarnessTrace, MultiHopRunEmitsPerHopChannelEvents) {
+  TraceLog log(1 << 20);
+  protocols::MultiHopSimOptions options;
+  options.duration = 200.0;
+  options.seed = 3;
+  options.trace = &log;
+  MultiHopParams params;
+  params.hops = 3;
+  (void)protocols::run_multi_hop(ProtocolKind::kSSRT, params, options);
+
+  EXPECT_GT(log.count(TraceCategory::kSend), 0u);
+  EXPECT_GT(log.count(TraceCategory::kDeliver), 0u);
+  bool saw_first_hop = false, saw_last_hop = false;
+  for (const auto& r : log.records()) {
+    if (r.category != TraceCategory::kSend) continue;
+    saw_first_hop = saw_first_hop || r.detail.starts_with("dn0 ");
+    saw_last_hop = saw_last_hop || r.detail.starts_with("dn2 ");
+  }
+  EXPECT_TRUE(saw_first_hop);
+  EXPECT_TRUE(saw_last_hop);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 //   sigcomp_cli sweep     --param refresh --from 0.1 --to 100 [--points 15]
 //   sigcomp_cli latency   [--loss 0.1]
 //   sigcomp_cli tune      [--weight 10]
+//   sigcomp_cli scale     [--sessions 100000] [--arrival-rate 2000] ...
 //
 // Every command prints an aligned table; `--csv PATH` writes the same rows
 // as CSV.
@@ -20,6 +21,7 @@
 #include "exp/cli.hpp"
 #include "exp/parallel.hpp"
 #include "exp/sensitivity.hpp"
+#include "exp/session_farm.hpp"
 #include "exp/sweep.hpp"
 #include "exp/table.hpp"
 #include "exp/tuning.hpp"
@@ -138,6 +140,28 @@ std::size_t count_option(const exp::ArgParser& parser, std::string_view name) {
   return static_cast<std::size_t>(value);
 }
 
+/// Chain parameters shared by `multihop` and `scale --hops N`.
+/// `with_false_signal` reflects whether the command registers the
+/// --false-signal option (multihop keeps the paper's pl^4 default).
+MultiHopParams multi_hop_params(const exp::ArgParser& parser,
+                                bool with_false_signal, bool analytic_only) {
+  MultiHopParams p;
+  p.hops = count_option(parser, "hops");
+  p.loss = parser.get_double("loss");
+  p.delay = parser.get_double("delay");
+  const double update_interval = parser.get_double("update-interval");
+  p.update_rate = update_interval <= 0.0 ? 0.0 : 1.0 / update_interval;
+  p.refresh_timer = parser.get_double("refresh");
+  p.timeout_timer = parser.get_double("timeout");
+  p.retrans_timer = parser.get_double("retrans");
+  if (with_false_signal) {
+    p.false_signal_rate = parser.get_double("false-signal");
+  }
+  apply_loss_model(parser, p, analytic_only);
+  p.validate();
+  return p;
+}
+
 sim::DelayModel delay_model_option(const exp::ArgParser& parser) {
   const std::string model =
       parser.get_choice("delay-model", {"det", "exp", "pareto", "lognormal"});
@@ -251,17 +275,9 @@ int cmd_multihop(int argc, const char* const* argv) {
     std::cout << parser.help();
     return 0;
   }
-  MultiHopParams p;
-  p.hops = count_option(parser, "hops");
-  p.loss = parser.get_double("loss");
-  p.delay = parser.get_double("delay");
-  const double update_interval = parser.get_double("update-interval");
-  p.update_rate = update_interval <= 0.0 ? 0.0 : 1.0 / update_interval;
-  p.refresh_timer = parser.get_double("refresh");
-  p.timeout_timer = parser.get_double("timeout");
-  p.retrans_timer = parser.get_double("retrans");
-  apply_loss_model(parser, p, /*analytic_only=*/true);
-  p.validate();
+  const MultiHopParams p =
+      multi_hop_params(parser, /*with_false_signal=*/false,
+                       /*analytic_only=*/true);
 
   if (parser.flag("per-hop")) {
     exp::Table table("per-hop inconsistency", {"hop", "SS", "SS+RT", "HS"});
@@ -477,6 +493,93 @@ int cmd_sensitivity(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_scale(int argc, const char* const* argv) {
+  exp::ArgParser parser(
+      "sigcomp_cli scale",
+      "Drive N concurrent sessions per protocol through the session farm "
+      "(Poisson arrivals, exponential lifetimes) and report throughput and "
+      "per-session metrics.  --hops > 1 switches to chain sessions "
+      "(SS, SS+RT, HS).");
+  add_single_hop_options(parser);
+  parser.add_option("sessions", "concurrent sessions N to drive", "10000");
+  parser.add_option("arrival-rate",
+                    "Poisson session arrival rate (sessions/s); the arrival "
+                    "window is N divided by this",
+                    "1000");
+  parser.add_option("session-lifetime", "mean session lifetime in seconds",
+                    "60");
+  parser.add_option("hops", "hops per session (1 = sender/receiver pair)",
+                    "1");
+  parser.add_option("shard-size", "sessions per simulator shard", "4096");
+  parser.add_option("seed", "base seed of the per-session keying", "1");
+  parser.add_option("threads", "worker threads (0 = all cores)", "0");
+  parser.add_option("delay-model",
+                    "channel delay law: det, exp, pareto or lognormal", "exp");
+  parser.add_option("delay-shape",
+                    "Pareto tail index / lognormal sigma of --delay-model",
+                    "1.5");
+  parser.add_option("csv", "write rows to this CSV file", "");
+  if (!parser.parse(argc, argv)) {
+    std::cerr << parser.error() << '\n';
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.help();
+    return 0;
+  }
+  if (parser.passed("lifetime")) {
+    // The farm draws lifetimes from --session-lifetime and ignores the
+    // parameter set's removal_rate; accepting --lifetime here would be a
+    // silent no-op.
+    throw std::invalid_argument(
+        "scale: use --session-lifetime (the farm ignores --lifetime)");
+  }
+
+  exp::SessionFarmOptions options;
+  options.seed = static_cast<std::uint64_t>(parser.get_long("seed"));
+  options.sessions = count_option(parser, "sessions");
+  options.arrival_rate = parser.get_double("arrival-rate");
+  options.session_lifetime = parser.get_double("session-lifetime");
+  options.shard_size = count_option(parser, "shard-size");
+  options.delay_model = delay_model_option(parser);
+  options.delay_shape = parser.get_double("delay-shape");
+  exp::ParallelSweep engine(count_option(parser, "threads"));
+  options.engine = &engine;
+
+  const std::size_t hops = count_option(parser, "hops");
+  exp::Table table("session farm: " + std::to_string(options.sessions) +
+                       " sessions, " + std::to_string(hops) + " hop(s)",
+                   {"protocol", "peak in flight", "messages", "I (mean)",
+                    "I ci95", "M (mean)", "msg/s/session", "timeouts"});
+  const auto add_row = [&](ProtocolKind kind,
+                           const exp::SessionFarmResult& result) {
+    table.add_row({std::string(to_string(kind)),
+                   static_cast<double>(result.peak_sessions_in_flight),
+                   static_cast<double>(result.messages),
+                   result.summary.mean.inconsistency,
+                   result.summary.inconsistency.half_width,
+                   result.summary.mean.message_rate,
+                   result.summary.mean.raw_message_rate,
+                   static_cast<double>(result.receiver_timeouts)});
+  };
+  if (hops <= 1) {
+    const SingleHopParams p =
+        single_hop_params(parser, /*analytic_only=*/false);
+    for (const ProtocolKind kind : kAllProtocols) {
+      add_row(kind, run_session_farm(kind, p, options));
+    }
+  } else {
+    const MultiHopParams p =
+        multi_hop_params(parser, /*with_false_signal=*/true,
+                         /*analytic_only=*/false);
+    for (const ProtocolKind kind : kMultiHopProtocols) {
+      add_row(kind, run_session_farm(kind, p, options));
+    }
+  }
+  finish(table, parser);
+  return 0;
+}
+
 void print_usage() {
   std::cout << "usage: sigcomp_cli <command> [options]\n\n"
                "commands:\n"
@@ -485,7 +588,8 @@ void print_usage() {
                "  sweep        sweep one parameter across a range\n"
                "  latency      convergence-latency distribution\n"
                "  tune         cost-optimal refresh timer\n"
-               "  sensitivity  parameter elasticities\n\n"
+               "  sensitivity  parameter elasticities\n"
+               "  scale        many-session scale harness (session farm)\n\n"
                "run 'sigcomp_cli <command> --help' for command options.\n";
 }
 
@@ -504,6 +608,7 @@ int main(int argc, char** argv) {
     if (command == "latency") return cmd_latency(argc - 1, argv + 1);
     if (command == "tune") return cmd_tune(argc - 1, argv + 1);
     if (command == "sensitivity") return cmd_sensitivity(argc - 1, argv + 1);
+    if (command == "scale") return cmd_scale(argc - 1, argv + 1);
     if (command == "--help" || command == "-h" || command == "help") {
       print_usage();
       return 0;
