@@ -1,0 +1,161 @@
+#include "core/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace sigcomp {
+
+TreeSpec TreeSpec::chain(std::size_t hops) {
+  if (hops == 0) {
+    throw std::invalid_argument("TreeSpec::chain: need at least one hop");
+  }
+  TreeSpec spec;
+  spec.parent.resize(hops);
+  for (std::size_t e = 0; e < hops; ++e) spec.parent[e] = e;
+  return spec;
+}
+
+TreeSpec TreeSpec::balanced(std::size_t fanout, std::size_t depth,
+                            std::size_t receivers) {
+  if (fanout == 0 || depth == 0) {
+    throw std::invalid_argument(
+        "TreeSpec::balanced: fanout and depth must be >= 1");
+  }
+  // Node ids breadth-first: the root, then level 1 left-to-right, and so on.
+  std::vector<std::size_t> level{0};  // node ids of the current level
+  TreeSpec spec;
+  std::size_t node_count = 1;
+  for (std::size_t d = 0; d < depth; ++d) {
+    // Size check before the reserve: level.size() * fanout can wrap
+    // size_t (or demand an absurd allocation) long before the per-node
+    // guard below would fire.
+    if (level.size() > (kMaxNodes - node_count) / fanout) {
+      throw std::invalid_argument(
+          "TreeSpec::balanced: tree exceeds kMaxNodes nodes");
+    }
+    std::vector<std::size_t> next;
+    next.reserve(level.size() * fanout);
+    for (const std::size_t p : level) {
+      for (std::size_t c = 0; c < fanout; ++c) {
+        spec.parent.push_back(p);
+        next.push_back(node_count++);
+      }
+    }
+    level = std::move(next);
+  }
+  if (receivers == 0) return spec;
+  if (receivers > level.size()) {
+    throw std::invalid_argument(
+        "TreeSpec::balanced: receivers exceeds fanout^depth (" +
+        std::to_string(level.size()) + ")");
+  }
+  // Keep the first `receivers` bottom-level leaves plus the interior nodes
+  // on their root paths, then renumber.  Kept nodes stay in topological
+  // order, so renumbering preserves the invariant.
+  std::vector<bool> keep(spec.nodes(), false);
+  keep[0] = true;
+  for (std::size_t i = 0; i < receivers; ++i) {
+    std::size_t n = level[i];
+    while (!keep[n]) {
+      keep[n] = true;
+      n = spec.parent[n - 1];
+    }
+  }
+  std::vector<std::size_t> new_id(spec.nodes());
+  std::size_t next_id = 0;
+  for (std::size_t n = 0; n < spec.nodes(); ++n) {
+    if (keep[n]) new_id[n] = next_id++;
+  }
+  TreeSpec pruned;
+  pruned.parent.reserve(next_id - 1);
+  for (std::size_t n = 1; n < spec.nodes(); ++n) {
+    if (keep[n]) pruned.parent.push_back(new_id[spec.parent[n - 1]]);
+  }
+  return pruned;
+}
+
+std::vector<std::size_t> TreeSpec::children(std::size_t node) const {
+  if (node >= nodes()) {
+    throw std::out_of_range("TreeSpec::children: node out of range");
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t e = 0; e < edges(); ++e) {
+    if (parent[e] == node) out.push_back(e);
+  }
+  return out;
+}
+
+bool TreeSpec::is_leaf(std::size_t node) const {
+  if (node >= nodes()) {
+    throw std::out_of_range("TreeSpec::is_leaf: node out of range");
+  }
+  return std::find(parent.begin(), parent.end(), node) == parent.end();
+}
+
+std::vector<std::size_t> TreeSpec::leaves() const {
+  std::vector<bool> has_child(nodes(), false);
+  for (const std::size_t p : parent) has_child[p] = true;
+  std::vector<std::size_t> out;
+  for (std::size_t n = 0; n < nodes(); ++n) {
+    if (!has_child[n]) out.push_back(n);
+  }
+  return out;
+}
+
+std::size_t TreeSpec::leaf_count() const { return leaves().size(); }
+
+std::vector<std::size_t> TreeSpec::path_edges(std::size_t node) const {
+  if (node >= nodes()) {
+    throw std::out_of_range("TreeSpec::path_edges: node out of range");
+  }
+  std::vector<std::size_t> out;
+  while (node != 0) {
+    out.push_back(node - 1);
+    node = parent[node - 1];
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::size_t TreeSpec::node_depth(std::size_t node) const {
+  if (node >= nodes()) {
+    throw std::out_of_range("TreeSpec::node_depth: node out of range");
+  }
+  std::size_t d = 0;
+  while (node != 0) {
+    node = parent[node - 1];
+    ++d;
+  }
+  return d;
+}
+
+std::size_t TreeSpec::depth() const {
+  // Depths are computable in one pass because parents precede children.
+  std::vector<std::size_t> depth_of(nodes(), 0);
+  std::size_t max_depth = 0;
+  for (std::size_t e = 0; e < edges(); ++e) {
+    depth_of[e + 1] = depth_of[parent[e]] + 1;
+    max_depth = std::max(max_depth, depth_of[e + 1]);
+  }
+  return max_depth;
+}
+
+std::size_t TreeSpec::max_fanout() const {
+  std::vector<std::size_t> count(nodes(), 0);
+  std::size_t best = 0;
+  for (const std::size_t p : parent) best = std::max(best, ++count[p]);
+  return best;
+}
+
+void TreeSpec::validate() const {
+  for (std::size_t e = 0; e < edges(); ++e) {
+    if (parent[e] > e) {
+      throw std::invalid_argument(
+          "TreeSpec: parent ids must precede their children (parent[" +
+          std::to_string(e) + "] = " + std::to_string(parent[e]) + ")");
+    }
+  }
+}
+
+}  // namespace sigcomp

@@ -1,0 +1,85 @@
+// Rooted-tree signaling topologies (multicast-style fan-out).
+//
+// The paper studies signaling state on a chain (sender -> relay 1 -> ... ->
+// relay K), but the protocols it abstracts -- RSVP reservations, IGMP-style
+// membership -- deploy their state on *trees*: one sender at the root,
+// relays at interior nodes, receivers at the leaves.  TreeSpec is the shared
+// topology description used by the analytic per-path composition
+// (analytic/tree_paths.hpp), the wired simulation topology
+// (protocols/topology.hpp) and the session farm; a chain is the degenerate
+// tree with fan-out 1 everywhere.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sigcomp {
+
+/// A rooted tree over nodes 0..N-1.  Node 0 is the root (the signaling
+/// sender); every other node is a relay holding a copy of the signaling
+/// state; leaves are the receivers.  Edge e (e = 0..N-2) connects
+/// `parent[e]` to node e+1, so the edge id of non-root node n is n-1.
+///
+/// Invariant (validated): `parent[e] <= e`, i.e. node ids are topologically
+/// ordered root-first -- every parent id is smaller than its child's id.
+struct TreeSpec {
+  /// `parent[e]` is the node id of the parent endpoint of edge e (the child
+  /// endpoint is node e+1).
+  std::vector<std::size_t> parent;
+
+  /// The K-hop chain: node i's only child is node i+1.  Throws
+  /// std::invalid_argument when `hops` is 0.
+  [[nodiscard]] static TreeSpec chain(std::size_t hops);
+
+  /// Balanced tree: every node above the leaf level has `fanout` children
+  /// and all leaves sit at distance `depth` from the root.  When
+  /// `receivers` is nonzero, only the first `receivers` leaves (and the
+  /// interior nodes on their root paths) are kept, giving exactly that many
+  /// receivers at the full depth.  Throws std::invalid_argument on a zero
+  /// fanout/depth, `receivers` exceeding fanout^depth, or a tree larger
+  /// than kMaxNodes.
+  [[nodiscard]] static TreeSpec balanced(std::size_t fanout, std::size_t depth,
+                                         std::size_t receivers = 0);
+
+  /// Guard against accidentally requesting astronomically large balanced
+  /// trees (fanout^depth grows fast).
+  static constexpr std::size_t kMaxNodes = 1u << 20;
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return parent.size() + 1; }
+  [[nodiscard]] std::size_t edges() const noexcept { return parent.size(); }
+  /// Relays == non-root nodes == edges.
+  [[nodiscard]] std::size_t relays() const noexcept { return parent.size(); }
+
+  /// Edge ids of `node`'s child edges, in increasing edge order.
+  [[nodiscard]] std::vector<std::size_t> children(std::size_t node) const;
+
+  /// True when `node` has no children (a receiver).  The root of an
+  /// edgeless tree counts as a leaf.
+  [[nodiscard]] bool is_leaf(std::size_t node) const;
+
+  /// Node ids of all leaves, in increasing order.
+  [[nodiscard]] std::vector<std::size_t> leaves() const;
+
+  [[nodiscard]] std::size_t leaf_count() const;
+
+  /// Edge ids on the root -> `node` path, in root-to-node order (empty for
+  /// the root).
+  [[nodiscard]] std::vector<std::size_t> path_edges(std::size_t node) const;
+
+  /// Number of edges between the root and `node`.
+  [[nodiscard]] std::size_t node_depth(std::size_t node) const;
+
+  /// Maximum node depth (0 for an edgeless tree).
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Largest child count over all nodes (0 for an edgeless tree).
+  [[nodiscard]] std::size_t max_fanout() const;
+
+  /// Throws std::invalid_argument when the parent vector violates the
+  /// topological-order invariant (`parent[e] <= e`).
+  void validate() const;
+
+  friend bool operator==(const TreeSpec&, const TreeSpec&) = default;
+};
+
+}  // namespace sigcomp

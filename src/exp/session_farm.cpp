@@ -7,8 +7,8 @@
 #include <utility>
 #include <vector>
 
-#include "protocols/chain.hpp"
 #include "protocols/engine.hpp"
+#include "protocols/topology.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -226,15 +226,18 @@ class SingleHopSession {
   Metrics metrics_;
 };
 
-/// One multi-hop chain session: arrival -> start -> updates, measured over
-/// the lifetime window [arrival, arrival + lifetime], then silently torn
-/// down with ChainSender/ChainRelay::stop().
-class MultiHopSession {
+/// One tree session: arrival -> start -> updates over a full
+/// protocols::Topology -- one sender, relays at interior nodes, receivers
+/// at the leaves, per-edge channels.  Chain sessions run through this very
+/// class as fan-out-1 trees.  Measured over the lifetime window
+/// [arrival, arrival + lifetime], then silently torn down with
+/// Topology::stop().
+class TreeSession {
  public:
-  MultiHopSession(sim::Simulator& sim, ProtocolKind kind,
-                  const MultiHopParams& params,
-                  const SessionFarmOptions& options,
-                  std::uint64_t global_index, ShardHooks& hooks)
+  TreeSession(sim::Simulator& sim, ProtocolKind kind,
+              const analytic::TreeParams& params,
+              const SessionFarmOptions& options, std::uint64_t global_index,
+              ShardHooks& hooks)
       : sim_(sim),
         params_(params),
         options_(options),
@@ -244,16 +247,17 @@ class MultiHopSession {
     protocols::TimerSettings timers{options.timer_dist, params.refresh_timer,
                                     params.timeout_timer,
                                     params.retrans_timer};
-    const std::vector<sim::LossConfig> hop_loss(params.hops,
-                                                params.loss_config());
-    const std::vector<sim::DelayConfig> hop_delay(
-        params.hops, sim::DelayConfig{options.delay_model, params.delay,
-                                      options.delay_shape});
-    // Nodes use distinct streams in the single-hop farm; the chain keeps
-    // the multi-hop harness convention of one node stream.
-    chain_ = std::make_unique<protocols::Chain>(
-        sim, rngs_.channel, rngs_.sender, mech_, timers, hop_loss, hop_delay,
-        [this] { on_change(); });
+    std::vector<sim::LossConfig> edge_loss;
+    std::vector<sim::DelayConfig> edge_delay;
+    for (std::size_t e = 0; e < params.edges(); ++e) {
+      edge_loss.push_back(params.edge_loss_config(e));
+      edge_delay.push_back(sim::DelayConfig{options.delay_model,
+                                            params.delay[e],
+                                            options.delay_shape});
+    }
+    topology_ = std::make_unique<protocols::Topology>(
+        sim, rngs_.channel, rngs_.sender, mech_, timers, params.tree,
+        edge_loss, edge_delay, [this] { on_change(); });
     const double window =
         static_cast<double>(options.sessions) / options.arrival_rate;
     arrival_ = window * rngs_.lifecycle.uniform();
@@ -264,7 +268,7 @@ class MultiHopSession {
   [[nodiscard]] bool done() const noexcept { return done_; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
   /// Counters frozen at window end: stragglers delivered to a stopped
-  /// chain may still execute (and even re-install relay state briefly),
+  /// tree may still execute (and even re-install relay state briefly),
   /// and how many do depends on how long the shard keeps simulating --
   /// snapshotting keeps results independent of the shard decomposition.
   [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
@@ -276,11 +280,11 @@ class MultiHopSession {
   void begin() {
     hooks_.on_started();
     inconsistent_ = sim::TimeWeightedValue(arrival_);
-    chain_->sender().start(++version_);
+    topology_->sender().start(++version_);
     schedule_update();
     if (mech_.external_failure_detector && params_.false_signal_rate > 0.0) {
-      false_signal_events_.resize(chain_->hops());
-      for (std::size_t i = 0; i < chain_->hops(); ++i) {
+      false_signal_events_.resize(topology_->relays());
+      for (std::size_t i = 0; i < topology_->relays(); ++i) {
         schedule_false_signal(i);
       }
     }
@@ -293,7 +297,7 @@ class MultiHopSession {
     update_event_ = sim_.schedule_in(
         rngs_.lifecycle.exponential(1.0 / params_.update_rate), [this] {
           update_event_.reset();
-          chain_->sender().update(++version_);
+          topology_->sender().update(++version_);
           schedule_update();
         });
   }
@@ -303,7 +307,7 @@ class MultiHopSession {
         rngs_.failure.exponential(1.0 / params_.false_signal_rate),
         [this, relay] {
           false_signal_events_[relay].reset();
-          chain_->relay(relay).external_removal_signal();
+          topology_->relay(relay).external_removal_signal();
           schedule_false_signal(relay);
         });
   }
@@ -311,8 +315,9 @@ class MultiHopSession {
   void on_change() {
     if (done_) return;
     bool all_ok = true;
-    for (std::size_t i = 0; i < chain_->hops(); ++i) {
-      all_ok = all_ok && chain_->relay(i).value() == chain_->sender().value();
+    for (std::size_t i = 0; i < topology_->relays(); ++i) {
+      all_ok =
+          all_ok && topology_->relay(i).value() == topology_->sender().value();
     }
     inconsistent_.set(sim_.now(), all_ok ? 0.0 : 1.0);
   }
@@ -320,8 +325,8 @@ class MultiHopSession {
   void finish() {
     done_ = true;
     const double end = sim_.now();
-    messages_ = chain_->messages_sent();
-    timeouts_ = chain_->relay_timeouts();
+    messages_ = topology_->messages_sent();
+    timeouts_ = topology_->relay_timeouts();
     const auto sent = static_cast<double>(messages_);
     metrics_.inconsistency = inconsistent_.mean(end);
     metrics_.session_length = lifetime_;
@@ -335,17 +340,17 @@ class MultiHopSession {
       if (id) sim_.cancel(*id);
     }
     false_signal_events_.clear();
-    chain_->stop();
+    topology_->stop();
     hooks_.on_completed();
   }
 
   sim::Simulator& sim_;
-  const MultiHopParams& params_;
+  const analytic::TreeParams& params_;
   const SessionFarmOptions& options_;
   MechanismSet mech_;
   ShardHooks& hooks_;
   SessionRngs rngs_;
-  std::unique_ptr<protocols::Chain> chain_;
+  std::unique_ptr<protocols::Topology> topology_;
 
   double arrival_ = 0.0;
   double lifetime_ = 0.0;
@@ -460,7 +465,21 @@ SessionFarmResult run_session_farm(ProtocolKind kind,
     throw std::invalid_argument(
         "run_session_farm: multi-hop sessions need SS, SS+RT or HS");
   }
-  return run_farm<MultiHopSession>(kind, params, options);
+  // A chain session IS a fan-out-1 tree session: one session class, one
+  // wiring path (TreeSession's Topology == Chain's, bit for bit).
+  return run_farm<TreeSession>(kind, analytic::TreeParams::chain(params),
+                               options);
+}
+
+SessionFarmResult run_session_farm(ProtocolKind kind,
+                                   const analytic::TreeParams& params,
+                                   const SessionFarmOptions& options) {
+  if (std::find(kMultiHopProtocols.begin(), kMultiHopProtocols.end(), kind) ==
+      kMultiHopProtocols.end()) {
+    throw std::invalid_argument(
+        "run_session_farm: tree sessions need SS, SS+RT or HS");
+  }
+  return run_farm<TreeSession>(kind, params, options);
 }
 
 }  // namespace sigcomp::exp

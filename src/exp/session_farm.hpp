@@ -1,7 +1,7 @@
 // Many-session scale harness: drives N concurrent signaling sessions --
-// single-hop sender/receiver pairs or multi-hop chains -- inside shared
-// discrete-event simulators, the way a real RSVP/IGMP-style router juggles
-// hundreds of thousands of soft-state sessions at once.
+// single-hop sender/receiver pairs, multi-hop chains, or fan-out trees --
+// inside shared discrete-event simulators, the way a real RSVP/IGMP-style
+// router juggles hundreds of thousands of soft-state sessions at once.
 //
 // Workload model: session i (i = 0..N-1) arrives at a time drawn uniformly
 // from the arrival window [0, N / arrival_rate) -- the order statistics of a
@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "analytic/tree_paths.hpp"
 #include "core/params.hpp"
 #include "core/protocol.hpp"
 #include "exp/parallel.hpp"
@@ -83,9 +84,18 @@ struct SessionFarmResult {
 
 /// Runs N multi-hop chain sessions of `kind` (SS, SS+RT or HS) with
 /// `params.hops` hops each.  Sessions are measured over their lifetime
-/// window and then silently torn down (protocols::ChainSender::stop).
+/// window and then silently torn down (protocols::TreeSender::stop).
 [[nodiscard]] SessionFarmResult run_session_farm(
     ProtocolKind kind, const MultiHopParams& params,
+    const SessionFarmOptions& options);
+
+/// Runs N tree sessions of `kind` (SS, SS+RT or HS), each one a full
+/// `params.tree` topology (protocols::Topology) with per-edge channels.
+/// Like chain sessions, they are measured over their lifetime window and
+/// then silently torn down; `receiver_timeouts` counts soft-state timeouts
+/// across every relay of every session.
+[[nodiscard]] SessionFarmResult run_session_farm(
+    ProtocolKind kind, const analytic::TreeParams& params,
     const SessionFarmOptions& options);
 
 }  // namespace sigcomp::exp

@@ -1,78 +1,34 @@
 #include "protocols/chain.hpp"
 
 #include <stdexcept>
-#include <string>
 #include <utility>
 
+#include "core/topology.hpp"
+
 namespace sigcomp::protocols {
+
+namespace {
+
+/// Keeps the historical error message (and catches the size mismatch before
+/// Topology's generic edge-count check).
+TreeSpec chain_spec(const std::vector<sim::LossConfig>& hop_loss,
+                    const std::vector<sim::DelayConfig>& hop_delay) {
+  if (hop_loss.empty() || hop_delay.size() != hop_loss.size()) {
+    throw std::invalid_argument(
+        "Chain: need one loss and one delay config per hop");
+  }
+  return TreeSpec::chain(hop_loss.size());
+}
+
+}  // namespace
 
 Chain::Chain(sim::Simulator& sim, sim::Rng& channel_rng, sim::Rng& node_rng,
              MechanismSet mech, const TimerSettings& timers,
              const std::vector<sim::LossConfig>& hop_loss,
              const std::vector<sim::DelayConfig>& hop_delay,
-             std::function<void()> on_change, sim::TraceLog* trace) {
-  const std::size_t k = hop_loss.size();
-  if (k == 0 || hop_delay.size() != k) {
-    throw std::invalid_argument(
-        "Chain: need one loss and one delay config per hop");
-  }
-
-  // Channels first (nodes keep pointers to them); sinks wired afterwards.
-  for (std::size_t i = 0; i < k; ++i) {
-    down_.push_back(std::make_unique<MessageChannel>(
-        sim, channel_rng, hop_loss[i], hop_delay[i], MessageChannel::Sink{}));
-    up_.push_back(std::make_unique<MessageChannel>(
-        sim, channel_rng, hop_loss[i], hop_delay[i], MessageChannel::Sink{}));
-    if (trace != nullptr) {
-      const auto describe = [](const Message& m) {
-        return std::string(to_string(m.type));
-      };
-      down_[i]->set_trace(trace, "dn" + std::to_string(i), describe);
-      up_[i]->set_trace(trace, "up" + std::to_string(i), describe);
-    }
-  }
-
-  sender_ = std::make_unique<ChainSender>(sim, node_rng, mech, timers,
-                                          down_[0].get(), on_change);
-  for (std::size_t i = 0; i < k; ++i) {
-    MessageChannel* toward_sender = up_[i].get();
-    MessageChannel* toward_tail = (i + 1 < k) ? down_[i + 1].get() : nullptr;
-    relays_.push_back(std::make_unique<ChainRelay>(
-        sim, node_rng, mech, timers, toward_sender, toward_tail, on_change));
-  }
-
-  for (std::size_t i = 0; i < k; ++i) {
-    down_[i]->set_sink(
-        [this, i](const Message& m) { relays_[i]->handle_from_upstream(m); });
-    up_[i]->set_sink([this, i](const Message& m) {
-      if (i == 0) {
-        sender_->handle_from_downstream(m);
-      } else {
-        relays_[i - 1]->handle_from_downstream(m);
-      }
-    });
-  }
-}
-
-std::uint64_t Chain::hop_messages_sent(std::size_t i) const noexcept {
-  return down_[i]->counters().sent + up_[i]->counters().sent;
-}
-
-std::uint64_t Chain::messages_sent() const noexcept {
-  std::uint64_t total = 0;
-  for (std::size_t i = 0; i < down_.size(); ++i) total += hop_messages_sent(i);
-  return total;
-}
-
-std::uint64_t Chain::relay_timeouts() const noexcept {
-  std::uint64_t total = 0;
-  for (const auto& relay : relays_) total += relay->timeouts();
-  return total;
-}
-
-void Chain::stop() {
-  sender_->stop();
-  for (auto& relay : relays_) relay->stop();
-}
+             std::function<void()> on_change, sim::TraceLog* trace)
+    : topology_(sim, channel_rng, node_rng, mech, timers,
+                chain_spec(hop_loss, hop_delay), hop_loss, hop_delay,
+                std::move(on_change), trace) {}
 
 }  // namespace sigcomp::protocols

@@ -1,18 +1,20 @@
 // A fully wired multi-hop signaling chain: sender -> relay 1 -> ... ->
 // relay K with per-hop bidirectional channels, sinks connected, and
-// optional per-hop tracing.  One builder shared by the multi-hop harness
-// (protocols/multi_hop_run.cpp) and the session farm (exp/session_farm.cpp)
-// so the two can never drift apart in topology or wiring.
+// optional per-hop tracing.  Since PR 4 this is a thin adapter over the
+// general tree builder (protocols/topology.hpp) instantiated with
+// TreeSpec::chain -- the fan-out-1 special case -- so the multi-hop harness
+// (protocols/multi_hop_run.cpp), the session farm (exp/session_farm.cpp)
+// and the tree machinery can never drift apart in wiring.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <vector>
 
 #include "core/protocol.hpp"
 #include "protocols/engine.hpp"
 #include "protocols/multi_hop_node.hpp"
+#include "protocols/topology.hpp"
 #include "sim/channel_process.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -33,35 +35,45 @@ class Chain {
         const std::vector<sim::DelayConfig>& hop_delay,
         std::function<void()> on_change, sim::TraceLog* trace = nullptr);
 
-  Chain(const Chain&) = delete;
-  Chain& operator=(const Chain&) = delete;
+  Chain(const Chain&) = delete;             ///< non-copyable
+  Chain& operator=(const Chain&) = delete;  ///< non-copyable
 
-  [[nodiscard]] std::size_t hops() const noexcept { return relays_.size(); }
-  [[nodiscard]] ChainSender& sender() noexcept { return *sender_; }
-  [[nodiscard]] const ChainSender& sender() const noexcept { return *sender_; }
-  [[nodiscard]] ChainRelay& relay(std::size_t i) { return *relays_[i]; }
+  /// Number of hops K (== relays).
+  [[nodiscard]] std::size_t hops() const noexcept { return topology_.relays(); }
+  /// The sender at the head of the chain.
+  [[nodiscard]] ChainSender& sender() noexcept { return topology_.sender(); }
+  /// The sender (const).
+  [[nodiscard]] const ChainSender& sender() const noexcept {
+    return topology_.sender();
+  }
+  /// Relay i is hop i's far end.
+  [[nodiscard]] ChainRelay& relay(std::size_t i) { return topology_.relay(i); }
+  /// Relay i (const).
   [[nodiscard]] const ChainRelay& relay(std::size_t i) const {
-    return *relays_[i];
+    return topology_.relay(i);
   }
 
   /// Messages handed to hop i's channels (both directions).
-  [[nodiscard]] std::uint64_t hop_messages_sent(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t hop_messages_sent(std::size_t i) const noexcept {
+    return topology_.edge_messages_sent(i);
+  }
 
   /// Messages handed to all channels of the chain.
-  [[nodiscard]] std::uint64_t messages_sent() const noexcept;
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return topology_.messages_sent();
+  }
 
   /// Soft-state timeout expirations summed across relays.
-  [[nodiscard]] std::uint64_t relay_timeouts() const noexcept;
+  [[nodiscard]] std::uint64_t relay_timeouts() const noexcept {
+    return topology_.relay_timeouts();
+  }
 
-  /// Silently tears the whole chain down (ChainSender/ChainRelay::stop):
+  /// Silently tears the whole chain down (TreeSender/TreeRelay::stop):
   /// state cleared, timers cancelled, nothing signaled.
-  void stop();
+  void stop() { topology_.stop(); }
 
  private:
-  std::vector<std::unique_ptr<MessageChannel>> down_;  ///< i: node i -> i+1
-  std::vector<std::unique_ptr<MessageChannel>> up_;  ///< i: relay i+1 -> node i
-  std::unique_ptr<ChainSender> sender_;
-  std::vector<std::unique_ptr<ChainRelay>> relays_;
+  Topology topology_;
 };
 
 }  // namespace sigcomp::protocols

@@ -21,7 +21,7 @@ namespace sigcomp::protocols {
 /// Timer configuration shared by the engines.  `dist` selects deterministic
 /// (real-protocol) or exponential (model-assumption) timer draws.
 struct TimerSettings {
-  sim::Distribution dist = sim::Distribution::kDeterministic;
+  sim::Distribution dist = sim::Distribution::kDeterministic;  ///< timer law
   double refresh = 5.0;   ///< R
   double timeout = 15.0;  ///< T
   double retrans = 0.12;  ///< Gamma (initial value when backing off)
@@ -29,9 +29,10 @@ struct TimerSettings {
   /// paper): each unacknowledged retransmission multiplies the timer by
   /// this factor, capped at `backoff_cap * retrans`.  1.0 = fixed timer.
   double backoff = 1.0;
-  double backoff_cap = 64.0;
+  double backoff_cap = 64.0;  ///< cap multiplier of the staged timer
 };
 
+/// The channel type every protocol node sends Messages through.
 using MessageChannel = sim::Channel<Message>;
 
 /// The signaling sender ("state installer").
@@ -41,12 +42,14 @@ using MessageChannel = sim::Channel<Message>;
 /// state value changes (the consistency monitor hooks in there).
 class SenderEngine {
  public:
+  /// Wires the sender to its outgoing channel; `on_change` (may be null)
+  /// fires on every local state change.
   SenderEngine(sim::Simulator& sim, sim::Rng& rng, MechanismSet mechanisms,
                TimerSettings timers, MessageChannel& out,
                std::function<void()> on_change);
 
-  SenderEngine(const SenderEngine&) = delete;
-  SenderEngine& operator=(const SenderEngine&) = delete;
+  SenderEngine(const SenderEngine&) = delete;             ///< non-copyable
+  SenderEngine& operator=(const SenderEngine&) = delete;  ///< non-copyable
 
   /// Installs (or re-installs) local state and signals it to the receiver.
   void install(std::int64_t value);
@@ -73,9 +76,11 @@ class SenderEngine {
   /// Starts a new session epoch; stale messages are ignored afterwards.
   void begin_epoch(std::uint64_t epoch);
 
+  /// The installed state value (nullopt when removed).
   [[nodiscard]] std::optional<std::int64_t> value() const noexcept { return value_; }
   /// True while an explicit removal is awaiting acknowledgment.
   [[nodiscard]] bool removal_pending() const noexcept { return removal_pending_; }
+  /// The current session epoch.
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
 
  private:
@@ -113,12 +118,14 @@ class SenderEngine {
 /// The signaling receiver ("state holder").
 class ReceiverEngine {
  public:
+  /// Wires the receiver to its outgoing (toward-sender) channel; `on_change`
+  /// (may be null) fires on every local state change.
   ReceiverEngine(sim::Simulator& sim, sim::Rng& rng, MechanismSet mechanisms,
                  TimerSettings timers, MessageChannel& out,
                  std::function<void()> on_change);
 
-  ReceiverEngine(const ReceiverEngine&) = delete;
-  ReceiverEngine& operator=(const ReceiverEngine&) = delete;
+  ReceiverEngine(const ReceiverEngine&) = delete;             ///< non-copyable
+  ReceiverEngine& operator=(const ReceiverEngine&) = delete;  ///< non-copyable
 
   /// Delivers a message from the sender.
   void handle(const Message& msg);
@@ -131,9 +138,12 @@ class ReceiverEngine {
   /// Cancels the pending timeout timer (session end).
   void reset();
 
+  /// Starts a new session epoch; stale messages are ignored afterwards.
   void begin_epoch(std::uint64_t epoch);
 
+  /// The held state value (nullopt when no state is installed).
   [[nodiscard]] std::optional<std::int64_t> value() const noexcept { return value_; }
+  /// The current session epoch.
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
   /// Number of soft-state timeout expirations observed (tests use this).
   [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }

@@ -19,6 +19,7 @@ enum class MessageType : std::uint8_t {
   kTeardown,   ///< multi-hop HS: downstream propagation of a removal signal
 };
 
+/// Canonical wire name of a message type ("TRIGGER", "REFRESH", ...).
 [[nodiscard]] constexpr std::string_view to_string(MessageType t) noexcept {
   switch (t) {
     case MessageType::kTrigger: return "TRIGGER";
@@ -39,12 +40,13 @@ enum class MessageType : std::uint8_t {
 /// finished session cannot corrupt the next one (the renewal construction
 /// starts a new session the instant the previous one is absorbed).
 struct Message {
-  MessageType type = MessageType::kTrigger;
-  std::int64_t value = 0;
-  std::uint64_t seq = 0;
-  std::uint64_t epoch = 0;
+  MessageType type = MessageType::kTrigger;  ///< what the message signals
+  std::int64_t value = 0;   ///< the carried state value
+  std::uint64_t seq = 0;    ///< matches ACKs to transmissions
+  std::uint64_t epoch = 0;  ///< signaling-session identifier
 
-  friend bool operator==(const Message&, const Message&) = default;
+  friend bool operator==(const Message&,
+                         const Message&) = default;  ///< field-wise equality
 };
 
 }  // namespace sigcomp::protocols

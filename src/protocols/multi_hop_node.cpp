@@ -46,29 +46,39 @@ void ReliableSlot::on_timer() {
   arm();
 }
 
-// ----------------------------------------------------------- ChainSender --
+// ------------------------------------------------------------ TreeSender --
 
-ChainSender::ChainSender(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
-                         TimerSettings timers, MessageChannel* down,
-                         std::function<void()> on_change)
+TreeSender::TreeSender(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
+                       TimerSettings timers,
+                       std::vector<MessageChannel*> down,
+                       std::function<void()> on_change)
     : sim_(sim),
       rng_(rng),
       mech_(mech),
       timers_(timers),
-      down_(down),
-      on_change_(std::move(on_change)),
-      reliable_down_(sim, rng, timers.dist, timers.retrans, down) {}
-
-void ChainSender::send_trigger() {
-  const Message msg{MessageType::kTrigger, *value_, trigger_seq_, 0};
-  if (mech_.reliable_trigger) {
-    reliable_down_.send(msg);
-  } else {
-    down_->send(msg);
+      down_(std::move(down)),
+      on_change_(std::move(on_change)) {
+  // Sized once, before any timer can be armed: slots capture `this`-stable
+  // addresses in their retransmission closures, so the vector must never
+  // reallocate afterwards.
+  reliable_down_.reserve(down_.size());
+  for (MessageChannel* channel : down_) {
+    reliable_down_.emplace_back(sim, rng, timers.dist, timers.retrans, channel);
   }
 }
 
-void ChainSender::start(std::int64_t value) {
+void TreeSender::send_trigger() {
+  const Message msg{MessageType::kTrigger, *value_, trigger_seq_, 0};
+  for (std::size_t c = 0; c < down_.size(); ++c) {
+    if (mech_.reliable_trigger) {
+      reliable_down_[c].send(msg);
+    } else {
+      down_[c]->send(msg);
+    }
+  }
+}
+
+void TreeSender::start(std::int64_t value) {
   value_ = value;
   trigger_seq_ = next_seq_++;
   send_trigger();
@@ -76,7 +86,7 @@ void ChainSender::start(std::int64_t value) {
   if (on_change_) on_change_();
 }
 
-void ChainSender::update(std::int64_t value) {
+void TreeSender::update(std::int64_t value) {
   if (!value_) {
     start(value);
     return;
@@ -87,36 +97,39 @@ void ChainSender::update(std::int64_t value) {
   if (on_change_) on_change_();
 }
 
-void ChainSender::arm_refresh() {
+void TreeSender::arm_refresh() {
   refresh_timer_ = sim_.schedule_in(
       sim::sample(rng_, timers_.dist, timers_.refresh), [this] {
         refresh_timer_.reset();
         if (value_) {
-          down_->send(Message{MessageType::kRefresh, *value_, trigger_seq_, 0});
+          const Message msg{MessageType::kRefresh, *value_, trigger_seq_, 0};
+          for (MessageChannel* channel : down_) channel->send(msg);
           arm_refresh();
         }
       });
 }
 
-void ChainSender::stop() {
+void TreeSender::stop() {
   value_.reset();
   if (refresh_timer_) {
     sim_.cancel(*refresh_timer_);
     refresh_timer_.reset();
   }
-  reliable_down_.cancel();
+  for (ReliableSlot& slot : reliable_down_) slot.cancel();
 }
 
-void ChainSender::handle_from_downstream(const Message& msg) {
+void TreeSender::handle_from_downstream(const Message& msg, std::size_t child) {
   switch (msg.type) {
     case MessageType::kAckTrigger:
-      reliable_down_.acknowledge(msg.seq);
+      reliable_down_[child].acknowledge(msg.seq);
       break;
     case MessageType::kNotice:
       // A receiver removed our state (timeout or false external signal);
       // re-install.  Under HS the notice traveled reliably, so acknowledge.
+      // The fresh trigger goes down every branch: relays that still hold
+      // the value re-ack the duplicate without re-forwarding it.
       if (mech_.external_failure_detector) {
-        down_->send(Message{MessageType::kAckNotice, 0, msg.seq, 0});
+        down_[child]->send(Message{MessageType::kAckNotice, 0, msg.seq, 0});
       }
       if (value_) {
         trigger_seq_ = next_seq_++;
@@ -128,39 +141,44 @@ void ChainSender::handle_from_downstream(const Message& msg) {
   }
 }
 
-// ------------------------------------------------------------ ChainRelay --
+// ------------------------------------------------------------- TreeRelay --
 
-ChainRelay::ChainRelay(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
-                       TimerSettings timers, MessageChannel* up,
-                       MessageChannel* down, std::function<void()> on_change)
+TreeRelay::TreeRelay(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
+                     TimerSettings timers, MessageChannel* up,
+                     std::vector<MessageChannel*> down,
+                     std::function<void()> on_change)
     : sim_(sim),
       rng_(rng),
       mech_(mech),
       timers_(timers),
       up_(up),
-      down_(down),
+      down_(std::move(down)),
       on_change_(std::move(on_change)),
-      reliable_down_(sim, rng, timers.dist, timers.retrans, down),
-      reliable_up_(sim, rng, timers.dist, timers.retrans, up) {}
+      reliable_up_(sim, rng, timers.dist, timers.retrans, up) {
+  reliable_down_.reserve(down_.size());  // fixed size; see TreeSender
+  for (MessageChannel* channel : down_) {
+    reliable_down_.emplace_back(sim, rng, timers.dist, timers.retrans, channel);
+  }
+}
 
-void ChainRelay::notify() {
+void TreeRelay::notify() {
   if (on_change_) on_change_();
 }
 
-void ChainRelay::clear_timeout() {
+void TreeRelay::clear_timeout() {
   if (timeout_timer_) {
     sim_.cancel(*timeout_timer_);
     timeout_timer_.reset();
   }
 }
 
-void ChainRelay::arm_timeout() {
+void TreeRelay::arm_timeout() {
   clear_timeout();
   timeout_timer_ = sim_.schedule_in(
       sim::sample(rng_, timers_.dist, timers_.timeout), [this] { on_timeout(); });
 }
 
-void ChainRelay::on_timeout() {
+void TreeRelay::on_timeout() {
   timeout_timer_.reset();
   if (!value_) return;
   value_.reset();
@@ -172,17 +190,20 @@ void ChainRelay::on_timeout() {
   notify();
 }
 
-void ChainRelay::forward_trigger(std::int64_t value) {
-  if (!down_) return;
+void TreeRelay::forward_trigger_to(std::size_t child, std::int64_t value) {
   const Message msg{MessageType::kTrigger, value, next_seq_++, 0};
   if (mech_.reliable_trigger) {
-    reliable_down_.send(msg);
+    reliable_down_[child].send(msg);
   } else {
-    down_->send(msg);
+    down_[child]->send(msg);
   }
 }
 
-void ChainRelay::handle_from_upstream(const Message& msg) {
+void TreeRelay::forward_trigger(std::int64_t value) {
+  for (std::size_t c = 0; c < down_.size(); ++c) forward_trigger_to(c, value);
+}
+
+void TreeRelay::handle_from_upstream(const Message& msg) {
   switch (msg.type) {
     case MessageType::kTrigger: {
       const bool duplicate = value_ && *value_ == msg.value;
@@ -192,7 +213,7 @@ void ChainRelay::handle_from_upstream(const Message& msg) {
       value_ = msg.value;
       if (mech_.soft_timeout) arm_timeout();
       // Duplicates (retransmission after a lost ACK) are re-ACKed but not
-      // re-forwarded: the downstream copy is already in flight or pending.
+      // re-forwarded: the downstream copies are already in flight or pending.
       if (!duplicate) {
         forward_trigger(msg.value);
         notify();
@@ -202,7 +223,8 @@ void ChainRelay::handle_from_upstream(const Message& msg) {
     case MessageType::kRefresh:
       value_ = msg.value;
       if (mech_.soft_timeout) arm_timeout();
-      if (down_) down_->send(msg);  // forward the refresh copy, best effort
+      // Forward the refresh copy down every branch, best effort.
+      for (MessageChannel* channel : down_) channel->send(msg);
       notify();
       break;
     case MessageType::kTeardown:
@@ -213,8 +235,9 @@ void ChainRelay::handle_from_upstream(const Message& msg) {
         clear_timeout();
         notify();
       }
-      if (down_) {
-        reliable_down_.send(Message{MessageType::kTeardown, 0, next_seq_++, 0});
+      for (std::size_t c = 0; c < down_.size(); ++c) {
+        reliable_down_[c].send(
+            Message{MessageType::kTeardown, 0, next_seq_++, 0});
       }
       break;
     case MessageType::kAckNotice:
@@ -225,25 +248,26 @@ void ChainRelay::handle_from_upstream(const Message& msg) {
   }
 }
 
-void ChainRelay::handle_from_downstream(const Message& msg) {
+void TreeRelay::handle_from_downstream(const Message& msg, std::size_t child) {
   switch (msg.type) {
     case MessageType::kAckTrigger:
     case MessageType::kAckNotice:
-      reliable_down_.acknowledge(msg.seq);
+      reliable_down_[child].acknowledge(msg.seq);
       break;
     case MessageType::kNotice:
       if (mech_.external_failure_detector) {
         // HS recovery: acknowledge, drop our own state, keep flooding the
         // notice toward the sender.
-        down_->send(Message{MessageType::kAckNotice, 0, msg.seq, 0});
+        down_[child]->send(Message{MessageType::kAckNotice, 0, msg.seq, 0});
         if (value_) {
           value_.reset();
           notify();
         }
         reliable_up_.send(Message{MessageType::kNotice, 0, next_seq_++, 0});
       } else if (value_) {
-        // SS+RT one-hop repair: re-install our value downstream.
-        forward_trigger(*value_);
+        // SS+RT one-hop repair: re-install our value down the branch the
+        // notice came from (the other branches kept their copies).
+        forward_trigger_to(child, *value_);
       }
       break;
     default:
@@ -251,21 +275,21 @@ void ChainRelay::handle_from_downstream(const Message& msg) {
   }
 }
 
-void ChainRelay::stop() {
+void TreeRelay::stop() {
   value_.reset();
   clear_timeout();
   reliable_up_.cancel();
-  reliable_down_.cancel();
+  for (ReliableSlot& slot : reliable_down_) slot.cancel();
 }
 
-void ChainRelay::external_removal_signal() {
+void TreeRelay::external_removal_signal() {
   if (!value_) return;
   value_.reset();
   clear_timeout();
   notify();
   reliable_up_.send(Message{MessageType::kNotice, 0, next_seq_++, 0});
-  if (down_) {
-    reliable_down_.send(Message{MessageType::kTeardown, 0, next_seq_++, 0});
+  for (std::size_t c = 0; c < down_.size(); ++c) {
+    reliable_down_[c].send(Message{MessageType::kTeardown, 0, next_seq_++, 0});
   }
 }
 

@@ -1,15 +1,23 @@
-// Executable nodes of the multi-hop signaling chain (Sec. III-B).
+// Executable nodes of multi-hop signaling topologies (Sec. III-B,
+// generalized from the paper's chain to arbitrary rooted trees).
 //
-// Topology: sender -> relay 1 -> relay 2 -> ... -> relay K.  Every relay
-// holds a copy of the signaling state.  Triggers propagate hop-by-hop
-// (reliably for SS+RT and HS), refreshes propagate as forwarded best-effort
-// copies (SS and SS+RT), and the HS recovery protocol floods notices
-// upstream and teardowns downstream when a false external signal fires.
+// Topology: a sender at the root, relays at interior nodes, receivers at
+// the leaves; a chain is the degenerate tree with fan-out 1.  Every relay
+// holds a copy of the signaling state.  Triggers propagate edge-by-edge
+// down every branch (reliably for SS+RT and HS), refreshes propagate as
+// forwarded best-effort copies down every branch (SS and SS+RT), and the
+// HS recovery protocol floods notices upstream and teardowns downstream
+// when a false external signal fires.  Hard-state install/remove acks
+// aggregate up the branches through per-child reliable slots.
+//
+// With exactly one child per node these classes behave bit-identically to
+// the PR 3 chain nodes (the golden-trace tests pin this).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "core/protocol.hpp"
 #include "protocols/engine.hpp"
@@ -25,6 +33,7 @@ namespace sigcomp::protocols {
 /// (it always carries more recent information).
 class ReliableSlot {
  public:
+  /// `channel` may be null only if send() is never called.
   ReliableSlot(sim::Simulator& sim, sim::Rng& rng, sim::Distribution dist,
                double retrans_timer, MessageChannel* channel);
 
@@ -38,6 +47,7 @@ class ReliableSlot {
   /// Drops any outstanding message.
   void cancel();
 
+  /// True while a sent message awaits its acknowledgment.
   [[nodiscard]] bool outstanding() const noexcept { return outstanding_; }
 
  private:
@@ -54,29 +64,39 @@ class ReliableSlot {
   std::optional<sim::EventId> timer_;
 };
 
-/// The signaling sender at the head of the chain.  Infinite state lifetime:
-/// the state value changes on updates but is never removed.
-class ChainSender {
+/// The signaling sender at the root of the tree.  Infinite state lifetime:
+/// the state value changes on updates but is never removed.  Fan-out:
+/// triggers and refreshes go down every child edge; each child edge has its
+/// own reliable slot so one slow branch cannot stall another.
+class TreeSender {
  public:
-  ChainSender(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
-              TimerSettings timers, MessageChannel* down,
-              std::function<void()> on_change);
+  /// `down[c]` is the channel toward child c; the vector's order defines
+  /// the child indices used by handle_from_downstream.
+  TreeSender(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
+             TimerSettings timers, std::vector<MessageChannel*> down,
+             std::function<void()> on_change);
+
+  TreeSender(const TreeSender&) = delete;             ///< non-copyable
+  TreeSender& operator=(const TreeSender&) = delete;  ///< non-copyable
 
   /// Installs the initial value and starts the refresh process.
   void start(std::int64_t value);
 
-  /// Updates the state value (a new trigger propagates down the chain).
+  /// Updates the state value (a new trigger propagates down every branch).
   void update(std::int64_t value);
 
-  /// Message arriving from relay 1 (ACKs, notices).
-  void handle_from_downstream(const Message& msg);
+  /// Message arriving from child `child` (ACKs, notices).
+  void handle_from_downstream(const Message& msg, std::size_t child = 0);
 
   /// Silently ends the session: clears state and cancels every pending
   /// timer WITHOUT signaling anything.  Used by the session farm when a
-  /// finite-lifetime chain session's observation window closes.
+  /// finite-lifetime session's observation window closes.
   void stop();
 
+  /// The installed state value (nullopt before start / after stop).
   [[nodiscard]] std::optional<std::int64_t> value() const noexcept { return value_; }
+  /// Number of child edges.
+  [[nodiscard]] std::size_t fanout() const noexcept { return down_.size(); }
 
  private:
   void send_trigger();
@@ -86,9 +106,9 @@ class ChainSender {
   sim::Rng& rng_;
   MechanismSet mech_;
   TimerSettings timers_;
-  MessageChannel* down_;
+  std::vector<MessageChannel*> down_;
   std::function<void()> on_change_;
-  ReliableSlot reliable_down_;
+  std::vector<ReliableSlot> reliable_down_;  ///< one per child, fixed size
 
   std::optional<std::int64_t> value_;
   std::uint64_t next_seq_ = 1;
@@ -96,33 +116,48 @@ class ChainSender {
   std::optional<sim::EventId> refresh_timer_;
 };
 
-/// A relay node (hop i's far end).  Holds state, forwards signaling.
-class ChainRelay {
+/// A relay node (any non-root node of the tree).  Holds state, forwards
+/// signaling down its child edges; a leaf (no children) is a receiver.
+class TreeRelay {
  public:
-  /// `up` sends toward the sender, `down` toward the next relay (null for
-  /// the last node in the chain).
-  ChainRelay(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
-             TimerSettings timers, MessageChannel* up, MessageChannel* down,
-             std::function<void()> on_change);
+  /// `up` sends toward the parent; `down[c]` toward child c (empty for a
+  /// leaf).  The vector's order defines the child indices used by
+  /// handle_from_downstream.
+  TreeRelay(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
+            TimerSettings timers, MessageChannel* up,
+            std::vector<MessageChannel*> down,
+            std::function<void()> on_change);
 
+  TreeRelay(const TreeRelay&) = delete;             ///< non-copyable
+  TreeRelay& operator=(const TreeRelay&) = delete;  ///< non-copyable
+
+  /// Message arriving from the parent (triggers, refreshes, teardowns).
   void handle_from_upstream(const Message& msg);
-  void handle_from_downstream(const Message& msg);
+
+  /// Message arriving from child `child` (ACKs, notices).
+  void handle_from_downstream(const Message& msg, std::size_t child = 0);
 
   /// HS external failure detector fired (falsely) at this node: remove
-  /// state, notify upstream (toward the sender) and tear down downstream.
+  /// state, notify upstream (toward the sender) and tear down every branch
+  /// below.
   void external_removal_signal();
 
-  /// Silently ends the session (see ChainSender::stop).
+  /// Silently ends the session (see TreeSender::stop).
   void stop();
 
+  /// The held state value (nullopt when no state is installed).
   [[nodiscard]] std::optional<std::int64_t> value() const noexcept { return value_; }
+  /// Number of soft-state timeout expirations at this relay.
   [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  /// Number of child edges (0 = this relay is a receiver).
+  [[nodiscard]] std::size_t fanout() const noexcept { return down_.size(); }
 
  private:
   void arm_timeout();
   void on_timeout();
   void clear_timeout();
   void forward_trigger(std::int64_t value);
+  void forward_trigger_to(std::size_t child, std::int64_t value);
   void notify();
 
   sim::Simulator& sim_;
@@ -130,9 +165,9 @@ class ChainRelay {
   MechanismSet mech_;
   TimerSettings timers_;
   MessageChannel* up_;
-  MessageChannel* down_;  // nullptr for the last relay
+  std::vector<MessageChannel*> down_;  ///< empty for a leaf
   std::function<void()> on_change_;
-  ReliableSlot reliable_down_;
+  std::vector<ReliableSlot> reliable_down_;  ///< one per child, fixed size
   ReliableSlot reliable_up_;
 
   std::optional<std::int64_t> value_;
@@ -140,5 +175,9 @@ class ChainRelay {
   std::uint64_t timeouts_ = 0;
   std::optional<sim::EventId> timeout_timer_;
 };
+
+/// Chain-era names: the PR 3 chain nodes are the fan-out-1 special case.
+using ChainSender = TreeSender;
+using ChainRelay = TreeRelay;
 
 }  // namespace sigcomp::protocols

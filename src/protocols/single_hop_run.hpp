@@ -41,7 +41,7 @@ struct SimOptions {
   /// (The loss process comes from the parameter set: see
   /// SingleHopParams::loss_config and with_bursty_loss.)
   sim::DelayModel delay_model = sim::DelayModel::kExponential;
-  double delay_shape = 1.5;
+  double delay_shape = 1.5;  ///< Pareto tail index / lognormal sigma
 
   /// Fraction of sessions that end in a sender CRASH instead of a graceful
   /// removal: nothing is signaled and the receiver's orphaned state must be
@@ -89,11 +89,13 @@ struct SimResult {
 /// confidence intervals across `replications` independent runs (seeds
 /// options.seed, options.seed + 1, ...).
 struct ReplicatedResult {
-  sim::ConfidenceInterval inconsistency;
-  sim::ConfidenceInterval message_rate;
-  std::size_t replications = 0;
+  sim::ConfidenceInterval inconsistency;  ///< inconsistency ratio I
+  sim::ConfidenceInterval message_rate;   ///< normalized message rate M
+  std::size_t replications = 0;           ///< independent runs aggregated
 };
 
+/// Runs `replications` independent simulations and aggregates them (see
+/// ReplicatedResult).
 [[nodiscard]] ReplicatedResult run_single_hop_replicated(
     ProtocolKind kind, const SingleHopParams& params, const SimOptions& options,
     std::size_t replications);

@@ -1,0 +1,103 @@
+#include "protocols/topology.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace sigcomp::protocols {
+
+Topology::Topology(sim::Simulator& sim, sim::Rng& channel_rng,
+                   sim::Rng& node_rng, MechanismSet mech,
+                   const TimerSettings& timers, const TreeSpec& spec,
+                   const std::vector<sim::LossConfig>& edge_loss,
+                   const std::vector<sim::DelayConfig>& edge_delay,
+                   std::function<void()> on_change, sim::TraceLog* trace)
+    : spec_(spec) {
+  spec_.validate();
+  const std::size_t e_count = spec_.edges();
+  if (e_count == 0) {
+    throw std::invalid_argument("Topology: the tree needs at least one edge");
+  }
+  if (edge_loss.size() != e_count || edge_delay.size() != e_count) {
+    throw std::invalid_argument(
+        "Topology: need one loss and one delay config per edge");
+  }
+
+  // Channels first (nodes keep pointers to them); sinks wired afterwards.
+  // Edge order matches the chain builder's hop order, so a fan-out-1 spec
+  // produces the identical construction and trace-label sequence.
+  for (std::size_t e = 0; e < e_count; ++e) {
+    down_.push_back(std::make_unique<MessageChannel>(
+        sim, channel_rng, edge_loss[e], edge_delay[e], MessageChannel::Sink{}));
+    up_.push_back(std::make_unique<MessageChannel>(
+        sim, channel_rng, edge_loss[e], edge_delay[e], MessageChannel::Sink{}));
+    if (trace != nullptr) {
+      const auto describe = [](const Message& m) {
+        return std::string(to_string(m.type));
+      };
+      down_[e]->set_trace(trace, "dn" + std::to_string(e), describe);
+      up_[e]->set_trace(trace, "up" + std::to_string(e), describe);
+    }
+  }
+
+  // kids[n]: child edges of node n in edge order; child_index[e]: e's
+  // position within its parent's child list (the routing index the parent
+  // uses for ACKs and notices arriving on up_[e]).
+  std::vector<std::vector<std::size_t>> kids(spec_.nodes());
+  std::vector<std::size_t> child_index(e_count);
+  for (std::size_t e = 0; e < e_count; ++e) {
+    child_index[e] = kids[spec_.parent[e]].size();
+    kids[spec_.parent[e]].push_back(e);
+  }
+  const auto down_channels = [&](std::size_t node) {
+    std::vector<MessageChannel*> out;
+    out.reserve(kids[node].size());
+    for (const std::size_t e : kids[node]) out.push_back(down_[e].get());
+    return out;
+  };
+
+  sender_ = std::make_unique<TreeSender>(sim, node_rng, mech, timers,
+                                         down_channels(0), on_change);
+  for (std::size_t e = 0; e < e_count; ++e) {
+    relays_.push_back(std::make_unique<TreeRelay>(
+        sim, node_rng, mech, timers, up_[e].get(), down_channels(e + 1),
+        on_change));
+  }
+
+  for (std::size_t e = 0; e < e_count; ++e) {
+    down_[e]->set_sink(
+        [this, e](const Message& m) { relays_[e]->handle_from_upstream(m); });
+    const std::size_t parent = spec_.parent[e];
+    const std::size_t index = child_index[e];
+    up_[e]->set_sink([this, parent, index](const Message& m) {
+      if (parent == 0) {
+        sender_->handle_from_downstream(m, index);
+      } else {
+        relays_[parent - 1]->handle_from_downstream(m, index);
+      }
+    });
+  }
+}
+
+std::uint64_t Topology::edge_messages_sent(std::size_t e) const noexcept {
+  return down_[e]->counters().sent + up_[e]->counters().sent;
+}
+
+std::uint64_t Topology::messages_sent() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t e = 0; e < down_.size(); ++e) total += edge_messages_sent(e);
+  return total;
+}
+
+std::uint64_t Topology::relay_timeouts() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& relay : relays_) total += relay->timeouts();
+  return total;
+}
+
+void Topology::stop() {
+  sender_->stop();
+  for (auto& relay : relays_) relay->stop();
+}
+
+}  // namespace sigcomp::protocols

@@ -1,0 +1,82 @@
+// A fully wired signaling tree: the sender at the root, relays at interior
+// nodes, receivers at the leaves, with per-edge bidirectional channels,
+// sinks connected, and optional per-edge tracing.  One builder shared by
+// the tree harness (protocols/tree_run.cpp), the chain adapter
+// (protocols/chain.hpp, the fan-out-1 special case) and the session farm
+// (exp/session_farm.cpp), so topology and wiring can never drift between
+// them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/topology.hpp"
+#include "protocols/engine.hpp"
+#include "protocols/multi_hop_node.hpp"
+#include "sim/channel_process.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace sigcomp::protocols {
+
+/// Owns the tree's nodes and channels.  Edge e's two directions share the
+/// link's loss and delay configuration; channel trace labels are "dn<e>"
+/// (away from the root) and "up<e>" (toward the root) -- on a chain spec
+/// these coincide with the historical per-hop labels.
+class Topology {
+ public:
+  /// `edge_loss` and `edge_delay` must have exactly spec.edges() entries
+  /// (and the spec at least one edge).  Both `channel_rng` and `node_rng`
+  /// must outlive the topology.  Throws std::invalid_argument on an
+  /// invalid spec or mismatched vectors.
+  Topology(sim::Simulator& sim, sim::Rng& channel_rng, sim::Rng& node_rng,
+           MechanismSet mech, const TimerSettings& timers,
+           const TreeSpec& spec,
+           const std::vector<sim::LossConfig>& edge_loss,
+           const std::vector<sim::DelayConfig>& edge_delay,
+           std::function<void()> on_change, sim::TraceLog* trace = nullptr);
+
+  Topology(const Topology&) = delete;             ///< non-copyable
+  Topology& operator=(const Topology&) = delete;  ///< non-copyable
+
+  /// The tree being simulated.
+  [[nodiscard]] const TreeSpec& spec() const noexcept { return spec_; }
+  /// Non-root nodes (== edges).
+  [[nodiscard]] std::size_t relays() const noexcept { return relays_.size(); }
+  /// The root node.
+  [[nodiscard]] TreeSender& sender() noexcept { return *sender_; }
+  /// The root node (const).
+  [[nodiscard]] const TreeSender& sender() const noexcept { return *sender_; }
+  /// Relay i holds tree node i+1 (edge i's child endpoint).
+  [[nodiscard]] TreeRelay& relay(std::size_t i) { return *relays_[i]; }
+  /// Relay i (const).
+  [[nodiscard]] const TreeRelay& relay(std::size_t i) const {
+    return *relays_[i];
+  }
+
+  /// Messages handed to edge e's channels (both directions).
+  [[nodiscard]] std::uint64_t edge_messages_sent(std::size_t e) const noexcept;
+
+  /// Messages handed to all channels of the tree.
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept;
+
+  /// Soft-state timeout expirations summed across relays.
+  [[nodiscard]] std::uint64_t relay_timeouts() const noexcept;
+
+  /// Silently tears the whole tree down (TreeSender/TreeRelay::stop):
+  /// state cleared, timers cancelled, nothing signaled.
+  void stop();
+
+ private:
+  TreeSpec spec_;
+  std::vector<std::unique_ptr<MessageChannel>> down_;  ///< e: parent -> child
+  std::vector<std::unique_ptr<MessageChannel>> up_;    ///< e: child -> parent
+  std::unique_ptr<TreeSender> sender_;
+  std::vector<std::unique_ptr<TreeRelay>> relays_;
+};
+
+}  // namespace sigcomp::protocols

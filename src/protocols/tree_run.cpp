@@ -1,0 +1,199 @@
+#include "protocols/tree_run.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "protocols/topology.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace sigcomp::protocols {
+
+namespace {
+
+/// Mirrors MultiHopRun stream-for-stream and event-for-event, so a
+/// fan-out-1 tree replays the chain harness exactly (same RNG substreams,
+/// same scheduling order, same trace stream).
+class TreeRun {
+ public:
+  TreeRun(ProtocolKind kind, analytic::TreeParams params,
+          const TreeSimOptions& options)
+      : params_(std::move(params)),
+        options_(options),
+        mech_(mechanisms(kind)),
+        rng_channel_(options.seed, 100),
+        rng_nodes_(options.seed, 101),
+        rng_lifecycle_(options.seed, 102),
+        rng_failure_(options.seed, 103) {
+    params_.validate();
+    if (std::find(kMultiHopProtocols.begin(), kMultiHopProtocols.end(), kind) ==
+        kMultiHopProtocols.end()) {
+      throw std::invalid_argument(
+          "run_tree: protocol must be SS, SS+RT or HS; got " +
+          std::string(to_string(kind)));
+    }
+    TimerSettings timers;
+    timers.dist = options.timer_dist;
+    timers.refresh = params_.refresh_timer;
+    timers.timeout = params_.timeout_timer;
+    timers.retrans = params_.retrans_timer;
+
+    // Edge e's two directions share the link's loss/delay.
+    const std::size_t e_count = params_.edges();
+    std::vector<sim::LossConfig> edge_loss;
+    std::vector<sim::DelayConfig> edge_delay;
+    for (std::size_t e = 0; e < e_count; ++e) {
+      edge_loss.push_back(params_.edge_loss_config(e));
+      edge_delay.push_back(sim::DelayConfig{options.delay_model,
+                                            params_.delay[e],
+                                            options.delay_shape});
+    }
+    topology_ = std::make_unique<Topology>(
+        sim_, rng_channel_, rng_nodes_, mech_, timers, params_.tree, edge_loss,
+        edge_delay, [this] { on_change(); }, options_.trace);
+
+    inconsistent_nodes_.assign(e_count, sim::TimeWeightedValue{});
+    node_ok_.assign(e_count, 0);
+    // Per-leaf path monitors: relay indices (node id - 1) on each root-to-
+    // leaf path, resolved once.
+    for (const std::size_t leaf : params_.tree.leaves()) {
+      std::vector<std::size_t> relays;
+      for (const std::size_t e : params_.tree.path_edges(leaf)) {
+        relays.push_back(e);  // edge e's child endpoint is relay e
+      }
+      leaf_paths_.push_back(std::move(relays));
+    }
+    inconsistent_paths_.assign(leaf_paths_.size(), sim::TimeWeightedValue{});
+  }
+
+  TreeSimResult run() {
+    topology_->sender().start(++version_);
+    schedule_update();
+    if (mech_.external_failure_detector && params_.false_signal_rate > 0.0) {
+      for (std::size_t i = 0; i < params_.edges(); ++i) {
+        schedule_false_signal(i);
+      }
+    }
+    sim_.run_until(options_.duration);
+
+    TreeSimResult out;
+    out.duration = options_.duration;
+    out.messages = topology_->messages_sent();
+    out.relay_timeouts = topology_->relay_timeouts();
+    for (std::size_t i = 0; i < params_.edges(); ++i) {
+      out.node_inconsistency.push_back(
+          inconsistent_nodes_[i].mean(options_.duration));
+    }
+    for (std::size_t p = 0; p < leaf_paths_.size(); ++p) {
+      out.leaf_path_inconsistency.push_back(
+          inconsistent_paths_[p].mean(options_.duration));
+    }
+    out.metrics.inconsistency = any_inconsistent_.mean(options_.duration);
+    out.metrics.raw_message_rate =
+        static_cast<double>(out.messages) / options_.duration;
+    out.metrics.message_rate = out.metrics.raw_message_rate;
+    return out;
+  }
+
+ private:
+  void schedule_update() {
+    if (params_.update_rate <= 0.0) return;
+    sim_.schedule_in(rng_lifecycle_.exponential(1.0 / params_.update_rate),
+                     [this] {
+                       topology_->sender().update(++version_);
+                       schedule_update();
+                     });
+  }
+
+  void schedule_false_signal(std::size_t relay) {
+    sim_.schedule_in(
+        rng_failure_.exponential(1.0 / params_.false_signal_rate),
+        [this, relay] {
+          topology_->relay(relay).external_removal_signal();
+          schedule_false_signal(relay);
+        });
+  }
+
+  void on_change() {
+    // node_ok_ is a member buffer: this callback fires on every state
+    // change at every node, so it must not allocate.
+    bool all_ok = true;
+    for (std::size_t i = 0; i < topology_->relays(); ++i) {
+      const bool ok =
+          topology_->relay(i).value() == topology_->sender().value();
+      node_ok_[i] = ok ? 1 : 0;
+      inconsistent_nodes_[i].set(sim_.now(), ok ? 0.0 : 1.0);
+      all_ok = all_ok && ok;
+    }
+    any_inconsistent_.set(sim_.now(), all_ok ? 0.0 : 1.0);
+    for (std::size_t p = 0; p < leaf_paths_.size(); ++p) {
+      bool path_ok = true;
+      for (const std::size_t relay : leaf_paths_[p]) {
+        path_ok = path_ok && node_ok_[relay] != 0;
+      }
+      inconsistent_paths_[p].set(sim_.now(), path_ok ? 0.0 : 1.0);
+    }
+  }
+
+  analytic::TreeParams params_;
+  TreeSimOptions options_;
+  MechanismSet mech_;
+
+  sim::Simulator sim_;
+  sim::Rng rng_channel_;
+  sim::Rng rng_nodes_;
+  sim::Rng rng_lifecycle_;
+  sim::Rng rng_failure_;
+  std::unique_ptr<Topology> topology_;
+
+  std::vector<sim::TimeWeightedValue> inconsistent_nodes_;
+  std::vector<char> node_ok_;  ///< scratch for on_change (no per-event alloc)
+  std::vector<std::vector<std::size_t>> leaf_paths_;  ///< relay ids per leaf
+  std::vector<sim::TimeWeightedValue> inconsistent_paths_;
+  sim::TimeWeightedValue any_inconsistent_;
+  std::int64_t version_ = 0;
+};
+
+}  // namespace
+
+TreeSimResult run_tree(ProtocolKind kind, const analytic::TreeParams& params,
+                       const TreeSimOptions& options) {
+  if (options.duration <= 0.0) {
+    throw std::invalid_argument("run_tree: duration must be > 0");
+  }
+  TreeRun run(kind, params, options);
+  return run.run();
+}
+
+TreeReplicatedResult run_tree_replicated(ProtocolKind kind,
+                                         const analytic::TreeParams& params,
+                                         const TreeSimOptions& options,
+                                         std::size_t replications) {
+  if (replications == 0) {
+    throw std::invalid_argument("run_tree_replicated: need >= 1 replication");
+  }
+  sim::RunningStats inconsistency;
+  sim::RunningStats message_rate;
+  sim::RunningStats worst_leaf;
+  for (std::size_t r = 0; r < replications; ++r) {
+    TreeSimOptions rep = options;
+    rep.seed = options.seed + r;
+    const TreeSimResult result = run_tree(kind, params, rep);
+    inconsistency.add(result.metrics.inconsistency);
+    message_rate.add(result.metrics.raw_message_rate);
+    worst_leaf.add(*std::max_element(result.leaf_path_inconsistency.begin(),
+                                     result.leaf_path_inconsistency.end()));
+  }
+  TreeReplicatedResult out;
+  out.inconsistency = sim::confidence_interval_95(inconsistency);
+  out.message_rate = sim::confidence_interval_95(message_rate);
+  out.worst_leaf_inconsistency = sim::confidence_interval_95(worst_leaf);
+  out.replications = replications;
+  return out;
+}
+
+}  // namespace sigcomp::protocols

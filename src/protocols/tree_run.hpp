@@ -1,0 +1,75 @@
+// Tree simulation harness: a sender at the root plus relays on every other
+// node, connected by lossy per-edge channels, running SS, SS+RT or HS,
+// measured against the per-path analytic composition
+// (analytic/tree_paths.hpp).  On a fan-out-1 spec this reproduces the
+// multi-hop chain harness bit-for-bit (the golden-trace tests pin it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytic/tree_paths.hpp"
+#include "core/metrics.hpp"
+#include "core/protocol.hpp"
+#include "sim/channel_process.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace sigcomp::protocols {
+
+/// Execution options of one tree simulation (mirrors MultiHopSimOptions).
+struct TreeSimOptions {
+  std::uint64_t seed = 1;     ///< base seed of the run's RNG streams
+  double duration = 50000.0;  ///< simulated seconds
+  /// Timer law at every node (deterministic = real protocols).
+  sim::Distribution timer_dist = sim::Distribution::kDeterministic;
+  /// Per-edge channel delay law (mean = the edge's delay parameter).
+  sim::DelayModel delay_model = sim::DelayModel::kExponential;
+  double delay_shape = 1.5;  ///< Pareto tail index / lognormal sigma
+  /// Optional trace sink; when set, every per-edge channel records its
+  /// send/drop/deliver events (labels "dn0"/"up0", "dn1"/"up1", ...).
+  /// Formatting is fully skipped when null -- tracing costs nothing when
+  /// absent.
+  sim::TraceLog* trace = nullptr;
+};
+
+/// Aggregate outcome of one tree simulation.
+struct TreeSimResult {
+  /// inconsistency = P(some node disagrees with the root); raw msg rate.
+  Metrics metrics;
+  /// Per relay (tree node i+1): fraction of time its value differs from
+  /// the sender's.
+  std::vector<double> node_inconsistency;
+  /// Per leaf, in increasing leaf-node order (TreeSpec::leaves): fraction
+  /// of time ANY node on the root-to-leaf path disagrees with the sender
+  /// -- the quantity the per-path chain model predicts.
+  std::vector<double> leaf_path_inconsistency;
+  std::uint64_t messages = 0;        ///< across every edge, both directions
+  double duration = 0.0;             ///< simulated seconds
+  std::uint64_t relay_timeouts = 0;  ///< soft-state timeouts across relays
+};
+
+/// Runs one tree replication.  Throws std::invalid_argument on bad
+/// parameters or a protocol outside {SS, SS+RT, HS}.
+[[nodiscard]] TreeSimResult run_tree(ProtocolKind kind,
+                                     const analytic::TreeParams& params,
+                                     const TreeSimOptions& options);
+
+/// Replicated tree estimates with 95% confidence intervals (seeds
+/// options.seed, options.seed + 1, ..., mirroring the multi-hop API).
+struct TreeReplicatedResult {
+  sim::ConfidenceInterval inconsistency;  ///< all-nodes inconsistency
+  sim::ConfidenceInterval message_rate;   ///< raw msg/s across the tree
+  /// Largest per-leaf path inconsistency within each replication.
+  sim::ConfidenceInterval worst_leaf_inconsistency;
+  std::size_t replications = 0;  ///< independent runs aggregated
+};
+
+/// Runs `replications` independent tree simulations and aggregates them
+/// (see TreeReplicatedResult).
+[[nodiscard]] TreeReplicatedResult run_tree_replicated(
+    ProtocolKind kind, const analytic::TreeParams& params,
+    const TreeSimOptions& options, std::size_t replications);
+
+}  // namespace sigcomp::protocols

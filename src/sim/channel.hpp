@@ -32,6 +32,8 @@ struct ChannelCounters {
 template <typename Payload>
 class Channel {
  public:
+  /// Delivery callback invoked for every message that survives the loss
+  /// process, after its sampled delay.
   using Sink = std::function<void(const Payload&)>;
 
   /// Fully configured channel.  Both configurations are validated (throws
@@ -75,16 +77,20 @@ class Channel {
     });
   }
 
+  /// Sent/delivered/lost counters since construction.
   [[nodiscard]] const ChannelCounters& counters() const noexcept { return counters_; }
 
   /// Long-run average loss probability (the iid loss, or the GE stationary
   /// mean).
   [[nodiscard]] double loss() const { return loss_.config().mean_loss(); }
+  /// Mean one-way delay in seconds.
   [[nodiscard]] double mean_delay() const noexcept { return delay_.mean; }
 
+  /// The loss process configuration this channel runs.
   [[nodiscard]] const LossConfig& loss_config() const noexcept {
     return loss_.config();
   }
+  /// The delay process configuration this channel runs.
   [[nodiscard]] const DelayConfig& delay_config() const noexcept {
     return delay_;
   }

@@ -30,7 +30,7 @@ enum class LossModel {
 /// Full description of a channel loss process.  Plain aggregate so parameter
 /// structs can embed and compare it.
 struct LossConfig {
-  LossModel model = LossModel::kIid;
+  LossModel model = LossModel::kIid;  ///< which process the channel runs
   double loss = 0.0;       ///< iid drop probability (unused under GE)
   double p_gb = 0.0;       ///< GE: P(good -> bad) per message
   double p_bg = 1.0;       ///< GE: P(bad -> good) per message
@@ -72,19 +72,23 @@ struct LossConfig {
   /// Throws std::invalid_argument when any probability is outside [0, 1].
   void validate() const;
 
-  friend bool operator==(const LossConfig&, const LossConfig&) = default;
+  friend bool operator==(const LossConfig&,
+                         const LossConfig&) = default;  ///< field-wise equality
 };
 
 /// Stateful per-channel sampler of a LossConfig.  Each send advances the
 /// process one step and asks it whether the message is dropped.
 class LossProcess {
  public:
+  /// Lossless process (iid with probability 0).
   LossProcess() = default;
 
   /// Validates the configuration (throws std::invalid_argument).
   explicit LossProcess(LossConfig config);
 
+  /// The configuration this process samples.
   [[nodiscard]] const LossConfig& config() const noexcept { return config_; }
+  /// True while the GE chain sits in its bad state (always false for iid).
   [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
 
   /// Advances the process by one message and returns whether it is dropped.
@@ -116,13 +120,17 @@ enum class DelayModel {
 
 /// Full description of a channel delay process.
 struct DelayConfig {
-  DelayModel model = DelayModel::kExponential;
+  DelayModel model = DelayModel::kExponential;  ///< which law to draw from
   double mean = 0.0;   ///< mean one-way delay in seconds
   double shape = 1.5;  ///< Pareto tail index (> 1) or lognormal sigma
 
+  /// Fixed delay of exactly `mean`.
   [[nodiscard]] static DelayConfig deterministic(double mean);
+  /// Exponential delay with the given mean (the model's assumption).
   [[nodiscard]] static DelayConfig exponential(double mean);
+  /// Heavy-tailed Pareto delay with the given mean and tail index.
   [[nodiscard]] static DelayConfig pareto(double mean, double shape = 1.5);
+  /// Skewed lognormal delay with the given mean and log-scale sigma.
   [[nodiscard]] static DelayConfig lognormal(double mean, double sigma = 1.5);
 
   /// Bridges the legacy two-valued Distribution enum (protocol timers keep
@@ -137,7 +145,8 @@ struct DelayConfig {
   /// lognormal needs sigma >= 0).
   void validate() const;
 
-  friend bool operator==(const DelayConfig&, const DelayConfig&) = default;
+  friend bool operator==(const DelayConfig&,
+                         const DelayConfig&) = default;  ///< field-wise equality
 };
 
 }  // namespace sigcomp::sim

@@ -46,8 +46,11 @@ class EventCallback {
   /// largest is a channel delivery closure: a pointer plus a Message).
   static constexpr std::size_t kInlineCapacity = 48;
 
+  /// Empty callback (boolean-false; must not be invoked).
   EventCallback() noexcept = default;
 
+  /// Wraps any `void()` callable.  Implicit so schedule call sites read
+  /// like the std::function-based API it replaced.
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, EventCallback> &&
@@ -67,6 +70,7 @@ class EventCallback {
     }
   }
 
+  /// Move: relocates the stored callable; `other` is left empty.
   EventCallback(EventCallback&& other) noexcept : vtable_(other.vtable_) {
     if (vtable_ != nullptr) {
       vtable_->relocate(storage_, other.storage_);
@@ -74,6 +78,7 @@ class EventCallback {
     }
   }
 
+  /// Move assignment: destroys the current callable first.
   EventCallback& operator=(EventCallback&& other) noexcept {
     if (this != &other) {
       reset();
@@ -86,15 +91,17 @@ class EventCallback {
     return *this;
   }
 
-  EventCallback(const EventCallback&) = delete;
-  EventCallback& operator=(const EventCallback&) = delete;
+  EventCallback(const EventCallback&) = delete;             ///< move-only
+  EventCallback& operator=(const EventCallback&) = delete;  ///< move-only
 
+  /// Destroys the stored callable, if any.
   ~EventCallback() { reset(); }
 
   /// Invokes the stored callable (undefined when empty; the queue never
   /// stores an empty callback).
   void operator()() { vtable_->invoke(storage_); }
 
+  /// True when a callable is stored.
   [[nodiscard]] explicit operator bool() const noexcept {
     return vtable_ != nullptr;
   }
@@ -167,7 +174,8 @@ class EventCallback {
 struct EventId {
   std::uint64_t value = 0;  ///< unique sequence number; 0 = invalid
   std::uint32_t slot = 0;   ///< pool slot the event occupies
-  friend bool operator==(const EventId&, const EventId&) = default;
+  friend bool operator==(const EventId&,
+                         const EventId&) = default;  ///< field-wise equality
 };
 
 /// Min-ordered pending set of (time, seq) -> callback, pooled as above.
@@ -207,11 +215,12 @@ class EventQueue {
   /// Time of the earliest live event.  Throws std::logic_error when empty.
   [[nodiscard]] Time next_time() const;
 
-  /// Pops and returns the earliest live event.  Throws when empty.
+  /// An event handed back by pop().
   struct PoppedEvent {
-    Time time;
-    EventCallback action;
+    Time time;             ///< scheduled execution time
+    EventCallback action;  ///< the callback to invoke
   };
+  /// Pops and returns the earliest live event.  Throws when empty.
   PoppedEvent pop();
 
  private:

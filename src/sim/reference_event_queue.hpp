@@ -24,14 +24,16 @@ namespace sigcomp::sim {
 
 /// Handle into the reference queue (sequence number only).
 struct ReferenceEventId {
-  std::uint64_t value = 0;
-  friend bool operator==(const ReferenceEventId&,
-                         const ReferenceEventId&) = default;
+  std::uint64_t value = 0;  ///< the event's unique sequence number
+  friend bool operator==(
+      const ReferenceEventId&,
+      const ReferenceEventId&) = default;  ///< field-wise equality
 };
 
 /// Min-heap of (time, seq) -> action; see the file comment.
 class ReferenceEventQueue {
  public:
+  /// Adds an event; `time` must be finite and `action` non-empty.
   ReferenceEventId push(Time time, std::function<void()> action) {
     if (!std::isfinite(time)) {
       throw std::invalid_argument(
@@ -48,6 +50,7 @@ class ReferenceEventQueue {
     return ReferenceEventId{seq};
   }
 
+  /// Cancels a pending event; returns false if already executed/cancelled.
   bool cancel(ReferenceEventId id) {
     const auto it = actions_.find(id.value);
     if (it == actions_.end()) return false;
@@ -61,12 +64,17 @@ class ReferenceEventQueue {
     return true;
   }
 
+  /// True when no live event remains.
   [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  /// Number of live (pending, uncancelled) events.
   [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  /// Heap entries including lazily-deleted husks (same bound as the
+  /// production queue).
   [[nodiscard]] std::size_t heap_entries() const noexcept {
     return heap_.size();
   }
 
+  /// Time of the earliest live event.  Throws std::logic_error when empty.
   [[nodiscard]] Time next_time() const {
     drop_dead();
     if (heap_.empty()) {
@@ -75,11 +83,13 @@ class ReferenceEventQueue {
     return heap_.front().time;
   }
 
+  /// An event handed back by pop().
   struct PoppedEvent {
-    Time time;
-    std::function<void()> action;
+    Time time;                     ///< scheduled execution time
+    std::function<void()> action;  ///< the callback to invoke
   };
 
+  /// Pops and returns the earliest live event.  Throws when empty.
   PoppedEvent pop() {
     drop_dead();
     if (heap_.empty()) {

@@ -40,9 +40,18 @@ class Simulator {
   /// Runs until no events remain or `max_events` have executed.
   void run(std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max());
 
+  /// True when no events are pending.
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  /// Number of pending (live) events.
   [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  /// Events executed since construction.
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+  /// Slot-pool high-water mark of the underlying event queue
+  /// (EventQueue::slot_capacity).  Tests assert it stays flat across
+  /// session start/stop churn -- the zero-allocation teardown contract.
+  [[nodiscard]] std::size_t slot_capacity() const noexcept {
+    return queue_.slot_capacity();
+  }
 
  private:
   EventQueue queue_;

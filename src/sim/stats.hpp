@@ -13,6 +13,7 @@ namespace sigcomp::sim {
 /// fraction of time a predicate (e.g. "states are inconsistent") holds.
 class TimeWeightedValue {
  public:
+  /// Starts integrating at time `start` with signal value `initial`.
   explicit TimeWeightedValue(Time start = 0.0, double initial = 0.0) noexcept
       : last_time_(start), value_(initial) {}
 
@@ -40,16 +41,22 @@ class TimeWeightedValue {
 /// Welford streaming mean/variance accumulator.
 class RunningStats {
  public:
+  /// Accumulates one sample.
   void add(double x) noexcept;
 
+  /// Number of accumulated samples.
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  /// Sample mean; 0 when empty.
   [[nodiscard]] double mean() const noexcept { return mean_; }
   /// Unbiased sample variance; 0 when fewer than two samples.
   [[nodiscard]] double variance() const noexcept;
+  /// Square root of variance().
   [[nodiscard]] double stddev() const noexcept;
   /// Standard error of the mean; 0 when fewer than two samples.
   [[nodiscard]] double std_error() const noexcept;
+  /// Smallest accumulated sample (0 when empty).
   [[nodiscard]] double min() const noexcept { return min_; }
+  /// Largest accumulated sample (0 when empty).
   [[nodiscard]] double max() const noexcept { return max_; }
 
  private:
@@ -66,11 +73,13 @@ class RunningStats {
 
 /// Mean with a symmetric 95% confidence half-width.
 struct ConfidenceInterval {
-  double mean = 0.0;
-  double half_width = 0.0;
-  std::size_t samples = 0;
+  double mean = 0.0;        ///< sample mean
+  double half_width = 0.0;  ///< 95% half-width around the mean
+  std::size_t samples = 0;  ///< samples the interval is based on
 
+  /// mean - half_width.
   [[nodiscard]] double lower() const noexcept { return mean - half_width; }
+  /// mean + half_width.
   [[nodiscard]] double upper() const noexcept { return mean + half_width; }
   /// True when `v` lies inside the interval.
   [[nodiscard]] bool contains(double v) const noexcept {

@@ -25,28 +25,35 @@ enum class TraceCategory : std::uint8_t {
   kSession,  ///< session lifecycle (start/absorb/crash)
 };
 
+/// Canonical name of a trace category ("send", "deliver", ...).
 [[nodiscard]] std::string_view to_string(TraceCategory category) noexcept;
 
 /// One trace record.
 struct TraceRecord {
-  Time time = 0.0;
-  TraceCategory category = TraceCategory::kState;
-  std::string detail;
+  Time time = 0.0;                                ///< simulation time
+  TraceCategory category = TraceCategory::kState; ///< coarse filter key
+  std::string detail;                             ///< free-form description
 
-  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+  friend bool operator==(const TraceRecord&,
+                         const TraceRecord&) = default;  ///< field-wise equality
 };
 
 /// Bounded trace buffer: keeps the most recent `capacity` records.
 class TraceLog {
  public:
+  /// Creates a log retaining at most `capacity` records.
   explicit TraceLog(std::size_t capacity = 65536);
 
   /// Appends a record, evicting the oldest when full.
   void record(Time time, TraceCategory category, std::string detail);
 
+  /// Currently retained records.
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  /// Maximum retained records before eviction.
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Records ever recorded, including evicted ones.
   [[nodiscard]] std::uint64_t total_recorded() const noexcept { return total_; }
+  /// True when no record is retained.
   [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
 
   /// All retained records, oldest first.

@@ -1,14 +1,15 @@
 // Golden-trace determinism lock: run every protocol single- and multi-hop
-// under a pinned seed, hash the full TraceLog record stream, and compare
-// against checked-in digests.
+// (and on a fan-out tree) under a pinned seed, hash the full TraceLog
+// record stream, and compare against checked-in digests.
 //
 // The digest covers every record's time (as IEEE-754 bits), category and
 // detail string, so ANY change in event ordering, channel arithmetic, RNG
 // consumption or trace formatting moves it.  This is the tripwire for
 // accidental behavior changes from event-core/scheduler refactors: when a
 // digest moves and the change is *intended*, regenerate by running this
-// test and copying the "actual" values from the failure message (see
-// README, Testing section).
+// test and copying the "actual" values from the failure message.  The full
+// recipe -- including how to add a digest for a new protocol or topology --
+// lives in docs/TESTING.md.
 #include <gtest/gtest.h>
 
 #include <bit>
@@ -16,10 +17,12 @@
 #include <cstdio>
 #include <string>
 
+#include "analytic/tree_paths.hpp"
 #include "core/params.hpp"
 #include "core/protocol.hpp"
 #include "protocols/multi_hop_run.hpp"
 #include "protocols/single_hop_run.hpp"
+#include "protocols/tree_run.hpp"
 #include "sim/trace.hpp"
 
 namespace sigcomp {
@@ -94,22 +97,45 @@ std::uint64_t multi_hop_digest(ProtocolKind kind) {
   return digest_of(log);
 }
 
+/// Tree harness under the multi-hop pin conditions (seed 2024, 300 s,
+/// per-edge defaults from MultiHopParams).
+std::uint64_t tree_digest(ProtocolKind kind, const analytic::TreeParams& tree) {
+  sim::TraceLog log(1 << 20);
+  protocols::TreeSimOptions options;
+  options.seed = 2024;
+  options.duration = 300.0;
+  options.trace = &log;
+  (void)protocols::run_tree(kind, tree, options);
+  EXPECT_LT(log.total_recorded(), log.capacity())
+      << "trace overflowed; the digest would silently cover a suffix only";
+  return digest_of(log);
+}
+
 struct GoldenEntry {
   ProtocolKind kind;
   std::uint64_t digest;
 };
 
+// Pinned against the PR 3 event core.  See docs/TESTING.md before "fixing"
+// a mismatch by editing these constants.
+constexpr GoldenEntry kSingleHopGolden[] = {
+    {ProtocolKind::kSS, 0x5369480b0c5f602dULL},
+    {ProtocolKind::kSSER, 0xe9b3b8395351ff0aULL},
+    {ProtocolKind::kSSRT, 0xea6c3714f0f6b7b9ULL},
+    {ProtocolKind::kSSRTR, 0xd967c29bef6d3287ULL},
+    {ProtocolKind::kHS, 0x4cd155646150f6f1ULL},
+};
+
+// The PR 3 chain digests.  The PR 4 tree generalization MUST keep these
+// bit-for-bit: a fan-out-1 tree is the chain.
+constexpr GoldenEntry kMultiHopGolden[] = {
+    {ProtocolKind::kSS, 0xeca1ca36a4fe8658ULL},
+    {ProtocolKind::kSSRT, 0xf9691707db6155edULL},
+    {ProtocolKind::kHS, 0x7ddfdce05e469af2ULL},
+};
+
 TEST(GoldenTrace, SingleHopRecordStreamsArePinned) {
-  // Pinned against the PR 3 event core.  See the file comment before
-  // "fixing" a mismatch by editing these constants.
-  const GoldenEntry golden[] = {
-      {ProtocolKind::kSS, 0x5369480b0c5f602dULL},
-      {ProtocolKind::kSSER, 0xe9b3b8395351ff0aULL},
-      {ProtocolKind::kSSRT, 0xea6c3714f0f6b7b9ULL},
-      {ProtocolKind::kSSRTR, 0xd967c29bef6d3287ULL},
-      {ProtocolKind::kHS, 0x4cd155646150f6f1ULL},
-  };
-  for (const GoldenEntry& entry : golden) {
+  for (const GoldenEntry& entry : kSingleHopGolden) {
     const std::uint64_t actual = single_hop_digest(entry.kind);
     EXPECT_EQ(actual, entry.digest)
         << "single-hop " << to_string(entry.kind)
@@ -118,15 +144,43 @@ TEST(GoldenTrace, SingleHopRecordStreamsArePinned) {
 }
 
 TEST(GoldenTrace, MultiHopRecordStreamsArePinned) {
-  const GoldenEntry golden[] = {
-      {ProtocolKind::kSS, 0xeca1ca36a4fe8658ULL},
-      {ProtocolKind::kSSRT, 0xf9691707db6155edULL},
-      {ProtocolKind::kHS, 0x7ddfdce05e469af2ULL},
-  };
-  for (const GoldenEntry& entry : golden) {
+  for (const GoldenEntry& entry : kMultiHopGolden) {
     const std::uint64_t actual = multi_hop_digest(entry.kind);
     EXPECT_EQ(actual, entry.digest)
         << "multi-hop " << to_string(entry.kind)
+        << " trace digest moved; actual " << hex(actual);
+  }
+}
+
+TEST(GoldenTrace, DegenerateTreeReproducesChainDigests) {
+  // The tree harness on a fan-out-1 spec must replay the chain harness
+  // exactly: same RNG substreams, same wiring order, same trace labels --
+  // so its digests are the *chain* constants above, not new ones.
+  MultiHopParams chain;
+  chain.hops = 3;
+  const analytic::TreeParams params = analytic::TreeParams::chain(chain);
+  for (const GoldenEntry& entry : kMultiHopGolden) {
+    const std::uint64_t actual = tree_digest(entry.kind, params);
+    EXPECT_EQ(actual, entry.digest)
+        << "degenerate tree " << to_string(entry.kind)
+        << " diverged from the chain golden trace; actual " << hex(actual);
+  }
+}
+
+TEST(GoldenTrace, FanOutTreeRecordStreamsArePinned) {
+  // A genuinely branching topology: balanced binary tree of depth 2
+  // (7 nodes, 4 receivers).  Pinned in PR 4.
+  constexpr GoldenEntry kTreeGolden[] = {
+      {ProtocolKind::kSS, 0x398cd857f28012f5ULL},
+      {ProtocolKind::kSSRT, 0x16122c3c8a08afebULL},
+      {ProtocolKind::kHS, 0xc5fc6d8b5c262977ULL},
+  };
+  const analytic::TreeParams params =
+      analytic::TreeParams::balanced(MultiHopParams{}, 2, 2);
+  for (const GoldenEntry& entry : kTreeGolden) {
+    const std::uint64_t actual = tree_digest(entry.kind, params);
+    EXPECT_EQ(actual, entry.digest)
+        << "fan-out tree " << to_string(entry.kind)
         << " trace digest moved; actual " << hex(actual);
   }
 }

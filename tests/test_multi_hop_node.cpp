@@ -96,8 +96,10 @@ struct RelayFixture {
     timers.refresh = 5.0;
     timers.timeout = 15.0;
     timers.retrans = 0.5;
-    relay = std::make_unique<ChainRelay>(sim, rng, mechanisms(kind), timers, &up,
-                                         is_last ? nullptr : &down, nullptr);
+    std::vector<MessageChannel*> children;
+    if (!is_last) children.push_back(&down);
+    relay = std::make_unique<ChainRelay>(sim, rng, mechanisms(kind), timers,
+                                         &up, std::move(children), nullptr);
   }
 
   sim::Simulator sim;
@@ -221,8 +223,9 @@ struct SenderFixture {
     timers.refresh = 5.0;
     timers.timeout = 15.0;
     timers.retrans = 0.5;
-    sender = std::make_unique<ChainSender>(sim, rng, mechanisms(kind), timers,
-                                           &down, nullptr);
+    sender = std::make_unique<ChainSender>(
+        sim, rng, mechanisms(kind), timers,
+        std::vector<MessageChannel*>{&down}, nullptr);
   }
 
   sim::Simulator sim;

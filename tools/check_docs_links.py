@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Link checker for the repo's markdown docs.
+
+Verifies that every relative markdown link in the given files/directories
+points at an existing file (external http(s) URLs and bare anchors are
+skipped, so the check is hermetic and CI-safe offline).  Exits 1 with a
+list of broken links, 0 otherwise.
+
+Usage: tools/check_docs_links.py README.md docs [more files or dirs ...]
+"""
+import re
+import sys
+from pathlib import Path
+
+# [text](target) -- excluding images' leading '!' is unnecessary: image
+# targets must exist too.  Ignores fenced code blocks.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def markdown_files(paths):
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        elif path.suffix == ".md":
+            yield path
+        else:
+            sys.stderr.write(f"warning: skipping non-markdown {path}\n")
+
+
+def links_of(path):
+    in_fence = False
+    for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield line_no, match.group(1)
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    broken = []
+    checked = 0
+    for md in markdown_files(argv[1:]):
+        for line_no, target in links_of(md):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue  # external: not checked (keeps CI hermetic)
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue  # same-file anchor
+            checked += 1
+            resolved = (md.parent / target_path).resolve()
+            if not resolved.exists():
+                broken.append(f"{md}:{line_no}: broken link -> {target}")
+    for entry in broken:
+        print(entry)
+    print(f"checked {checked} relative links, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,13 +2,15 @@
 //
 //   sigcomp_cli evaluate  [--protocol SS+ER] [--loss 0.05] [--sim] ...
 //   sigcomp_cli multihop  [--hops 20] [--per-hop] ...
+//   sigcomp_cli tree      [--fanout 2] [--depth 3] [--receivers 6] ...
 //   sigcomp_cli sweep     --param refresh --from 0.1 --to 100 [--points 15]
 //   sigcomp_cli latency   [--loss 0.1]
 //   sigcomp_cli tune      [--weight 10]
 //   sigcomp_cli scale     [--sessions 100000] [--arrival-rate 2000] ...
 //
 // Every command prints an aligned table; `--csv PATH` writes the same rows
-// as CSV.
+// as CSV.  The full flag reference with worked examples is docs/CLI.md.
+#include <algorithm>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
@@ -17,6 +19,7 @@
 
 #include "analytic/latency.hpp"
 #include "analytic/multi_hop.hpp"
+#include "analytic/tree_paths.hpp"
 #include "core/evaluator.hpp"
 #include "exp/cli.hpp"
 #include "exp/parallel.hpp"
@@ -25,6 +28,8 @@
 #include "exp/sweep.hpp"
 #include "exp/table.hpp"
 #include "exp/tuning.hpp"
+#include "protocols/tree_run.hpp"
+#include "sim/stats.hpp"
 
 namespace {
 
@@ -140,13 +145,16 @@ std::size_t count_option(const exp::ArgParser& parser, std::string_view name) {
   return static_cast<std::size_t>(value);
 }
 
-/// Chain parameters shared by `multihop` and `scale --hops N`.
-/// `with_false_signal` reflects whether the command registers the
-/// --false-signal option (multihop keeps the paper's pl^4 default).
+/// Chain parameters shared by `multihop`, `scale --hops N` and (as the
+/// per-edge base of a TreeParams) `tree`.  `with_false_signal` and
+/// `with_hops` reflect whether the command registers the --false-signal /
+/// --hops options (multihop keeps the paper's pl^4 default; tree has no
+/// --hops -- the topology flags define the shape).
 MultiHopParams multi_hop_params(const exp::ArgParser& parser,
-                                bool with_false_signal, bool analytic_only) {
+                                bool with_false_signal, bool analytic_only,
+                                bool with_hops = true) {
   MultiHopParams p;
-  p.hops = count_option(parser, "hops");
+  p.hops = with_hops ? count_option(parser, "hops") : 1;
   p.loss = parser.get_double("loss");
   p.delay = parser.get_double("delay");
   const double update_interval = parser.get_double("update-interval");
@@ -297,6 +305,153 @@ int cmd_multihop(int argc, const char* const* argv) {
   for (const auto& [kind, metrics] : compare_all(p)) {
     table.add_row({std::string(to_string(kind)), metrics.inconsistency,
                    metrics.raw_message_rate});
+  }
+  finish(table, parser);
+  return 0;
+}
+
+/// Topology shape flags shared by `tree` and `scale`.
+void add_tree_shape_options(exp::ArgParser& parser) {
+  parser.add_option("fanout", "children per interior tree node", "2");
+  parser.add_option("depth", "edges from the root to every receiver", "2");
+  parser.add_option("receivers",
+                    "prune the balanced tree to exactly this many receivers "
+                    "(0 = keep all fanout^depth)",
+                    "0");
+}
+
+analytic::TreeParams tree_params(const exp::ArgParser& parser,
+                                 const MultiHopParams& base) {
+  const std::size_t fanout = count_option(parser, "fanout");
+  const std::size_t depth = count_option(parser, "depth");
+  const std::size_t receivers = count_option(parser, "receivers");
+  return analytic::TreeParams::balanced(base, fanout, depth, receivers);
+}
+
+int cmd_tree(int argc, const char* const* argv) {
+  exp::ArgParser parser(
+      "sigcomp_cli tree",
+      "Evaluate SS, SS+RT and HS on a rooted signaling tree (multicast-style "
+      "fan-out: sender at the root, receivers at the leaves).  The model "
+      "column composes the chain CTMC along each root-to-leaf path; the sim "
+      "columns run the shared tree.");
+  add_tree_shape_options(parser);
+  parser.add_option("loss", "per-edge loss probability", "0.02");
+  parser.add_option("delay", "per-edge delay in seconds", "0.03");
+  parser.add_option("update-interval", "mean seconds between updates", "60");
+  parser.add_option("refresh", "refresh timer R in seconds", "5");
+  parser.add_option("timeout", "state-timeout timer T in seconds", "15");
+  parser.add_option("retrans", "retransmission timer Gamma in seconds", "0.12");
+  parser.add_option("false-signal",
+                    "HS per-relay external false-signal rate (1/s)", "1.6e-07");
+  add_loss_model_options(parser);
+  parser.add_option("duration", "simulated seconds per replication", "20000");
+  parser.add_option("seed", "simulation seed", "1");
+  parser.add_option("replications", "simulation replicas per protocol", "5");
+  parser.add_option("threads", "worker threads (0 = all cores)", "0");
+  parser.add_option("delay-model",
+                    "channel delay law: det, exp, pareto or lognormal", "exp");
+  parser.add_option("delay-shape",
+                    "Pareto tail index / lognormal sigma of --delay-model",
+                    "1.5");
+  parser.add_option("csv", "write rows to this CSV file", "");
+  parser.add_flag("per-leaf", "print the per-leaf path table instead");
+  if (!parser.parse(argc, argv)) {
+    std::cerr << parser.error() << '\n';
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.help();
+    return 0;
+  }
+
+  const MultiHopParams base =
+      multi_hop_params(parser, /*with_false_signal=*/true,
+                       /*analytic_only=*/false, /*with_hops=*/false);
+  const analytic::TreeParams tree = tree_params(parser, base);
+
+  protocols::TreeSimOptions options;
+  options.seed = static_cast<std::uint64_t>(parser.get_long("seed"));
+  options.duration = parser.get_double("duration");
+  options.delay_model = delay_model_option(parser);
+  options.delay_shape = parser.get_double("delay-shape");
+  const std::size_t replications = count_option(parser, "replications");
+  if (replications == 0) {
+    throw std::invalid_argument("tree: need --replications >= 1");
+  }
+  exp::ParallelSweep engine(count_option(parser, "threads"));
+
+  // Replicas fan out across the pool; reducing in replica order keeps the
+  // output bit-identical to a serial run (seeds seed, seed+1, ..., the
+  // run_tree_replicated convention).
+  const auto replicate = [&](ProtocolKind kind) {
+    return engine.map_indexed(replications, [&](std::size_t r) {
+      protocols::TreeSimOptions rep = options;
+      rep.seed = options.seed + r;
+      return protocols::run_tree(kind, tree, rep);
+    });
+  };
+
+  const std::size_t leaf_count = tree.tree.leaf_count();
+  if (parser.flag("per-leaf")) {
+    exp::Table table(
+        "per-leaf path inconsistency (model = chain CTMC along the path)",
+        {"leaf", "hops", "I model(SS)", "I sim(SS)", "I model(SS+RT)",
+         "I sim(SS+RT)", "I model(HS)", "I sim(HS)"});
+    // One evaluate_tree_paths per protocol; leaf ids and hop counts are
+    // protocol-independent, so the first protocol's paths also label the
+    // rows.
+    std::vector<std::vector<analytic::TreePathMetrics>> model_columns;
+    std::vector<std::vector<double>> sim_columns;
+    for (const ProtocolKind kind : kMultiHopProtocols) {
+      model_columns.push_back(analytic::evaluate_tree_paths(kind, tree));
+      std::vector<double> sim_column(leaf_count, 0.0);
+      for (const protocols::TreeSimResult& run : replicate(kind)) {
+        for (std::size_t l = 0; l < leaf_count; ++l) {
+          sim_column[l] += run.leaf_path_inconsistency[l] /
+                           static_cast<double>(replications);
+        }
+      }
+      sim_columns.push_back(std::move(sim_column));
+    }
+    for (std::size_t l = 0; l < leaf_count; ++l) {
+      std::vector<exp::Cell> row{
+          static_cast<double>(model_columns.front()[l].leaf),
+          static_cast<double>(model_columns.front()[l].hops)};
+      for (std::size_t k = 0; k < model_columns.size(); ++k) {
+        row.emplace_back(model_columns[k][l].metrics.inconsistency);
+        row.emplace_back(sim_columns[k][l]);
+      }
+      table.add_row(std::move(row));
+    }
+    finish(table, parser);
+    return 0;
+  }
+
+  exp::Table table("tree evaluation: fanout " + parser.get("fanout") +
+                       ", depth " + parser.get("depth") + ", " +
+                       std::to_string(leaf_count) + " receiver(s)",
+                   {"protocol", "I model(worst path)", "I (sim)", "I ci95",
+                    "worst leaf I", "rate (msg/s)", "timeouts"});
+  for (const ProtocolKind kind : kMultiHopProtocols) {
+    const analytic::TreePathMetrics worst = analytic::worst_tree_path(kind, tree);
+    const std::vector<protocols::TreeSimResult> runs = replicate(kind);
+    sim::RunningStats inconsistency;
+    sim::RunningStats worst_leaf;
+    sim::RunningStats rate;
+    double timeouts = 0.0;
+    for (const protocols::TreeSimResult& run : runs) {
+      inconsistency.add(run.metrics.inconsistency);
+      worst_leaf.add(*std::max_element(run.leaf_path_inconsistency.begin(),
+                                       run.leaf_path_inconsistency.end()));
+      rate.add(run.metrics.raw_message_rate);
+      timeouts += static_cast<double>(run.relay_timeouts) /
+                  static_cast<double>(replications);
+    }
+    const sim::ConfidenceInterval ci = sim::confidence_interval_95(inconsistency);
+    table.add_row({std::string(to_string(kind)), worst.metrics.inconsistency,
+                   ci.mean, ci.half_width, worst_leaf.mean(), rate.mean(),
+                   timeouts});
   }
   finish(table, parser);
   return 0;
@@ -499,8 +654,9 @@ int cmd_scale(int argc, const char* const* argv) {
       "Drive N concurrent sessions per protocol through the session farm "
       "(Poisson arrivals, exponential lifetimes) and report throughput and "
       "per-session metrics.  --hops > 1 switches to chain sessions "
-      "(SS, SS+RT, HS).");
+      "(SS, SS+RT, HS); --fanout/--depth/--receivers to tree sessions.");
   add_single_hop_options(parser);
+  add_tree_shape_options(parser);
   parser.add_option("sessions", "concurrent sessions N to drive", "10000");
   parser.add_option("arrival-rate",
                     "Poisson session arrival rate (sessions/s); the arrival "
@@ -546,9 +702,21 @@ int cmd_scale(int argc, const char* const* argv) {
   exp::ParallelSweep engine(count_option(parser, "threads"));
   options.engine = &engine;
 
+  const bool tree_sessions = parser.passed("fanout") ||
+                             parser.passed("depth") ||
+                             parser.passed("receivers");
+  if (tree_sessions && parser.passed("hops")) {
+    throw std::invalid_argument(
+        "scale: --hops selects chain sessions; it cannot be combined with "
+        "the tree flags --fanout/--depth/--receivers");
+  }
   const std::size_t hops = count_option(parser, "hops");
+  const std::string shape =
+      tree_sessions ? "fanout " + parser.get("fanout") + " depth " +
+                          parser.get("depth") + " tree(s)"
+                    : std::to_string(hops) + " hop(s)";
   exp::Table table("session farm: " + std::to_string(options.sessions) +
-                       " sessions, " + std::to_string(hops) + " hop(s)",
+                       " sessions, " + shape,
                    {"protocol", "peak in flight", "messages", "I (mean)",
                     "I ci95", "M (mean)", "msg/s/session", "timeouts"});
   const auto add_row = [&](ProtocolKind kind,
@@ -562,7 +730,15 @@ int cmd_scale(int argc, const char* const* argv) {
                    result.summary.mean.raw_message_rate,
                    static_cast<double>(result.receiver_timeouts)});
   };
-  if (hops <= 1) {
+  if (tree_sessions) {
+    const MultiHopParams p =
+        multi_hop_params(parser, /*with_false_signal=*/true,
+                         /*analytic_only=*/false);
+    const analytic::TreeParams tree = tree_params(parser, p);
+    for (const ProtocolKind kind : kMultiHopProtocols) {
+      add_row(kind, run_session_farm(kind, tree, options));
+    }
+  } else if (hops <= 1) {
     const SingleHopParams p =
         single_hop_params(parser, /*analytic_only=*/false);
     for (const ProtocolKind kind : kAllProtocols) {
@@ -585,12 +761,14 @@ void print_usage() {
                "commands:\n"
                "  evaluate     compare the five protocols at one point\n"
                "  multihop     evaluate the K-hop chain (SS, SS+RT, HS)\n"
+               "  tree         evaluate a fan-out signaling tree (SS, SS+RT, HS)\n"
                "  sweep        sweep one parameter across a range\n"
                "  latency      convergence-latency distribution\n"
                "  tune         cost-optimal refresh timer\n"
                "  sensitivity  parameter elasticities\n"
                "  scale        many-session scale harness (session farm)\n\n"
-               "run 'sigcomp_cli <command> --help' for command options.\n";
+               "run 'sigcomp_cli <command> --help' for command options;\n"
+               "docs/CLI.md has the full reference with worked examples.\n";
 }
 
 }  // namespace
@@ -604,6 +782,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "evaluate") return cmd_evaluate(argc - 1, argv + 1);
     if (command == "multihop") return cmd_multihop(argc - 1, argv + 1);
+    if (command == "tree") return cmd_tree(argc - 1, argv + 1);
     if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (command == "latency") return cmd_latency(argc - 1, argv + 1);
     if (command == "tune") return cmd_tune(argc - 1, argv + 1);
