@@ -28,7 +28,7 @@ int main(int argc, char** argv) try {
   }
 
   struct Row {
-    std::vector<double> inconsistency;  ///< per protocol, kMultiHopProtocols order
+    std::vector<double> inconsistency;  ///< per protocol, kPaperMultiHopProtocols order
     std::vector<double> rate;
     double ss_last_hop = 0.0;
   };
@@ -41,7 +41,7 @@ int main(int argc, char** argv) try {
         HeteroMultiHopParams p = HeteroMultiHopParams::from_homogeneous(base);
         if (bad >= 1) p.loss[bad - 1] = 0.2;
         Row row;
-        for (const ProtocolKind kind : kMultiHopProtocols) {
+        for (const ProtocolKind kind : kPaperMultiHopProtocols) {
           const HeteroMultiHopModel model(kind, p);
           row.inconsistency.push_back(model.inconsistency());
           row.rate.push_back(model.metrics().raw_message_rate);

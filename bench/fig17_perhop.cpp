@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   const MultiHopParams params = MultiHopParams::reservation_defaults();
 
   std::vector<analytic::MultiHopModel> models;
-  for (const ProtocolKind kind : kMultiHopProtocols) {
+  for (const ProtocolKind kind : kPaperMultiHopProtocols) {
     models.emplace_back(kind, params);
   }
   std::vector<protocols::MultiHopSimResult> sims;
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
     protocols::MultiHopSimOptions options;
     options.duration = 30000.0;
     options.seed = 11;
-    for (const ProtocolKind kind : kMultiHopProtocols) {
+    for (const ProtocolKind kind : kPaperMultiHopProtocols) {
       sims.push_back(protocols::run_multi_hop(kind, params, options));
     }
   }

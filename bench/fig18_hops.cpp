@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
     p.hops = hops;
     std::vector<exp::Cell> row{static_cast<double>(hops)};
     std::vector<double> rates;
-    for (const ProtocolKind kind : kMultiHopProtocols) {
+    for (const ProtocolKind kind : kPaperMultiHopProtocols) {
       const Metrics m = evaluate_analytic(kind, p);
       row.emplace_back(m.inconsistency);
       rates.push_back(m.raw_message_rate);

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
     p.timeout_timer = 3.0 * refresh;
     std::vector<exp::Cell> row{refresh};
     std::vector<double> rates;
-    for (const ProtocolKind kind : kMultiHopProtocols) {
+    for (const ProtocolKind kind : kPaperMultiHopProtocols) {
       const Metrics m = evaluate_analytic(kind, p);
       row.emplace_back(m.inconsistency);
       rates.push_back(m.raw_message_rate);

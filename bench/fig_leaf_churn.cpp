@@ -1,0 +1,229 @@
+// Beyond-the-paper figure: dynamic leaf membership (IGMP-style churn) on
+// signaling trees.  Receivers join and leave a live tree; each protocol
+// pays for membership dynamics in its own currency -- soft state leaves
+// orphaned copies on the pruned branch until the timeout fires (the
+// IGMPv1 story), explicit removal prunes in one propagation delay (the
+// IGMPv2 Leave), reliable removal and the hard-state teardown make the
+// prune certain.  This bench sweeps protocol x churn rate x fanout and
+// reports per-join setup latency, per-leave orphan windows, inconsistency
+// (orphaned state counts against it) and message cost.
+//
+// All runs fan out over the parallel engine keyed by (cell, replica), so
+// the sweep is bit-identical at any thread count.  With --quick the binary
+// (a) re-runs the grid at 1, 2 and 8 threads and exits 1 on any bit
+// difference, and (b) re-runs a churning tree-session farm at several
+// shard sizes and thread counts and exits 1 unless the farm's churn report
+// is bit-identical -- the determinism locks, CI-enforced.
+//
+// Usage: fig_leaf_churn [--quick] [--csv PATH] [--threads N]
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analytic/tree_paths.hpp"
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "exp/parallel.hpp"
+#include "exp/session_farm.hpp"
+#include "exp/table.hpp"
+#include "protocols/tree_run.hpp"
+
+namespace {
+
+using namespace sigcomp;
+
+constexpr std::uint64_t kBaseSeed = 23;
+constexpr double kLeafLifetime = 60.0;  ///< mean joined seconds per leaf
+
+struct Scenario {
+  std::size_t fanout = 2;
+  double rejoin_rate = 0.0;  ///< churn knob: rejoins/s per departed leaf
+  analytic::TreeParams params;
+
+  [[nodiscard]] std::string shape() const {
+    return "f" + std::to_string(fanout) + " d2";
+  }
+};
+
+std::vector<Scenario> build_scenarios(bool quick) {
+  const std::vector<std::size_t> fanouts =
+      quick ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 4, 8};
+  const std::vector<double> rates =
+      quick ? std::vector<double>{1.0 / 60.0, 1.0 / 15.0}
+            : std::vector<double>{1.0 / 120.0, 1.0 / 60.0, 1.0 / 15.0};
+  MultiHopParams base;
+  base.loss = 0.02;
+  base.delay = 0.01;
+  std::vector<Scenario> out;
+  for (const std::size_t fanout : fanouts) {
+    for (const double rate : rates) {
+      Scenario s;
+      s.fanout = fanout;
+      s.rejoin_rate = rate;
+      s.params = analytic::TreeParams::balanced(base, fanout, 2);
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+/// Every replica result of the whole grid, in (scenario, protocol, replica)
+/// order -- the unit the thread-identity check compares bit-for-bit.
+std::vector<protocols::TreeSimResult> run_grid(
+    const std::vector<Scenario>& scenarios, std::size_t replications,
+    double duration, exp::ParallelSweep& engine) {
+  const std::size_t protocols_n = kMultiHopProtocols.size();
+  const std::size_t jobs = scenarios.size() * protocols_n * replications;
+  return engine.map_indexed(jobs, [&](std::size_t job) {
+    const std::size_t replica = job % replications;
+    const std::size_t cell = job / replications;
+    const std::size_t protocol = cell % protocols_n;
+    const std::size_t scenario = cell / protocols_n;
+    protocols::TreeSimOptions options;
+    options.seed = exp::replica_seed(kBaseSeed, cell, replica);
+    options.duration = duration;
+    options.churn.leaf_lifetime = kLeafLifetime;
+    options.churn.rejoin_rate = scenarios[scenario].rejoin_rate;
+    return protocols::run_tree(kMultiHopProtocols[protocol],
+                               scenarios[scenario].params, options);
+  });
+}
+
+bool identical(const std::vector<protocols::TreeSimResult>& a,
+               const std::vector<protocols::TreeSimResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].metrics.inconsistency != b[i].metrics.inconsistency ||
+        a[i].messages != b[i].messages ||
+        a[i].relay_timeouts != b[i].relay_timeouts ||
+        !(a[i].churn == b[i].churn)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Shard-size / thread-count determinism of the churning tree-session farm
+/// (the acceptance lock: a churn scenario must be bit-identical across
+/// 1/2/8 threads AND shard sizes).
+bool farm_determinism_check() {
+  MultiHopParams base;
+  base.loss = 0.02;
+  const analytic::TreeParams tree = analytic::TreeParams::balanced(base, 2, 2);
+  exp::SessionFarmOptions options;
+  options.seed = 99;
+  options.sessions = 64;
+  options.arrival_rate = 4.0;
+  options.session_lifetime = 80.0;
+  options.leaf_churn.leaf_lifetime = 20.0;
+  options.leaf_churn.rejoin_rate = 1.0 / 10.0;
+  options.shard_size = 64;
+  options.threads = 1;
+  const exp::SessionFarmResult reference =
+      exp::run_session_farm(ProtocolKind::kSSER, tree, options);
+  bool ok = reference.churn.leaves > 0 && reference.churn.completed_joins > 0;
+  for (const std::size_t shard_size : {9u, 16u, 64u}) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      exp::SessionFarmOptions variant = options;
+      variant.shard_size = shard_size;
+      variant.threads = threads;
+      const exp::SessionFarmResult result =
+          exp::run_session_farm(ProtocolKind::kSSER, tree, variant);
+      if (!(result.churn == reference.churn) ||
+          result.messages != reference.messages ||
+          result.summary.mean.inconsistency !=
+              reference.summary.mean.inconsistency) {
+        std::cerr << "FAIL: churning farm diverged at shard size "
+                  << shard_size << ", " << threads << " thread(s)\n";
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::size_t replications = quick ? 2 : 5;
+  const double duration = quick ? 2000.0 : 20000.0;
+  const std::vector<Scenario> scenarios = build_scenarios(quick);
+  const std::size_t protocols_n = kMultiHopProtocols.size();
+
+  exp::ParallelSweep engine(exp::threads_from_args(argc, argv));
+  const std::vector<protocols::TreeSimResult> grid =
+      run_grid(scenarios, replications, duration, engine);
+
+  exp::Table table(
+      "Leaf-churn figure: mean membership " +
+          std::to_string(static_cast<int>(kLeafLifetime)) +
+          " s, depth-2 trees (orphaned state counts as inconsistent)",
+      {"shape", "receivers", "rejoin/s", "protocol", "joins", "setup lat (s)",
+       "orphan win (s)", "orphan max (s)", "I (sim)", "rate (msg/s)"});
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const Scenario& scenario = scenarios[s];
+    const double receivers =
+        static_cast<double>(scenario.params.tree.leaf_count());
+    for (std::size_t p = 0; p < protocols_n; ++p) {
+      const std::size_t cell = s * protocols_n + p;
+      protocols::ChurnReport churn;
+      sim::RunningStats inconsistency;
+      sim::RunningStats rate;
+      for (std::size_t r = 0; r < replications; ++r) {
+        const protocols::TreeSimResult& run = grid[cell * replications + r];
+        churn.absorb(run.churn);
+        inconsistency.add(run.metrics.inconsistency);
+        rate.add(run.metrics.raw_message_rate);
+      }
+      table.add_row({scenario.shape(), receivers, scenario.rejoin_rate,
+                     std::string(to_string(kMultiHopProtocols[p])),
+                     static_cast<double>(churn.joins),
+                     churn.mean_setup_latency(), churn.mean_orphan_window(),
+                     churn.orphan_window_max, inconsistency.mean(),
+                     rate.mean()});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: the orphan window is the per-leave cost of a protocol's "
+         "removal mechanism -- the soft-state timeout (SS, SS+RT) holds "
+         "pruned branches for ~T seconds and inflates inconsistency as "
+         "churn rises, the best-effort Leave (SS+ER) prunes in one "
+         "propagation delay at a small reliability risk, and reliable "
+         "removal (SS+RTR, HS) makes the prune certain.  Setup latency is "
+         "what joins pay: grafts re-install from the deepest cached copy, "
+         "so protocols that kept the branch warm re-join fastest.\n";
+
+  bool ok = true;
+  if (quick) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      exp::ParallelSweep check(threads);
+      if (!identical(grid, run_grid(scenarios, replications, duration, check))) {
+        std::cerr << "FAIL: results at " << threads
+                  << " threads differ from the --threads run\n";
+        ok = false;
+      }
+    }
+    std::cout << (ok ? "bit-identity across 1/2/8 threads: OK\n"
+                     : "bit-identity across 1/2/8 threads: FAILED\n");
+    const bool farm_ok = farm_determinism_check();
+    std::cout << (farm_ok
+                      ? "churning farm bit-identical across shard sizes and "
+                        "threads: OK\n"
+                      : "churning farm determinism: FAILED\n");
+    ok = ok && farm_ok;
+  }
+
+  const std::string csv = exp::csv_path_from_args(argc, argv);
+  if (!csv.empty()) table.write_csv_file(csv);
+  return ok ? 0 : 1;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 2;
+}

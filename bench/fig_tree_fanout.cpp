@@ -3,9 +3,11 @@
 // on rooted trees, not chains; this bench sweeps fan-out x depth x
 // burstiness for the three tree-capable protocols (SS, SS+RT, HS) and
 // compares the simulated tree against the per-path chain-CTMC composition
-// (analytic/tree_paths.hpp).  SS+ER and SS+RTR differ from SS/SS+RT only by
-// explicit removal, which never fires in this infinite-lifetime workload,
-// so their rows would duplicate SS/SS+RT and are omitted.
+// (analytic/tree_paths.hpp).  All five protocols run on trees since the
+// StateSlot refactor, but SS+ER and SS+RTR differ from SS/SS+RT only by
+// explicit removal, which never fires in this infinite-lifetime static
+// workload, so their rows would duplicate SS/SS+RT bit-for-bit and are
+// omitted (bench/fig_leaf_churn is where the five genuinely diverge).
 //
 // All runs fan out over the parallel engine keyed by (scenario, protocol,
 // replica), so the sweep is bit-identical at any thread count.  With
@@ -95,7 +97,7 @@ struct Cell {
 std::vector<protocols::TreeSimResult> run_grid(
     const std::vector<Scenario>& scenarios, std::size_t replications,
     double duration, exp::ParallelSweep& engine) {
-  const std::size_t protocols_n = kMultiHopProtocols.size();
+  const std::size_t protocols_n = kPaperMultiHopProtocols.size();
   const std::size_t jobs = scenarios.size() * protocols_n * replications;
   return engine.map_indexed(jobs, [&](std::size_t job) {
     const std::size_t replica = job % replications;
@@ -105,7 +107,7 @@ std::vector<protocols::TreeSimResult> run_grid(
     protocols::TreeSimOptions options;
     options.seed = exp::replica_seed(kBaseSeed, cell, replica);
     options.duration = duration;
-    return protocols::run_tree(kMultiHopProtocols[protocol],
+    return protocols::run_tree(kPaperMultiHopProtocols[protocol],
                                scenarios[scenario].params, options);
   });
 }
@@ -148,7 +150,7 @@ bool identical(const std::vector<protocols::TreeSimResult>& a,
 bool degenerate_matches_chain(const std::vector<Scenario>& scenarios,
                               const std::vector<protocols::TreeSimResult>& grid,
                               std::size_t replications, double duration) {
-  const std::size_t protocols_n = kMultiHopProtocols.size();
+  const std::size_t protocols_n = kPaperMultiHopProtocols.size();
   bool ok = true;
   for (std::size_t s = 0; s < scenarios.size(); ++s) {
     if (scenarios[s].fanout != 1) continue;
@@ -161,7 +163,7 @@ bool degenerate_matches_chain(const std::vector<Scenario>& scenarios,
         options.seed = exp::replica_seed(kBaseSeed, cell, r);
         options.duration = duration;
         const protocols::MultiHopSimResult chain_run =
-            protocols::run_multi_hop(kMultiHopProtocols[p], chain, options);
+            protocols::run_multi_hop(kPaperMultiHopProtocols[p], chain, options);
         const protocols::TreeSimResult& tree_run = grid[cell * replications + r];
         if (tree_run.metrics.inconsistency != chain_run.metrics.inconsistency ||
             tree_run.messages != chain_run.messages ||
@@ -169,7 +171,7 @@ bool degenerate_matches_chain(const std::vector<Scenario>& scenarios,
             tree_run.node_inconsistency != chain_run.hop_inconsistency) {
           std::cerr << "FAIL: fan-out-1 tree diverged from the chain harness ("
                     << scenarios[s].shape() << ' ' << scenarios[s].loss_label()
-                    << ' ' << to_string(kMultiHopProtocols[p]) << " replica "
+                    << ' ' << to_string(kPaperMultiHopProtocols[p]) << " replica "
                     << r << ")\n";
           ok = false;
         }
@@ -189,7 +191,7 @@ int main(int argc, char** argv) try {
   const std::size_t replications = quick ? 2 : 5;
   const double duration = quick ? 1500.0 : 20000.0;
   const std::vector<Scenario> scenarios = build_scenarios(quick);
-  const std::size_t protocols_n = kMultiHopProtocols.size();
+  const std::size_t protocols_n = kPaperMultiHopProtocols.size();
 
   exp::ParallelSweep engine(exp::threads_from_args(argc, argv));
   const std::vector<protocols::TreeSimResult> grid =
@@ -205,7 +207,7 @@ int main(int argc, char** argv) try {
     const double receivers =
         static_cast<double>(scenario.params.tree.leaf_count());
     for (std::size_t p = 0; p < protocols_n; ++p) {
-      const ProtocolKind kind = kMultiHopProtocols[p];
+      const ProtocolKind kind = kPaperMultiHopProtocols[p];
       const Cell cell =
           reduce_cell(grid, s * protocols_n + p, replications);
       const analytic::TreePathMetrics worst =

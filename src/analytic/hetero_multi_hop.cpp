@@ -10,15 +10,6 @@
 
 namespace sigcomp::analytic {
 
-namespace {
-
-bool supported(ProtocolKind kind) {
-  return std::find(kMultiHopProtocols.begin(), kMultiHopProtocols.end(), kind) !=
-         kMultiHopProtocols.end();
-}
-
-}  // namespace
-
 HeteroMultiHopParams HeteroMultiHopParams::from_homogeneous(
     const MultiHopParams& params) {
   params.validate();
@@ -134,10 +125,9 @@ HeteroMultiHopModel::HeteroMultiHopModel(ProtocolKind kind,
                                          HeteroMultiHopParams params)
     : kind_(kind), params_(std::move(params)) {
   params_.validate();
-  if (!supported(kind_)) {
-    throw std::invalid_argument(
-        "HeteroMultiHopModel: protocol must be SS, SS+RT or HS; got " +
-        std::string(to_string(kind_)));
+  if (!supports_multi_hop(kind_)) {
+    throw std::invalid_argument("HeteroMultiHopModel: unsupported protocol " +
+                                std::string(to_string(kind_)));
   }
   const MechanismSet mech = mechanisms(kind_);
   const std::size_t k_hops = params_.hops();

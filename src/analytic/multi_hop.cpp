@@ -9,15 +9,6 @@
 
 namespace sigcomp::analytic {
 
-namespace {
-
-bool supported(ProtocolKind kind) {
-  return std::find(kMultiHopProtocols.begin(), kMultiHopProtocols.end(), kind) !=
-         kMultiHopProtocols.end();
-}
-
-}  // namespace
-
 double MultiHopModel::timeout_rate(const MultiHopParams& params, std::size_t j) {
   const double q = 1.0 - params.loss;
   const double exponent = params.timeout_timer / params.refresh_timer;
@@ -30,11 +21,9 @@ double MultiHopModel::timeout_rate(const MultiHopParams& params, std::size_t j) 
 MultiHopModel::MultiHopModel(ProtocolKind kind, const MultiHopParams& params)
     : kind_(kind), params_(params) {
   params_.validate();
-  if (!supported(kind)) {
-    throw std::invalid_argument(
-        "MultiHopModel: the paper's multi-hop analysis covers SS, SS+RT and HS "
-        "only; got " +
-        std::string(to_string(kind)));
+  if (!supports_multi_hop(kind)) {
+    throw std::invalid_argument("MultiHopModel: unsupported protocol " +
+                                std::string(to_string(kind)));
   }
   const MechanismSet mech = mechanisms(kind_);
   const std::size_t k_hops = params_.hops;

@@ -1,6 +1,7 @@
 #include "analytic/tree_paths.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace sigcomp::analytic {
 
@@ -32,6 +33,10 @@ TreeParams TreeParams::balanced(const MultiHopParams& base, std::size_t fanout,
 
 TreeParams TreeParams::chain(const MultiHopParams& base) {
   return from_base(base, TreeSpec::chain(base.hops));
+}
+
+TreeParams TreeParams::uniform(const MultiHopParams& base, TreeSpec spec) {
+  return from_base(base, std::move(spec));
 }
 
 sim::LossConfig TreeParams::edge_loss_config(std::size_t e) const {

@@ -54,6 +54,13 @@ struct TreeParams {
   /// The degenerate fan-out-1 tree: base.hops hops in a single path.
   [[nodiscard]] static TreeParams chain(const MultiHopParams& base);
 
+  /// An arbitrary shape (e.g. a measured topology replayed from a
+  /// parent-vector file) whose every edge carries `base`'s per-hop
+  /// loss/delay/loss-process; timers and rates come from `base`
+  /// (base.hops is ignored -- the spec defines the shape).
+  [[nodiscard]] static TreeParams uniform(const MultiHopParams& base,
+                                          TreeSpec spec);
+
   [[nodiscard]] std::size_t edges() const noexcept { return loss.size(); }
 
   /// The loss process edge e should run in the simulator.

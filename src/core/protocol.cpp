@@ -77,4 +77,11 @@ bool is_soft_state(ProtocolKind kind) noexcept {
   return kind != ProtocolKind::kHS;
 }
 
+bool supports_multi_hop(ProtocolKind kind) noexcept {
+  for (const ProtocolKind supported : kMultiHopProtocols) {
+    if (kind == supported) return true;
+  }
+  return false;
+}
+
 }  // namespace sigcomp

@@ -25,8 +25,22 @@ inline constexpr std::array<ProtocolKind, 5> kAllProtocols = {
     ProtocolKind::kSS, ProtocolKind::kSSER, ProtocolKind::kSSRT,
     ProtocolKind::kSSRTR, ProtocolKind::kHS};
 
-/// Protocols modeled in the paper's multi-hop analysis (Sec. III-B).
-inline constexpr std::array<ProtocolKind, 3> kMultiHopProtocols = {
+/// Protocols runnable on multi-hop chains and trees, in presentation
+/// order.  The paper's Sec. III-B analysis covers SS, SS+RT and HS; since
+/// the mechanism-driven StateSlot refactor the executable nodes and the
+/// per-path CTMC composition handle explicit removal too, so this is all
+/// five (SS+ER/SS+RTR reduce to the SS/SS+RT chain CTMC while no removal
+/// is in flight).
+inline constexpr std::array<ProtocolKind, 5> kMultiHopProtocols = {
+    ProtocolKind::kSS, ProtocolKind::kSSER, ProtocolKind::kSSRT,
+    ProtocolKind::kSSRTR, ProtocolKind::kHS};
+
+/// The three protocols of the paper's Sec. III-B multi-hop analysis --
+/// also the protocols with DISTINCT chain behavior (SS+ER/SS+RTR replay
+/// SS/SS+RT bit-for-bit while no removal is in flight).  The paper-figure
+/// benches iterate this subset; churn scenarios, where all five genuinely
+/// differ, iterate kMultiHopProtocols.
+inline constexpr std::array<ProtocolKind, 3> kPaperMultiHopProtocols = {
     ProtocolKind::kSS, ProtocolKind::kSSRT, ProtocolKind::kHS};
 
 /// The mechanism set a protocol employs.  This is the "spectrum" view of
@@ -60,5 +74,12 @@ struct MechanismSet {
 
 /// True for protocols whose state survives only while refreshed (all but HS).
 [[nodiscard]] bool is_soft_state(ProtocolKind kind) noexcept;
+
+/// True when the multi-hop machinery (chain/tree nodes, chain CTMC models,
+/// session farm) implements `kind`.  The single gate point for every
+/// topology-capability check; all five protocols qualify since the
+/// StateSlot refactor, but callers keep consulting it so a future protocol
+/// outside the set fails loudly in one place.
+[[nodiscard]] bool supports_multi_hop(ProtocolKind kind) noexcept;
 
 }  // namespace sigcomp

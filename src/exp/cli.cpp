@@ -1,6 +1,8 @@
 #include "exp/cli.hpp"
 
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -137,6 +139,59 @@ long ArgParser::get_long(std::string_view name) const {
                                 ": not an integer: " + text);
   }
   return value;
+}
+
+TreeSpec parse_tree_spec(std::istream& in, const std::string& name) {
+  TreeSpec spec;
+  std::string token;
+  while (in >> token) {
+    if (token.front() == '#') {  // comment: swallow the rest of the line
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' ||
+        token.find('-') != std::string::npos) {
+      throw std::invalid_argument(name + ": not a parent node id: " + token);
+    }
+    spec.parent.push_back(static_cast<std::size_t>(value));
+  }
+  if (spec.parent.empty()) {
+    throw std::invalid_argument(name + ": no edges (empty parent vector)");
+  }
+  try {
+    spec.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(name + ": " + e.what());
+  }
+  return spec;
+}
+
+TreeSpec load_tree_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open topology file: " + path);
+  }
+  return parse_tree_spec(in, path);
+}
+
+std::string tree_shape_summary(const TreeSpec& spec) {
+  // children-per-interior-node histogram, in increasing fan-out order.
+  std::map<std::size_t, std::size_t> histogram;
+  for (std::size_t node = 0; node < spec.nodes(); ++node) {
+    const std::size_t kids = spec.children(node).size();
+    if (kids > 0) ++histogram[kids];
+  }
+  std::ostringstream os;
+  os << spec.nodes() << " nodes, " << spec.edges() << " edges, "
+     << spec.leaf_count() << " receiver(s), depth " << spec.depth()
+     << ", fanout histogram";
+  for (const auto& [kids, count] : histogram) {
+    os << ' ' << kids << ':' << count;
+  }
+  return os.str();
 }
 
 std::string ArgParser::help() const {

@@ -1,16 +1,20 @@
-// Minimal command-line option parser for the sigcomp tools.
+// Minimal command-line option parser for the sigcomp tools, plus the
+// topology-file loader the tree-aware subcommands share.
 //
-// Supports `--name value`, `--name=value`, boolean flags and positional
-// arguments, with generated help text.  Self-contained (no dependencies)
-// and unit-tested -- the CLI binary stays a thin shell over the library.
+// The parser supports `--name value`, `--name=value`, boolean flags and
+// positional arguments, with generated help text.  Self-contained and
+// unit-tested -- the CLI binary stays a thin shell over the library.
 #pragma once
 
 #include <initializer_list>
+#include <istream>
 #include <map>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "core/topology.hpp"
 
 namespace sigcomp::exp {
 
@@ -79,5 +83,24 @@ class ArgParser {
   std::string error_;
   bool help_requested_ = false;
 };
+
+// ------------------------------------------------------- topology files --
+
+/// Parses a parent-vector topology from a stream: whitespace-separated
+/// non-negative integers, one per edge (`parent[e]` is the parent node of
+/// node e+1), with `#` starting a to-end-of-line comment.  Validates the
+/// result through TreeSpec::validate.  Throws std::invalid_argument on
+/// malformed input (`name` labels the message).
+[[nodiscard]] TreeSpec parse_tree_spec(std::istream& in,
+                                       const std::string& name);
+
+/// Reads a parent-vector topology file (see parse_tree_spec).  Throws
+/// std::invalid_argument when the file cannot be opened or is malformed.
+[[nodiscard]] TreeSpec load_tree_file(const std::string& path);
+
+/// One-line shape summary of a tree: node/receiver counts, depth, and the
+/// fan-out histogram ("children:count" pairs over non-leaf nodes) -- what
+/// the CLI prints when replaying a measured topology.
+[[nodiscard]] std::string tree_shape_summary(const TreeSpec& spec);
 
 }  // namespace sigcomp::exp

@@ -34,6 +34,7 @@ void validate_options(const SessionFarmOptions& options) {
   if (options.shard_size == 0) {
     throw std::invalid_argument("SessionFarmOptions: shard_size must be > 0");
   }
+  options.leaf_churn.validate();
 }
 
 /// Callbacks a session uses to report lifecycle transitions to its shard.
@@ -52,21 +53,24 @@ struct ShardHooks {
   }
 };
 
-/// Per-session randomness: five independent streams keyed to the session's
-/// global index, mirroring the stream layout of the single-hop harness.
+/// Per-session randomness: six independent streams keyed to the session's
+/// global index, mirroring the stream layout of the single-hop harness
+/// (the membership stream is consumed only by churn-enabled tree sessions).
 struct SessionRngs {
   sim::Rng channel;
   sim::Rng sender;
   sim::Rng receiver;
   sim::Rng lifecycle;
   sim::Rng failure;
+  sim::Rng membership;
 
   SessionRngs(std::uint64_t base_seed, std::uint64_t global_index)
       : channel(replica_seed(base_seed, global_index, 0), 0),
         sender(replica_seed(base_seed, global_index, 0), 1),
         receiver(replica_seed(base_seed, global_index, 0), 2),
         lifecycle(replica_seed(base_seed, global_index, 0), 3),
-        failure(replica_seed(base_seed, global_index, 0), 4) {}
+        failure(replica_seed(base_seed, global_index, 0), 4),
+        membership(replica_seed(base_seed, global_index, 0), 5) {}
 };
 
 /// One single-hop session: arrival -> install -> updates -> removal ->
@@ -117,6 +121,11 @@ class SingleHopSession {
   [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
   [[nodiscard]] std::uint64_t receiver_timeouts() const noexcept {
     return timeouts_;
+  }
+  /// Single-hop sessions have no tree to churn; always all-zero (the farm
+  /// rejects enabled churn before any session is built).
+  [[nodiscard]] const protocols::ChurnReport& churn() const noexcept {
+    return churn_;
   }
 
  private:
@@ -224,6 +233,7 @@ class SingleHopSession {
   std::optional<sim::EventId> removal_event_;
   std::optional<sim::EventId> false_signal_event_;
   Metrics metrics_;
+  protocols::ChurnReport churn_;
 };
 
 /// One tree session: arrival -> start -> updates over a full
@@ -258,6 +268,11 @@ class TreeSession {
     topology_ = std::make_unique<protocols::Topology>(
         sim, rngs_.channel, rngs_.sender, mech_, timers, params.tree,
         edge_loss, edge_delay, [this] { on_change(); });
+    if (options.leaf_churn.enabled()) {
+      membership_ = std::make_unique<protocols::MembershipController>(
+          sim, *topology_, rngs_.membership, options.leaf_churn,
+          [this] { on_change(); });
+    }
     const double window =
         static_cast<double>(options.sessions) / options.arrival_rate;
     arrival_ = window * rngs_.lifecycle.uniform();
@@ -275,6 +290,10 @@ class TreeSession {
   [[nodiscard]] std::uint64_t receiver_timeouts() const noexcept {
     return timeouts_;
   }
+  /// The churn outcome frozen at window end (all-zero without churn).
+  [[nodiscard]] const protocols::ChurnReport& churn() const noexcept {
+    return churn_;
+  }
 
  private:
   void begin() {
@@ -288,6 +307,7 @@ class TreeSession {
         schedule_false_signal(i);
       }
     }
+    if (membership_) membership_->start();
     sim_.schedule_in(lifetime_, [this] { finish(); });
     on_change();
   }
@@ -314,10 +334,17 @@ class TreeSession {
 
   void on_change() {
     if (done_) return;
+    if (membership_) membership_->on_state_change();
     bool all_ok = true;
     for (std::size_t i = 0; i < topology_->relays(); ++i) {
-      all_ok =
-          all_ok && topology_->relay(i).value() == topology_->sender().value();
+      // Required nodes must mirror the sender; detached nodes must hold
+      // nothing (without churn every node is required -- the historical
+      // definition, bit for bit).
+      const bool ok = topology_->node_required(i + 1)
+                          ? topology_->relay(i).value() ==
+                                topology_->sender().value()
+                          : !topology_->relay(i).value().has_value();
+      all_ok = all_ok && ok;
     }
     inconsistent_.set(sim_.now(), all_ok ? 0.0 : 1.0);
   }
@@ -325,6 +352,10 @@ class TreeSession {
   void finish() {
     done_ = true;
     const double end = sim_.now();
+    if (membership_) {
+      membership_->finish();
+      churn_ = membership_->report();
+    }
     messages_ = topology_->messages_sent();
     timeouts_ = topology_->relay_timeouts();
     const auto sent = static_cast<double>(messages_);
@@ -351,6 +382,7 @@ class TreeSession {
   ShardHooks& hooks_;
   SessionRngs rngs_;
   std::unique_ptr<protocols::Topology> topology_;
+  std::unique_ptr<protocols::MembershipController> membership_;
 
   double arrival_ = 0.0;
   double lifetime_ = 0.0;
@@ -362,11 +394,16 @@ class TreeSession {
   std::optional<sim::EventId> update_event_;
   std::vector<std::optional<sim::EventId>> false_signal_events_;
   Metrics metrics_;
+  protocols::ChurnReport churn_;
 };
 
 /// Everything one shard reports back to the aggregator.
 struct ShardOutcome {
   std::vector<Metrics> per_session;  ///< in global session order
+  /// Per-session churn reports in global session order: summed by the
+  /// aggregator in that order, so the reduced report cannot depend on the
+  /// shard decomposition (floating-point addition is order-sensitive).
+  std::vector<protocols::ChurnReport> per_session_churn;
   std::uint64_t messages = 0;
   std::uint64_t events = 0;
   std::uint64_t receiver_timeouts = 0;
@@ -396,8 +433,10 @@ ShardOutcome run_shard(ProtocolKind kind, const Params& params,
 
   ShardOutcome out;
   out.per_session.reserve(count);
+  out.per_session_churn.reserve(count);
   for (const auto& session : sessions) {
     out.per_session.push_back(session->metrics());
+    out.per_session_churn.push_back(session->churn());
     out.messages += session->messages();
     out.receiver_timeouts += session->receiver_timeouts();
   }
@@ -438,6 +477,9 @@ SessionFarmResult run_farm(ProtocolKind kind, const Params& params,
   for (const ShardOutcome& outcome : outcomes) {
     all_sessions.insert(all_sessions.end(), outcome.per_session.begin(),
                         outcome.per_session.end());
+    for (const protocols::ChurnReport& churn : outcome.per_session_churn) {
+      result.churn.absorb(churn);
+    }
     result.messages += outcome.messages;
     result.events_executed += outcome.events;
     result.receiver_timeouts += outcome.receiver_timeouts;
@@ -454,16 +496,19 @@ SessionFarmResult run_farm(ProtocolKind kind, const Params& params,
 SessionFarmResult run_session_farm(ProtocolKind kind,
                                    const SingleHopParams& params,
                                    const SessionFarmOptions& options) {
+  if (options.leaf_churn.enabled()) {
+    throw std::invalid_argument(
+        "run_session_farm: leaf churn needs tree or chain sessions");
+  }
   return run_farm<SingleHopSession>(kind, params, options);
 }
 
 SessionFarmResult run_session_farm(ProtocolKind kind,
                                    const MultiHopParams& params,
                                    const SessionFarmOptions& options) {
-  if (std::find(kMultiHopProtocols.begin(), kMultiHopProtocols.end(), kind) ==
-      kMultiHopProtocols.end()) {
+  if (!supports_multi_hop(kind)) {
     throw std::invalid_argument(
-        "run_session_farm: multi-hop sessions need SS, SS+RT or HS");
+        "run_session_farm: unsupported multi-hop protocol");
   }
   // A chain session IS a fan-out-1 tree session: one session class, one
   // wiring path (TreeSession's Topology == Chain's, bit for bit).
@@ -474,10 +519,9 @@ SessionFarmResult run_session_farm(ProtocolKind kind,
 SessionFarmResult run_session_farm(ProtocolKind kind,
                                    const analytic::TreeParams& params,
                                    const SessionFarmOptions& options) {
-  if (std::find(kMultiHopProtocols.begin(), kMultiHopProtocols.end(), kind) ==
-      kMultiHopProtocols.end()) {
+  if (!supports_multi_hop(kind)) {
     throw std::invalid_argument(
-        "run_session_farm: tree sessions need SS, SS+RT or HS");
+        "run_session_farm: unsupported multi-hop protocol");
   }
   return run_farm<TreeSession>(kind, params, options);
 }

@@ -27,6 +27,7 @@
 #include "core/params.hpp"
 #include "core/protocol.hpp"
 #include "exp/parallel.hpp"
+#include "protocols/membership.hpp"
 #include "sim/channel_process.hpp"
 #include "sim/rng.hpp"
 
@@ -54,6 +55,15 @@ struct SessionFarmOptions {
   std::size_t threads = 0;
   /// Optional shared pool; `threads` is ignored when set.
   ParallelSweep* engine = nullptr;
+  /// Per-leaf lifetime model (tree/chain sessions only): when enabled,
+  /// every leaf of every session churns independently -- joined for a mean
+  /// `leaf_churn.leaf_lifetime`, detached until its rejoin timer --
+  /// while the session itself still spans its own lifetime window.  The
+  /// churn timers draw from a dedicated per-session stream keyed to the
+  /// session's global index, so the determinism contract (bit-identical
+  /// across thread counts AND shard sizes) extends to churn runs.
+  /// Single-hop farms reject enabled churn (there is no tree to prune).
+  protocols::ChurnOptions leaf_churn;
 };
 
 /// Aggregate outcome of a farm run.
@@ -72,6 +82,9 @@ struct SessionFarmResult {
   /// Exact when everything runs in one shard; an upper bound otherwise
   /// (per-shard peaks need not align in simulated time).
   std::size_t peak_sessions_in_flight = 0;
+  /// Leaf-churn outcome summed across sessions in global session order
+  /// (all-zero when churn is disabled).
+  protocols::ChurnReport churn;
 };
 
 /// Runs N single-hop sessions of `kind`.  `params.removal_rate` is ignored

@@ -15,7 +15,8 @@ SenderEngine::SenderEngine(sim::Simulator& sim, sim::Rng& rng,
       mech_(mechanisms),
       timers_(timers),
       out_(out),
-      on_change_(std::move(on_change)) {}
+      on_change_(std::move(on_change)),
+      slot_(sim, rng, mechanisms, timers, nullptr) {}
 
 void SenderEngine::notify() {
   if (on_change_) on_change_();
@@ -39,11 +40,11 @@ void SenderEngine::reset() {
   cancel(removal_retrans_timer_);
   awaiting_trigger_ack_ = false;
   removal_pending_ = false;
-  value_.reset();
+  slot_.clear();
 }
 
 void SenderEngine::send_trigger() {
-  out_.send(Message{MessageType::kTrigger, *value_, trigger_seq_, epoch_});
+  out_.send(Message{MessageType::kTrigger, *slot_.value(), trigger_seq_, epoch_});
   if (mech_.reliable_trigger) {
     awaiting_trigger_ack_ = true;
     trigger_retrans_interval_ = timers_.retrans;  // fresh content: reset stage
@@ -52,7 +53,7 @@ void SenderEngine::send_trigger() {
 }
 
 void SenderEngine::install(std::int64_t value) {
-  value_ = value;
+  slot_.set(value);
   trigger_seq_ = next_seq_++;
   // An install supersedes a pending removal of the previous incarnation.
   removal_pending_ = false;
@@ -63,11 +64,11 @@ void SenderEngine::install(std::int64_t value) {
 }
 
 void SenderEngine::update(std::int64_t value) {
-  if (!value_) {
+  if (!slot_.value()) {
     install(value);
     return;
   }
-  value_ = value;
+  slot_.set(value);
   trigger_seq_ = next_seq_++;
   cancel(trigger_retrans_timer_);
   send_trigger();
@@ -75,7 +76,7 @@ void SenderEngine::update(std::int64_t value) {
 }
 
 void SenderEngine::remove() {
-  value_.reset();
+  slot_.clear();
   cancel(refresh_timer_);
   cancel(trigger_retrans_timer_);
   awaiting_trigger_ack_ = false;
@@ -92,7 +93,7 @@ void SenderEngine::remove() {
 }
 
 void SenderEngine::crash() {
-  value_.reset();
+  slot_.clear();
   cancel(refresh_timer_);
   cancel(trigger_retrans_timer_);
   cancel(removal_retrans_timer_);
@@ -108,8 +109,8 @@ void SenderEngine::arm_refresh() {
 
 void SenderEngine::on_refresh_timer() {
   refresh_timer_.reset();
-  if (!value_) return;
-  out_.send(Message{MessageType::kRefresh, *value_, trigger_seq_, epoch_});
+  if (!slot_.value()) return;
+  out_.send(Message{MessageType::kRefresh, *slot_.value(), trigger_seq_, epoch_});
   arm_refresh();
 }
 
@@ -132,8 +133,8 @@ void SenderEngine::arm_trigger_retrans() {
 
 void SenderEngine::on_trigger_retrans() {
   trigger_retrans_timer_.reset();
-  if (!value_ || !awaiting_trigger_ack_) return;
-  out_.send(Message{MessageType::kTrigger, *value_, trigger_seq_, epoch_});
+  if (!slot_.value() || !awaiting_trigger_ack_) return;
+  out_.send(Message{MessageType::kTrigger, *slot_.value(), trigger_seq_, epoch_});
   trigger_retrans_interval_ = next_stage(trigger_retrans_interval_, timers_);
   arm_trigger_retrans();
 }
@@ -171,7 +172,7 @@ void SenderEngine::handle(const Message& msg) {
     case MessageType::kNotice:
       // The receiver (falsely or via timeout) removed our state; if we still
       // have it, re-install.
-      if (value_) {
+      if (slot_.value()) {
         trigger_seq_ = next_seq_++;
         cancel(trigger_retrans_timer_);
         send_trigger();
@@ -193,7 +194,8 @@ ReceiverEngine::ReceiverEngine(sim::Simulator& sim, sim::Rng& rng,
       mech_(mechanisms),
       timers_(timers),
       out_(out),
-      on_change_(std::move(on_change)) {}
+      on_change_(std::move(on_change)),
+      slot_(sim, rng, mechanisms, timers, [this] { on_expire(); }) {}
 
 void ReceiverEngine::notify() {
   if (on_change_) on_change_();
@@ -205,28 +207,12 @@ void ReceiverEngine::begin_epoch(std::uint64_t epoch) {
 }
 
 void ReceiverEngine::reset() {
-  clear_timeout();
-  value_.reset();
+  slot_.clear();
 }
 
-void ReceiverEngine::clear_timeout() {
-  if (timeout_timer_) {
-    sim_.cancel(*timeout_timer_);
-    timeout_timer_.reset();
-  }
-}
-
-void ReceiverEngine::arm_timeout() {
-  clear_timeout();
-  timeout_timer_ = sim_.schedule_in(
-      sim::sample(rng_, timers_.dist, timers_.timeout), [this] { on_timeout(); });
-}
-
-void ReceiverEngine::on_timeout() {
-  timeout_timer_.reset();
-  if (!value_) return;
-  value_.reset();
-  ++timeouts_;
+/// The soft-state timeout fired and the slot dropped the value: emit the
+/// (possibly false-) removal notification if the protocol has one.
+void ReceiverEngine::on_expire() {
   if (mech_.removal_notification) {
     out_.send(Message{MessageType::kNotice, 0, 0, epoch_});
   }
@@ -234,9 +220,7 @@ void ReceiverEngine::on_timeout() {
 }
 
 void ReceiverEngine::external_removal_signal() {
-  if (!value_) return;
-  value_.reset();
-  clear_timeout();
+  if (!slot_.clear()) return;
   if (mech_.removal_notification) {
     out_.send(Message{MessageType::kNotice, 0, 0, epoch_});
   }
@@ -247,16 +231,16 @@ void ReceiverEngine::handle(const Message& msg) {
   if (msg.epoch != epoch_) return;
   switch (msg.type) {
     case MessageType::kTrigger:
-      value_ = msg.value;
+      slot_.set(msg.value);
       if (mech_.reliable_trigger) {
         out_.send(Message{MessageType::kAckTrigger, 0, msg.seq, epoch_});
       }
-      if (mech_.soft_timeout) arm_timeout();
+      slot_.arm_timeout();
       notify();
       break;
     case MessageType::kRefresh:
-      value_ = msg.value;
-      if (mech_.soft_timeout) arm_timeout();
+      slot_.set(msg.value);
+      slot_.arm_timeout();
       notify();
       break;
     case MessageType::kRemove:
@@ -265,11 +249,7 @@ void ReceiverEngine::handle(const Message& msg) {
       if (mech_.reliable_removal) {
         out_.send(Message{MessageType::kAckRemove, 0, msg.seq, epoch_});
       }
-      if (value_) {
-        value_.reset();
-        clear_timeout();
-        notify();
-      }
+      if (slot_.clear()) notify();
       break;
     default:
       break;

@@ -2,8 +2,12 @@
 //
 // The five protocols are mechanism combinations (core/protocol.hpp), so a
 // single pair of engines parameterized by MechanismSet implements all of
-// them -- exactly the paper's "spectrum" framing.  Factory helpers
-// instantiate the engines for a named protocol.
+// them -- exactly the paper's "spectrum" framing.  The held state itself
+// lives in a protocols::StateSlot (protocols/state_slot.hpp), the same
+// mechanism-driven core the multi-hop tree nodes instantiate; the engines
+// add the single-hop session choreography (epochs, staged retransmission
+// backoff, explicit removal handshake) on top.  Factory helpers instantiate
+// the engines for a named protocol.
 #pragma once
 
 #include <cstdint>
@@ -12,28 +16,12 @@
 
 #include "core/protocol.hpp"
 #include "protocols/message.hpp"
+#include "protocols/state_slot.hpp"
 #include "sim/channel.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
 namespace sigcomp::protocols {
-
-/// Timer configuration shared by the engines.  `dist` selects deterministic
-/// (real-protocol) or exponential (model-assumption) timer draws.
-struct TimerSettings {
-  sim::Distribution dist = sim::Distribution::kDeterministic;  ///< timer law
-  double refresh = 5.0;   ///< R
-  double timeout = 15.0;  ///< T
-  double retrans = 0.12;  ///< Gamma (initial value when backing off)
-  /// Staged retransmission (Pan & Schulzrinne's staged timers, cited by the
-  /// paper): each unacknowledged retransmission multiplies the timer by
-  /// this factor, capped at `backoff_cap * retrans`.  1.0 = fixed timer.
-  double backoff = 1.0;
-  double backoff_cap = 64.0;  ///< cap multiplier of the staged timer
-};
-
-/// The channel type every protocol node sends Messages through.
-using MessageChannel = sim::Channel<Message>;
 
 /// The signaling sender ("state installer").
 ///
@@ -77,7 +65,9 @@ class SenderEngine {
   void begin_epoch(std::uint64_t epoch);
 
   /// The installed state value (nullopt when removed).
-  [[nodiscard]] std::optional<std::int64_t> value() const noexcept { return value_; }
+  [[nodiscard]] std::optional<std::int64_t> value() const noexcept {
+    return slot_.value();
+  }
   /// True while an explicit removal is awaiting acknowledgment.
   [[nodiscard]] bool removal_pending() const noexcept { return removal_pending_; }
   /// The current session epoch.
@@ -101,7 +91,8 @@ class SenderEngine {
   MessageChannel& out_;
   std::function<void()> on_change_;
 
-  std::optional<std::int64_t> value_;
+  /// The authoritative root copy: never armed, so it cannot time out.
+  StateSlot slot_;
   std::uint64_t epoch_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t trigger_seq_ = 0;   ///< seq of the latest trigger content
@@ -142,16 +133,18 @@ class ReceiverEngine {
   void begin_epoch(std::uint64_t epoch);
 
   /// The held state value (nullopt when no state is installed).
-  [[nodiscard]] std::optional<std::int64_t> value() const noexcept { return value_; }
+  [[nodiscard]] std::optional<std::int64_t> value() const noexcept {
+    return slot_.value();
+  }
   /// The current session epoch.
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
   /// Number of soft-state timeout expirations observed (tests use this).
-  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept {
+    return slot_.timeouts();
+  }
 
  private:
-  void arm_timeout();
-  void on_timeout();
-  void clear_timeout();
+  void on_expire();
   void notify();
 
   sim::Simulator& sim_;
@@ -161,10 +154,9 @@ class ReceiverEngine {
   MessageChannel& out_;
   std::function<void()> on_change_;
 
-  std::optional<std::int64_t> value_;
+  /// The held copy plus its soft-state timeout (the mechanism core).
+  StateSlot slot_;
   std::uint64_t epoch_ = 0;
-  std::uint64_t timeouts_ = 0;
-  std::optional<sim::EventId> timeout_timer_;
 };
 
 }  // namespace sigcomp::protocols

@@ -1,0 +1,179 @@
+#include "protocols/membership.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace sigcomp::protocols {
+
+void ChurnOptions::validate() const {
+  if (!std::isfinite(leaf_lifetime) || !std::isfinite(rejoin_rate)) {
+    throw std::invalid_argument("ChurnOptions: values must be finite");
+  }
+  if (leaf_lifetime < 0.0 || rejoin_rate < 0.0) {
+    throw std::invalid_argument("ChurnOptions: values must be >= 0");
+  }
+}
+
+double ChurnReport::mean_setup_latency() const noexcept {
+  return completed_joins == 0
+             ? 0.0
+             : setup_latency_sum / static_cast<double>(completed_joins);
+}
+
+double ChurnReport::mean_orphan_window() const noexcept {
+  return resolved_orphans == 0
+             ? 0.0
+             : orphan_window_sum / static_cast<double>(resolved_orphans);
+}
+
+void ChurnReport::absorb(const ChurnReport& other) noexcept {
+  joins += other.joins;
+  leaves += other.leaves;
+  completed_joins += other.completed_joins;
+  resolved_orphans += other.resolved_orphans;
+  setup_latency_sum += other.setup_latency_sum;
+  setup_latency_max = std::max(setup_latency_max, other.setup_latency_max);
+  orphan_window_sum += other.orphan_window_sum;
+  orphan_window_max = std::max(orphan_window_max, other.orphan_window_max);
+  pending_joins += other.pending_joins;
+  pending_orphans += other.pending_orphans;
+}
+
+MembershipController::MembershipController(sim::Simulator& sim,
+                                           Topology& topology, sim::Rng& rng,
+                                           const ChurnOptions& options,
+                                           std::function<void()> changed)
+    : sim_(sim),
+      topology_(topology),
+      rng_(rng),
+      options_(options),
+      changed_(std::move(changed)) {
+  options_.validate();
+}
+
+void MembershipController::start() {
+  if (!options_.enabled()) return;
+  // Leaves in increasing node order: the draw order is part of the
+  // determinism contract.
+  for (const std::size_t leaf : topology_.spec().leaves()) {
+    schedule_leave(leaf);
+  }
+}
+
+void MembershipController::schedule_leave(std::size_t leaf) {
+  sim_.schedule_in(rng_.exponential(options_.leaf_lifetime),
+                   [this, leaf] { do_leave(leaf); });
+}
+
+void MembershipController::schedule_join(std::size_t leaf) {
+  if (options_.rejoin_rate <= 0.0) return;  // departed for good
+  sim_.schedule_in(rng_.exponential(1.0 / options_.rejoin_rate),
+                   [this, leaf] { do_join(leaf); });
+}
+
+void MembershipController::do_leave(std::size_t leaf) {
+  if (finished_) return;
+  const Topology::PruneResult pruned = topology_.leave(leaf);
+  ++report_.leaves;
+  // A join whose setup never completed is abandoned by the departure.
+  pending_joins_.erase(
+      std::remove_if(pending_joins_.begin(), pending_joins_.end(),
+                     [leaf](const PendingJoin& p) { return p.leaf == leaf; }),
+      pending_joins_.end());
+  // The orphan window of this leave covers every pruned relay still
+  // holding a copy; branches that were already clean resolve instantly.
+  Orphan orphan;
+  orphan.at = sim_.now();
+  for (const std::size_t e : pruned.pruned_edges) {
+    if (topology_.relay(e).value()) orphan.relays.push_back(e);
+  }
+  if (orphan.relays.empty()) {
+    ++report_.resolved_orphans;  // window of zero: nothing lingered
+  } else {
+    orphans_.push_back(std::move(orphan));
+  }
+  schedule_join(leaf);
+  if (changed_) changed_();
+}
+
+void MembershipController::do_join(std::size_t leaf) {
+  if (finished_) return;
+  const Topology::GraftResult graft = topology_.join(leaf);
+  ++report_.joins;
+  pending_joins_.push_back(PendingJoin{leaf, sim_.now()});
+  // Re-grafted relays are wanted again: their copy stops being orphaned the
+  // moment membership returns, resolving the windows that covered them.
+  if (!graft.activated_edges.empty() && !orphans_.empty()) {
+    for (std::size_t i = orphans_.size(); i-- > 0;) {
+      Orphan& orphan = orphans_[i];
+      for (const std::size_t e : graft.activated_edges) {
+        orphan.relays.erase(
+            std::remove(orphan.relays.begin(), orphan.relays.end(), e),
+            orphan.relays.end());
+      }
+      if (orphan.relays.empty()) {
+        const double window = sim_.now() - orphan.at;
+        ++report_.resolved_orphans;
+        report_.orphan_window_sum += window;
+        report_.orphan_window_max = std::max(report_.orphan_window_max, window);
+        orphans_.erase(orphans_.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+      }
+    }
+  }
+  schedule_leave(leaf);
+  if (changed_) changed_();
+}
+
+void MembershipController::on_state_change() {
+  if (finished_) return;
+  // Setup latency: a pending join completes when its leaf holds the
+  // sender's current value.
+  const auto sender_value = topology_.sender().value();
+  if (sender_value) {
+    for (std::size_t i = pending_joins_.size(); i-- > 0;) {
+      const PendingJoin& pending = pending_joins_[i];
+      if (topology_.relay(pending.leaf - 1).value() == sender_value) {
+        const double latency = sim_.now() - pending.at;
+        ++report_.completed_joins;
+        report_.setup_latency_sum += latency;
+        report_.setup_latency_max =
+            std::max(report_.setup_latency_max, latency);
+        pending_joins_.erase(pending_joins_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      }
+    }
+  }
+  // Orphan windows: a pruned branch resolves when its last lingering relay
+  // copy is gone (timeout, removal delivery, or teardown).
+  for (std::size_t i = orphans_.size(); i-- > 0;) {
+    Orphan& orphan = orphans_[i];
+    orphan.relays.erase(
+        std::remove_if(orphan.relays.begin(), orphan.relays.end(),
+                       [this](std::size_t e) {
+                         return !topology_.relay(e).value().has_value();
+                       }),
+        orphan.relays.end());
+    if (orphan.relays.empty()) {
+      const double window = sim_.now() - orphan.at;
+      ++report_.resolved_orphans;
+      report_.orphan_window_sum += window;
+      report_.orphan_window_max = std::max(report_.orphan_window_max, window);
+      orphans_.erase(orphans_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+}
+
+void MembershipController::finish() {
+  if (finished_) return;
+  on_state_change();  // final sweep at the horizon
+  finished_ = true;
+  report_.pending_joins += pending_joins_.size();
+  report_.pending_orphans += orphans_.size();
+  pending_joins_.clear();
+  orphans_.clear();
+}
+
+}  // namespace sigcomp::protocols

@@ -4,48 +4,6 @@
 
 namespace sigcomp::protocols {
 
-// ---------------------------------------------------------- ReliableSlot --
-
-ReliableSlot::ReliableSlot(sim::Simulator& sim, sim::Rng& rng,
-                           sim::Distribution dist, double retrans_timer,
-                           MessageChannel* channel)
-    : sim_(sim), rng_(rng), dist_(dist), retrans_timer_(retrans_timer),
-      channel_(channel) {}
-
-void ReliableSlot::send(Message msg) {
-  pending_ = msg;
-  outstanding_ = true;
-  channel_->send(pending_);
-  arm();
-}
-
-bool ReliableSlot::acknowledge(std::uint64_t seq) {
-  if (!outstanding_ || pending_.seq != seq) return false;
-  cancel();
-  return true;
-}
-
-void ReliableSlot::cancel() {
-  outstanding_ = false;
-  if (timer_) {
-    sim_.cancel(*timer_);
-    timer_.reset();
-  }
-}
-
-void ReliableSlot::arm() {
-  if (timer_) sim_.cancel(*timer_);
-  timer_ = sim_.schedule_in(sim::sample(rng_, dist_, retrans_timer_),
-                            [this] { on_timer(); });
-}
-
-void ReliableSlot::on_timer() {
-  timer_.reset();
-  if (!outstanding_) return;
-  channel_->send(pending_);
-  arm();
-}
-
 // ------------------------------------------------------------ TreeSender --
 
 TreeSender::TreeSender(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
@@ -57,7 +15,10 @@ TreeSender::TreeSender(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
       mech_(mech),
       timers_(timers),
       down_(std::move(down)),
-      on_change_(std::move(on_change)) {
+      on_change_(std::move(on_change)),
+      child_active_(down_.size(), 1),
+      child_installed_(down_.size(), 0),
+      slot_(sim, rng, mech, timers, nullptr) {
   // Sized once, before any timer can be armed: slots capture `this`-stable
   // addresses in their retransmission closures, so the vector must never
   // reallocate afterwards.
@@ -67,19 +28,24 @@ TreeSender::TreeSender(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
   }
 }
 
+void TreeSender::send_trigger_to(std::size_t c) {
+  const Message msg{MessageType::kTrigger, *slot_.value(), trigger_seq_, 0};
+  child_installed_[c] = 1;
+  if (mech_.reliable_trigger) {
+    reliable_down_[c].send(msg);
+  } else {
+    down_[c]->send(msg);
+  }
+}
+
 void TreeSender::send_trigger() {
-  const Message msg{MessageType::kTrigger, *value_, trigger_seq_, 0};
   for (std::size_t c = 0; c < down_.size(); ++c) {
-    if (mech_.reliable_trigger) {
-      reliable_down_[c].send(msg);
-    } else {
-      down_[c]->send(msg);
-    }
+    if (child_active_[c]) send_trigger_to(c);
   }
 }
 
 void TreeSender::start(std::int64_t value) {
-  value_ = value;
+  slot_.set(value);
   trigger_seq_ = next_seq_++;
   send_trigger();
   if (mech_.refresh && !refresh_timer_) arm_refresh();
@@ -87,11 +53,11 @@ void TreeSender::start(std::int64_t value) {
 }
 
 void TreeSender::update(std::int64_t value) {
-  if (!value_) {
+  if (!slot_.value()) {
     start(value);
     return;
   }
-  value_ = value;
+  slot_.set(value);
   trigger_seq_ = next_seq_++;
   send_trigger();
   if (on_change_) on_change_();
@@ -101,16 +67,76 @@ void TreeSender::arm_refresh() {
   refresh_timer_ = sim_.schedule_in(
       sim::sample(rng_, timers_.dist, timers_.refresh), [this] {
         refresh_timer_.reset();
-        if (value_) {
-          const Message msg{MessageType::kRefresh, *value_, trigger_seq_, 0};
-          for (MessageChannel* channel : down_) channel->send(msg);
+        if (slot_.value()) {
+          const Message msg{MessageType::kRefresh, *slot_.value(),
+                            trigger_seq_, 0};
+          for (std::size_t c = 0; c < down_.size(); ++c) {
+            if (!child_active_[c]) continue;
+            child_installed_[c] = 1;
+            down_[c]->send(msg);
+          }
           arm_refresh();
         }
       });
 }
 
+/// Emits one removal down child edge c: reliably (superseding any pending
+/// trigger in the slot) when the protocol's removals are reliable, best
+/// effort -- with the pending trigger cancelled -- otherwise.
+void TreeSender::send_removal_to(std::size_t c, std::uint64_t seq) {
+  const Message msg{MessageType::kRemove, 0, seq, 0};
+  if (mech_.reliable_removal) {
+    reliable_down_[c].send(msg);
+  } else {
+    reliable_down_[c].cancel();
+    down_[c]->send(msg);
+  }
+}
+
+void TreeSender::remove() {
+  if (!slot_.clear()) return;
+  if (refresh_timer_) {
+    sim_.cancel(*refresh_timer_);
+    refresh_timer_.reset();
+  }
+  if (mech_.explicit_removal) {
+    // One removal, fanned down every branch that was ever installed; each
+    // per-child reliable slot matches its own ACK against the shared seq.
+    const std::uint64_t seq = next_seq_++;
+    for (std::size_t c = 0; c < down_.size(); ++c) {
+      if (!child_installed_[c]) {
+        reliable_down_[c].cancel();
+        continue;
+      }
+      child_installed_[c] = 0;
+      send_removal_to(c, seq);
+    }
+  } else {
+    for (ReliableSlot& slot : reliable_down_) slot.cancel();
+  }
+  if (on_change_) on_change_();
+}
+
+void TreeSender::graft_child(std::size_t c) {
+  child_active_[c] = 1;
+  if (slot_.value()) send_trigger_to(c);
+}
+
+void TreeSender::deactivate_child(std::size_t c) {
+  child_active_[c] = 0;
+  reliable_down_[c].cancel();
+}
+
+void TreeSender::prune_child(std::size_t c) {
+  deactivate_child(c);
+  if (mech_.explicit_removal && child_installed_[c]) {
+    child_installed_[c] = 0;
+    send_removal_to(c, next_seq_++);
+  }
+}
+
 void TreeSender::stop() {
-  value_.reset();
+  slot_.clear();
   if (refresh_timer_) {
     sim_.cancel(*refresh_timer_);
     refresh_timer_.reset();
@@ -121,6 +147,7 @@ void TreeSender::stop() {
 void TreeSender::handle_from_downstream(const Message& msg, std::size_t child) {
   switch (msg.type) {
     case MessageType::kAckTrigger:
+    case MessageType::kAckRemove:
       reliable_down_[child].acknowledge(msg.seq);
       break;
     case MessageType::kNotice:
@@ -131,7 +158,7 @@ void TreeSender::handle_from_downstream(const Message& msg, std::size_t child) {
       if (mech_.external_failure_detector) {
         down_[child]->send(Message{MessageType::kAckNotice, 0, msg.seq, 0});
       }
-      if (value_) {
+      if (slot_.value()) {
         trigger_seq_ = next_seq_++;
         send_trigger();
       }
@@ -154,7 +181,10 @@ TreeRelay::TreeRelay(sim::Simulator& sim, sim::Rng& rng, MechanismSet mech,
       up_(up),
       down_(std::move(down)),
       on_change_(std::move(on_change)),
-      reliable_up_(sim, rng, timers.dist, timers.retrans, up) {
+      reliable_up_(sim, rng, timers.dist, timers.retrans, up),
+      child_active_(down_.size(), 1),
+      child_installed_(down_.size(), 0),
+      slot_(sim, rng, mech, timers, [this] { on_expire(); }) {
   reliable_down_.reserve(down_.size());  // fixed size; see TreeSender
   for (MessageChannel* channel : down_) {
     reliable_down_.emplace_back(sim, rng, timers.dist, timers.retrans, channel);
@@ -165,24 +195,9 @@ void TreeRelay::notify() {
   if (on_change_) on_change_();
 }
 
-void TreeRelay::clear_timeout() {
-  if (timeout_timer_) {
-    sim_.cancel(*timeout_timer_);
-    timeout_timer_.reset();
-  }
-}
-
-void TreeRelay::arm_timeout() {
-  clear_timeout();
-  timeout_timer_ = sim_.schedule_in(
-      sim::sample(rng_, timers_.dist, timers_.timeout), [this] { on_timeout(); });
-}
-
-void TreeRelay::on_timeout() {
-  timeout_timer_.reset();
-  if (!value_) return;
-  value_.reset();
-  ++timeouts_;
+/// The soft-state timeout fired and the slot dropped the value: emit the
+/// one-hop repair notice where the protocol has removal notification.
+void TreeRelay::on_expire() {
   if (mech_.removal_notification) {
     // One-hop repair notice (SS+RT): the upstream neighbor re-triggers.
     up_->send(Message{MessageType::kNotice, 0, 0, 0});
@@ -192,6 +207,7 @@ void TreeRelay::on_timeout() {
 
 void TreeRelay::forward_trigger_to(std::size_t child, std::int64_t value) {
   const Message msg{MessageType::kTrigger, value, next_seq_++, 0};
+  child_installed_[child] = 1;
   if (mech_.reliable_trigger) {
     reliable_down_[child].send(msg);
   } else {
@@ -200,18 +216,60 @@ void TreeRelay::forward_trigger_to(std::size_t child, std::int64_t value) {
 }
 
 void TreeRelay::forward_trigger(std::int64_t value) {
-  for (std::size_t c = 0; c < down_.size(); ++c) forward_trigger_to(c, value);
+  for (std::size_t c = 0; c < down_.size(); ++c) {
+    if (child_active_[c]) forward_trigger_to(c, value);
+  }
+}
+
+/// Emits one removal down child edge c (see TreeSender::send_removal_to).
+void TreeRelay::send_removal_to(std::size_t c, std::uint64_t seq) {
+  const Message msg{MessageType::kRemove, 0, seq, 0};
+  if (mech_.reliable_removal) {
+    reliable_down_[c].send(msg);
+  } else {
+    reliable_down_[c].cancel();
+    down_[c]->send(msg);
+  }
+}
+
+/// Propagates a graceful removal down every branch that was ever installed
+/// (NOT gated on activity: a removal chases state wherever it went).
+void TreeRelay::forward_removal() {
+  const std::uint64_t seq = next_seq_++;
+  for (std::size_t c = 0; c < down_.size(); ++c) {
+    if (!child_installed_[c]) continue;
+    child_installed_[c] = 0;
+    send_removal_to(c, seq);
+  }
+}
+
+void TreeRelay::graft_child(std::size_t c) {
+  child_active_[c] = 1;
+  if (slot_.value()) forward_trigger_to(c, *slot_.value());
+}
+
+void TreeRelay::deactivate_child(std::size_t c) {
+  child_active_[c] = 0;
+  reliable_down_[c].cancel();
+}
+
+void TreeRelay::prune_child(std::size_t c) {
+  deactivate_child(c);
+  if (mech_.explicit_removal && child_installed_[c]) {
+    child_installed_[c] = 0;
+    send_removal_to(c, next_seq_++);
+  }
 }
 
 void TreeRelay::handle_from_upstream(const Message& msg) {
   switch (msg.type) {
     case MessageType::kTrigger: {
-      const bool duplicate = value_ && *value_ == msg.value;
+      const bool duplicate = slot_.holds(msg.value);
       if (mech_.reliable_trigger) {
         up_->send(Message{MessageType::kAckTrigger, 0, msg.seq, 0});
       }
-      value_ = msg.value;
-      if (mech_.soft_timeout) arm_timeout();
+      slot_.set(msg.value);
+      slot_.arm_timeout();
       // Duplicates (retransmission after a lost ACK) are re-ACKed but not
       // re-forwarded: the downstream copies are already in flight or pending.
       if (!duplicate) {
@@ -221,21 +279,39 @@ void TreeRelay::handle_from_upstream(const Message& msg) {
       break;
     }
     case MessageType::kRefresh:
-      value_ = msg.value;
-      if (mech_.soft_timeout) arm_timeout();
-      // Forward the refresh copy down every branch, best effort.
-      for (MessageChannel* channel : down_) channel->send(msg);
+      slot_.set(msg.value);
+      slot_.arm_timeout();
+      // Forward the refresh copy down every active branch, best effort.
+      for (std::size_t c = 0; c < down_.size(); ++c) {
+        if (!child_active_[c]) continue;
+        child_installed_[c] = 1;
+        down_[c]->send(msg);
+      }
       notify();
+      break;
+    case MessageType::kRemove:
+      // Graceful explicit removal (SS+ER best effort; SS+RTR/HS reliable).
+      // Always re-ACK so a lost ACK is repaired by the retransmission, but
+      // propagate only once per removal seq -- a retransmitted removal must
+      // not re-flood the subtree.
+      if (mech_.reliable_removal) {
+        up_->send(Message{MessageType::kAckRemove, 0, msg.seq, 0});
+      }
+      // The parent's seq counter is monotonic, so anything at or below the
+      // last processed removal is a stale duplicate -- it must neither
+      // re-flood the subtree nor wipe state a later graft re-installed.
+      if (removal_seen_ && msg.seq <= removal_seq_seen_) break;
+      removal_seen_ = true;
+      removal_seq_seen_ = msg.seq;
+      if (slot_.clear()) notify();
+      forward_removal();
       break;
     case MessageType::kTeardown:
       // Reliable downstream propagation of a removal signal (HS recovery).
       up_->send(Message{MessageType::kAckNotice, 0, msg.seq, 0});
-      if (value_) {
-        value_.reset();
-        clear_timeout();
-        notify();
-      }
+      if (slot_.clear()) notify();
       for (std::size_t c = 0; c < down_.size(); ++c) {
+        child_installed_[c] = 0;
         reliable_down_[c].send(
             Message{MessageType::kTeardown, 0, next_seq_++, 0});
       }
@@ -252,6 +328,7 @@ void TreeRelay::handle_from_downstream(const Message& msg, std::size_t child) {
   switch (msg.type) {
     case MessageType::kAckTrigger:
     case MessageType::kAckNotice:
+    case MessageType::kAckRemove:
       reliable_down_[child].acknowledge(msg.seq);
       break;
     case MessageType::kNotice:
@@ -259,15 +336,16 @@ void TreeRelay::handle_from_downstream(const Message& msg, std::size_t child) {
         // HS recovery: acknowledge, drop our own state, keep flooding the
         // notice toward the sender.
         down_[child]->send(Message{MessageType::kAckNotice, 0, msg.seq, 0});
-        if (value_) {
-          value_.reset();
+        if (slot_.value()) {
+          slot_.clear();
           notify();
         }
         reliable_up_.send(Message{MessageType::kNotice, 0, next_seq_++, 0});
-      } else if (value_) {
+      } else if (slot_.value() && child_active_[child]) {
         // SS+RT one-hop repair: re-install our value down the branch the
-        // notice came from (the other branches kept their copies).
-        forward_trigger_to(child, *value_);
+        // notice came from (the other branches kept their copies) -- unless
+        // the branch was pruned, in which case the timeout was the point.
+        forward_trigger_to(child, *slot_.value());
       }
       break;
     default:
@@ -276,19 +354,17 @@ void TreeRelay::handle_from_downstream(const Message& msg, std::size_t child) {
 }
 
 void TreeRelay::stop() {
-  value_.reset();
-  clear_timeout();
+  slot_.clear();
   reliable_up_.cancel();
   for (ReliableSlot& slot : reliable_down_) slot.cancel();
 }
 
 void TreeRelay::external_removal_signal() {
-  if (!value_) return;
-  value_.reset();
-  clear_timeout();
+  if (!slot_.clear()) return;
   notify();
   reliable_up_.send(Message{MessageType::kNotice, 0, next_seq_++, 0});
   for (std::size_t c = 0; c < down_.size(); ++c) {
+    child_installed_[c] = 0;
     reliable_down_[c].send(Message{MessageType::kTeardown, 0, next_seq_++, 0});
   }
 }

@@ -2,16 +2,27 @@
 // generalized from the paper's chain to arbitrary rooted trees).
 //
 // Topology: a sender at the root, relays at interior nodes, receivers at
-// the leaves; a chain is the degenerate tree with fan-out 1.  Every relay
-// holds a copy of the signaling state.  Triggers propagate edge-by-edge
-// down every branch (reliably for SS+RT and HS), refreshes propagate as
-// forwarded best-effort copies down every branch (SS and SS+RT), and the
-// HS recovery protocol floods notices upstream and teardowns downstream
-// when a false external signal fires.  Hard-state install/remove acks
-// aggregate up the branches through per-child reliable slots.
+// the leaves; a chain is the degenerate tree with fan-out 1.  Every node's
+// state copy lives in a protocols::StateSlot -- the same mechanism-driven
+// core the single-hop engines use -- so all FIVE protocols run here:
+// triggers propagate edge-by-edge down every branch (reliably for SS+RT,
+// SS+RTR and HS), refreshes propagate as forwarded best-effort copies down
+// every branch (the soft-state protocols), explicit removals propagate
+// down every branch (best-effort for SS+ER, reliably for SS+RTR and HS),
+// and the HS recovery protocol floods notices upstream and teardowns
+// downstream when a false external signal fires.  Acks aggregate up the
+// branches through per-child reliable slots.
 //
-// With exactly one child per node these classes behave bit-identically to
-// the PR 3 chain nodes (the golden-trace tests pin this).
+// Dynamic membership (IGMP-style leaf churn): each child edge carries an
+// activity flag.  Triggers and refreshes flow only down ACTIVE edges;
+// graft_child re-activates an edge and re-installs the local copy down it,
+// prune_child deactivates an edge using the protocol's own removal
+// semantics (nothing for timeout-pruned soft state, a best-effort or
+// reliable removal otherwise).  Removals and teardowns are not gated --
+// they chase whatever state was installed, tracked per child.  With every
+// edge active (the static default) the nodes behave bit-identically to the
+// PR 4 nodes, and with exactly one child to the PR 3 chain nodes (the
+// golden-trace tests pin both).
 #pragma once
 
 #include <cstdint>
@@ -22,52 +33,18 @@
 #include "core/protocol.hpp"
 #include "protocols/engine.hpp"
 #include "protocols/message.hpp"
+#include "protocols/state_slot.hpp"
 #include "sim/channel.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
 namespace sigcomp::protocols {
 
-/// Per-direction reliable transmission slot: at most one outstanding message
-/// per link direction; a newer reliable send supersedes the pending one
-/// (it always carries more recent information).
-class ReliableSlot {
- public:
-  /// `channel` may be null only if send() is never called.
-  ReliableSlot(sim::Simulator& sim, sim::Rng& rng, sim::Distribution dist,
-               double retrans_timer, MessageChannel* channel);
-
-  /// Sends `msg` reliably: transmit now, retransmit until acknowledged.
-  void send(Message msg);
-
-  /// Processes an acknowledgment sequence number; returns true if it matched
-  /// the outstanding message (which is then considered delivered).
-  bool acknowledge(std::uint64_t seq);
-
-  /// Drops any outstanding message.
-  void cancel();
-
-  /// True while a sent message awaits its acknowledgment.
-  [[nodiscard]] bool outstanding() const noexcept { return outstanding_; }
-
- private:
-  void arm();
-  void on_timer();
-
-  sim::Simulator& sim_;
-  sim::Rng& rng_;
-  sim::Distribution dist_;
-  double retrans_timer_;
-  MessageChannel* channel_;
-  Message pending_{};
-  bool outstanding_ = false;
-  std::optional<sim::EventId> timer_;
-};
-
-/// The signaling sender at the root of the tree.  Infinite state lifetime:
-/// the state value changes on updates but is never removed.  Fan-out:
-/// triggers and refreshes go down every child edge; each child edge has its
-/// own reliable slot so one slow branch cannot stall another.
+/// The signaling sender at the root of the tree.  The state value changes
+/// on updates and is removed only by an explicit remove() (graceful,
+/// signaled) or stop() (silent).  Fan-out: triggers and refreshes go down
+/// every active child edge; each child edge has its own reliable slot so
+/// one slow branch cannot stall another.
 class TreeSender {
  public:
   /// `down[c]` is the channel toward child c; the vector's order defines
@@ -85,8 +62,33 @@ class TreeSender {
   /// Updates the state value (a new trigger propagates down every branch).
   void update(std::int64_t value);
 
+  /// Gracefully removes the state: where the protocol has explicit removal
+  /// a removal message goes down every branch that was ever installed
+  /// (reliably when the protocol's removals are reliable); otherwise the
+  /// downstream copies are left to their soft-state timeouts.
+  void remove();
+
   /// Message arriving from child `child` (ACKs, notices).
   void handle_from_downstream(const Message& msg, std::size_t child = 0);
+
+  /// Re-activates child edge `c` (a leaf joined somewhere below it) and
+  /// re-installs the current value down it if one is held.
+  void graft_child(std::size_t c);
+
+  /// Deactivates child edge `c` (the last leaf below it left) using the
+  /// protocol's removal semantics: a best-effort or reliable removal where
+  /// the mechanisms provide one, nothing (timeout prune) otherwise.
+  void prune_child(std::size_t c);
+
+  /// Deactivates child edge `c` without signaling anything (used for the
+  /// deeper edges of a pruned path -- the removal, if any, arrives via the
+  /// propagation from the prune point).
+  void deactivate_child(std::size_t c);
+
+  /// True when signaling flows down child edge `c`.
+  [[nodiscard]] bool child_active(std::size_t c) const {
+    return child_active_[c] != 0;
+  }
 
   /// Silently ends the session: clears state and cancels every pending
   /// timer WITHOUT signaling anything.  Used by the session farm when a
@@ -94,12 +96,16 @@ class TreeSender {
   void stop();
 
   /// The installed state value (nullopt before start / after stop).
-  [[nodiscard]] std::optional<std::int64_t> value() const noexcept { return value_; }
+  [[nodiscard]] std::optional<std::int64_t> value() const noexcept {
+    return slot_.value();
+  }
   /// Number of child edges.
   [[nodiscard]] std::size_t fanout() const noexcept { return down_.size(); }
 
  private:
   void send_trigger();
+  void send_trigger_to(std::size_t c);
+  void send_removal_to(std::size_t c, std::uint64_t seq);
   void arm_refresh();
 
   sim::Simulator& sim_;
@@ -109,8 +115,10 @@ class TreeSender {
   std::vector<MessageChannel*> down_;
   std::function<void()> on_change_;
   std::vector<ReliableSlot> reliable_down_;  ///< one per child, fixed size
+  std::vector<char> child_active_;     ///< signaling flows down edge c
+  std::vector<char> child_installed_;  ///< state was pushed down edge c
 
-  std::optional<std::int64_t> value_;
+  StateSlot slot_;  ///< the authoritative root copy (never armed)
   std::uint64_t next_seq_ = 1;
   std::uint64_t trigger_seq_ = 0;
   std::optional<sim::EventId> refresh_timer_;
@@ -131,7 +139,8 @@ class TreeRelay {
   TreeRelay(const TreeRelay&) = delete;             ///< non-copyable
   TreeRelay& operator=(const TreeRelay&) = delete;  ///< non-copyable
 
-  /// Message arriving from the parent (triggers, refreshes, teardowns).
+  /// Message arriving from the parent (triggers, refreshes, removals,
+  /// teardowns).
   void handle_from_upstream(const Message& msg);
 
   /// Message arriving from child `child` (ACKs, notices).
@@ -142,22 +151,42 @@ class TreeRelay {
   /// below.
   void external_removal_signal();
 
+  /// Re-activates child edge `c` and re-installs the locally cached value
+  /// down it if one is held (see TreeSender::graft_child).
+  void graft_child(std::size_t c);
+
+  /// Deactivates child edge `c` with the protocol's removal semantics
+  /// (see TreeSender::prune_child).
+  void prune_child(std::size_t c);
+
+  /// Deactivates child edge `c` silently (see TreeSender::deactivate_child).
+  void deactivate_child(std::size_t c);
+
+  /// True when signaling flows down child edge `c`.
+  [[nodiscard]] bool child_active(std::size_t c) const {
+    return child_active_[c] != 0;
+  }
+
   /// Silently ends the session (see TreeSender::stop).
   void stop();
 
   /// The held state value (nullopt when no state is installed).
-  [[nodiscard]] std::optional<std::int64_t> value() const noexcept { return value_; }
+  [[nodiscard]] std::optional<std::int64_t> value() const noexcept {
+    return slot_.value();
+  }
   /// Number of soft-state timeout expirations at this relay.
-  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept {
+    return slot_.timeouts();
+  }
   /// Number of child edges (0 = this relay is a receiver).
   [[nodiscard]] std::size_t fanout() const noexcept { return down_.size(); }
 
  private:
-  void arm_timeout();
-  void on_timeout();
-  void clear_timeout();
+  void on_expire();
   void forward_trigger(std::int64_t value);
   void forward_trigger_to(std::size_t child, std::int64_t value);
+  void send_removal_to(std::size_t c, std::uint64_t seq);
+  void forward_removal();
   void notify();
 
   sim::Simulator& sim_;
@@ -169,11 +198,13 @@ class TreeRelay {
   std::function<void()> on_change_;
   std::vector<ReliableSlot> reliable_down_;  ///< one per child, fixed size
   ReliableSlot reliable_up_;
+  std::vector<char> child_active_;     ///< signaling flows down edge c
+  std::vector<char> child_installed_;  ///< state was pushed down edge c
 
-  std::optional<std::int64_t> value_;
+  StateSlot slot_;  ///< the held copy plus its soft-state timeout
   std::uint64_t next_seq_ = 1;
-  std::uint64_t timeouts_ = 0;
-  std::optional<sim::EventId> timeout_timer_;
+  std::uint64_t removal_seq_seen_ = 0;  ///< dedup of retransmitted removals
+  bool removal_seen_ = false;
 };
 
 /// Chain-era names: the PR 3 chain nodes are the fan-out-1 special case.

@@ -27,11 +27,9 @@ class MultiHopRun {
         rng_lifecycle_(options.seed, 102),
         rng_failure_(options.seed, 103) {
     params_.validate();
-    if (std::find(kMultiHopProtocols.begin(), kMultiHopProtocols.end(), kind) ==
-        kMultiHopProtocols.end()) {
-      throw std::invalid_argument(
-          "run_multi_hop: protocol must be SS, SS+RT or HS; got " +
-          std::string(to_string(kind)));
+    if (!supports_multi_hop(kind)) {
+      throw std::invalid_argument("run_multi_hop: unsupported protocol " +
+                                  std::string(to_string(kind)));
     }
     const std::size_t k = params_.hops();
     TimerSettings timers;

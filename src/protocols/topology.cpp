@@ -40,14 +40,29 @@ Topology::Topology(sim::Simulator& sim, sim::Rng& channel_rng,
     }
   }
 
-  // kids[n]: child edges of node n in edge order; child_index[e]: e's
+  // kids[n]: child edges of node n in edge order; child_index_[e]: e's
   // position within its parent's child list (the routing index the parent
-  // uses for ACKs and notices arriving on up_[e]).
+  // uses for ACKs and notices arriving on up_[e], and the per-child index
+  // graft/prune calls target).
   std::vector<std::vector<std::size_t>> kids(spec_.nodes());
-  std::vector<std::size_t> child_index(e_count);
+  child_index_.assign(e_count, 0);
   for (std::size_t e = 0; e < e_count; ++e) {
-    child_index[e] = kids[spec_.parent[e]].size();
+    child_index_[e] = kids[spec_.parent[e]].size();
     kids[spec_.parent[e]].push_back(e);
+  }
+
+  // Membership bookkeeping: every leaf starts joined, so active_below_[n]
+  // is node n's subtree leaf count.  Children have larger ids than their
+  // parent (the TreeSpec invariant), so one reverse pass accumulates.
+  leaf_joined_.assign(spec_.nodes(), 0);
+  active_below_.assign(spec_.nodes(), 0);
+  for (std::size_t n = spec_.nodes(); n-- > 1;) {
+    if (spec_.is_leaf(n)) {
+      leaf_joined_[n] = 1;
+      ++active_below_[n];
+      ++active_leaves_;
+    }
+    active_below_[spec_.parent[n - 1]] += active_below_[n];
   }
   const auto down_channels = [&](std::size_t node) {
     std::vector<MessageChannel*> out;
@@ -68,7 +83,7 @@ Topology::Topology(sim::Simulator& sim, sim::Rng& channel_rng,
     down_[e]->set_sink(
         [this, e](const Message& m) { relays_[e]->handle_from_upstream(m); });
     const std::size_t parent = spec_.parent[e];
-    const std::size_t index = child_index[e];
+    const std::size_t index = child_index_[e];
     up_[e]->set_sink([this, parent, index](const Message& m) {
       if (parent == 0) {
         sender_->handle_from_downstream(m, index);
@@ -77,6 +92,80 @@ Topology::Topology(sim::Simulator& sim, sim::Rng& channel_rng,
       }
     });
   }
+}
+
+void Topology::graft_edge(std::size_t e) {
+  const std::size_t parent = spec_.parent[e];
+  if (parent == 0) {
+    sender_->graft_child(child_index_[e]);
+  } else {
+    relays_[parent - 1]->graft_child(child_index_[e]);
+  }
+}
+
+void Topology::prune_edge_at(std::size_t e) {
+  const std::size_t parent = spec_.parent[e];
+  if (parent == 0) {
+    sender_->prune_child(child_index_[e]);
+  } else {
+    relays_[parent - 1]->prune_child(child_index_[e]);
+  }
+}
+
+void Topology::deactivate_edge(std::size_t e) {
+  const std::size_t parent = spec_.parent[e];
+  if (parent == 0) {
+    sender_->deactivate_child(child_index_[e]);
+  } else {
+    relays_[parent - 1]->deactivate_child(child_index_[e]);
+  }
+}
+
+bool Topology::leaf_active(std::size_t leaf) const {
+  if (leaf == 0 || leaf >= spec_.nodes() || !spec_.is_leaf(leaf)) {
+    throw std::invalid_argument("Topology::leaf_active: node " +
+                                std::to_string(leaf) + " is not a leaf");
+  }
+  return leaf_joined_[leaf] != 0;
+}
+
+Topology::GraftResult Topology::join(std::size_t leaf) {
+  if (leaf_active(leaf)) {
+    throw std::invalid_argument("Topology::join: leaf " +
+                                std::to_string(leaf) + " is already joined");
+  }
+  leaf_joined_[leaf] = 1;
+  ++active_leaves_;
+  GraftResult out;
+  for (const std::size_t e : spec_.path_edges(leaf)) {
+    if (++active_below_[e + 1] == 1) out.activated_edges.push_back(e);
+  }
+  // Graft shallow-to-deep: every reactivated edge re-installs from its
+  // parent's cached copy where one exists, so the deepest surviving state
+  // along the path seeds the branch without waiting for a refresh.
+  for (const std::size_t e : out.activated_edges) graft_edge(e);
+  return out;
+}
+
+Topology::PruneResult Topology::leave(std::size_t leaf) {
+  if (!leaf_active(leaf)) {
+    throw std::invalid_argument("Topology::leave: leaf " +
+                                std::to_string(leaf) + " is not joined");
+  }
+  leaf_joined_[leaf] = 0;
+  --active_leaves_;
+  PruneResult out;
+  for (const std::size_t e : spec_.path_edges(leaf)) {
+    if (--active_below_[e + 1] == 0) out.pruned_edges.push_back(e);
+  }
+  // The dead edges form the path's tail; deactivate the deeper ones
+  // silently first, then signal removal (if the protocol has one) at the
+  // prune point -- the removal propagates down the subtree by itself.
+  for (std::size_t i = out.pruned_edges.size(); i-- > 1;) {
+    deactivate_edge(out.pruned_edges[i]);
+  }
+  prune_edge_at(out.pruned_edges.front());
+  return out;
 }
 
 std::uint64_t Topology::edge_messages_sent(std::size_t e) const noexcept {

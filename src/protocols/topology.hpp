@@ -58,6 +58,58 @@ class Topology {
     return *relays_[i];
   }
 
+  // --- Dynamic leaf membership (IGMP-style churn) ---------------------
+  //
+  // Every leaf starts joined (the static tree).  join()/leave() maintain
+  // per-subtree active-leaf counts: an edge is active while its subtree
+  // contains at least one joined leaf, and the nodes' per-child activity
+  // flags mirror that.  A join grafts: every newly activated edge has its
+  // parent re-install whatever copy it still caches (state flows down the
+  // path only where missing).  A leave prunes: the deeper dead edges are
+  // deactivated silently and the prune point applies the protocol's own
+  // removal semantics (nothing for timeout-pruned soft state, a
+  // best-effort or reliable removal otherwise).
+
+  /// Outcome of a join: the edges that switched from inactive to active,
+  /// in root-to-leaf order (empty when the path was already live).
+  struct GraftResult {
+    std::vector<std::size_t> activated_edges;  ///< newly active, shallow first
+  };
+
+  /// Outcome of a leave: the edges that switched to inactive, in
+  /// root-to-leaf order.  Never empty (the leaf's own edge always dies);
+  /// the first entry is the prune point, where removal is signaled.
+  struct PruneResult {
+    std::vector<std::size_t> pruned_edges;  ///< newly inactive, shallow first
+    /// The shallowest pruned edge (== pruned_edges.front()).
+    [[nodiscard]] std::size_t prune_edge() const { return pruned_edges.front(); }
+  };
+
+  /// Joins leaf node `leaf` and grafts state down the reactivated path
+  /// segment.  Throws std::invalid_argument when `leaf` is not a leaf or is
+  /// already joined.
+  GraftResult join(std::size_t leaf);
+
+  /// Leaf node `leaf` departs; dead edges are pruned (see above).  Throws
+  /// std::invalid_argument when `leaf` is not a joined leaf.
+  PruneResult leave(std::size_t leaf);
+
+  /// True while leaf node `leaf` is joined.  Throws std::invalid_argument
+  /// when `leaf` is not a leaf.
+  [[nodiscard]] bool leaf_active(std::size_t leaf) const;
+
+  /// Number of currently joined leaves.
+  [[nodiscard]] std::size_t active_leaf_count() const noexcept {
+    return active_leaves_;
+  }
+
+  /// True when `node` should hold state: it lies on the path to some joined
+  /// leaf (or is one).  The root is always required.  Detached nodes whose
+  /// copy lingers are the orphan window the churn metrics measure.
+  [[nodiscard]] bool node_required(std::size_t node) const {
+    return node == 0 || active_below_[node] > 0;
+  }
+
   /// Messages handed to edge e's channels (both directions).
   [[nodiscard]] std::uint64_t edge_messages_sent(std::size_t e) const noexcept;
 
@@ -72,11 +124,21 @@ class Topology {
   void stop();
 
  private:
+  /// Routes graft/prune/deactivate calls to edge e's parent node (the
+  /// sender for root children, a relay otherwise).
+  void graft_edge(std::size_t e);
+  void prune_edge_at(std::size_t e);
+  void deactivate_edge(std::size_t e);
+
   TreeSpec spec_;
   std::vector<std::unique_ptr<MessageChannel>> down_;  ///< e: parent -> child
   std::vector<std::unique_ptr<MessageChannel>> up_;    ///< e: child -> parent
   std::unique_ptr<TreeSender> sender_;
   std::vector<std::unique_ptr<TreeRelay>> relays_;
+  std::vector<std::size_t> child_index_;   ///< e's slot in its parent's list
+  std::vector<std::size_t> active_below_;  ///< joined leaves per subtree
+  std::vector<char> leaf_joined_;          ///< per node; nonzero for joined leaves
+  std::size_t active_leaves_ = 0;
 };
 
 }  // namespace sigcomp::protocols

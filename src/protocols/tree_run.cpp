@@ -28,13 +28,12 @@ class TreeRun {
         rng_channel_(options.seed, 100),
         rng_nodes_(options.seed, 101),
         rng_lifecycle_(options.seed, 102),
-        rng_failure_(options.seed, 103) {
+        rng_failure_(options.seed, 103),
+        rng_membership_(options.seed, 104) {
     params_.validate();
-    if (std::find(kMultiHopProtocols.begin(), kMultiHopProtocols.end(), kind) ==
-        kMultiHopProtocols.end()) {
-      throw std::invalid_argument(
-          "run_tree: protocol must be SS, SS+RT or HS; got " +
-          std::string(to_string(kind)));
+    if (!supports_multi_hop(kind)) {
+      throw std::invalid_argument("run_tree: unsupported protocol " +
+                                  std::string(to_string(kind)));
     }
     TimerSettings timers;
     timers.dist = options.timer_dist;
@@ -55,6 +54,15 @@ class TreeRun {
     topology_ = std::make_unique<Topology>(
         sim_, rng_channel_, rng_nodes_, mech_, timers, params_.tree, edge_loss,
         edge_delay, [this] { on_change(); }, options_.trace);
+    if (options_.churn.enabled()) {
+      // The controller feeds membership flips back through on_change() so
+      // the monitors resample the instant the required-set moves; its rng
+      // is a dedicated substream, so a zero-churn run replays the static
+      // tree bit-for-bit.
+      membership_ = std::make_unique<MembershipController>(
+          sim_, *topology_, rng_membership_, options_.churn,
+          [this] { on_change(); });
+    }
 
     inconsistent_nodes_.assign(e_count, sim::TimeWeightedValue{});
     node_ok_.assign(e_count, 0);
@@ -78,7 +86,9 @@ class TreeRun {
         schedule_false_signal(i);
       }
     }
+    if (membership_) membership_->start();
     sim_.run_until(options_.duration);
+    if (membership_) membership_->finish();
 
     TreeSimResult out;
     out.duration = options_.duration;
@@ -96,6 +106,7 @@ class TreeRun {
     out.metrics.raw_message_rate =
         static_cast<double>(out.messages) / options_.duration;
     out.metrics.message_rate = out.metrics.raw_message_rate;
+    if (membership_) out.churn = membership_->report();
     return out;
   }
 
@@ -119,12 +130,18 @@ class TreeRun {
   }
 
   void on_change() {
+    if (membership_) membership_->on_state_change();
     // node_ok_ is a member buffer: this callback fires on every state
     // change at every node, so it must not allocate.
     bool all_ok = true;
     for (std::size_t i = 0; i < topology_->relays(); ++i) {
-      const bool ok =
-          topology_->relay(i).value() == topology_->sender().value();
+      // A required node (on the path to a joined leaf) must mirror the
+      // sender; a detached node must hold nothing.  With churn disabled
+      // every node is required, which is the historical definition.
+      const bool ok = topology_->node_required(i + 1)
+                          ? topology_->relay(i).value() ==
+                                topology_->sender().value()
+                          : !topology_->relay(i).value().has_value();
       node_ok_[i] = ok ? 1 : 0;
       inconsistent_nodes_[i].set(sim_.now(), ok ? 0.0 : 1.0);
       all_ok = all_ok && ok;
@@ -148,7 +165,9 @@ class TreeRun {
   sim::Rng rng_nodes_;
   sim::Rng rng_lifecycle_;
   sim::Rng rng_failure_;
+  sim::Rng rng_membership_;
   std::unique_ptr<Topology> topology_;
+  std::unique_ptr<MembershipController> membership_;
 
   std::vector<sim::TimeWeightedValue> inconsistent_nodes_;
   std::vector<char> node_ok_;  ///< scratch for on_change (no per-event alloc)

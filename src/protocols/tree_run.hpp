@@ -1,8 +1,11 @@
 // Tree simulation harness: a sender at the root plus relays on every other
-// node, connected by lossy per-edge channels, running SS, SS+RT or HS,
-// measured against the per-path analytic composition
+// node, connected by lossy per-edge channels, running any of the five
+// protocols, measured against the per-path analytic composition
 // (analytic/tree_paths.hpp).  On a fan-out-1 spec this reproduces the
 // multi-hop chain harness bit-for-bit (the golden-trace tests pin it).
+// With churn enabled (TreeSimOptions::churn) leaves join and leave the
+// live tree IGMP-style and the result carries per-join setup latency and
+// per-leave orphan windows.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +14,7 @@
 #include "analytic/tree_paths.hpp"
 #include "core/metrics.hpp"
 #include "core/protocol.hpp"
+#include "protocols/membership.hpp"
 #include "sim/channel_process.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -32,26 +36,33 @@ struct TreeSimOptions {
   /// Formatting is fully skipped when null -- tracing costs nothing when
   /// absent.
   sim::TraceLog* trace = nullptr;
+  /// Leaf churn workload; disabled by default (the static tree, which is
+  /// what the pinned golden traces cover).
+  ChurnOptions churn;
 };
 
 /// Aggregate outcome of one tree simulation.
 struct TreeSimResult {
-  /// inconsistency = P(some node disagrees with the root); raw msg rate.
+  /// inconsistency = P(some node disagrees with its intent); raw msg rate.
+  /// A node on the path to a joined leaf must mirror the root; a detached
+  /// node must hold nothing (orphaned copies count as inconsistent).
   Metrics metrics;
-  /// Per relay (tree node i+1): fraction of time its value differs from
-  /// the sender's.
+  /// Per relay (tree node i+1): fraction of time its state disagrees with
+  /// its intent (see metrics).
   std::vector<double> node_inconsistency;
   /// Per leaf, in increasing leaf-node order (TreeSpec::leaves): fraction
-  /// of time ANY node on the root-to-leaf path disagrees with the sender
-  /// -- the quantity the per-path chain model predicts.
+  /// of time ANY node on the root-to-leaf path disagrees with its intent
+  /// -- on a static tree, the quantity the per-path chain model predicts.
   std::vector<double> leaf_path_inconsistency;
   std::uint64_t messages = 0;        ///< across every edge, both directions
   double duration = 0.0;             ///< simulated seconds
   std::uint64_t relay_timeouts = 0;  ///< soft-state timeouts across relays
+  /// Leaf-churn outcome (all-zero when churn is disabled).
+  ChurnReport churn;
 };
 
-/// Runs one tree replication.  Throws std::invalid_argument on bad
-/// parameters or a protocol outside {SS, SS+RT, HS}.
+/// Runs one tree replication (any of the five protocols).  Throws
+/// std::invalid_argument on bad parameters.
 [[nodiscard]] TreeSimResult run_tree(ProtocolKind kind,
                                      const analytic::TreeParams& params,
                                      const TreeSimOptions& options);

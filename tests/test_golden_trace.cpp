@@ -127,10 +127,15 @@ constexpr GoldenEntry kSingleHopGolden[] = {
 };
 
 // The PR 3 chain digests.  The PR 4 tree generalization MUST keep these
-// bit-for-bit: a fan-out-1 tree is the chain.
+// bit-for-bit: a fan-out-1 tree is the chain.  The PR 5 StateSlot refactor
+// (explicit removal + membership on trees) must keep them too -- SS+ER and
+// SS+RTR were pinned when PR 5 opened the chain to them; with no removal in
+// flight they replay SS / SS+RT exactly, hence the duplicated digests.
 constexpr GoldenEntry kMultiHopGolden[] = {
     {ProtocolKind::kSS, 0xeca1ca36a4fe8658ULL},
+    {ProtocolKind::kSSER, 0xeca1ca36a4fe8658ULL},
     {ProtocolKind::kSSRT, 0xf9691707db6155edULL},
+    {ProtocolKind::kSSRTR, 0xf9691707db6155edULL},
     {ProtocolKind::kHS, 0x7ddfdce05e469af2ULL},
 };
 
@@ -169,10 +174,14 @@ TEST(GoldenTrace, DegenerateTreeReproducesChainDigests) {
 
 TEST(GoldenTrace, FanOutTreeRecordStreamsArePinned) {
   // A genuinely branching topology: balanced binary tree of depth 2
-  // (7 nodes, 4 receivers).  Pinned in PR 4.
+  // (7 nodes, 4 receivers).  SS/SS+RT/HS pinned in PR 4; SS+ER/SS+RTR
+  // pinned in PR 5 (without removals they replay SS/SS+RT bit-for-bit --
+  // see kMultiHopGolden).
   constexpr GoldenEntry kTreeGolden[] = {
       {ProtocolKind::kSS, 0x398cd857f28012f5ULL},
+      {ProtocolKind::kSSER, 0x398cd857f28012f5ULL},
       {ProtocolKind::kSSRT, 0x16122c3c8a08afebULL},
+      {ProtocolKind::kSSRTR, 0x16122c3c8a08afebULL},
       {ProtocolKind::kHS, 0xc5fc6d8b5c262977ULL},
   };
   const analytic::TreeParams params =
@@ -181,6 +190,40 @@ TEST(GoldenTrace, FanOutTreeRecordStreamsArePinned) {
     const std::uint64_t actual = tree_digest(entry.kind, params);
     EXPECT_EQ(actual, entry.digest)
         << "fan-out tree " << to_string(entry.kind)
+        << " trace digest moved; actual " << hex(actual);
+  }
+}
+
+TEST(GoldenTrace, LeafChurnRecordStreamsArePinned) {
+  // The membership machinery under a pinned seed: a fanout-2 depth-2 tree
+  // whose leaves join and leave IGMP-style.  Here the five protocols all
+  // genuinely differ (prunes exercise each one's removal semantics), so
+  // five distinct digests.  Pinned in PR 5.
+  constexpr GoldenEntry kChurnGolden[] = {
+      {ProtocolKind::kSS, 0x32f2444f130b1f46ULL},
+      {ProtocolKind::kSSER, 0x7c8a56c25b35a20aULL},
+      {ProtocolKind::kSSRT, 0x97302a018c6111daULL},
+      {ProtocolKind::kSSRTR, 0xd822b1ee59d1e9f2ULL},
+      {ProtocolKind::kHS, 0xc44152476a608295ULL},
+  };
+  const analytic::TreeParams params =
+      analytic::TreeParams::balanced(MultiHopParams{}, 2, 2);
+  for (const GoldenEntry& entry : kChurnGolden) {
+    sim::TraceLog log(1 << 20);
+    protocols::TreeSimOptions options;
+    options.seed = 2024;
+    options.duration = 300.0;
+    options.trace = &log;
+    options.churn.leaf_lifetime = 30.0;
+    options.churn.rejoin_rate = 1.0 / 15.0;
+    const protocols::TreeSimResult result =
+        protocols::run_tree(entry.kind, params, options);
+    EXPECT_GT(result.churn.leaves, 0u) << to_string(entry.kind);
+    EXPECT_LT(log.total_recorded(), log.capacity())
+        << "trace overflowed; the digest would silently cover a suffix only";
+    const std::uint64_t actual = digest_of(log);
+    EXPECT_EQ(actual, entry.digest)
+        << "leaf-churn " << to_string(entry.kind)
         << " trace digest moved; actual " << hex(actual);
   }
 }

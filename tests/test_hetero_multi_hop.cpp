@@ -99,10 +99,14 @@ TEST(HeteroModel, TimeoutRateMatchesHomogeneousFormula) {
   }
 }
 
-TEST(HeteroModel, RejectsUnsupportedProtocols) {
+TEST(HeteroModel, ExplicitRemovalProtocolsReduceToTheirBaseChain) {
+  // No removal transitions in the chain CTMC: SS+ER == SS, SS+RTR == SS+RT.
   const HeteroMultiHopParams p =
       HeteroMultiHopParams::from_homogeneous(kHomogeneous);
-  EXPECT_THROW(HeteroMultiHopModel(ProtocolKind::kSSER, p), std::invalid_argument);
+  EXPECT_EQ(HeteroMultiHopModel(ProtocolKind::kSSER, p).inconsistency(),
+            HeteroMultiHopModel(ProtocolKind::kSS, p).inconsistency());
+  EXPECT_EQ(HeteroMultiHopModel(ProtocolKind::kSSRTR, p).inconsistency(),
+            HeteroMultiHopModel(ProtocolKind::kSSRT, p).inconsistency());
 }
 
 TEST(HeteroModel, BadHopHurtsSoftStateMoreWhenEarly) {

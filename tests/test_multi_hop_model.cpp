@@ -10,9 +10,17 @@ namespace {
 
 const MultiHopParams kDefaults = MultiHopParams::reservation_defaults();
 
-TEST(MultiHopModel, RejectsProtocolsOutsidePaperScope) {
-  EXPECT_THROW(MultiHopModel(ProtocolKind::kSSER, kDefaults), std::invalid_argument);
-  EXPECT_THROW(MultiHopModel(ProtocolKind::kSSRTR, kDefaults), std::invalid_argument);
+TEST(MultiHopModel, ExplicitRemovalProtocolsReduceToTheirBaseChain) {
+  // The chain CTMC has no removal transitions (infinite state lifetime),
+  // so the explicit-removal variants must reproduce their base protocol's
+  // stationary numbers exactly: SS+ER == SS and SS+RTR == SS+RT.
+  const MultiHopModel ss(ProtocolKind::kSS, kDefaults);
+  const MultiHopModel sser(ProtocolKind::kSSER, kDefaults);
+  EXPECT_EQ(sser.inconsistency(), ss.inconsistency());
+  const MultiHopModel ssrt(ProtocolKind::kSSRT, kDefaults);
+  const MultiHopModel ssrtr(ProtocolKind::kSSRTR, kDefaults);
+  EXPECT_EQ(ssrtr.inconsistency(), ssrt.inconsistency());
+  EXPECT_EQ(ssrtr.metrics().raw_message_rate, ssrt.metrics().raw_message_rate);
 }
 
 TEST(MultiHopModel, StateSpaceSize) {

@@ -85,11 +85,22 @@ TEST(MultiHopSim, PerHopBurstyLossIsHeterogeneous) {
   EXPECT_LT(mixed.metrics.inconsistency, all_bursty);
 }
 
-TEST(MultiHopSim, RejectsUnsupportedProtocols) {
-  EXPECT_THROW((void)run_multi_hop(ProtocolKind::kSSER, small_chain(), quick_options()),
-               std::invalid_argument);
-  EXPECT_THROW((void)run_multi_hop(ProtocolKind::kSSRTR, small_chain(), quick_options()),
-               std::invalid_argument);
+TEST(MultiHopSim, ExplicitRemovalProtocolsRunAndMatchTheirBaseChain) {
+  // The harness never removes state (infinite session), so the
+  // explicit-removal variants must replay their base protocol bit-for-bit:
+  // the removal mechanisms are pure dead weight until someone leaves.
+  const MultiHopSimResult ss =
+      run_multi_hop(ProtocolKind::kSS, small_chain(), quick_options());
+  const MultiHopSimResult sser =
+      run_multi_hop(ProtocolKind::kSSER, small_chain(), quick_options());
+  EXPECT_EQ(sser.messages, ss.messages);
+  EXPECT_EQ(sser.metrics.inconsistency, ss.metrics.inconsistency);
+  const MultiHopSimResult ssrt =
+      run_multi_hop(ProtocolKind::kSSRT, small_chain(), quick_options());
+  const MultiHopSimResult ssrtr =
+      run_multi_hop(ProtocolKind::kSSRTR, small_chain(), quick_options());
+  EXPECT_EQ(ssrtr.messages, ssrt.messages);
+  EXPECT_EQ(ssrtr.metrics.inconsistency, ssrt.metrics.inconsistency);
 }
 
 TEST(MultiHopSim, RejectsNonPositiveDuration) {

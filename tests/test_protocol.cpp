@@ -87,10 +87,20 @@ TEST(Protocol, SoftStateClassification) {
 }
 
 TEST(Protocol, MultiHopSubsetIsConsistent) {
-  EXPECT_EQ(kMultiHopProtocols.size(), 3u);
-  EXPECT_EQ(kMultiHopProtocols[0], ProtocolKind::kSS);
-  EXPECT_EQ(kMultiHopProtocols[1], ProtocolKind::kSSRT);
-  EXPECT_EQ(kMultiHopProtocols[2], ProtocolKind::kHS);
+  // Since the mechanism-driven StateSlot refactor every protocol runs on
+  // chains and trees, in presentation order.
+  ASSERT_EQ(kMultiHopProtocols.size(), kAllProtocols.size());
+  for (std::size_t i = 0; i < kAllProtocols.size(); ++i) {
+    EXPECT_EQ(kMultiHopProtocols[i], kAllProtocols[i]);
+  }
+  for (const ProtocolKind kind : kAllProtocols) {
+    EXPECT_TRUE(supports_multi_hop(kind)) << to_string(kind);
+  }
+  // The paper's Sec. III-B subset (the distinct chain CTMCs).
+  EXPECT_EQ(kPaperMultiHopProtocols.size(), 3u);
+  EXPECT_EQ(kPaperMultiHopProtocols[0], ProtocolKind::kSS);
+  EXPECT_EQ(kPaperMultiHopProtocols[1], ProtocolKind::kSSRT);
+  EXPECT_EQ(kPaperMultiHopProtocols[2], ProtocolKind::kHS);
 }
 
 }  // namespace

@@ -201,11 +201,17 @@ TEST(SessionFarm, ValidatesOptions) {
   options.shard_size = 0;
   EXPECT_THROW((void)run_session_farm(ProtocolKind::kSS, params, options),
                std::invalid_argument);
-  // Multi-hop farms accept the three multi-hop protocols only.
+  // Leaf churn prunes trees; a single-hop farm has none to prune.
+  options = small_farm(10);
+  options.leaf_churn.leaf_lifetime = 30.0;
+  EXPECT_THROW((void)run_session_farm(ProtocolKind::kSS, params, options),
+               std::invalid_argument);
+  // Churn knobs must be sane even for chain/tree farms.
   MultiHopParams chain;
-  EXPECT_THROW(
-      (void)run_session_farm(ProtocolKind::kSSER, chain, small_farm(10)),
-      std::invalid_argument);
+  options = small_farm(10);
+  options.leaf_churn.leaf_lifetime = -2.0;
+  EXPECT_THROW((void)run_session_farm(ProtocolKind::kSS, chain, options),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -235,13 +235,16 @@ TEST(TreeRun, DeeperPathsAreWorseInModelAndSim) {
   EXPECT_LT(sim_shallow.metrics.inconsistency, sim_deep.metrics.inconsistency);
 }
 
-TEST(TreeRun, RejectsNonTreeProtocolsAndBadOptions) {
+TEST(TreeRun, AcceptsAllFiveProtocolsAndRejectsBadOptions) {
   const analytic::TreeParams tree =
       analytic::TreeParams::balanced(MultiHopParams{}, 2, 1);
   protocols::TreeSimOptions options;
-  EXPECT_THROW(
-      (void)protocols::run_tree(ProtocolKind::kSSER, tree, options),
-      std::invalid_argument);
+  options.duration = 200.0;
+  for (const ProtocolKind kind : kAllProtocols) {
+    const protocols::TreeSimResult result =
+        protocols::run_tree(kind, tree, options);
+    EXPECT_GT(result.messages, 0u) << to_string(kind);
+  }
   options.duration = 0.0;
   EXPECT_THROW((void)protocols::run_tree(ProtocolKind::kSS, tree, options),
                std::invalid_argument);
@@ -365,12 +368,15 @@ TEST(TreeSessionFarm, BitIdenticalAcrossShardSizesAndThreads) {
   EXPECT_EQ(one_shard.receiver_timeouts, many_shards.receiver_timeouts);
 }
 
-TEST(TreeSessionFarm, RejectsSingleHopOnlyProtocols) {
+TEST(TreeSessionFarm, AcceptsAllFiveProtocols) {
   const analytic::TreeParams tree =
       analytic::TreeParams::balanced(MultiHopParams{}, 2, 1);
-  EXPECT_THROW((void)exp::run_session_farm(ProtocolKind::kSSRTR, tree,
-                                           small_tree_farm(10)),
-               std::invalid_argument);
+  for (const ProtocolKind kind : kAllProtocols) {
+    const exp::SessionFarmResult result =
+        exp::run_session_farm(kind, tree, small_tree_farm(6));
+    EXPECT_EQ(result.sessions, 6u) << to_string(kind);
+    EXPECT_GT(result.messages, 0u) << to_string(kind);
+  }
 }
 
 }  // namespace

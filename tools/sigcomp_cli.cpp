@@ -263,8 +263,11 @@ int cmd_evaluate(int argc, const char* const* argv) {
 }
 
 int cmd_multihop(int argc, const char* const* argv) {
-  exp::ArgParser parser("sigcomp_cli multihop",
-                        "Evaluate SS, SS+RT and HS on a K-hop chain.");
+  exp::ArgParser parser(
+      "sigcomp_cli multihop",
+      "Evaluate the five protocols on a K-hop chain.  (--per-hop prints "
+      "SS, SS+RT and HS only: the chain CTMC has no removal transitions, "
+      "so SS+ER and SS+RTR duplicate their base columns.)");
   parser.add_option("hops", "number of hops K", "20");
   parser.add_option("loss", "per-hop loss probability", "0.02");
   parser.add_option("delay", "per-hop delay in seconds", "0.03");
@@ -318,24 +321,59 @@ void add_tree_shape_options(exp::ArgParser& parser) {
                     "prune the balanced tree to exactly this many receivers "
                     "(0 = keep all fanout^depth)",
                     "0");
+  parser.add_option("topology",
+                    "replay a measured topology from a parent-vector file "
+                    "(one integer per edge; '#' comments) instead of the "
+                    "balanced --fanout/--depth shape",
+                    "");
+}
+
+/// Resolves the tree shape: an explicit parent-vector file (validated, with
+/// shape stats printed) or the balanced --fanout/--depth/--receivers shape.
+TreeSpec tree_shape(const exp::ArgParser& parser) {
+  if (parser.passed("topology")) {
+    for (const char* flag : {"fanout", "depth", "receivers"}) {
+      if (parser.passed(flag)) {
+        throw std::invalid_argument(
+            "--topology replays an explicit shape; it cannot be combined "
+            "with --" + std::string(flag));
+      }
+    }
+    const TreeSpec spec = exp::load_tree_file(parser.get("topology"));
+    std::cout << "topology " << parser.get("topology") << ": "
+              << exp::tree_shape_summary(spec) << '\n';
+    return spec;
+  }
+  const std::size_t fanout = count_option(parser, "fanout");
+  const std::size_t depth = count_option(parser, "depth");
+  const std::size_t receivers = count_option(parser, "receivers");
+  return TreeSpec::balanced(fanout, depth, receivers);
 }
 
 analytic::TreeParams tree_params(const exp::ArgParser& parser,
                                  const MultiHopParams& base) {
-  const std::size_t fanout = count_option(parser, "fanout");
-  const std::size_t depth = count_option(parser, "depth");
-  const std::size_t receivers = count_option(parser, "receivers");
-  return analytic::TreeParams::balanced(base, fanout, depth, receivers);
+  return analytic::TreeParams::uniform(base, tree_shape(parser));
 }
 
 int cmd_tree(int argc, const char* const* argv) {
   exp::ArgParser parser(
       "sigcomp_cli tree",
-      "Evaluate SS, SS+RT and HS on a rooted signaling tree (multicast-style "
-      "fan-out: sender at the root, receivers at the leaves).  The model "
-      "column composes the chain CTMC along each root-to-leaf path; the sim "
-      "columns run the shared tree.");
+      "Evaluate the five protocols on a rooted signaling tree "
+      "(multicast-style fan-out: sender at the root, receivers at the "
+      "leaves).  The model column composes the chain CTMC along each "
+      "root-to-leaf path; the sim columns run the shared tree.  With "
+      "--leaf-lifetime the leaves churn IGMP-style (join/leave a live "
+      "tree) and the table adds per-join setup latency and per-leave "
+      "orphan-window columns.");
   add_tree_shape_options(parser);
+  parser.add_option("leaf-lifetime",
+                    "mean seconds a leaf stays joined before leaving "
+                    "(0 = static tree, no churn)",
+                    "0");
+  parser.add_option("churn-rate",
+                    "rejoin rate of a departed leaf (rejoins/s; 0 = leaves "
+                    "never return)",
+                    "0");
   parser.add_option("loss", "per-edge loss probability", "0.02");
   parser.add_option("delay", "per-edge delay in seconds", "0.03");
   parser.add_option("update-interval", "mean seconds between updates", "60");
@@ -375,6 +413,15 @@ int cmd_tree(int argc, const char* const* argv) {
   options.duration = parser.get_double("duration");
   options.delay_model = delay_model_option(parser);
   options.delay_shape = parser.get_double("delay-shape");
+  options.churn.leaf_lifetime = parser.get_double("leaf-lifetime");
+  options.churn.rejoin_rate = parser.get_double("churn-rate");
+  options.churn.validate();
+  if (parser.passed("churn-rate") && !options.churn.enabled()) {
+    throw std::invalid_argument(
+        "--churn-rate needs --leaf-lifetime > 0 (nothing churns until a "
+        "leaf can leave)");
+  }
+  const bool churning = options.churn.enabled();
   const std::size_t replications = count_option(parser, "replications");
   if (replications == 0) {
     throw std::invalid_argument("tree: need --replications >= 1");
@@ -394,10 +441,14 @@ int cmd_tree(int argc, const char* const* argv) {
 
   const std::size_t leaf_count = tree.tree.leaf_count();
   if (parser.flag("per-leaf")) {
+    std::vector<std::string> headers{"leaf", "hops"};
+    for (const ProtocolKind kind : kMultiHopProtocols) {
+      headers.push_back("I model(" + std::string(to_string(kind)) + ")");
+      headers.push_back("I sim(" + std::string(to_string(kind)) + ")");
+    }
     exp::Table table(
         "per-leaf path inconsistency (model = chain CTMC along the path)",
-        {"leaf", "hops", "I model(SS)", "I sim(SS)", "I model(SS+RT)",
-         "I sim(SS+RT)", "I model(HS)", "I sim(HS)"});
+        std::move(headers));
     // One evaluate_tree_paths per protocol; leaf ids and hop counts are
     // protocol-independent, so the first protocol's paths also label the
     // rows.
@@ -428,11 +479,16 @@ int cmd_tree(int argc, const char* const* argv) {
     return 0;
   }
 
-  exp::Table table("tree evaluation: fanout " + parser.get("fanout") +
-                       ", depth " + parser.get("depth") + ", " +
-                       std::to_string(leaf_count) + " receiver(s)",
-                   {"protocol", "I model(worst path)", "I (sim)", "I ci95",
-                    "worst leaf I", "rate (msg/s)", "timeouts"});
+  std::vector<std::string> headers{"protocol", "I model(worst path)",
+                                   "I (sim)", "I ci95", "worst leaf I",
+                                   "rate (msg/s)", "timeouts"};
+  if (churning) {
+    headers.insert(headers.end(), {"joins", "setup lat (s)", "leaves",
+                                   "orphan win (s)"});
+  }
+  exp::Table table("tree evaluation: " + exp::tree_shape_summary(tree.tree) +
+                       (churning ? ", churning leaves" : ""),
+                   std::move(headers));
   for (const ProtocolKind kind : kMultiHopProtocols) {
     const analytic::TreePathMetrics worst = analytic::worst_tree_path(kind, tree);
     const std::vector<protocols::TreeSimResult> runs = replicate(kind);
@@ -440,6 +496,7 @@ int cmd_tree(int argc, const char* const* argv) {
     sim::RunningStats worst_leaf;
     sim::RunningStats rate;
     double timeouts = 0.0;
+    protocols::ChurnReport churn;
     for (const protocols::TreeSimResult& run : runs) {
       inconsistency.add(run.metrics.inconsistency);
       worst_leaf.add(*std::max_element(run.leaf_path_inconsistency.begin(),
@@ -447,11 +504,20 @@ int cmd_tree(int argc, const char* const* argv) {
       rate.add(run.metrics.raw_message_rate);
       timeouts += static_cast<double>(run.relay_timeouts) /
                   static_cast<double>(replications);
+      churn.absorb(run.churn);
     }
     const sim::ConfidenceInterval ci = sim::confidence_interval_95(inconsistency);
-    table.add_row({std::string(to_string(kind)), worst.metrics.inconsistency,
-                   ci.mean, ci.half_width, worst_leaf.mean(), rate.mean(),
-                   timeouts});
+    std::vector<exp::Cell> row{std::string(to_string(kind)),
+                               worst.metrics.inconsistency, ci.mean,
+                               ci.half_width, worst_leaf.mean(), rate.mean(),
+                               timeouts};
+    if (churning) {
+      row.emplace_back(static_cast<double>(churn.joins));
+      row.emplace_back(churn.mean_setup_latency());
+      row.emplace_back(static_cast<double>(churn.leaves));
+      row.emplace_back(churn.mean_orphan_window());
+    }
+    table.add_row(std::move(row));
   }
   finish(table, parser);
   return 0;
@@ -653,10 +719,20 @@ int cmd_scale(int argc, const char* const* argv) {
       "sigcomp_cli scale",
       "Drive N concurrent sessions per protocol through the session farm "
       "(Poisson arrivals, exponential lifetimes) and report throughput and "
-      "per-session metrics.  --hops > 1 switches to chain sessions "
-      "(SS, SS+RT, HS); --fanout/--depth/--receivers to tree sessions.");
+      "per-session metrics.  --hops > 1 switches to chain sessions; "
+      "--fanout/--depth/--receivers or --topology FILE to tree sessions "
+      "(all five protocols run on every shape).  --leaf-lifetime adds "
+      "IGMP-style per-leaf churn inside each tree session.");
   add_single_hop_options(parser);
   add_tree_shape_options(parser);
+  parser.add_option("leaf-lifetime",
+                    "tree sessions: mean seconds a leaf stays joined "
+                    "(0 = static trees, no churn)",
+                    "0");
+  parser.add_option("churn-rate",
+                    "tree sessions: rejoin rate of a departed leaf "
+                    "(rejoins/s)",
+                    "0");
   parser.add_option("sessions", "concurrent sessions N to drive", "10000");
   parser.add_option("arrival-rate",
                     "Poisson session arrival rate (sessions/s); the arrival "
@@ -702,33 +778,64 @@ int cmd_scale(int argc, const char* const* argv) {
   exp::ParallelSweep engine(count_option(parser, "threads"));
   options.engine = &engine;
 
-  const bool tree_sessions = parser.passed("fanout") ||
-                             parser.passed("depth") ||
-                             parser.passed("receivers");
+  const bool tree_sessions =
+      parser.passed("fanout") || parser.passed("depth") ||
+      parser.passed("receivers") || parser.passed("topology");
   if (tree_sessions && parser.passed("hops")) {
     throw std::invalid_argument(
         "scale: --hops selects chain sessions; it cannot be combined with "
-        "the tree flags --fanout/--depth/--receivers");
+        "the tree flags --fanout/--depth/--receivers/--topology");
   }
+  options.leaf_churn.leaf_lifetime = parser.get_double("leaf-lifetime");
+  options.leaf_churn.rejoin_rate = parser.get_double("churn-rate");
+  options.leaf_churn.validate();
+  if (parser.passed("churn-rate") && !options.leaf_churn.enabled()) {
+    throw std::invalid_argument(
+        "--churn-rate needs --leaf-lifetime > 0 (nothing churns until a "
+        "leaf can leave)");
+  }
+  if (options.leaf_churn.enabled() && !tree_sessions) {
+    throw std::invalid_argument(
+        "scale: --leaf-lifetime churns tree sessions; pass a tree shape "
+        "(--fanout/--depth/--receivers or --topology)");
+  }
+  const bool churning = options.leaf_churn.enabled();
   const std::size_t hops = count_option(parser, "hops");
   const std::string shape =
-      tree_sessions ? "fanout " + parser.get("fanout") + " depth " +
-                          parser.get("depth") + " tree(s)"
+      tree_sessions ? (parser.passed("topology")
+                           ? parser.get("topology") + " tree(s)"
+                           : "fanout " + parser.get("fanout") + " depth " +
+                                 parser.get("depth") + " tree(s)")
                     : std::to_string(hops) + " hop(s)";
+  std::vector<std::string> headers{"protocol", "peak in flight", "messages",
+                                   "I (mean)", "I ci95", "M (mean)",
+                                   "msg/s/session", "timeouts"};
+  if (churning) {
+    headers.insert(headers.end(), {"joins", "setup lat (s)", "leaves",
+                                   "orphan win (s)"});
+  }
   exp::Table table("session farm: " + std::to_string(options.sessions) +
-                       " sessions, " + shape,
-                   {"protocol", "peak in flight", "messages", "I (mean)",
-                    "I ci95", "M (mean)", "msg/s/session", "timeouts"});
+                       " sessions, " + shape +
+                       (churning ? ", churning leaves" : ""),
+                   std::move(headers));
   const auto add_row = [&](ProtocolKind kind,
                            const exp::SessionFarmResult& result) {
-    table.add_row({std::string(to_string(kind)),
-                   static_cast<double>(result.peak_sessions_in_flight),
-                   static_cast<double>(result.messages),
-                   result.summary.mean.inconsistency,
-                   result.summary.inconsistency.half_width,
-                   result.summary.mean.message_rate,
-                   result.summary.mean.raw_message_rate,
-                   static_cast<double>(result.receiver_timeouts)});
+    std::vector<exp::Cell> row{
+        std::string(to_string(kind)),
+        static_cast<double>(result.peak_sessions_in_flight),
+        static_cast<double>(result.messages),
+        result.summary.mean.inconsistency,
+        result.summary.inconsistency.half_width,
+        result.summary.mean.message_rate,
+        result.summary.mean.raw_message_rate,
+        static_cast<double>(result.receiver_timeouts)};
+    if (churning) {
+      row.emplace_back(static_cast<double>(result.churn.joins));
+      row.emplace_back(result.churn.mean_setup_latency());
+      row.emplace_back(static_cast<double>(result.churn.leaves));
+      row.emplace_back(result.churn.mean_orphan_window());
+    }
+    table.add_row(std::move(row));
   };
   if (tree_sessions) {
     const MultiHopParams p =
@@ -760,8 +867,9 @@ void print_usage() {
   std::cout << "usage: sigcomp_cli <command> [options]\n\n"
                "commands:\n"
                "  evaluate     compare the five protocols at one point\n"
-               "  multihop     evaluate the K-hop chain (SS, SS+RT, HS)\n"
-               "  tree         evaluate a fan-out signaling tree (SS, SS+RT, HS)\n"
+               "  multihop     evaluate the five protocols on a K-hop chain\n"
+               "  tree         evaluate a fan-out signaling tree (five protocols,\n"
+               "               optional IGMP-style leaf churn)\n"
                "  sweep        sweep one parameter across a range\n"
                "  latency      convergence-latency distribution\n"
                "  tune         cost-optimal refresh timer\n"
