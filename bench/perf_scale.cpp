@@ -1,25 +1,35 @@
 // Scale benchmarks of the event core and the many-session farm.
 //
-// Part 1 pits the pooled, allocation-free sim::EventQueue against the
-// pre-refactor reference implementation (sim::ReferenceEventQueue:
-// std::function + unordered_map + lazily-deleted binary heap) on identical
-// operation streams: a schedule/pop flood with small (timer-sized) and
-// large (delivery-sized) captures, and the soft-state re-arm churn pattern
-// (schedule + cancel, the hot path of refresh timers).
+// Part 1 pits both production event-queue backends -- the pooled 4-ary
+// heap (sim::EventQueue) and the hashed timing wheel
+// (sim::TimingWheelQueue) -- against the pre-refactor reference
+// implementation (sim::ReferenceEventQueue: std::function + unordered_map
+// + lazily-deleted binary heap) on identical operation streams: a
+// schedule/pop flood with small (timer-sized) and large (delivery-sized)
+// captures, the classic DES hold pattern, and the soft-state re-arm churn
+// pattern (cancel + push, the hot path of refresh timers, where the
+// wheel's O(1) unlink shines).
 //
 // Part 2 drives the session farm at N in {1k, 10k, 100k} concurrent
 // single-hop sessions for all five protocols, plus a 100k-session
 // single-simulator stress row and a multi-hop farm row, reporting events/s
-// and sessions/s.
+// and sessions/s.  --event-queue selects the farm backend; a head-to-head
+// table always runs the largest single-hop farm under BOTH backends
+// (results are bit-identical -- only the wall clock may differ).
 //
 // --quick shrinks the Ns for CI and always runs the determinism self-check:
 // farm results must be bit-identical across thread counts AND shard sizes
-// (exit 1 on mismatch).
+// (exit 1 on mismatch).  --json writes the machine-readable BENCH_scale.json
+// described in docs/PERFORMANCE.md.
 //
 // Usage: perf_scale [--quick] [--csv PATH] [--threads N]
+//                   [--event-queue heap|wheel] [--json PATH]
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,6 +40,8 @@
 #include "sim/event_queue.hpp"
 #include "sim/reference_event_queue.hpp"
 #include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timing_wheel_queue.hpp"
 
 namespace {
 
@@ -38,6 +50,82 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ------------------------------------------------------- JSON report ----
+
+/// One event-core workload: ops/s per queue implementation.
+struct CoreJsonRow {
+  std::string workload;
+  double reference_ops = 0.0;
+  double heap_ops = 0.0;
+  double wheel_ops = 0.0;
+};
+
+/// One farm workload under one backend.
+struct FarmJsonRow {
+  std::string workload;
+  std::string backend;
+  std::size_t sessions = 0;
+  std::uint64_t peak_sessions_in_flight = 0;
+  std::uint64_t events_executed = 0;
+  double seconds = 0.0;
+  double events_per_s = 0.0;
+  double sessions_per_s = 0.0;
+};
+
+/// Everything --json persists; docs/PERFORMANCE.md documents the schema.
+struct JsonReport {
+  bool quick = false;
+  std::size_t threads = 0;
+  std::string farm_backend;
+  std::vector<CoreJsonRow> core;
+  std::vector<FarmJsonRow> farm;
+};
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  return os.str();
+}
+
+/// Hand-rolled writer: two fixed arrays of flat objects, no dependencies.
+/// All strings are known table labels (no escaping needed).
+void write_json_report(const JsonReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open --json path: " + path);
+  out << "{\n";
+  out << "  \"bench\": \"perf_scale\",\n";
+  out << "  \"quick\": " << (report.quick ? "true" : "false") << ",\n";
+  out << "  \"threads\": " << report.threads << ",\n";
+  out << "  \"farm_backend\": \"" << report.farm_backend << "\",\n";
+  out << "  \"event_core\": [\n";
+  for (std::size_t i = 0; i < report.core.size(); ++i) {
+    const CoreJsonRow& row = report.core[i];
+    out << "    {\"workload\": \"" << row.workload << "\", "
+        << "\"reference_ops_per_s\": " << json_number(row.reference_ops)
+        << ", \"heap_ops_per_s\": " << json_number(row.heap_ops)
+        << ", \"wheel_ops_per_s\": " << json_number(row.wheel_ops) << "}"
+        << (i + 1 < report.core.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"farm\": [\n";
+  for (std::size_t i = 0; i < report.farm.size(); ++i) {
+    const FarmJsonRow& row = report.farm[i];
+    out << "    {\"workload\": \"" << row.workload << "\", "
+        << "\"backend\": \"" << row.backend << "\", "
+        << "\"sessions\": " << row.sessions << ", "
+        << "\"peak_sessions_in_flight\": " << row.peak_sessions_in_flight
+        << ", \"events_executed\": " << row.events_executed << ", "
+        << "\"seconds\": " << json_number(row.seconds) << ", "
+        << "\"events_per_s\": " << json_number(row.events_per_s) << ", "
+        << "\"sessions_per_s\": " << json_number(row.sessions_per_s) << "}"
+        << (i + 1 < report.farm.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  if (!out.flush()) throw std::runtime_error("write failed: " + path);
 }
 
 // ---------------------------------------------------------- event core --
@@ -134,40 +222,59 @@ double churn_rate(std::size_t live, std::size_t rounds) {
   return static_cast<double>(2 * rounds) / elapsed;
 }
 
-/// Ratio of pooled-queue to reference-queue throughput per workload.
-double add_core_row(exp::Table& table, const std::string& name, double pooled,
-                    double reference) {
-  const double speedup = pooled / reference;
-  table.add_row({name, reference, pooled, speedup});
-  return speedup;
+/// Per-workload speedups reported under the tables.
+struct CoreSpeedups {
+  double churn_heap_vs_reference = 0.0;
+  double churn_wheel_vs_heap = 0.0;
+};
+
+double add_core_row(exp::Table& table, JsonReport& json,
+                    const std::string& name, double reference, double heap,
+                    double wheel) {
+  table.add_row(
+      {name, reference, heap, wheel, heap / reference, wheel / heap});
+  json.core.push_back({name, reference, heap, wheel});
+  return wheel / heap;
 }
 
-double bench_event_core(exp::Table& table, bool quick) {
+CoreSpeedups bench_event_core(exp::Table& table, JsonReport& json,
+                              bool quick) {
   const std::size_t flood = quick ? 100000 : 1000000;
   const std::size_t live = 10000;
   const std::size_t rounds = quick ? 200000 : 2000000;
   const std::size_t hold_depth = quick ? 10000 : 100000;
 
-  add_core_row(table, "flood, timer-sized capture",
+  add_core_row(table, json, "flood, timer-sized capture",
+               flood_rate<sim::ReferenceEventQueue, SmallPayload>(flood),
                flood_rate<sim::EventQueue, SmallPayload>(flood),
-               flood_rate<sim::ReferenceEventQueue, SmallPayload>(flood));
-  add_core_row(table, "flood, delivery-sized capture",
+               flood_rate<sim::TimingWheelQueue, SmallPayload>(flood));
+  add_core_row(table, json, "flood, delivery-sized capture",
+               flood_rate<sim::ReferenceEventQueue, LargePayload>(flood),
                flood_rate<sim::EventQueue, LargePayload>(flood),
-               flood_rate<sim::ReferenceEventQueue, LargePayload>(flood));
-  add_core_row(table, "hold, steady depth",
+               flood_rate<sim::TimingWheelQueue, LargePayload>(flood));
+  add_core_row(table, json, "hold, steady depth",
+               hold_rate<sim::ReferenceEventQueue>(hold_depth, rounds),
                hold_rate<sim::EventQueue>(hold_depth, rounds),
-               hold_rate<sim::ReferenceEventQueue>(hold_depth, rounds));
+               hold_rate<sim::TimingWheelQueue>(hold_depth, rounds));
   // The headline workload: the soft-state refresh/backoff timer churn that
-  // dominates every protocol simulation (see ISSUE/PR notes).
-  return add_core_row(table, "re-arm churn (cancel-heavy)",
-                      churn_rate<sim::EventQueue>(live, rounds),
-                      churn_rate<sim::ReferenceEventQueue>(live, rounds));
+  // dominates every protocol simulation.  The heap pays O(log n) sift plus
+  // husk compaction per cancel; the wheel unlinks in O(1).
+  const double ref_churn = churn_rate<sim::ReferenceEventQueue>(live, rounds);
+  const double heap_churn = churn_rate<sim::EventQueue>(live, rounds);
+  const double wheel_churn = churn_rate<sim::TimingWheelQueue>(live, rounds);
+  CoreSpeedups speedups;
+  speedups.churn_heap_vs_reference = heap_churn / ref_churn;
+  speedups.churn_wheel_vs_heap =
+      add_core_row(table, json, "re-arm churn (cancel-heavy)", ref_churn,
+                   heap_churn, wheel_churn);
+  return speedups;
 }
 
 // -------------------------------------------------------- session farm --
 
 exp::SessionFarmOptions farm_options(std::size_t sessions,
-                                     exp::ParallelSweep* engine) {
+                                     exp::ParallelSweep* engine,
+                                     sim::EventQueueBackend backend) {
   exp::SessionFarmOptions options;
   options.seed = 42;
   options.sessions = sessions;
@@ -176,61 +283,98 @@ exp::SessionFarmOptions farm_options(std::size_t sessions,
   options.arrival_rate = static_cast<double>(sessions) / 30.0;
   options.session_lifetime = 60.0;
   options.engine = engine;
+  options.event_queue = backend;
   return options;
 }
 
-void bench_farm(exp::Table& table, std::size_t sessions,
-                exp::ParallelSweep& engine) {
+void add_farm_row(exp::Table& table, JsonReport& json,
+                  const std::string& name, sim::EventQueueBackend backend,
+                  std::size_t sessions, const exp::SessionFarmResult& result,
+                  double elapsed) {
+  const double events_per_s =
+      static_cast<double>(result.events_executed) / elapsed;
+  const double sessions_per_s =
+      static_cast<double>(result.sessions) / elapsed;
+  table.add_row({name, static_cast<double>(sessions),
+                 static_cast<double>(result.peak_sessions_in_flight),
+                 static_cast<double>(result.events_executed), elapsed,
+                 events_per_s, sessions_per_s,
+                 result.summary.mean.inconsistency});
+  json.farm.push_back({name, sim::to_string(backend), sessions,
+                       result.peak_sessions_in_flight, result.events_executed,
+                       elapsed, events_per_s, sessions_per_s});
+}
+
+void bench_farm(exp::Table& table, JsonReport& json, std::size_t sessions,
+                exp::ParallelSweep& engine, sim::EventQueueBackend backend) {
   for (const ProtocolKind kind : kAllProtocols) {
     const auto start = Clock::now();
     const exp::SessionFarmResult result =
         run_session_farm(kind, SingleHopParams::kazaa_defaults(),
-                         farm_options(sessions, &engine));
-    const double elapsed = seconds_since(start);
-    table.add_row({"single-hop " + std::string(to_string(kind)),
-                   static_cast<double>(sessions),
-                   static_cast<double>(result.peak_sessions_in_flight),
-                   static_cast<double>(result.events_executed), elapsed,
-                   static_cast<double>(result.events_executed) / elapsed,
-                   static_cast<double>(result.sessions) / elapsed,
-                   result.summary.mean.inconsistency});
+                         farm_options(sessions, &engine, backend));
+    add_farm_row(table, json, "single-hop " + std::string(to_string(kind)),
+                 backend, sessions, result, seconds_since(start));
   }
 }
 
-void bench_farm_stress(exp::Table& table, std::size_t sessions,
-                       exp::ParallelSweep& engine) {
+void bench_farm_stress(exp::Table& table, JsonReport& json,
+                       std::size_t sessions, exp::ParallelSweep& engine,
+                       sim::EventQueueBackend backend) {
   // One Simulator hosting every session: the true "N concurrent sessions
   // in one event queue" stress.  peak_sessions_in_flight is exact here.
-  exp::SessionFarmOptions options = farm_options(sessions, &engine);
+  exp::SessionFarmOptions options = farm_options(sessions, &engine, backend);
   options.shard_size = sessions;
   const auto start = Clock::now();
   const exp::SessionFarmResult result =
       run_session_farm(ProtocolKind::kSSRT, SingleHopParams::kazaa_defaults(),
                        options);
-  const double elapsed = seconds_since(start);
-  table.add_row({"one-sim stress SS+RT", static_cast<double>(sessions),
-                 static_cast<double>(result.peak_sessions_in_flight),
-                 static_cast<double>(result.events_executed), elapsed,
-                 static_cast<double>(result.events_executed) / elapsed,
-                 static_cast<double>(result.sessions) / elapsed,
-                 result.summary.mean.inconsistency});
+  add_farm_row(table, json, "one-sim stress SS+RT", backend, sessions, result,
+               seconds_since(start));
 }
 
-void bench_farm_multihop(exp::Table& table, std::size_t sessions,
-                         exp::ParallelSweep& engine) {
+void bench_farm_multihop(exp::Table& table, JsonReport& json,
+                         std::size_t sessions, exp::ParallelSweep& engine,
+                         sim::EventQueueBackend backend) {
   MultiHopParams params;
   params.hops = 4;
   const auto start = Clock::now();
   const exp::SessionFarmResult result =
       run_session_farm(ProtocolKind::kSSRT, params,
-                       farm_options(sessions, &engine));
-  const double elapsed = seconds_since(start);
-  table.add_row({"multi-hop SS+RT K=4", static_cast<double>(sessions),
-                 static_cast<double>(result.peak_sessions_in_flight),
-                 static_cast<double>(result.events_executed), elapsed,
-                 static_cast<double>(result.events_executed) / elapsed,
-                 static_cast<double>(result.sessions) / elapsed,
-                 result.summary.mean.inconsistency});
+                       farm_options(sessions, &engine, backend));
+  add_farm_row(table, json, "multi-hop SS+RT K=4", backend, sessions, result,
+               seconds_since(start));
+}
+
+/// The largest single-hop farm workload under BOTH backends.  The results
+/// are bit-identical by construction (asserted here; also locked by
+/// tests/test_session_farm.cpp) -- only the wall clock may differ, which
+/// is exactly what the row pair shows.
+bool bench_farm_head_to_head(exp::Table& table, JsonReport& json,
+                             std::size_t sessions,
+                             exp::ParallelSweep& engine) {
+  exp::SessionFarmResult results[2];
+  const sim::EventQueueBackend backends[2] = {sim::EventQueueBackend::kHeap,
+                                              sim::EventQueueBackend::kWheel};
+  for (int i = 0; i < 2; ++i) {
+    const auto start = Clock::now();
+    results[i] = run_session_farm(ProtocolKind::kSSRT,
+                                  SingleHopParams::kazaa_defaults(),
+                                  farm_options(sessions, &engine, backends[i]));
+    add_farm_row(
+        table, json,
+        std::string("head-to-head SS+RT, ") + sim::to_string(backends[i]),
+        backends[i], sessions, results[i], seconds_since(start));
+  }
+  const bool identical = results[0].summary.mean.inconsistency ==
+                             results[1].summary.mean.inconsistency &&
+                         results[0].messages == results[1].messages &&
+                         results[0].events_executed ==
+                             results[1].events_executed &&
+                         results[0].horizon == results[1].horizon;
+  if (!identical) {
+    std::cerr << "head-to-head: heap and wheel farms disagree -- BUG\n";
+  }
+  return identical;
 }
 
 // ---------------------------------------------------------- self-check --
@@ -247,11 +391,12 @@ bool summaries_identical(const exp::SessionFarmResult& a,
          a.receiver_timeouts == b.receiver_timeouts && a.horizon == b.horizon;
 }
 
-/// Farm determinism: results must not depend on thread count or shard size.
-/// (events_executed and the peak do depend on the shard decomposition, so
-/// the shard-size check compares the metric fields only.)
-bool self_check(exp::Table& table) {
-  exp::SessionFarmOptions base = farm_options(1500, nullptr);
+/// Farm determinism: results must not depend on thread count, shard size,
+/// or the event-queue backend.  (events_executed and the peak do depend on
+/// the shard decomposition, so the shard-size check compares the metric
+/// fields only.)
+bool self_check(exp::Table& table, sim::EventQueueBackend backend) {
+  exp::SessionFarmOptions base = farm_options(1500, nullptr, backend);
   bool all_ok = true;
 
   base.threads = 1;
@@ -283,7 +428,45 @@ bool self_check(exp::Table& table) {
   all_ok = all_ok && ok;
   table.add_row(
       {"shard_size=97 vs 512", ok ? "identical" : "MISMATCH -- BUG"});
+
+  // The same serial baseline rerun on the OTHER backend: every metric,
+  // event count included, must come back bit-identical.
+  exp::SessionFarmOptions crossed = base;
+  crossed.event_queue = backend == sim::EventQueueBackend::kHeap
+                            ? sim::EventQueueBackend::kWheel
+                            : sim::EventQueueBackend::kHeap;
+  const exp::SessionFarmResult cross_backend = run_session_farm(
+      ProtocolKind::kSS, SingleHopParams::kazaa_defaults(), crossed);
+  const bool backend_ok = summaries_identical(serial, cross_backend);
+  all_ok = all_ok && backend_ok;
+  table.add_row({std::string("backend ") + sim::to_string(crossed.event_queue) +
+                     " vs " + sim::to_string(backend),
+                 backend_ok ? "identical" : "MISMATCH -- BUG"});
   return all_ok;
+}
+
+sim::EventQueueBackend backend_from_args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) != "--event-queue") continue;
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("--event-queue requires a value");
+    }
+    const auto parsed = sim::parse_event_queue_backend(argv[i + 1]);
+    if (!parsed) {
+      throw std::invalid_argument(
+          std::string("--event-queue must be heap or wheel, got: ") +
+          argv[i + 1]);
+    }
+    return *parsed;
+  }
+  return sim::kDefaultEventQueueBackend;
+}
+
+std::string json_path_from_args(int argc, const char* const* argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") return argv[i + 1];
+  }
+  return {};
 }
 
 }  // namespace
@@ -295,42 +478,58 @@ int main(int argc, char** argv) {
       if (std::string_view(argv[i]) == "--quick") quick = true;
     }
     const std::size_t threads = exp::threads_from_args(argc, argv);
+    const sim::EventQueueBackend backend = backend_from_args(argc, argv);
     exp::ParallelSweep engine(threads);
 
-    exp::Table core("event core: pooled EventQueue vs pre-refactor reference "
-                    "(ops/s; one push+pop or cancel+push per op pair)",
-                    {"workload", "reference ops/s", "pooled ops/s", "speedup"});
-    const double churn_speedup = bench_event_core(core, quick);
+    JsonReport json;
+    json.quick = quick;
+    json.threads = engine.threads();
+    json.farm_backend = sim::to_string(backend);
+
+    exp::Table core(
+        "event core: reference vs pooled heap vs timing wheel "
+        "(ops/s; one push+pop or cancel+push per op pair)",
+        {"workload", "reference ops/s", "heap ops/s", "wheel ops/s",
+         "heap/ref", "wheel/heap"});
+    const CoreSpeedups speedups = bench_event_core(core, json, quick);
     core.print(std::cout);
     std::cout << '\n';
 
-    exp::Table farm("session farm scale (single-hop sessions per protocol)",
+    exp::Table farm(std::string("session farm scale (single-hop sessions per "
+                                "protocol, event queue: ") +
+                        sim::to_string(backend) + ")",
                     {"workload", "sessions", "peak in flight", "events",
                      "seconds", "events/s", "sessions/s", "I (mean)"});
     const std::vector<std::size_t> ns =
         quick ? std::vector<std::size_t>{200, 1000}
               : std::vector<std::size_t>{1000, 10000, 100000};
-    for (const std::size_t n : ns) bench_farm(farm, n, engine);
+    for (const std::size_t n : ns) bench_farm(farm, json, n, engine, backend);
     // 120k sessions against a 30 s arrival window and 60 s lifetimes puts
     // the peak above 100k sessions concurrently inside ONE simulator.
-    bench_farm_stress(farm, quick ? 2000 : 120000, engine);
-    bench_farm_multihop(farm, quick ? 200 : 10000, engine);
+    bench_farm_stress(farm, json, quick ? 2000 : 120000, engine, backend);
+    bench_farm_multihop(farm, json, quick ? 200 : 10000, engine, backend);
+    const bool head_to_head_ok =
+        bench_farm_head_to_head(farm, json, ns.back(), engine);
     farm.print(std::cout);
     std::cout << '\n';
 
     exp::Table check("determinism self-check (SS, 1500 sessions)",
                      {"comparison", "result"});
-    const bool deterministic = self_check(check);
+    const bool deterministic = self_check(check, backend);
     check.print(std::cout);
-    std::cout << "\nevent-core speedup on the soft-state churn workload: "
-              << churn_speedup << "x\n";
+    std::cout << "\nre-arm churn speedups: heap "
+              << speedups.churn_heap_vs_reference
+              << "x over reference, wheel " << speedups.churn_wheel_vs_heap
+              << "x over heap\n";
 
     const std::string csv = exp::csv_path_from_args(argc, argv);
     if (!csv.empty()) {
       core.write_csv_file(csv);
       farm.write_csv_file(csv + ".farm.csv");
     }
-    return (deterministic && g_core_ok) ? 0 : 1;
+    const std::string json_path = json_path_from_args(argc, argv);
+    if (!json_path.empty()) write_json_report(json, json_path);
+    return (deterministic && head_to_head_ok && g_core_ok) ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "perf_scale: " << e.what() << '\n';
     return 2;

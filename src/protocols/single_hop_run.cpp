@@ -20,6 +20,7 @@ class SingleHopRun {
       : params_(params),
         options_(options),
         mech_(mechanisms(kind)),
+        sim_(options.event_queue),
         rng_channel_(options.seed, 0),
         rng_sender_(options.seed, 1),
         rng_receiver_(options.seed, 2),

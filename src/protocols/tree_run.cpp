@@ -25,6 +25,7 @@ class TreeRun {
       : params_(std::move(params)),
         options_(options),
         mech_(mechanisms(kind)),
+        sim_(options.event_queue),
         rng_channel_(options.seed, 100),
         rng_nodes_(options.seed, 101),
         rng_lifecycle_(options.seed, 102),

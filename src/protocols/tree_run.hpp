@@ -17,6 +17,7 @@
 #include "protocols/membership.hpp"
 #include "sim/channel_process.hpp"
 #include "sim/rng.hpp"
+#include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
 
@@ -25,6 +26,10 @@ namespace sigcomp::protocols {
 /// Execution options of one tree simulation (mirrors MultiHopSimOptions).
 struct TreeSimOptions {
   std::uint64_t seed = 1;     ///< base seed of the run's RNG streams
+  /// Event-queue backend of the run's Simulator.  A pure performance knob:
+  /// both backends pop in the identical (time, insertion-seq) order, so the
+  /// run -- golden digests included -- is bit-identical either way.
+  sim::EventQueueBackend event_queue = sim::kDefaultEventQueueBackend;
   double duration = 50000.0;  ///< simulated seconds
   /// Timer law at every node (deterministic = real protocols).
   sim::Distribution timer_dist = sim::Distribution::kDeterministic;

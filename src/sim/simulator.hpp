@@ -3,10 +3,43 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <variant>
 
 #include "sim/event_queue.hpp"
+#include "sim/timing_wheel_queue.hpp"
 
 namespace sigcomp::sim {
+
+/// Which pending-event structure a Simulator runs on.  Both backends expose
+/// the same interface and the same observable pop order -- (time, then
+/// insertion seq) -- so the choice is a pure performance knob; the golden-
+/// trace and differential suites lock the equivalence.
+enum class EventQueueBackend {
+  kHeap,   ///< pooled 4-ary heap (EventQueue): O(log n) arm/cancel
+  kWheel,  ///< hashed timing wheel (TimingWheelQueue): O(1) arm/cancel
+};
+
+/// CLI/bench spelling of a backend: "heap" or "wheel".
+[[nodiscard]] const char* to_string(EventQueueBackend backend) noexcept;
+
+/// Parses "heap"/"wheel" (the to_string spellings); nullopt on anything
+/// else.
+[[nodiscard]] std::optional<EventQueueBackend> parse_event_queue_backend(
+    std::string_view name) noexcept;
+
+/// Build-selected default backend: kHeap unless the build sets
+/// -DSIGCOMP_DEFAULT_EVENT_QUEUE=wheel (the CI matrix leg that runs the
+/// whole suite -- golden traces included -- on the wheel).
+#if defined(SIGCOMP_DEFAULT_EVENT_QUEUE_WHEEL)
+inline constexpr EventQueueBackend kDefaultEventQueueBackend =
+    EventQueueBackend::kWheel;
+#else
+inline constexpr EventQueueBackend kDefaultEventQueueBackend =
+    EventQueueBackend::kHeap;
+#endif
 
 /// Sequential discrete-event simulator.
 ///
@@ -16,6 +49,19 @@ namespace sigcomp::sim {
 ///   sim.run_until(100.0);
 class Simulator {
  public:
+  /// Constructs a simulator on the build-selected default backend.
+  Simulator() : Simulator(kDefaultEventQueueBackend) {}
+
+  /// Constructs a simulator on an explicit event-queue backend.
+  explicit Simulator(EventQueueBackend backend);
+
+  /// The event-queue backend this simulator runs on.
+  [[nodiscard]] EventQueueBackend backend() const noexcept {
+    return std::holds_alternative<TimingWheelQueue>(queue_)
+               ? EventQueueBackend::kWheel
+               : EventQueueBackend::kHeap;
+  }
+
   /// Current simulation time (seconds).
   [[nodiscard]] Time now() const noexcept { return now_; }
 
@@ -29,7 +75,9 @@ class Simulator {
   EventId schedule_in(Time delay, EventCallback action);
 
   /// Cancels a pending event.  Returns false when it already ran/cancelled.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) {
+    return std::visit([id](auto& queue) { return queue.cancel(id); }, queue_);
+  }
 
   /// Executes the next event, if any.  Returns false when the queue is empty.
   bool step();
@@ -41,20 +89,25 @@ class Simulator {
   void run(std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max());
 
   /// True when no events are pending.
-  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] bool idle() const noexcept {
+    return std::visit([](const auto& queue) { return queue.empty(); }, queue_);
+  }
   /// Number of pending (live) events.
-  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return std::visit([](const auto& queue) { return queue.size(); }, queue_);
+  }
   /// Events executed since construction.
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
   /// Slot-pool high-water mark of the underlying event queue
   /// (EventQueue::slot_capacity).  Tests assert it stays flat across
   /// session start/stop churn -- the zero-allocation teardown contract.
   [[nodiscard]] std::size_t slot_capacity() const noexcept {
-    return queue_.slot_capacity();
+    return std::visit([](const auto& queue) { return queue.slot_capacity(); },
+                      queue_);
   }
 
  private:
-  EventQueue queue_;
+  std::variant<EventQueue, TimingWheelQueue> queue_;
   Time now_ = 0.0;
   std::uint64_t executed_ = 0;
 };

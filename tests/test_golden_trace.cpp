@@ -23,6 +23,7 @@
 #include "protocols/multi_hop_run.hpp"
 #include "protocols/single_hop_run.hpp"
 #include "protocols/tree_run.hpp"
+#include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
 namespace sigcomp {
@@ -68,9 +69,12 @@ std::string hex(std::uint64_t v) {
   return buffer;
 }
 
-std::uint64_t single_hop_digest(ProtocolKind kind) {
+std::uint64_t single_hop_digest(
+    ProtocolKind kind,
+    sim::EventQueueBackend backend = sim::EventQueueBackend::kHeap) {
   sim::TraceLog log(1 << 20);
   protocols::SimOptions options;
+  options.event_queue = backend;
   options.seed = 2024;
   options.sessions = 30;
   options.trace = &log;
@@ -83,9 +87,12 @@ std::uint64_t single_hop_digest(ProtocolKind kind) {
   return digest_of(log);
 }
 
-std::uint64_t multi_hop_digest(ProtocolKind kind) {
+std::uint64_t multi_hop_digest(
+    ProtocolKind kind,
+    sim::EventQueueBackend backend = sim::EventQueueBackend::kHeap) {
   sim::TraceLog log(1 << 20);
   protocols::MultiHopSimOptions options;
+  options.event_queue = backend;
   options.seed = 2024;
   options.duration = 300.0;
   options.trace = &log;
@@ -99,9 +106,12 @@ std::uint64_t multi_hop_digest(ProtocolKind kind) {
 
 /// Tree harness under the multi-hop pin conditions (seed 2024, 300 s,
 /// per-edge defaults from MultiHopParams).
-std::uint64_t tree_digest(ProtocolKind kind, const analytic::TreeParams& tree) {
+std::uint64_t tree_digest(
+    ProtocolKind kind, const analytic::TreeParams& tree,
+    sim::EventQueueBackend backend = sim::EventQueueBackend::kHeap) {
   sim::TraceLog log(1 << 20);
   protocols::TreeSimOptions options;
+  options.event_queue = backend;
   options.seed = 2024;
   options.duration = 300.0;
   options.trace = &log;
@@ -225,6 +235,43 @@ TEST(GoldenTrace, LeafChurnRecordStreamsArePinned) {
     EXPECT_EQ(actual, entry.digest)
         << "leaf-churn " << to_string(entry.kind)
         << " trace digest moved; actual " << hex(actual);
+  }
+}
+
+TEST(GoldenTrace, WheelBackendReproducesEveryPinnedDigest) {
+  // The backend-equivalence contract at golden-trace scale: the timing
+  // wheel must replay the SAME pinned constants as the heap backend --
+  // single-hop, chain and fan-out tree alike.  A digest that moves here
+  // but not in the heap tests means the wheel reordered events.
+  for (const GoldenEntry& entry : kSingleHopGolden) {
+    const std::uint64_t actual =
+        single_hop_digest(entry.kind, sim::EventQueueBackend::kWheel);
+    EXPECT_EQ(actual, entry.digest)
+        << "single-hop " << to_string(entry.kind)
+        << " diverged on the wheel backend; actual " << hex(actual);
+  }
+  for (const GoldenEntry& entry : kMultiHopGolden) {
+    const std::uint64_t actual =
+        multi_hop_digest(entry.kind, sim::EventQueueBackend::kWheel);
+    EXPECT_EQ(actual, entry.digest)
+        << "multi-hop " << to_string(entry.kind)
+        << " diverged on the wheel backend; actual " << hex(actual);
+  }
+  const analytic::TreeParams tree =
+      analytic::TreeParams::balanced(MultiHopParams{}, 2, 2);
+  constexpr GoldenEntry kTreeGolden[] = {
+      {ProtocolKind::kSS, 0x398cd857f28012f5ULL},
+      {ProtocolKind::kSSER, 0x398cd857f28012f5ULL},
+      {ProtocolKind::kSSRT, 0x16122c3c8a08afebULL},
+      {ProtocolKind::kSSRTR, 0x16122c3c8a08afebULL},
+      {ProtocolKind::kHS, 0xc5fc6d8b5c262977ULL},
+  };
+  for (const GoldenEntry& entry : kTreeGolden) {
+    const std::uint64_t actual =
+        tree_digest(entry.kind, tree, sim::EventQueueBackend::kWheel);
+    EXPECT_EQ(actual, entry.digest)
+        << "fan-out tree " << to_string(entry.kind)
+        << " diverged on the wheel backend; actual " << hex(actual);
   }
 }
 

@@ -69,6 +69,29 @@ TEST(SessionFarm, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(SessionFarm, BitIdenticalAcrossEventQueueBackends) {
+  // The determinism contract extends to the event-core backend: heap and
+  // wheel farms must agree on every aggregate, down to the event count.
+  SessionFarmOptions base = small_farm(400);
+  base.shard_size = 64;
+  base.event_queue = sim::EventQueueBackend::kHeap;
+  const SessionFarmResult heap = run_session_farm(
+      ProtocolKind::kSSRT, SingleHopParams::kazaa_defaults(), base);
+  SessionFarmOptions wheel_opt = base;
+  wheel_opt.event_queue = sim::EventQueueBackend::kWheel;
+  const SessionFarmResult wheel = run_session_farm(
+      ProtocolKind::kSSRT, SingleHopParams::kazaa_defaults(), wheel_opt);
+  EXPECT_EQ(heap.summary.mean.inconsistency, wheel.summary.mean.inconsistency);
+  EXPECT_EQ(heap.summary.mean.message_rate, wheel.summary.mean.message_rate);
+  EXPECT_EQ(heap.summary.inconsistency.half_width,
+            wheel.summary.inconsistency.half_width);
+  EXPECT_EQ(heap.messages, wheel.messages);
+  EXPECT_EQ(heap.events_executed, wheel.events_executed);
+  EXPECT_EQ(heap.horizon, wheel.horizon);
+  EXPECT_EQ(heap.receiver_timeouts, wheel.receiver_timeouts);
+  EXPECT_EQ(heap.peak_sessions_in_flight, wheel.peak_sessions_in_flight);
+}
+
 TEST(SessionFarm, BitIdenticalAcrossShardSizes) {
   // Stronger than thread independence: per-session randomness is keyed to
   // the global session index, so even the shard decomposition cannot move

@@ -1,0 +1,380 @@
+// TimingWheelQueue behaves exactly like EventQueue at the interface: same
+// validation, same (time, insertion-seq) pop order, same zero-allocation
+// steady state.  This file mirrors test_event_queue.cpp and adds the
+// wheel-specific edge cases -- far-future overflow cascade, same-tick tie
+// storms, stale-handle cancel after slot reuse, and million-cycle re-arm
+// churn with a flat slot pool.  Cross-backend equivalence at differential
+// scale lives in test_event_core_diff.cpp.
+#include "sim/timing_wheel_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace sigcomp::sim {
+namespace {
+
+TEST(TimingWheelQueue, StartsEmpty) {
+  TimingWheelQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+}
+
+TEST(TimingWheelQueue, RejectsBadGeometry) {
+  EXPECT_THROW(TimingWheelQueue(0.0, 8), std::invalid_argument);
+  EXPECT_THROW(TimingWheelQueue(-1.0, 8), std::invalid_argument);
+  EXPECT_THROW(TimingWheelQueue(std::nan(""), 8), std::invalid_argument);
+  EXPECT_THROW(TimingWheelQueue(0.05, 0), std::invalid_argument);
+  EXPECT_THROW(TimingWheelQueue(0.05, 1), std::invalid_argument);
+  EXPECT_THROW(TimingWheelQueue(0.05, 24), std::invalid_argument);
+  const TimingWheelQueue q(0.25, 64);
+  EXPECT_DOUBLE_EQ(q.tick_seconds(), 0.25);
+  EXPECT_EQ(q.wheel_slots(), 64u);
+}
+
+TEST(TimingWheelQueue, PopsInTimeOrder) {
+  TimingWheelQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimingWheelQueue, TiesBreakByInsertionOrder) {
+  TimingWheelQueue q;
+  std::vector<int> order;
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(1.0, [&] { order.push_back(2); });
+  q.push(1.0, [&] { order.push_back(3); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimingWheelQueue, SameTickTieStorm) {
+  // Many events inside one bucket (and at literally identical times): the
+  // due heap, not the bucket list, must order them -- time first, then
+  // insertion order, exactly as the heap backend would.
+  TimingWheelQueue q(0.05, 8);  // one bucket spans [0.05 * k, 0.05 * (k+1))
+  std::vector<int> order;
+  Rng rng(11);
+  std::vector<double> times;
+  for (int i = 0; i < 500; ++i) {
+    // Three distinct times within one tick plus exact duplicates.
+    times.push_back(1.0 + 0.01 * static_cast<double>(rng.uniform_int(3)));
+  }
+  for (int i = 0; i < 500; ++i) {
+    q.push(times[static_cast<std::size_t>(i)], [&order, i] { order.push_back(i); });
+  }
+  double last = -1.0;
+  std::vector<int> seen_at_time;
+  double current = -1.0;
+  while (!q.empty()) {
+    const double t = q.next_time();
+    EXPECT_LE(last, t);
+    if (t != current) {
+      current = t;
+      seen_at_time.clear();
+    }
+    last = t;
+    q.pop().action();
+    if (!seen_at_time.empty()) {
+      EXPECT_LT(seen_at_time.back(), order.back())
+          << "same-time events popped out of insertion order";
+    }
+    seen_at_time.push_back(order.back());
+  }
+  EXPECT_EQ(order.size(), 500u);
+}
+
+TEST(TimingWheelQueue, NextTimePeeksWithoutPopping) {
+  TimingWheelQueue q;
+  q.push(5.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(TimingWheelQueue, CancelPreventsExecution) {
+  TimingWheelQueue q;
+  int fired = 0;
+  const EventId id = q.push(1.0, [&] { ++fired; });
+  q.push(2.0, [&] { fired += 10; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(TimingWheelQueue, CancelTwiceReturnsFalse) {
+  TimingWheelQueue q;
+  const EventId id = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(TimingWheelQueue, CancelAfterPopReturnsFalse) {
+  TimingWheelQueue q;
+  const EventId id = q.push(1.0, [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(TimingWheelQueue, CancelWorksInEveryRegion) {
+  // One event per region -- due (past tick), wheel window, far overflow --
+  // each cancelled in O(1) through the same handle type.
+  TimingWheelQueue q(0.05, 8);  // window = 0.4 s
+  int fired = 0;
+  q.push(0.01, [&] { ++fired; });
+  q.pop().action();  // advances the clock past tick 0
+  const EventId due = q.push(0.001, [&] { fired += 100; });  // tick already due
+  const EventId wheel = q.push(0.1, [&] { fired += 100; });
+  const EventId far = q.push(1e6, [&] { fired += 100; });
+  EXPECT_EQ(q.far_events(), 1u);
+  EXPECT_TRUE(q.cancel(due));
+  EXPECT_TRUE(q.cancel(wheel));
+  EXPECT_TRUE(q.cancel(far));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.far_events(), 0u);
+  EXPECT_EQ(q.wheel_events(), 0u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimingWheelQueue, CancelledHeadIsSkipped) {
+  TimingWheelQueue q;
+  int fired = 0;
+  const EventId first = q.push(1.0, [&] { fired = 1; });
+  q.push(2.0, [&] { fired = 2; });
+  q.cancel(first);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  q.pop().action();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TimingWheelQueue, RejectsNonFiniteTimeAndEmptyAction) {
+  TimingWheelQueue q;
+  EXPECT_THROW(q.push(std::nan(""), [] {}), std::invalid_argument);
+  EXPECT_THROW(q.push(std::numeric_limits<double>::infinity(), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(q.push(-std::numeric_limits<double>::infinity(), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(q.push(1.0, EventCallback{}), std::invalid_argument);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TimingWheelQueue, FarFutureOverflowCascades) {
+  // A tiny wheel (8 x 50 ms = 0.4 s window) with events far beyond the
+  // horizon: they park on the far list, then cascade into the wheel when
+  // the clock jumps, and still pop in exact time order.
+  TimingWheelQueue q(0.05, 8);
+  std::vector<double> popped;
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.uniform(0.0, 500.0);  // ~1250 wheel windows
+    q.push(t, [&popped, t] { popped.push_back(t); });
+  }
+  EXPECT_GT(q.far_events(), 0u) << "test must actually exercise the far list";
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(popped.size(), 200u);
+  for (std::size_t i = 1; i < popped.size(); ++i) {
+    EXPECT_LE(popped[i - 1], popped[i]);
+  }
+}
+
+TEST(TimingWheelQueue, RepeatedCascadesAcrossSparseHorizons) {
+  // Events spaced many windows apart force one far-list jump per pop; each
+  // jump must land exactly on the next event and preserve order.
+  TimingWheelQueue q(0.05, 8);
+  std::vector<double> popped;
+  for (int i = 20; i >= 1; --i) {
+    const double t = static_cast<double>(i) * 1000.0;
+    q.push(t, [&popped, t] { popped.push_back(t); });
+  }
+  EXPECT_EQ(q.far_events(), 20u);
+  while (!q.empty()) {
+    const double head = q.next_time();
+    EXPECT_DOUBLE_EQ(head, (popped.empty() ? 1000.0 : popped.back() + 1000.0));
+    q.pop().action();
+  }
+  EXPECT_EQ(popped.size(), 20u);
+}
+
+TEST(TimingWheelQueue, InterleavedPushesLandBehindTheClock) {
+  // Pushing a time whose tick the wheel has already passed must still fire
+  // it before later events: it joins the due heap directly.
+  TimingWheelQueue q(0.05, 8);
+  std::vector<int> order;
+  q.push(10.0, [&] { order.push_back(1); });
+  q.pop().action();  // clock tick is now at 10.0 / 0.05
+  q.push(20.0, [&] { order.push_back(3); });
+  q.push(9.9, [&] { order.push_back(2); });  // behind the wheel clock
+  EXPECT_DOUBLE_EQ(q.next_time(), 9.9);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimingWheelQueue, CancelHeavyWorkloadStaysCompact) {
+  // The soft-state refresh pattern: schedule + cancel churn at far-future
+  // times that never surface.  Wheel/far cancels unlink exactly, so unlike
+  // the heap backend there is no husk garbage at all -- but the same bound
+  // must hold.
+  TimingWheelQueue q;
+  std::vector<EventId> live;
+  for (int i = 0; i < 100; ++i) {
+    live.push_back(q.push(1e9 + i, [] {}));
+  }
+  for (int round = 0; round < 200000; ++round) {
+    const EventId id = q.push(1e6 + round, [] {});
+    ASSERT_TRUE(q.cancel(id));
+    EXPECT_LE(q.heap_entries(), 2 * q.size() + 65)
+        << "round " << round << ": dead entries accumulate";
+  }
+  EXPECT_EQ(q.size(), live.size());
+}
+
+TEST(TimingWheelQueue, DueHeapCompactionPreservesOrderAndLiveEvents) {
+  // Force husks *inside the due heap*: drain everything into due via a
+  // same-tick storm, cancel half, and check the survivors' order.
+  TimingWheelQueue q(1000.0, 8);  // one tick spans all test times
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    ids.push_back(q.push(t, [] {}));
+  }
+  (void)q.next_time();  // rotates the single tick's bucket into the due heap
+  EXPECT_EQ(q.heap_entries(), 1000u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_TRUE(q.cancel(ids[i]));
+    }
+  }
+  EXPECT_EQ(q.size(), 500u);
+  EXPECT_LE(q.heap_entries(), 2 * q.size() + 65);
+  double last = -1.0;
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    const double t = q.next_time();
+    EXPECT_LE(last, t);
+    last = t;
+    q.pop();
+    ++popped;
+  }
+  EXPECT_EQ(popped, 500u);
+}
+
+TEST(TimingWheelQueue, PopAfterDrainThrowsAndQueueStaysUsable) {
+  TimingWheelQueue q;
+  q.push(1.0, [] {});
+  q.pop();
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+  int fired = 0;
+  q.push(2.0, [&] { ++fired; });
+  q.pop().action();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimingWheelQueue, StaleIdAfterSlotReuseCancelsNothing) {
+  // The popped event's slot is recycled by the next push; the stale handle
+  // must not cancel the new occupant (generation check) -- even when the
+  // new occupant sits in a different region of the wheel.
+  TimingWheelQueue q(0.05, 8);
+  const EventId stale = q.push(1.0, [] {});
+  q.pop();
+  int fired = 0;
+  const EventId fresh = q.push(1e9, [&] { ++fired; });  // far list
+  EXPECT_EQ(stale.slot, fresh.slot);  // the pool really did recycle the slot
+  EXPECT_FALSE(q.cancel(stale));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().action();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimingWheelQueue, DefaultEventIdNeverCancels) {
+  TimingWheelQueue q;
+  q.push(1.0, [] {});
+  EXPECT_FALSE(q.cancel(EventId{}));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(TimingWheelQueue, FreeListReusePreventsPoolGrowth) {
+  // One million schedule/cancel cycles against a fixed backdrop of live
+  // timers: the slot pool must stay flat and no callback may spill to the
+  // heap (the zero-allocation steady-state contract, same as EventQueue).
+  TimingWheelQueue q;
+  for (int i = 0; i < 100; ++i) q.push(1e9 + i, [] {});
+  {
+    const EventId id = q.push(1e6, [] {});
+    ASSERT_TRUE(q.cancel(id));
+  }
+  const std::size_t slots_high_water = q.slot_capacity();
+  const std::uint64_t heap_allocs_before = EventCallback::heap_allocations();
+  for (int cycle = 0; cycle < 1000000; ++cycle) {
+    const EventId id = q.push(1e6 + cycle, [] {});
+    ASSERT_TRUE(q.cancel(id));
+  }
+  EXPECT_EQ(q.slot_capacity(), slots_high_water) << "slot pool grew";
+  EXPECT_LE(q.heap_entries(), 2 * q.size() + 65) << "heap garbage grew";
+  EXPECT_EQ(EventCallback::heap_allocations(), heap_allocs_before)
+      << "a callback spilled to the heap";
+  EXPECT_EQ(q.size(), 100u);
+}
+
+TEST(TimingWheelQueue, ManyEventsStressOrderingAcrossGeometries) {
+  // Pop order must be identical for every wheel geometry; the bucketing is
+  // an accelerator, never an ordering authority.
+  for (const auto& [tick, slots] :
+       std::vector<std::pair<double, std::size_t>>{
+           {0.05, 2048}, {0.05, 8}, {10.0, 4}, {0.001, 64}}) {
+    TimingWheelQueue q(tick, slots);
+    std::vector<double> popped;
+    for (int i = 0; i < 1000; ++i) {
+      const double t = static_cast<double>((i * 7919) % 1000);
+      q.push(t, [&popped, t] { popped.push_back(t); });
+    }
+    while (!q.empty()) q.pop().action();
+    ASSERT_EQ(popped.size(), 1000u);
+    for (std::size_t i = 1; i < popped.size(); ++i) {
+      ASSERT_LE(popped[i - 1], popped[i])
+          << "tick=" << tick << " slots=" << slots;
+    }
+  }
+}
+
+TEST(TimingWheelQueue, NegativeTimesAreHandled) {
+  // EventQueue accepts any finite time; the wheel must too (they classify
+  // as already-due and order exactly).
+  TimingWheelQueue q;
+  std::vector<double> popped;
+  for (const double t : {-1.5, 3.0, -1000.0, 0.0, -0.25}) {
+    q.push(t, [&popped, t] { popped.push_back(t); });
+  }
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(popped, (std::vector<double>{-1000.0, -1.5, -0.25, 0.0, 3.0}));
+}
+
+TEST(TimingWheelQueue, ExtremeTimesClampWithoutBreakingOrder) {
+  // Times far beyond the tick clamp share one saturated bucket; the due
+  // heap still orders them exactly.
+  TimingWheelQueue q;
+  std::vector<double> popped;
+  for (const double t : {1e300, 1.0, 1e280, -1e300, 1e300}) {
+    q.push(t, [&popped, t] { popped.push_back(t); });
+  }
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(popped, (std::vector<double>{-1e300, 1.0, 1e280, 1e300, 1e300}));
+}
+
+}  // namespace
+}  // namespace sigcomp::sim
