@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/rng_streams.hpp"
 #include "protocols/engine.hpp"
 #include "protocols/topology.hpp"
 #include "sim/channel.hpp"
@@ -56,6 +57,9 @@ struct ShardHooks {
 /// Per-session randomness: six independent streams keyed to the session's
 /// global index, mirroring the stream layout of the single-hop harness
 /// (the membership stream is consumed only by churn-enabled tree sessions).
+/// The stream IDs come from the registry in core/rng_streams.hpp -- the
+/// farm layout and the single-hop harness layout are the SAME constants,
+/// which is what makes the mirroring self-evident.
 struct SessionRngs {
   sim::Rng channel;
   sim::Rng sender;
@@ -65,12 +69,23 @@ struct SessionRngs {
   sim::Rng membership;
 
   SessionRngs(std::uint64_t base_seed, std::uint64_t global_index)
-      : channel(replica_seed(base_seed, global_index, 0), 0),
-        sender(replica_seed(base_seed, global_index, 0), 1),
-        receiver(replica_seed(base_seed, global_index, 0), 2),
-        lifecycle(replica_seed(base_seed, global_index, 0), 3),
-        failure(replica_seed(base_seed, global_index, 0), 4),
-        membership(replica_seed(base_seed, global_index, 0), 5) {}
+      : channel(session_seed(base_seed, global_index), rng::kSessionChannel),
+        sender(session_seed(base_seed, global_index), rng::kSessionSender),
+        receiver(session_seed(base_seed, global_index), rng::kSessionReceiver),
+        lifecycle(session_seed(base_seed, global_index),
+                  rng::kSessionLifecycle),
+        failure(session_seed(base_seed, global_index), rng::kSessionFailure),
+        membership(session_seed(base_seed, global_index),
+                   rng::kSessionMembership) {}
+
+ private:
+  /// The per-session seed family: replica_seed keyed to the session's
+  /// global index (replica lane 0 -- the substream split happens in
+  /// sim::Rng's stream argument, not here).
+  static std::uint64_t session_seed(std::uint64_t base_seed,
+                                    std::uint64_t global_index) {
+    return replica_seed(base_seed, global_index, 0);
+  }
 };
 
 /// One single-hop session: arrival -> install -> updates -> removal ->
@@ -259,6 +274,8 @@ class TreeSession {
                                     params.retrans_timer};
     std::vector<sim::LossConfig> edge_loss;
     std::vector<sim::DelayConfig> edge_delay;
+    edge_loss.reserve(params.edges());
+    edge_delay.reserve(params.edges());
     for (std::size_t e = 0; e < params.edges(); ++e) {
       edge_loss.push_back(params.edge_loss_config(e));
       edge_delay.push_back(sim::DelayConfig{options.delay_model,

@@ -62,15 +62,17 @@ double Ctmc::exit_rate(StateId s) const {
 }
 
 std::vector<Transition> Ctmc::transitions() const {
+  // rates_[from] is an ordered map, so walking from-major/to-minor already
+  // yields the documented insertion-independent (from, to)-sorted order.
+  std::size_t count = 0;
+  for (const auto& row : rates_) count += row.size();
   std::vector<Transition> out;
+  out.reserve(count);
   for (StateId from = 0; from < rates_.size(); ++from) {
     for (const auto& [to, r] : rates_[from]) {
       out.push_back(Transition{from, to, r});
     }
   }
-  std::sort(out.begin(), out.end(), [](const Transition& a, const Transition& b) {
-    return std::tie(a.from, a.to) < std::tie(b.from, b.to);
-  });
   return out;
 }
 

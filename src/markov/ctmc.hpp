@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -74,9 +75,16 @@ class Ctmc {
 
  private:
   std::vector<std::string> names_;
+  // Lookup-only index (never iterated, so hash order cannot leak into any
+  // result -- exit_rate/generator sums run over the ordered rates_ maps).
+  // sigcomp-lint: allow(unordered-container) by_name_ is find()-only; every
+  // iterating accessor goes through names_ or rates_.
   std::unordered_map<std::string, StateId> by_name_;
-  // rates_[from][to] = accumulated rate.
-  std::vector<std::unordered_map<StateId, double>> rates_;
+  // rates_[from][to] = accumulated rate.  Ordered map: exit_rate() and
+  // generator() accumulate doubles over it, and summation order must not
+  // depend on a hash function for results to be bit-identical across
+  // standard libraries.
+  std::vector<std::map<StateId, double>> rates_;
 };
 
 }  // namespace sigcomp::markov

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/rng_streams.hpp"
 #include "protocols/chain.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
@@ -23,10 +24,10 @@ class MultiHopRun {
         options_(options),
         mech_(mechanisms(kind)),
         sim_(options.event_queue),
-        rng_channel_(options.seed, 100),
-        rng_nodes_(options.seed, 101),
-        rng_lifecycle_(options.seed, 102),
-        rng_failure_(options.seed, 103) {
+        rng_channel_(options.seed, rng::kTreeChannel),
+        rng_nodes_(options.seed, rng::kTreeNodes),
+        rng_lifecycle_(options.seed, rng::kTreeLifecycle),
+        rng_failure_(options.seed, rng::kTreeFailure) {
     params_.validate();
     if (!supports_multi_hop(kind)) {
       throw std::invalid_argument("run_multi_hop: unsupported protocol " +
@@ -42,6 +43,8 @@ class MultiHopRun {
     // Hop i's forward and reverse directions share the link's loss/delay.
     std::vector<sim::LossConfig> hop_loss;
     std::vector<sim::DelayConfig> hop_delay;
+    hop_loss.reserve(k);
+    hop_delay.reserve(k);
     for (std::size_t i = 0; i < k; ++i) {
       hop_loss.push_back(params_.hop_loss_config(i));
       hop_delay.push_back(sim::DelayConfig{options.delay_model,

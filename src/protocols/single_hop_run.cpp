@@ -4,6 +4,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "core/rng_streams.hpp"
 #include "protocols/engine.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
@@ -21,11 +22,11 @@ class SingleHopRun {
         options_(options),
         mech_(mechanisms(kind)),
         sim_(options.event_queue),
-        rng_channel_(options.seed, 0),
-        rng_sender_(options.seed, 1),
-        rng_receiver_(options.seed, 2),
-        rng_lifecycle_(options.seed, 3),
-        rng_failure_(options.seed, 4),
+        rng_channel_(options.seed, rng::kSessionChannel),
+        rng_sender_(options.seed, rng::kSessionSender),
+        rng_receiver_(options.seed, rng::kSessionReceiver),
+        rng_lifecycle_(options.seed, rng::kSessionLifecycle),
+        rng_failure_(options.seed, rng::kSessionFailure),
         forward_(sim_, rng_channel_, params.loss_config(),
                  sim::DelayConfig{options.delay_model, params.delay,
                                   options.delay_shape},

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/rng_streams.hpp"
 #include "protocols/topology.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
@@ -26,11 +27,11 @@ class TreeRun {
         options_(options),
         mech_(mechanisms(kind)),
         sim_(options.event_queue),
-        rng_channel_(options.seed, 100),
-        rng_nodes_(options.seed, 101),
-        rng_lifecycle_(options.seed, 102),
-        rng_failure_(options.seed, 103),
-        rng_membership_(options.seed, 104) {
+        rng_channel_(options.seed, rng::kTreeChannel),
+        rng_nodes_(options.seed, rng::kTreeNodes),
+        rng_lifecycle_(options.seed, rng::kTreeLifecycle),
+        rng_failure_(options.seed, rng::kTreeFailure),
+        rng_membership_(options.seed, rng::kTreeMembership) {
     params_.validate();
     if (!supports_multi_hop(kind)) {
       throw std::invalid_argument("run_tree: unsupported protocol " +
@@ -46,6 +47,8 @@ class TreeRun {
     const std::size_t e_count = params_.edges();
     std::vector<sim::LossConfig> edge_loss;
     std::vector<sim::DelayConfig> edge_delay;
+    edge_loss.reserve(e_count);
+    edge_delay.reserve(e_count);
     for (std::size_t e = 0; e < e_count; ++e) {
       edge_loss.push_back(params_.edge_loss_config(e));
       edge_delay.push_back(sim::DelayConfig{options.delay_model,
@@ -70,8 +73,10 @@ class TreeRun {
     // Per-leaf path monitors: relay indices (node id - 1) on each root-to-
     // leaf path, resolved once.
     for (const std::size_t leaf : params_.tree.leaves()) {
+      const std::vector<std::size_t> path = params_.tree.path_edges(leaf);
       std::vector<std::size_t> relays;
-      for (const std::size_t e : params_.tree.path_edges(leaf)) {
+      relays.reserve(path.size());
+      for (const std::size_t e : path) {
         relays.push_back(e);  // edge e's child endpoint is relay e
       }
       leaf_paths_.push_back(std::move(relays));

@@ -136,7 +136,15 @@ class ReferenceEventQueue {
   }
 
   mutable std::vector<Entry> heap_;
+  // The unordered containers below are membership/lookup-only (find,
+  // erase, clear -- never iterated), and this queue is test/bench-only:
+  // nothing in the library links against it, and its pop order comes from
+  // the (time, seq) heap, never from hash iteration.
+  // sigcomp-lint: allow(unordered-container) lookup-only cancelled-set;
+  // reference impl, pop order derived from the heap
   mutable std::unordered_set<std::uint64_t> cancelled_;
+  // sigcomp-lint: allow(unordered-container) seq->action lookup only;
+  // reference impl, pop order derived from the heap
   std::unordered_map<std::uint64_t, std::function<void()>> actions_;
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;

@@ -1,0 +1,17 @@
+// Fixture: C-library RNG calls have hidden global state.
+#include <cstdlib>
+
+void seed_and_draw() {
+  srand(42);             // LINT[libc-rand]
+  int a = rand();        // LINT[libc-rand]
+  long b = random();     // LINT[libc-rand]
+  double c = drand48();  // LINT[libc-rand]
+  (void)a;
+  (void)b;
+  (void)c;
+}
+
+// The rule must not fire on words merely containing "rand": an error
+// message string, or identifiers like operand/strand.
+int operand_count(int operands) { return operands; }
+const char* kMessage = "rand() is forbidden here";

@@ -1,0 +1,22 @@
+// Fixture: ordering or hashing by pointer value leaks the allocator's
+// address-space layout into results.
+#include <cstdint>
+#include <functional>
+#include <map>
+
+struct Node {};
+
+std::size_t hash_by_address(Node* n) {
+  return std::hash<Node*>{}(n);  // LINT[pointer-order]
+}
+
+using NodeOrder = std::map<Node*, int, std::less<Node*>>;  // LINT[pointer-order]
+
+std::uintptr_t as_int(Node* n) {             // LINT[pointer-order]
+  return reinterpret_cast<std::uintptr_t>(n);  // LINT[pointer-order]
+}
+
+// Must not fire: type-erasure casts between pointer types (the event
+// queue's small-buffer storage does this) and transparent comparators.
+void* erase(Node* n) { return static_cast<void*>(n); }
+using TransparentMap = std::map<int, int, std::less<>>;

@@ -1,0 +1,7 @@
+// Fixture: std::random_device is hardware entropy -- never reproducible.
+#include <random>
+
+unsigned seed_from_hardware() {
+  std::random_device rd;  // LINT[random-device]
+  return rd();
+}

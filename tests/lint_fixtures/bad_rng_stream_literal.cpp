@@ -1,0 +1,36 @@
+// Fixture: numeric-literal RNG stream IDs bypass the uniqueness-checked
+// registry in core/rng_streams.hpp.
+#include <cstdint>
+
+namespace sigcomp::sim {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0) noexcept;
+};
+}  // namespace sigcomp::sim
+
+std::uint64_t replica_seed(std::uint64_t base, std::uint64_t point,
+                           std::uint64_t replica);
+
+namespace sigcomp::rng {
+inline constexpr std::uint64_t kFixtureStream = 7;
+}
+
+class Harness {
+ public:
+  explicit Harness(std::uint64_t seed)
+      : rng_channel_(seed, 100),                          // LINT[rng-stream-literal]
+        rng_nodes_(replica_seed(seed, 0, 0), 101) {}      // LINT[rng-stream-literal]
+
+ private:
+  sigcomp::sim::Rng rng_channel_;
+  sigcomp::sim::Rng rng_nodes_;
+};
+
+void locals(std::uint64_t seed) {
+  sigcomp::sim::Rng direct(seed, 42);  // LINT[rng-stream-literal]
+  (void)direct;
+  // Must not fire: stream named through the registry.
+  sigcomp::sim::Rng named(seed, sigcomp::rng::kFixtureStream);
+  (void)named;
+}

@@ -1,0 +1,8 @@
+// Fixture: scheduling-dependent sleeps/yields in library code.
+#include <chrono>
+#include <thread>
+
+void wait_a_bit() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // LINT[thread-sleep]
+  std::this_thread::yield();                                   // LINT[thread-sleep]
+}

@@ -1,0 +1,31 @@
+// Fixture: unordered containers in library code, including the sharp end
+// -- iterating one (hash order is vendor-specific).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Registry {
+  std::unordered_map<std::string, int> by_name_;        // LINT[unordered-container]
+  std::unordered_set<int> seen_;                        // LINT[unordered-container]
+  std::vector<std::unordered_map<int, double>> rates_;  // LINT[unordered-container]
+
+  double sum() const {
+    double total = 0.0;
+    for (const auto& [key, value] : by_name_) {  // LINT[unordered-iteration]
+      total += value;
+    }
+    for (auto it = seen_.begin(); it != seen_.end(); ++it) {  // LINT[unordered-iteration]
+      total += *it;
+    }
+    for (const auto& [to, r] : rates_[0]) {  // LINT[unordered-iteration]
+      total += r;
+    }
+    return total;
+  }
+
+  // Must not fire: the find()/end() lookup-sentinel idiom is not iteration.
+  bool contains(const std::string& name) const {
+    return by_name_.find(name) != by_name_.end();
+  }
+};

@@ -1,0 +1,15 @@
+// Fixture: malformed and stale waivers are findings themselves.
+#include <cstdlib>
+
+void broken_waivers() {
+  // sigcomp-lint: allow(no-such-rule) rule name does not exist  LINT[bad-waiver]
+  int a = 0;
+  // sigcomp-lint: allow(libc-rand)  LINT[bad-waiver]
+  int b = rand();  // LINT[libc-rand]
+  // sigcomp-lint: allow(wall-clock) nothing on the next line reads a clock  LINT[unused-waiver]
+  int c = 0;
+  // sigcomp-lint: there is no verb here  LINT[bad-waiver]
+  (void)a;
+  (void)b;
+  (void)c;
+}

@@ -1,0 +1,16 @@
+// Fixture: wall-clock reads in result-affecting library code.
+#include <chrono>
+#include <ctime>
+
+double now_seconds() {
+  auto t = std::chrono::system_clock::now();  // LINT[wall-clock]
+  (void)t;
+  auto m = std::chrono::steady_clock::now();  // LINT[wall-clock]
+  (void)m;
+  std::time_t wall = time(nullptr);  // LINT[wall-clock]
+  (void)wall;
+  return static_cast<double>(clock());  // LINT[wall-clock]
+}
+
+// Must not fire: "time" as part of longer identifiers or as a variable.
+double timeout_timer(double lifetime) { return lifetime; }

@@ -1,0 +1,42 @@
+// Fixture: determinism-conforming library code -- zero findings expected.
+// Randomness through sim::Rng with registry-named streams, ordered
+// containers, no clocks, no sleeps, value-based ordering only.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sigcomp::sim {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0) noexcept;
+  double uniform() noexcept;
+};
+}  // namespace sigcomp::sim
+
+namespace sigcomp::rng {
+inline constexpr std::uint64_t kFixtureChannel = 0;
+inline constexpr std::uint64_t kFixtureNodes = 1;
+}  // namespace sigcomp::rng
+
+class CleanHarness {
+ public:
+  explicit CleanHarness(std::uint64_t seed)
+      : rng_channel_(seed, sigcomp::rng::kFixtureChannel),
+        rng_nodes_(seed, sigcomp::rng::kFixtureNodes) {}
+
+  double accumulate() {
+    double total = 0.0;
+    for (const auto& [key, value] : rates_) {
+      total += value * rng_channel_.uniform();
+      (void)key;
+    }
+    return total;
+  }
+
+ private:
+  sigcomp::sim::Rng rng_channel_;
+  sigcomp::sim::Rng rng_nodes_;
+  std::map<std::string, double> rates_;  // ordered: iteration is stable
+  std::vector<int> order_;
+};

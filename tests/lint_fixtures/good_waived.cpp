@@ -1,0 +1,28 @@
+// Fixture: every violation carries a documented waiver -- zero findings
+// expected, which proves the escape hatch suppresses exactly as documented
+// (same-line form, preceding-line form, wrapped reasons, multi-rule form).
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+struct WaivedRegistry {
+  // sigcomp-lint: allow(unordered-container) lookup-only index; never
+  // iterated, so hash order cannot leak into any result
+  std::unordered_map<std::string, int> by_name_;
+
+  int draw() {
+    return rand();  // sigcomp-lint: allow(libc-rand) same-line waiver form
+  }
+
+  // One line violating two rules, shielded by one multi-rule waiver:
+  // sigcomp-lint: allow(wall-clock, thread-sleep) diagnostics-only helper;
+  // deliberately naps until a wall-clock instant, off every result path
+  void nap() { std::this_thread::sleep_until(std::chrono::system_clock::now()); }
+};
+
+// Preceding-line waiver with a reason wrapped across comment lines:
+// sigcomp-lint: allow(libc-rand) seeding a diagnostics-only path that is
+// never read by simulation code
+static int diag = rand();

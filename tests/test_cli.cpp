@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace sigcomp::exp {
 namespace {
@@ -128,6 +131,127 @@ TEST(ArgParser, LastValueWins) {
   const char* argv[] = {"prog", "--loss", "0.1", "--loss=0.3"};
   ASSERT_TRUE(parser.parse(4, argv));
   EXPECT_DOUBLE_EQ(parser.get_double("loss"), 0.3);
+}
+
+TEST(ArgParser, NumericErrorsNamePartialParses) {
+  // strtod/strtol stop at the first bad character; a partially numeric
+  // value ("12abc", "1e") must still throw, not silently truncate.
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--loss", "0.5x", "--count", "12abc"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_THROW((void)parser.get_double("loss"), std::invalid_argument);
+  EXPECT_THROW((void)parser.get_long("count"), std::invalid_argument);
+  try {
+    (void)parser.get_long("count");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--count"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("12abc"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------- topology files --
+
+TEST(ParseTreeSpec, ParsesParentVectorWithComments) {
+  std::istringstream in(
+      "# balanced binary tree, depth 2\n"
+      "0 0  # two children of the root\n"
+      "1 1 2 2\n");
+  const TreeSpec spec = parse_tree_spec(in, "inline");
+  EXPECT_EQ(spec.nodes(), 7u);
+  EXPECT_EQ(spec.edges(), 6u);
+  EXPECT_EQ(spec.leaf_count(), 4u);
+  EXPECT_EQ(spec.depth(), 2u);
+}
+
+TEST(ParseTreeSpec, RejectsNonNumericToken) {
+  std::istringstream in("0 zero 1");
+  try {
+    (void)parse_tree_spec(in, "bad.tree");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The stream name labels the message, and the offending token is named.
+    EXPECT_NE(std::string(e.what()).find("bad.tree"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("zero"), std::string::npos);
+  }
+}
+
+TEST(ParseTreeSpec, RejectsNegativeAndPartialTokens) {
+  // strtoul would happily wrap "-1" and stop at the 'x' of "3x"; both must
+  // be rejected as whole tokens instead.
+  std::istringstream negative("0 -1");
+  EXPECT_THROW((void)parse_tree_spec(negative, "neg"), std::invalid_argument);
+  std::istringstream partial("0 3x");
+  EXPECT_THROW((void)parse_tree_spec(partial, "part"), std::invalid_argument);
+}
+
+TEST(ParseTreeSpec, RejectsEmptyAndCommentOnlyInput) {
+  std::istringstream empty("");
+  EXPECT_THROW((void)parse_tree_spec(empty, "empty"), std::invalid_argument);
+  std::istringstream comments("# nothing but prose\n# on every line\n");
+  try {
+    (void)parse_tree_spec(comments, "comments");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("no edges"), std::string::npos);
+  }
+}
+
+TEST(ParseTreeSpec, RejectsForwardParentReference) {
+  // parent[1] = 5 violates the topological-order invariant; the TreeSpec
+  // validation message must come back prefixed with the stream name.
+  std::istringstream in("0 5 1");
+  try {
+    (void)parse_tree_spec(in, "fwd.tree");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("fwd.tree"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("precede"), std::string::npos);
+  }
+}
+
+TEST(LoadTreeFile, MissingFileNamesThePath) {
+  try {
+    (void)load_tree_file("/nonexistent/sigcomp-topology.tree");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("sigcomp-topology.tree"),
+              std::string::npos);
+  }
+}
+
+TEST(LoadTreeFile, RoundTripsAFileOnDisk) {
+  const std::string path = testing::TempDir() + "sigcomp_cli_test.tree";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << "# 3-hop chain\n0 1 2\n";
+  }
+  const TreeSpec spec = load_tree_file(path);
+  EXPECT_EQ(spec.edges(), 3u);
+  EXPECT_EQ(spec.leaf_count(), 1u);
+  EXPECT_EQ(spec.depth(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(TreeShapeSummary, DescribesBalancedTree) {
+  const std::string summary =
+      tree_shape_summary(TreeSpec::balanced(/*fanout=*/2, /*depth=*/2,
+                                            /*receivers=*/4));
+  EXPECT_EQ(summary,
+            "7 nodes, 6 edges, 4 receiver(s), depth 2, fanout histogram 2:3");
+}
+
+TEST(TreeShapeSummary, HistogramCoversMixedFanout) {
+  // Root with three children, one of which has a single child: fan-outs
+  // {3, 1} -> histogram "1:1 3:1", two leaves at different depths.
+  TreeSpec spec;
+  spec.parent = {0, 0, 0, 1};
+  spec.validate();
+  const std::string summary = tree_shape_summary(spec);
+  EXPECT_NE(summary.find("5 nodes, 4 edges"), std::string::npos);
+  EXPECT_NE(summary.find("fanout histogram 1:1 3:1"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Fixture harness for sigcomp_lint.py (registered with ctest as
+`lint_fixtures`).
+
+Each fixture under tests/lint_fixtures/ is linted in isolation and its
+findings are compared EXACTLY against the `LINT[<rule>]` markers embedded
+in the file: a rule that fails to fire, fires on an unmarked line, or
+fires with the wrong rule name fails the harness.  `good_*` fixtures carry
+no markers and must come back clean -- that is the proof that each
+documented waiver form suppresses its finding.
+
+Markers are stripped (replaced by spaces, preserving columns) before the
+linter runs, so a marker can never double as a waiver reason or otherwise
+perturb what the linter sees.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import sigcomp_lint  # noqa: E402
+
+MARKER_RE = re.compile(r"LINT\[([A-Za-z0-9-]+)\]")
+
+
+def expected_findings(text):
+    expected = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for m in MARKER_RE.finditer(line):
+            expected.add((lineno, m.group(1)))
+    return expected
+
+
+def lint_fixture(path):
+    """Returns the set of (line, rule) the linter reports for one fixture,
+    linted from a marker-stripped copy in a temp dir."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = MARKER_RE.sub(lambda m: " " * len(m.group(0)), text)
+    with tempfile.TemporaryDirectory() as tmp:
+        copy = os.path.join(tmp, os.path.basename(path))
+        with open(copy, "w", encoding="utf-8") as fh:
+            fh.write(stripped)
+        view = sigcomp_lint.load_view(copy, os.path.basename(path))
+        unordered, rngs = sigcomp_lint.collect_declared_names([view])
+        findings = sigcomp_lint.lint_file(
+            view, unordered, rngs, registry_rel="core/rng_streams.hpp")
+    return {(f.line, f.rule) for f in findings}, text
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    fixture_dir = os.path.join(root, "tests", "lint_fixtures")
+    fixtures = sorted(
+        f for f in os.listdir(fixture_dir) if f.endswith(".cpp"))
+    if not fixtures:
+        print("no fixtures found in", fixture_dir)
+        return 1
+
+    failures = 0
+    for name in fixtures:
+        path = os.path.join(fixture_dir, name)
+        actual, text = lint_fixture(path)
+        expected = expected_findings(text)
+        if name.startswith("good_") and expected:
+            print(f"FAIL {name}: good fixtures must not carry LINT markers")
+            failures += 1
+            continue
+        if actual == expected:
+            print(f"ok   {name}: {len(expected)} expected finding(s)")
+            continue
+        failures += 1
+        print(f"FAIL {name}:")
+        for line, rule in sorted(expected - actual):
+            print(f"  missing: line {line} [{rule}] (marked, did not fire)")
+        for line, rule in sorted(actual - expected):
+            print(f"  extra:   line {line} [{rule}] (fired, not marked)")
+
+    print(f"lint_fixtures: {len(fixtures)} fixture(s), {failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
