@@ -47,6 +47,12 @@ inline constexpr std::uint64_t kSessionFailure = 4;
 /// Per-leaf membership churn timers (farm tree sessions only; reserved in
 /// the shared layout so enabling churn never shifts streams 0-4).
 inline constexpr std::uint64_t kSessionMembership = 5;
+/// Scenario arrival modulation (flash-crowd / diurnal rejoin rates) for
+/// farm tree sessions; reserved so enabling a scenario never shifts 0-5.
+inline constexpr std::uint64_t kSessionScenarioArrival = 6;
+/// Scenario failure process (interior-relay crash/recovery/detection and
+/// shared-risk leave bursts) for farm tree sessions.
+inline constexpr std::uint64_t kSessionScenarioFailure = 7;
 
 // ------------------------------------------- tree/chain harness layout --
 
@@ -60,16 +66,32 @@ inline constexpr std::uint64_t kTreeLifecycle = 102;
 inline constexpr std::uint64_t kTreeFailure = 103;
 /// Leaf join/leave churn timers (MembershipController).
 inline constexpr std::uint64_t kTreeMembership = 104;
+/// Scenario arrival modulation (flash-crowd / diurnal rejoin rates).
+inline constexpr std::uint64_t kTreeScenarioArrival = 105;
+/// Scenario failure process (interior-relay crash/recovery/detection and
+/// shared-risk leave bursts).
+inline constexpr std::uint64_t kTreeScenarioFailure = 106;
 
 namespace detail {
 
 /// Every registered substream ID.  Append new streams here as well as
 /// above; the uniqueness check below covers exactly this list.
 inline constexpr std::uint64_t kAllStreams[] = {
-    kSessionChannel,  kSessionSender, kSessionReceiver, kSessionLifecycle,
-    kSessionFailure,  kSessionMembership,
-    kTreeChannel,     kTreeNodes,     kTreeLifecycle,   kTreeFailure,
+    kSessionChannel,
+    kSessionSender,
+    kSessionReceiver,
+    kSessionLifecycle,
+    kSessionFailure,
+    kSessionMembership,
+    kSessionScenarioArrival,
+    kSessionScenarioFailure,
+    kTreeChannel,
+    kTreeNodes,
+    kTreeLifecycle,
+    kTreeFailure,
     kTreeMembership,
+    kTreeScenarioArrival,
+    kTreeScenarioFailure,
 };
 
 /// True when no two registered stream IDs collide.

@@ -36,6 +36,7 @@ void validate_options(const SessionFarmOptions& options) {
     throw std::invalid_argument("SessionFarmOptions: shard_size must be > 0");
   }
   options.leaf_churn.validate();
+  options.scenario.validate();
 }
 
 /// Callbacks a session uses to report lifecycle transitions to its shard.
@@ -54,9 +55,10 @@ struct ShardHooks {
   }
 };
 
-/// Per-session randomness: six independent streams keyed to the session's
+/// Per-session randomness: eight independent streams keyed to the session's
 /// global index, mirroring the stream layout of the single-hop harness
-/// (the membership stream is consumed only by churn-enabled tree sessions).
+/// (the membership and scenario streams are consumed only by tree sessions
+/// that enable the corresponding workload).
 /// The stream IDs come from the registry in core/rng_streams.hpp -- the
 /// farm layout and the single-hop harness layout are the SAME constants,
 /// which is what makes the mirroring self-evident.
@@ -67,6 +69,8 @@ struct SessionRngs {
   sim::Rng lifecycle;
   sim::Rng failure;
   sim::Rng membership;
+  sim::Rng scenario_arrival;
+  sim::Rng scenario_failure;
 
   SessionRngs(std::uint64_t base_seed, std::uint64_t global_index)
       : channel(session_seed(base_seed, global_index), rng::kSessionChannel),
@@ -76,7 +80,11 @@ struct SessionRngs {
                   rng::kSessionLifecycle),
         failure(session_seed(base_seed, global_index), rng::kSessionFailure),
         membership(session_seed(base_seed, global_index),
-                   rng::kSessionMembership) {}
+                   rng::kSessionMembership),
+        scenario_arrival(session_seed(base_seed, global_index),
+                         rng::kSessionScenarioArrival),
+        scenario_failure(session_seed(base_seed, global_index),
+                         rng::kSessionScenarioFailure) {}
 
  private:
   /// The per-session seed family: replica_seed keyed to the session's
@@ -142,6 +150,10 @@ class SingleHopSession {
   [[nodiscard]] const protocols::ChurnReport& churn() const noexcept {
     return churn_;
   }
+  /// No tree, no relays to crash (the farm rejects an enabled scenario).
+  [[nodiscard]] std::uint64_t relay_crashes() const noexcept { return 0; }
+  /// See relay_crashes.
+  [[nodiscard]] std::uint64_t relay_recoveries() const noexcept { return 0; }
 
  private:
   void begin() {
@@ -285,10 +297,16 @@ class TreeSession {
     topology_ = std::make_unique<protocols::Topology>(
         sim, rngs_.channel, rngs_.sender, mech_, timers, params.tree,
         edge_loss, edge_delay, [this] { on_change(); });
-    if (options.leaf_churn.enabled()) {
+    if (options.leaf_churn.enabled() ||
+        options.scenario.membership_processes()) {
       membership_ = std::make_unique<protocols::MembershipController>(
           sim, *topology_, rngs_.membership, options.leaf_churn,
-          [this] { on_change(); });
+          options.scenario, &rngs_.scenario_arrival, [this] { on_change(); });
+    }
+    if (options.scenario.failure.enabled()) {
+      failure_ = std::make_unique<protocols::RelayFailureProcess>(
+          sim, *topology_, rngs_.scenario_failure, options.scenario.failure,
+          mech_.external_failure_detector);
     }
     const double window =
         static_cast<double>(options.sessions) / options.arrival_rate;
@@ -311,6 +329,14 @@ class TreeSession {
   [[nodiscard]] const protocols::ChurnReport& churn() const noexcept {
     return churn_;
   }
+  /// Interior-relay crashes frozen at window end (0 without a scenario).
+  [[nodiscard]] std::uint64_t relay_crashes() const noexcept {
+    return crashes_;
+  }
+  /// Completed recoveries frozen at window end.
+  [[nodiscard]] std::uint64_t relay_recoveries() const noexcept {
+    return recoveries_;
+  }
 
  private:
   void begin() {
@@ -325,6 +351,7 @@ class TreeSession {
       }
     }
     if (membership_) membership_->start();
+    if (failure_) failure_->start();
     sim_.schedule_in(lifetime_, [this] { finish(); });
     on_change();
   }
@@ -373,6 +400,14 @@ class TreeSession {
       membership_->finish();
       churn_ = membership_->report();
     }
+    if (failure_) {
+      // Cancel the pending crash/recovery/detection events BEFORE the
+      // counters are frozen, so no scenario event straggles past the
+      // window (the teardown tests pin a flat event pool).
+      failure_->stop();
+      crashes_ = failure_->crashes();
+      recoveries_ = failure_->recoveries();
+    }
     messages_ = topology_->messages_sent();
     timeouts_ = topology_->relay_timeouts();
     const auto sent = static_cast<double>(messages_);
@@ -400,6 +435,7 @@ class TreeSession {
   SessionRngs rngs_;
   std::unique_ptr<protocols::Topology> topology_;
   std::unique_ptr<protocols::MembershipController> membership_;
+  std::unique_ptr<protocols::RelayFailureProcess> failure_;
 
   double arrival_ = 0.0;
   double lifetime_ = 0.0;
@@ -407,6 +443,8 @@ class TreeSession {
   bool done_ = false;
   std::uint64_t messages_ = 0;
   std::uint64_t timeouts_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t recoveries_ = 0;
   sim::TimeWeightedValue inconsistent_;
   std::optional<sim::EventId> update_event_;
   std::vector<std::optional<sim::EventId>> false_signal_events_;
@@ -424,6 +462,8 @@ struct ShardOutcome {
   std::uint64_t messages = 0;
   std::uint64_t events = 0;
   std::uint64_t receiver_timeouts = 0;
+  std::uint64_t relay_crashes = 0;
+  std::uint64_t relay_recoveries = 0;
   double end_time = 0.0;
   std::size_t peak = 0;
 };
@@ -456,6 +496,8 @@ ShardOutcome run_shard(ProtocolKind kind, const Params& params,
     out.per_session_churn.push_back(session->churn());
     out.messages += session->messages();
     out.receiver_timeouts += session->receiver_timeouts();
+    out.relay_crashes += session->relay_crashes();
+    out.relay_recoveries += session->relay_recoveries();
   }
   out.events = sim.events_executed();
   out.end_time = sim.now();
@@ -500,6 +542,8 @@ SessionFarmResult run_farm(ProtocolKind kind, const Params& params,
     result.messages += outcome.messages;
     result.events_executed += outcome.events;
     result.receiver_timeouts += outcome.receiver_timeouts;
+    result.relay_crashes += outcome.relay_crashes;
+    result.relay_recoveries += outcome.relay_recoveries;
     result.horizon = std::max(result.horizon, outcome.end_time);
     result.peak_sessions_in_flight += outcome.peak;
   }
@@ -516,6 +560,10 @@ SessionFarmResult run_session_farm(ProtocolKind kind,
   if (options.leaf_churn.enabled()) {
     throw std::invalid_argument(
         "run_session_farm: leaf churn needs tree or chain sessions");
+  }
+  if (options.scenario.enabled()) {
+    throw std::invalid_argument(
+        "run_session_farm: scenario processes need tree or chain sessions");
   }
   return run_farm<SingleHopSession>(kind, params, options);
 }

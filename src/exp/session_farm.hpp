@@ -28,6 +28,7 @@
 #include "core/protocol.hpp"
 #include "exp/parallel.hpp"
 #include "protocols/membership.hpp"
+#include "protocols/scenario.hpp"
 #include "sim/channel_process.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -69,6 +70,15 @@ struct SessionFarmOptions {
   /// across thread counts AND shard sizes) extends to churn runs.
   /// Single-hop farms reject enabled churn (there is no tree to prune).
   protocols::ChurnOptions leaf_churn;
+  /// Correlated-event scenario per session (flash-crowd rejoin storms,
+  /// shared-risk subtree leave bursts, interior-relay crash/recovery).  The
+  /// scenario processes draw from two dedicated per-session streams keyed
+  /// to the global index (kSessionScenarioArrival/kSessionScenarioFailure),
+  /// so the bit-identity contract extends to scenario runs -- and with
+  /// every rate at zero those streams are never touched and the run
+  /// replays the scenario-free farm exactly.  Single-hop farms reject an
+  /// enabled scenario (there is no tree to crash or burst).
+  protocols::ScenarioOptions scenario;
 };
 
 /// Aggregate outcome of a farm run.
@@ -90,6 +100,11 @@ struct SessionFarmResult {
   /// Leaf-churn outcome summed across sessions in global session order
   /// (all-zero when churn is disabled).
   protocols::ChurnReport churn;
+  /// Interior-relay crashes across all sessions (0 without a failure
+  /// scenario).
+  std::uint64_t relay_crashes = 0;
+  /// Completed relay recoveries across all sessions.
+  std::uint64_t relay_recoveries = 0;
 };
 
 /// Runs N single-hop sessions of `kind`.  `params.removal_rate` is ignored

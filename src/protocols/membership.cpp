@@ -28,6 +28,13 @@ double ChurnReport::mean_orphan_window() const noexcept {
              : orphan_window_sum / static_cast<double>(resolved_orphans);
 }
 
+double ChurnReport::mean_orphan_window_bound() const noexcept {
+  const std::uint64_t orphans = resolved_orphans + pending_orphans;
+  return orphans == 0 ? 0.0
+                      : (orphan_window_sum + censored_orphan_window_sum) /
+                            static_cast<double>(orphans);
+}
+
 void ChurnReport::absorb(const ChurnReport& other) noexcept {
   joins += other.joins;
   leaves += other.leaves;
@@ -39,42 +46,101 @@ void ChurnReport::absorb(const ChurnReport& other) noexcept {
   orphan_window_max = std::max(orphan_window_max, other.orphan_window_max);
   pending_joins += other.pending_joins;
   pending_orphans += other.pending_orphans;
+  censored_orphan_window_sum += other.censored_orphan_window_sum;
 }
 
 MembershipController::MembershipController(sim::Simulator& sim,
                                            Topology& topology, sim::Rng& rng,
                                            const ChurnOptions& options,
                                            std::function<void()> changed)
+    : MembershipController(sim, topology, rng, options, ScenarioOptions{},
+                           nullptr, std::move(changed)) {}
+
+MembershipController::MembershipController(
+    sim::Simulator& sim, Topology& topology, sim::Rng& rng,
+    const ChurnOptions& options, const ScenarioOptions& scenario,
+    sim::Rng* scenario_rng, std::function<void()> changed)
     : sim_(sim),
       topology_(topology),
       rng_(rng),
       options_(options),
+      scenario_(scenario),
+      scenario_rng_(scenario_rng),
+      arrival_(scenario.arrival, options.rejoin_rate),
       changed_(std::move(changed)) {
   options_.validate();
-}
-
-void MembershipController::start() {
-  if (!options_.enabled()) return;
-  // Leaves in increasing node order: the draw order is part of the
-  // determinism contract.
-  for (const std::size_t leaf : topology_.spec().leaves()) {
-    schedule_leave(leaf);
+  scenario_.validate();
+  if (scenario_.membership_processes() && scenario_rng_ == nullptr) {
+    throw std::invalid_argument(
+        "MembershipController: an active scenario needs a scenario rng");
   }
 }
 
+void MembershipController::start() {
+  if (options_.enabled()) {
+    // Leaves in increasing node order: the draw order is part of the
+    // determinism contract.
+    for (const std::size_t leaf : topology_.spec().leaves()) {
+      schedule_leave(leaf);
+    }
+  }
+  if (scenario_.shared_risk.enabled()) schedule_burst();
+}
+
 void MembershipController::schedule_leave(std::size_t leaf) {
+  // Guarded on enabled() (not just called from enabled paths): with
+  // shared-risk bursts driving leaves while iid churn is off,
+  // leaf_lifetime is 0 and an unguarded draw would schedule an immediate
+  // re-leave forever.
+  if (!options_.enabled()) return;
   sim_.schedule_in(rng_.exponential(options_.leaf_lifetime),
                    [this, leaf] { do_leave(leaf); });
 }
 
 void MembershipController::schedule_join(std::size_t leaf) {
+  if (scenario_.arrival.modulated()) {
+    // Modulated rejoins draw from the dedicated scenario substream, so a
+    // modulation-free run never touches it and replays the iid trace.
+    const double delay = arrival_.next_delay(sim_.now(), *scenario_rng_);
+    if (!std::isfinite(delay)) return;  // no further arrivals possible
+    sim_.schedule_in(delay, [this, leaf] { do_join(leaf); });
+    return;
+  }
   if (options_.rejoin_rate <= 0.0) return;  // departed for good
   sim_.schedule_in(rng_.exponential(1.0 / options_.rejoin_rate),
                    [this, leaf] { do_join(leaf); });
 }
 
+void MembershipController::schedule_burst() {
+  sim_.schedule_in(
+      scenario_rng_->exponential(1.0 / scenario_.shared_risk.burst_rate),
+      [this] { do_burst(); });
+}
+
+void MembershipController::do_burst() {
+  if (finished_) return;
+  // One shared-risk event: a uniformly drawn relay's whole subtree fails
+  // its members at once -- every joined leaf below it leaves, in
+  // increasing node order (the deterministic iteration order).
+  const std::size_t failed_relay =
+      scenario_rng_->uniform_int(topology_.relays());
+  for (const std::size_t leaf : topology_.spec().leaves()) {
+    if (!topology_.leaf_active(leaf)) continue;
+    const std::vector<std::size_t> path = topology_.spec().path_edges(leaf);
+    if (std::find(path.begin(), path.end(), failed_relay) == path.end()) {
+      continue;
+    }
+    do_leave(leaf);
+  }
+  schedule_burst();
+}
+
 void MembershipController::do_leave(std::size_t leaf) {
   if (finished_) return;
+  // A stale leave timer (the leaf already departed in a shared-risk burst)
+  // is a no-op; without bursts the strict join/leave alternation keeps one
+  // timer per leaf and this guard never fires.
+  if (!topology_.leaf_active(leaf)) return;
   const Topology::PruneResult pruned = topology_.leave(leaf);
   ++report_.leaves;
   // A join whose setup never completed is abandoned by the departure.
@@ -100,6 +166,9 @@ void MembershipController::do_leave(std::size_t leaf) {
 
 void MembershipController::do_join(std::size_t leaf) {
   if (finished_) return;
+  // Defensive mirror of the do_leave guard; the strict alternation keeps
+  // at most one join in flight per leaf, so this never fires today.
+  if (topology_.leaf_active(leaf)) return;
   const Topology::GraftResult graft = topology_.join(leaf);
   ++report_.joins;
   pending_joins_.push_back(PendingJoin{leaf, sim_.now()});
@@ -172,6 +241,12 @@ void MembershipController::finish() {
   finished_ = true;
   report_.pending_joins += pending_joins_.size();
   report_.pending_orphans += orphans_.size();
+  // Right-censor the still-running orphan windows instead of dropping
+  // them: each contributes its elapsed time, a lower bound on its eventual
+  // length (see ChurnReport::mean_orphan_window_bound).
+  for (const Orphan& orphan : orphans_) {
+    report_.censored_orphan_window_sum += sim_.now() - orphan.at;
+  }
   pending_joins_.clear();
   orphans_.clear();
 }

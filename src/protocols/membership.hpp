@@ -23,6 +23,7 @@
 #include <functional>
 #include <vector>
 
+#include "protocols/scenario.hpp"
 #include "protocols/topology.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -63,11 +64,24 @@ struct ChurnReport {
   /// Joins / pruned branches still unresolved when the run ended.
   std::uint64_t pending_joins = 0;
   std::uint64_t pending_orphans = 0;
+  /// Right-censored orphan time: the elapsed (still-running) windows of the
+  /// branches counted in pending_orphans, frozen at the horizon.  Without
+  /// this term the mean is biased low exactly when orphaning is worst
+  /// (slow soft-state timeouts, crashed relays) -- the windows that never
+  /// resolve are the longest ones.
+  double censored_orphan_window_sum = 0.0;
 
   /// Mean per-join setup latency over completed joins (0 when none).
   [[nodiscard]] double mean_setup_latency() const noexcept;
-  /// Mean orphan window over resolved leaves (0 when none).
+  /// Mean orphan window over resolved leaves (0 when none).  Excludes the
+  /// censored windows -- see mean_orphan_window_bound for the
+  /// censoring-aware companion.
   [[nodiscard]] double mean_orphan_window() const noexcept;
+  /// Censoring-aware lower bound on the mean orphan window: still-orphaned
+  /// branches at the horizon contribute their elapsed windows (a lower
+  /// bound on their eventual lengths), averaged over resolved AND pending
+  /// orphans.  Equals mean_orphan_window when nothing was pending.
+  [[nodiscard]] double mean_orphan_window_bound() const noexcept;
   /// Accumulates `other` (counters add, maxima combine).
   void absorb(const ChurnReport& other) noexcept;
 
@@ -88,6 +102,19 @@ class MembershipController {
   MembershipController(sim::Simulator& sim, Topology& topology, sim::Rng& rng,
                        const ChurnOptions& options,
                        std::function<void()> changed);
+
+  /// Scenario-aware overload: `scenario` may modulate the rejoin process
+  /// (flash crowds / diurnal rates) and add shared-risk subtree leave
+  /// bursts, all drawing from `scenario_rng` (the dedicated scenario
+  /// substream; must be non-null and outlive the controller whenever
+  /// scenario.membership_processes() is true).  With every scenario rate
+  /// at zero this is bit-identical to the plain overload: the iid churn
+  /// draws come from `rng` exactly as before and `scenario_rng` is never
+  /// touched.
+  MembershipController(sim::Simulator& sim, Topology& topology, sim::Rng& rng,
+                       const ChurnOptions& options,
+                       const ScenarioOptions& scenario,
+                       sim::Rng* scenario_rng, std::function<void()> changed);
 
   MembershipController(const MembershipController&) = delete;  ///< non-copyable
   MembershipController& operator=(const MembershipController&) = delete;
@@ -112,6 +139,8 @@ class MembershipController {
   void schedule_join(std::size_t leaf);
   void do_leave(std::size_t leaf);
   void do_join(std::size_t leaf);
+  void schedule_burst();
+  void do_burst();
 
   /// One join awaiting its first consistent sample at the leaf.
   struct PendingJoin {
@@ -128,6 +157,9 @@ class MembershipController {
   Topology& topology_;
   sim::Rng& rng_;
   ChurnOptions options_;
+  ScenarioOptions scenario_;
+  sim::Rng* scenario_rng_ = nullptr;  ///< scenario substream (may be null)
+  ArrivalProcess arrival_;            ///< rejoin-process sampler
   std::function<void()> changed_;
 
   std::vector<PendingJoin> pending_joins_;

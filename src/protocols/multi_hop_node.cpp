@@ -255,6 +255,11 @@ void TreeRelay::deactivate_child(std::size_t c) {
 
 void TreeRelay::prune_child(std::size_t c) {
   deactivate_child(c);
+  // A crashed relay cannot signal: the prune degrades to a silent
+  // deactivation and the stranded downstream copies are left to their
+  // soft-state timeouts (or to the removal that chases them after
+  // recovery).
+  if (crashed_) return;
   if (mech_.explicit_removal && child_installed_[c]) {
     child_installed_[c] = 0;
     send_removal_to(c, next_seq_++);
@@ -262,6 +267,7 @@ void TreeRelay::prune_child(std::size_t c) {
 }
 
 void TreeRelay::handle_from_upstream(const Message& msg) {
+  if (crashed_) return;  // a dead process hears nothing
   switch (msg.type) {
     case MessageType::kTrigger: {
       const bool duplicate = slot_.holds(msg.value);
@@ -325,6 +331,7 @@ void TreeRelay::handle_from_upstream(const Message& msg) {
 }
 
 void TreeRelay::handle_from_downstream(const Message& msg, std::size_t child) {
+  if (crashed_) return;  // a dead process hears nothing
   switch (msg.type) {
     case MessageType::kAckTrigger:
     case MessageType::kAckNotice:
@@ -359,7 +366,18 @@ void TreeRelay::stop() {
   for (ReliableSlot& slot : reliable_down_) slot.cancel();
 }
 
+void TreeRelay::crash() {
+  const bool held = slot_.clear();
+  reliable_up_.cancel();
+  for (ReliableSlot& slot : reliable_down_) slot.cancel();
+  crashed_ = true;
+  if (held) notify();
+}
+
+void TreeRelay::recover() { crashed_ = false; }
+
 void TreeRelay::external_removal_signal() {
+  if (crashed_) return;  // the detector cannot fire inside a dead process
   if (!slot_.clear()) return;
   notify();
   reliable_up_.send(Message{MessageType::kNotice, 0, next_seq_++, 0});

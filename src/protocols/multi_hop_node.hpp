@@ -170,6 +170,22 @@ class TreeRelay {
   /// Silently ends the session (see TreeSender::stop).
   void stop();
 
+  /// Crashes the relay: the held copy and every pending timer vanish
+  /// silently (a dead process signals nothing) and the node goes deaf --
+  /// every arriving message is dropped until recover().  The parent keeps
+  /// the edge active and keeps refreshing/retransmitting into the void;
+  /// after recover() the next refresh (soft state), pending reliable
+  /// retransmission, or an explicit re-graft (the HS detector path)
+  /// re-installs state.
+  void crash();
+
+  /// Ends a crash: the relay processes messages again.  It holds no state
+  /// until the upstream re-installs one.
+  void recover();
+
+  /// True while the relay is crashed (deaf and stateless).
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
   /// The held state value (nullopt when no state is installed).
   [[nodiscard]] std::optional<std::int64_t> value() const noexcept {
     return slot_.value();
@@ -205,6 +221,7 @@ class TreeRelay {
   std::uint64_t next_seq_ = 1;
   std::uint64_t removal_seq_seen_ = 0;  ///< dedup of retransmitted removals
   bool removal_seen_ = false;
+  bool crashed_ = false;  ///< deaf and stateless between crash()/recover()
 };
 
 /// Chain-era names: the PR 3 chain nodes are the fan-out-1 special case.

@@ -39,6 +39,10 @@ class SingleHopRun {
     if (options_.crash_fraction < 0.0 || options_.crash_fraction > 1.0) {
       throw std::invalid_argument("SimOptions: crash_fraction must be in [0, 1]");
     }
+    if (options_.crash_detection_delay < 0.0) {
+      throw std::invalid_argument(
+          "SimOptions: crash_detection_delay must be >= 0");
+    }
     if (options_.retrans_backoff < 1.0) {
       throw std::invalid_argument("SimOptions: retrans_backoff must be >= 1");
     }

@@ -103,6 +103,12 @@ class Topology {
     return active_leaves_;
   }
 
+  /// Re-installs edge e's parent-side cached copy down the edge (the
+  /// crash-recovery repair path: after relay e recovers, its parent
+  /// re-sends whatever value it still holds, reliably when the protocol's
+  /// triggers are reliable).  A no-op when the parent holds no copy.
+  void regraft_edge(std::size_t e) { graft_edge(e); }
+
   /// True when `node` should hold state: it lies on the path to some joined
   /// leaf (or is one).  The root is always required.  Detached nodes whose
   /// copy lingers are the orphan window the churn metrics measure.

@@ -31,7 +31,9 @@ class TreeRun {
         rng_nodes_(options.seed, rng::kTreeNodes),
         rng_lifecycle_(options.seed, rng::kTreeLifecycle),
         rng_failure_(options.seed, rng::kTreeFailure),
-        rng_membership_(options.seed, rng::kTreeMembership) {
+        rng_membership_(options.seed, rng::kTreeMembership),
+        rng_scenario_arrival_(options.seed, rng::kTreeScenarioArrival),
+        rng_scenario_failure_(options.seed, rng::kTreeScenarioFailure) {
     params_.validate();
     if (!supports_multi_hop(kind)) {
       throw std::invalid_argument("run_tree: unsupported protocol " +
@@ -58,14 +60,23 @@ class TreeRun {
     topology_ = std::make_unique<Topology>(
         sim_, rng_channel_, rng_nodes_, mech_, timers, params_.tree, edge_loss,
         edge_delay, [this] { on_change(); }, options_.trace);
-    if (options_.churn.enabled()) {
+    options_.scenario.validate();
+    if (options_.churn.enabled() ||
+        options_.scenario.membership_processes()) {
       // The controller feeds membership flips back through on_change() so
       // the monitors resample the instant the required-set moves; its rng
       // is a dedicated substream, so a zero-churn run replays the static
-      // tree bit-for-bit.
+      // tree bit-for-bit.  Scenario modulation (flash crowds, shared-risk
+      // bursts) draws from its own substream, so an unmodulated run also
+      // replays the iid-churn trace exactly.
       membership_ = std::make_unique<MembershipController>(
           sim_, *topology_, rng_membership_, options_.churn,
-          [this] { on_change(); });
+          options_.scenario, &rng_scenario_arrival_, [this] { on_change(); });
+    }
+    if (options_.scenario.failure.enabled()) {
+      failure_ = std::make_unique<RelayFailureProcess>(
+          sim_, *topology_, rng_scenario_failure_, options_.scenario.failure,
+          mech_.external_failure_detector);
     }
 
     inconsistent_nodes_.assign(e_count, sim::TimeWeightedValue{});
@@ -93,8 +104,10 @@ class TreeRun {
       }
     }
     if (membership_) membership_->start();
+    if (failure_) failure_->start();
     sim_.run_until(options_.duration);
     if (membership_) membership_->finish();
+    if (failure_) failure_->stop();
 
     TreeSimResult out;
     out.duration = options_.duration;
@@ -113,6 +126,10 @@ class TreeRun {
         static_cast<double>(out.messages) / options_.duration;
     out.metrics.message_rate = out.metrics.raw_message_rate;
     if (membership_) out.churn = membership_->report();
+    if (failure_) {
+      out.relay_crashes = failure_->crashes();
+      out.relay_recoveries = failure_->recoveries();
+    }
     return out;
   }
 
@@ -172,8 +189,11 @@ class TreeRun {
   sim::Rng rng_lifecycle_;
   sim::Rng rng_failure_;
   sim::Rng rng_membership_;
+  sim::Rng rng_scenario_arrival_;
+  sim::Rng rng_scenario_failure_;
   std::unique_ptr<Topology> topology_;
   std::unique_ptr<MembershipController> membership_;
+  std::unique_ptr<RelayFailureProcess> failure_;
 
   std::vector<sim::TimeWeightedValue> inconsistent_nodes_;
   std::vector<char> node_ok_;  ///< scratch for on_change (no per-event alloc)

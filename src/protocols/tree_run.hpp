@@ -15,6 +15,7 @@
 #include "core/metrics.hpp"
 #include "core/protocol.hpp"
 #include "protocols/membership.hpp"
+#include "protocols/scenario.hpp"
 #include "sim/channel_process.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -44,6 +45,10 @@ struct TreeSimOptions {
   /// Leaf churn workload; disabled by default (the static tree, which is
   /// what the pinned golden traces cover).
   ChurnOptions churn;
+  /// Correlated-event scenario (flash crowds, shared-risk bursts,
+  /// interior-relay crashes); all rates default to zero, which replays the
+  /// static / iid-churn run bit-for-bit.
+  ScenarioOptions scenario;
 };
 
 /// Aggregate outcome of one tree simulation.
@@ -64,6 +69,10 @@ struct TreeSimResult {
   std::uint64_t relay_timeouts = 0;  ///< soft-state timeouts across relays
   /// Leaf-churn outcome (all-zero when churn is disabled).
   ChurnReport churn;
+  /// Interior-relay crashes driven by the failure scenario (0 without one).
+  std::uint64_t relay_crashes = 0;
+  /// Completed relay recoveries (0 without a failure scenario).
+  std::uint64_t relay_recoveries = 0;
 };
 
 /// Runs one tree replication (any of the five protocols).  Throws

@@ -1,0 +1,557 @@
+// Correlated-event scenario engine: arrival-process sampling (flash crowd,
+// diurnal), interior-relay crash/recovery semantics, shared-risk leave
+// bursts, the zero-rate bit-identity lock, orphan-window censoring, farm
+// determinism under a full scenario, teardown hygiene and option
+// validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "analytic/tree_paths.hpp"
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "core/topology.hpp"
+#include "exp/session_farm.hpp"
+#include "protocols/membership.hpp"
+#include "protocols/scenario.hpp"
+#include "protocols/single_hop_run.hpp"
+#include "protocols/topology.hpp"
+#include "protocols/tree_run.hpp"
+#include "sim/channel_process.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace sigcomp {
+namespace {
+
+using protocols::ArrivalConfig;
+using protocols::ArrivalProcess;
+using protocols::FailureConfig;
+using protocols::ScenarioOptions;
+using protocols::SharedRiskConfig;
+
+// ------------------------------------------------- arrival process math --
+
+TEST(ArrivalProcess, PoissonRateIsFlat) {
+  const ArrivalProcess p(ArrivalConfig::poisson(), 0.25);
+  EXPECT_DOUBLE_EQ(p.rate_at(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(p.rate_at(1e6), 0.25);
+}
+
+TEST(ArrivalProcess, FlashCrowdRateJumpsInsideTheStormOnly) {
+  const ArrivalProcess p(ArrivalConfig::flash_crowd(100.0, 2.0, 50.0), 0.1);
+  EXPECT_DOUBLE_EQ(p.rate_at(99.0), 0.1);
+  EXPECT_DOUBLE_EQ(p.rate_at(100.0), 2.1);
+  EXPECT_DOUBLE_EQ(p.rate_at(149.9), 2.1);
+  EXPECT_DOUBLE_EQ(p.rate_at(150.0), 0.1);
+}
+
+TEST(ArrivalProcess, FlashCrowdInversionCrossesSegments) {
+  // Base rate zero: arrivals can only land inside the storm window, so a
+  // draw from before the storm must jump over the dead segment, and a draw
+  // from after the storm must report "never".
+  const ArrivalProcess p(ArrivalConfig::flash_crowd(10.0, 1.0, 5.0), 0.0);
+  sim::Rng rng(3, 0);
+  for (int i = 0; i < 200; ++i) {
+    const double delay = p.next_delay(0.0, rng);
+    if (std::isinf(delay)) continue;  // storm produced no arrival
+    EXPECT_GE(delay, 10.0);
+    EXPECT_LT(delay, 15.0);
+  }
+  EXPECT_TRUE(std::isinf(p.next_delay(15.0, rng)));
+}
+
+TEST(ArrivalProcess, DiurnalThinningRespectsTheEnvelope) {
+  const ArrivalProcess p(ArrivalConfig::diurnal(100.0, 0.5), 0.2);
+  EXPECT_DOUBLE_EQ(p.rate_at(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(p.rate_at(25.0), 0.3);  // sin peak: base * (1 + a)
+  sim::Rng rng(5, 0);
+  double mean = 0.0;
+  const int draws = 2000;
+  for (int i = 0; i < draws; ++i) {
+    const double delay = p.next_delay(0.0, rng);
+    ASSERT_TRUE(std::isfinite(delay));
+    EXPECT_GT(delay, 0.0);
+    mean += delay / draws;
+  }
+  // The mean inter-arrival must sit inside the rate envelope: between
+  // 1 / (base * (1 + a)) and 1 / (base * (1 - a)).
+  EXPECT_GT(mean, 1.0 / (0.2 * 1.5));
+  EXPECT_LT(mean, 1.0 / (0.2 * 0.5));
+}
+
+// -------------------------------------------------- relay crash semantics --
+
+/// A lossless, deterministic wired tree (mirrors test_membership's fixture).
+struct Wired {
+  sim::Simulator sim;
+  sim::Rng channel_rng{7, 0};
+  sim::Rng node_rng{7, 1};
+  std::unique_ptr<protocols::Topology> topology;
+
+  explicit Wired(ProtocolKind kind, const TreeSpec& spec,
+                 double delay = 0.01) {
+    const std::vector<sim::LossConfig> loss(spec.edges(),
+                                            sim::LossConfig::iid(0.0));
+    const std::vector<sim::DelayConfig> delays(
+        spec.edges(),
+        sim::DelayConfig{sim::DelayModel::kDeterministic, delay, 1.5});
+    protocols::TimerSettings timers;  // R=5, T=15, deterministic
+    topology = std::make_unique<protocols::Topology>(
+        sim, channel_rng, node_rng, mechanisms(kind), timers, spec, loss,
+        delays, nullptr);
+  }
+};
+
+TEST(RelayCrash, CrashOrphansExactlyItsSubtree) {
+  // Fanout-2 depth-2: relay 0 (node 1) feeds leaves 3, 4 via relays 2, 3;
+  // relay 1 (node 2) feeds leaves 5, 6 via relays 4, 5.
+  Wired w(ProtocolKind::kSS, TreeSpec::balanced(2, 2));
+  protocols::Topology& t = *w.topology;
+  t.sender().start(1);
+  w.sim.run_until(1.0);
+  for (std::size_t r = 0; r < t.relays(); ++r) {
+    ASSERT_TRUE(t.relay(r).value().has_value()) << r;
+  }
+
+  t.relay(0).crash();
+  EXPECT_TRUE(t.relay(0).crashed());
+  // The crash drops the victim's copy instantly; membership bookkeeping is
+  // untouched (its leaves are still joined, just orphaned).
+  EXPECT_FALSE(t.relay(0).value().has_value());
+  EXPECT_EQ(t.active_leaf_count(), 4u);
+
+  // By one timeout later the victim's children starved (their refreshes
+  // stopped at the dead relay) while the sibling subtree never noticed.
+  w.sim.run_until(1.0 + 20.0);
+  EXPECT_FALSE(t.relay(2).value().has_value());
+  EXPECT_FALSE(t.relay(3).value().has_value());
+  EXPECT_EQ(t.relay(1).value(), t.sender().value());
+  EXPECT_EQ(t.relay(4).value(), t.sender().value());
+  EXPECT_EQ(t.relay(5).value(), t.sender().value());
+
+  // Recovery restores processing but not state: the parent's next refresh
+  // re-installs the copy and the subtree heals top-down -- no detector.
+  t.relay(0).recover();
+  w.sim.run_until(1.0 + 20.0 + 12.0);  // > R (5 s) cascaded twice
+  EXPECT_EQ(t.relay(0).value(), t.sender().value());
+  EXPECT_EQ(t.relay(2).value(), t.sender().value());
+  EXPECT_EQ(t.relay(3).value(), t.sender().value());
+}
+
+TEST(RelayCrash, CrashedRelayIsDeafUntilRecovery) {
+  Wired w(ProtocolKind::kSS, TreeSpec::chain(2));
+  protocols::Topology& t = *w.topology;
+  t.sender().start(1);
+  w.sim.run_until(1.0);
+  t.relay(1).crash();
+  // Refreshes keep flowing from the root through relay 0, but the dead
+  // relay must not re-install from them.
+  w.sim.run_until(1.0 + 12.0);
+  EXPECT_FALSE(t.relay(1).value().has_value());
+  t.relay(1).recover();
+  w.sim.run_until(1.0 + 12.0 + 6.0);  // next refresh interval
+  EXPECT_EQ(t.relay(1).value(), t.sender().value());
+}
+
+TEST(RelayCrash, RegraftEdgeRestoresHardStateFromTheParentsCopy) {
+  // Hard state never refreshes: after crash + recovery the copy stays gone
+  // until the detector-driven repair re-grafts from the parent.
+  Wired w(ProtocolKind::kHS, TreeSpec::chain(2));
+  protocols::Topology& t = *w.topology;
+  t.sender().start(1);
+  w.sim.run_until(1.0);
+  t.relay(1).crash();
+  t.relay(1).recover();
+  w.sim.run_until(40.0);  // many refresh intervals: nothing re-installs
+  EXPECT_FALSE(t.relay(1).value().has_value());
+  t.regraft_edge(1);
+  w.sim.run_until(41.0);
+  EXPECT_EQ(t.relay(1).value(), t.sender().value());
+}
+
+// --------------------------------------------- scenario runs on the tree --
+
+analytic::TreeParams scenario_tree(std::size_t fanout, std::size_t depth) {
+  MultiHopParams base;
+  base.loss = 0.01;
+  base.delay = 0.01;
+  base.update_rate = 1.0 / 60.0;
+  return analytic::TreeParams::balanced(base, fanout, depth);
+}
+
+TEST(ScenarioRun, ZeroRatesReplayTheBaselineBitwise) {
+  // A fully-defaulted scenario AND a scenario with every rate at zero but
+  // non-default secondary knobs must both leave the run untouched -- the
+  // scenario substreams exist but are never drawn from.
+  const analytic::TreeParams tree = scenario_tree(2, 2);
+  protocols::TreeSimOptions options;
+  options.seed = 11;
+  options.duration = 2000.0;
+  options.churn.leaf_lifetime = 30.0;
+  options.churn.rejoin_rate = 1.0 / 15.0;
+  const protocols::TreeSimResult plain =
+      protocols::run_tree(ProtocolKind::kSSRT, tree, options);
+
+  protocols::TreeSimOptions zeroed = options;
+  zeroed.scenario.failure.recovery_time = 99.0;   // crash_rate still 0
+  zeroed.scenario.failure.detector_delay = 0.01;  // never consulted
+  const protocols::TreeSimResult zero =
+      protocols::run_tree(ProtocolKind::kSSRT, tree, zeroed);
+  EXPECT_EQ(plain.messages, zero.messages);
+  EXPECT_EQ(plain.metrics.inconsistency, zero.metrics.inconsistency);
+  EXPECT_EQ(plain.churn, zero.churn);
+  EXPECT_EQ(zero.relay_crashes, 0u);
+  EXPECT_EQ(zero.relay_recoveries, 0u);
+}
+
+TEST(ScenarioRun, CrashProcessCrashesAndRecoversDeterministically) {
+  const analytic::TreeParams tree = scenario_tree(2, 2);
+  protocols::TreeSimOptions options;
+  options.seed = 21;
+  options.duration = 4000.0;
+  options.scenario.failure = FailureConfig::relay_crash(1.0 / 50.0, 5.0, 2.0);
+  for (const ProtocolKind kind : kMultiHopProtocols) {
+    const protocols::TreeSimResult a = protocols::run_tree(kind, tree, options);
+    EXPECT_GT(a.relay_crashes, 10u) << to_string(kind);
+    EXPECT_GT(a.relay_recoveries, 10u) << to_string(kind);
+    EXPECT_GE(a.relay_crashes, a.relay_recoveries) << to_string(kind);
+    EXPECT_GT(a.metrics.inconsistency, 0.0) << to_string(kind);
+    const protocols::TreeSimResult b = protocols::run_tree(kind, tree, options);
+    EXPECT_EQ(a.messages, b.messages) << to_string(kind);
+    EXPECT_EQ(a.relay_crashes, b.relay_crashes) << to_string(kind);
+    EXPECT_EQ(a.metrics.inconsistency, b.metrics.inconsistency)
+        << to_string(kind);
+  }
+}
+
+TEST(ScenarioRun, DetectorLatencyCrossesHardStateOverSoftState) {
+  // The acceptance lock: hard state repairs at ~max(downtime, detection),
+  // soft state at ~downtime + R/2 regardless of the detector.  A detector
+  // much faster than the refresh clock puts HS ahead of SS; one much
+  // slower flips the ranking.
+  const analytic::TreeParams tree = scenario_tree(2, 2);
+  const auto inconsistency = [&](ProtocolKind kind, double detector) {
+    protocols::TreeSimOptions options;
+    options.seed = 29;
+    options.duration = 8000.0;
+    options.scenario.failure =
+        FailureConfig::relay_crash(1.0 / 100.0, 5.0, detector);
+    return protocols::run_tree(kind, tree, options).metrics.inconsistency;
+  };
+  const double ss_fast = inconsistency(ProtocolKind::kSS, 0.5);
+  const double hs_fast = inconsistency(ProtocolKind::kHS, 0.5);
+  const double ss_slow = inconsistency(ProtocolKind::kSS, 30.0);
+  const double hs_slow = inconsistency(ProtocolKind::kHS, 30.0);
+  EXPECT_LT(hs_fast, ss_fast);  // fast detector: HS repairs first
+  EXPECT_GT(hs_slow, ss_slow);  // slow detector: the refresh clock wins
+  EXPECT_GT(hs_slow, hs_fast);  // HS degrades monotonically in latency
+}
+
+TEST(ScenarioRun, SharedRiskBurstsDetachLeavesWithoutIidChurn) {
+  // Churn disabled: the only leave source is the shared-risk process, and
+  // with rejoin rate zero departed leaves stay detached.
+  const analytic::TreeParams tree = scenario_tree(2, 2);
+  protocols::TreeSimOptions options;
+  options.seed = 31;
+  options.duration = 500.0;
+  options.scenario.shared_risk = SharedRiskConfig::bursts(1.0 / 40.0);
+  const protocols::TreeSimResult result =
+      protocols::run_tree(ProtocolKind::kSSER, tree, options);
+  EXPECT_GT(result.churn.leaves, 0u);
+  EXPECT_EQ(result.churn.joins, 0u);
+  EXPECT_LE(result.churn.leaves, tree.tree.leaf_count());
+}
+
+TEST(ScenarioRun, FlashCrowdConcentratesRejoinsInTheStorm) {
+  // Leaves churn out at the iid rate but can only come back inside the
+  // storm window (base rejoin rate zero + flash modulation): every join the
+  // run records is storm work.
+  const analytic::TreeParams tree = scenario_tree(2, 2);
+  protocols::TreeSimOptions options;
+  options.seed = 37;
+  options.duration = 1000.0;
+  options.churn.leaf_lifetime = 40.0;
+  options.churn.rejoin_rate = 0.0;
+  options.scenario.arrival = ArrivalConfig::flash_crowd(200.0, 0.5, 100.0);
+  const protocols::TreeSimResult storm =
+      protocols::run_tree(ProtocolKind::kSSER, tree, options);
+  EXPECT_GT(storm.churn.joins, 0u);
+
+  protocols::TreeSimOptions no_storm = options;
+  no_storm.scenario.arrival = ArrivalConfig::poisson();
+  const protocols::TreeSimResult baseline =
+      protocols::run_tree(ProtocolKind::kSSER, tree, no_storm);
+  EXPECT_EQ(baseline.churn.joins, 0u);  // rejoin rate zero, no storm
+  EXPECT_GT(storm.churn.joins, baseline.churn.joins);
+}
+
+// ------------------------------------------------ orphan-window censoring --
+
+TEST(OrphanCensoring, RunEndingMidOrphanReportsTheCensoredBound) {
+  // SS resolves orphans only at the T = 15 s timeout.  End the run well
+  // before any timeout can fire: every orphan is still pending, so the
+  // resolved mean must stay 0 while the censored bound accounts for the
+  // elapsed windows.
+  const analytic::TreeParams tree = scenario_tree(2, 2);
+  protocols::TreeSimOptions options;
+  options.seed = 41;
+  options.duration = 10.0;
+  options.churn.leaf_lifetime = 3.0;
+  options.churn.rejoin_rate = 0.0;
+  const protocols::TreeSimResult result =
+      protocols::run_tree(ProtocolKind::kSS, tree, options);
+  ASSERT_GT(result.churn.leaves, 0u);
+  ASSERT_GT(result.churn.pending_orphans, 0u);
+  EXPECT_EQ(result.churn.resolved_orphans, 0u);
+  EXPECT_EQ(result.churn.mean_orphan_window(), 0.0);
+  EXPECT_GT(result.churn.censored_orphan_window_sum, 0.0);
+  EXPECT_GT(result.churn.mean_orphan_window_bound(), 0.0);
+  // Each censored window is at most the run length.
+  EXPECT_LE(result.churn.mean_orphan_window_bound(), options.duration);
+}
+
+TEST(OrphanCensoring, BoundBlendsResolvedAndPendingWindows) {
+  // Longer run: some orphans resolve at the timeout, the last ones are
+  // censored.  The bound must sit between 0 and the resolved mean (each
+  // pending window is shorter than a full timeout) and absorb() must carry
+  // the censored mass across replicas.
+  const analytic::TreeParams tree = scenario_tree(2, 2);
+  protocols::TreeSimOptions options;
+  options.seed = 43;
+  options.duration = 200.0;
+  options.churn.leaf_lifetime = 20.0;
+  options.churn.rejoin_rate = 1.0 / 10.0;
+  const protocols::TreeSimResult result =
+      protocols::run_tree(ProtocolKind::kSS, tree, options);
+  ASSERT_GT(result.churn.resolved_orphans, 0u);
+  EXPECT_GT(result.churn.mean_orphan_window_bound(), 0.0);
+  protocols::ChurnReport merged;
+  merged.absorb(result.churn);
+  merged.absorb(result.churn);
+  EXPECT_EQ(merged.censored_orphan_window_sum,
+            2.0 * result.churn.censored_orphan_window_sum);
+  EXPECT_EQ(merged.mean_orphan_window_bound(),
+            result.churn.mean_orphan_window_bound());
+}
+
+// ------------------------------------------------------- scenario farm ----
+
+TEST(ScenarioFarm, FullScenarioIsBitIdenticalAcrossShardsAndThreads) {
+  exp::SessionFarmOptions base;
+  base.seed = 47;
+  base.sessions = 48;
+  base.arrival_rate = 4.0;
+  base.session_lifetime = 80.0;
+  base.leaf_churn.leaf_lifetime = 20.0;
+  base.leaf_churn.rejoin_rate = 1.0 / 10.0;
+  base.scenario.failure = FailureConfig::relay_crash(1.0 / 30.0, 4.0, 2.0);
+  base.scenario.arrival = ArrivalConfig::flash_crowd(15.0, 1.0, 20.0);
+  base.scenario.shared_risk = SharedRiskConfig::bursts(1.0 / 60.0);
+  base.shard_size = 48;
+  base.threads = 1;
+  const analytic::TreeParams tree = scenario_tree(2, 2);
+  const exp::SessionFarmResult one =
+      exp::run_session_farm(ProtocolKind::kHS, tree, base);
+  EXPECT_GT(one.relay_crashes, 0u);
+  EXPECT_GT(one.churn.leaves, 0u);
+  for (const std::size_t shard_size : {7u, 16u}) {
+    for (const std::size_t threads : {2u, 8u}) {
+      exp::SessionFarmOptions sharded = base;
+      sharded.shard_size = shard_size;
+      sharded.threads = threads;
+      const exp::SessionFarmResult many =
+          exp::run_session_farm(ProtocolKind::kHS, tree, sharded);
+      EXPECT_EQ(one.churn, many.churn)
+          << "shard " << shard_size << " threads " << threads;
+      EXPECT_EQ(one.messages, many.messages);
+      EXPECT_EQ(one.relay_crashes, many.relay_crashes);
+      EXPECT_EQ(one.relay_recoveries, many.relay_recoveries);
+      EXPECT_EQ(one.summary.mean.inconsistency,
+                many.summary.mean.inconsistency);
+    }
+  }
+}
+
+TEST(ScenarioFarm, ZeroRateScenarioMatchesTheChurnFarmBitwise) {
+  exp::SessionFarmOptions options;
+  options.seed = 53;
+  options.sessions = 32;
+  options.arrival_rate = 4.0;
+  options.session_lifetime = 60.0;
+  options.leaf_churn.leaf_lifetime = 25.0;
+  options.leaf_churn.rejoin_rate = 1.0 / 10.0;
+  options.shard_size = 16;
+  options.threads = 2;
+  const analytic::TreeParams tree = scenario_tree(2, 2);
+  const exp::SessionFarmResult plain =
+      exp::run_session_farm(ProtocolKind::kSSER, tree, options);
+  exp::SessionFarmOptions zeroed = options;
+  zeroed.scenario.failure.detector_delay = 0.5;  // crash_rate still 0
+  const exp::SessionFarmResult zero =
+      exp::run_session_farm(ProtocolKind::kSSER, tree, zeroed);
+  EXPECT_EQ(plain.messages, zero.messages);
+  EXPECT_EQ(plain.churn, zero.churn);
+  EXPECT_EQ(plain.summary.mean.inconsistency, zero.summary.mean.inconsistency);
+  EXPECT_EQ(zero.relay_crashes, 0u);
+}
+
+TEST(ScenarioFarm, SingleHopFarmsRejectScenarios) {
+  SingleHopParams params;
+  exp::SessionFarmOptions options;
+  options.sessions = 8;
+  options.scenario.failure = FailureConfig::relay_crash(0.1);
+  options.threads = 1;
+  EXPECT_THROW((void)exp::run_session_farm(ProtocolKind::kSS, params, options),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------ teardown hygiene --
+
+TEST(ScenarioTeardown, StopMidCrashLeavesNoDanglingEventsAndAFlatPool) {
+  sim::Simulator sim;
+  const TreeSpec spec = TreeSpec::balanced(2, 2);
+  const std::vector<sim::LossConfig> loss(spec.edges(),
+                                          sim::LossConfig::iid(0.0));
+  const std::vector<sim::DelayConfig> delay(
+      spec.edges(),
+      sim::DelayConfig{sim::DelayModel::kDeterministic, 0.02, 1.5});
+  protocols::ChurnOptions churn;
+  churn.leaf_lifetime = 3.0;
+  churn.rejoin_rate = 1.0;
+  ScenarioOptions scenario;
+  scenario.failure = FailureConfig::relay_crash(1.0 / 2.0, 3.0, 1.0);
+  scenario.shared_risk = SharedRiskConfig::bursts(1.0 / 4.0);
+
+  for (const ProtocolKind kind : kAllProtocols) {
+    std::size_t flat_capacity = 0;
+    for (int cycle = 0; cycle < 10; ++cycle) {
+      // Fresh streams at fixed seeds every cycle: each cycle replays the
+      // SAME scenario trace (crashes, recoveries, detections, bursts and
+      // churn timers all in flight at the cutoff), so any pool growth
+      // after the first cycle is a straggler event, not workload variance.
+      sim::Rng channel_rng(55, 0);
+      sim::Rng node_rng(55, 1);
+      sim::Rng membership_rng(55, 2);
+      sim::Rng arrival_rng(55, 3);
+      sim::Rng failure_rng(55, 4);
+      protocols::TimerSettings timers;
+      auto topology = std::make_unique<protocols::Topology>(
+          sim, channel_rng, node_rng, mechanisms(kind), timers, spec, loss,
+          delay, nullptr);
+      auto controller = std::make_unique<protocols::MembershipController>(
+          sim, *topology, membership_rng, churn, scenario, &arrival_rng,
+          nullptr);
+      auto failure = std::make_unique<protocols::RelayFailureProcess>(
+          sim, *topology, failure_rng, scenario.failure,
+          mechanisms(kind).external_failure_detector);
+      topology->sender().start(1);
+      controller->start();
+      failure->start();
+      sim.run_until(sim.now() + 9.7);
+      controller->finish();
+      failure->stop();
+      topology->stop();
+      // Leftover channel deliveries and dead timers must drain without
+      // resurrecting anything.
+      sim.run();
+      EXPECT_TRUE(sim.idle()) << to_string(kind) << " cycle " << cycle;
+      EXPECT_EQ(sim.pending_events(), 0u) << to_string(kind);
+      failure.reset();
+      controller.reset();
+      topology.reset();
+      if (cycle == 0) {
+        flat_capacity = sim.slot_capacity();
+      } else {
+        EXPECT_EQ(sim.slot_capacity(), flat_capacity)
+            << to_string(kind) << ": event pool grew at cycle " << cycle;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ option validation --
+
+TEST(ScenarioValidation, RejectsBadValuesWithTheOptionNamed) {
+  const auto message_of = [](const ScenarioOptions& options) {
+    try {
+      options.validate();
+      return std::string();
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+  };
+  ScenarioOptions negative_crash;
+  negative_crash.failure.crash_rate = -1.0;
+  EXPECT_NE(message_of(negative_crash).find("crash_rate"), std::string::npos);
+
+  ScenarioOptions negative_detector;
+  negative_detector.failure.crash_rate = 0.1;
+  negative_detector.failure.detector_delay = -2.0;
+  EXPECT_NE(message_of(negative_detector).find("detector_delay"),
+            std::string::npos);
+
+  // Build the bad arrival configs field-by-field: the factory helpers
+  // validate eagerly, and here the deferred ScenarioOptions::validate path
+  // (the one the CLI routes through) is under test.
+  ScenarioOptions bad_amplitude;
+  bad_amplitude.arrival.model = protocols::ArrivalModel::kDiurnal;
+  bad_amplitude.arrival.period = 100.0;
+  bad_amplitude.arrival.amplitude = 1.5;
+  EXPECT_NE(message_of(bad_amplitude).find("amplitude"), std::string::npos);
+
+  ScenarioOptions no_period;
+  no_period.arrival.model = protocols::ArrivalModel::kDiurnal;
+  no_period.arrival.amplitude = 0.5;
+  EXPECT_NE(message_of(no_period).find("period"), std::string::npos);
+
+  ScenarioOptions negative_burst;
+  negative_burst.shared_risk.burst_rate = -0.5;
+  EXPECT_NE(message_of(negative_burst).find("burst_rate"), std::string::npos);
+
+  ScenarioOptions infinite_flash;
+  infinite_flash.arrival.model = protocols::ArrivalModel::kFlashCrowd;
+  infinite_flash.arrival.flash_rate = std::numeric_limits<double>::infinity();
+  infinite_flash.arrival.flash_duration = 10.0;
+  EXPECT_NE(message_of(infinite_flash).find("flash_rate"), std::string::npos);
+}
+
+TEST(ScenarioValidation, TreeRunValidatesTheScenario) {
+  protocols::TreeSimOptions options;
+  options.duration = 10.0;
+  options.scenario.failure.crash_rate = -1.0;
+  EXPECT_THROW((void)protocols::run_tree(ProtocolKind::kSS,
+                                         scenario_tree(2, 2), options),
+               std::invalid_argument);
+}
+
+TEST(ScenarioValidation, ActiveMembershipScenarioNeedsAScenarioRng) {
+  Wired w(ProtocolKind::kSS, TreeSpec::balanced(2, 2));
+  protocols::ChurnOptions churn;
+  churn.leaf_lifetime = 10.0;
+  churn.rejoin_rate = 0.1;
+  ScenarioOptions scenario;
+  scenario.arrival = ArrivalConfig::diurnal(100.0, 0.5);
+  sim::Rng membership_rng(9, 0);
+  EXPECT_THROW(protocols::MembershipController(w.sim, *w.topology,
+                                               membership_rng, churn, scenario,
+                                               nullptr, nullptr),
+               std::invalid_argument);
+}
+
+TEST(ScenarioValidation, SingleHopRejectsNegativeCrashDetectionDelay) {
+  SingleHopParams params;
+  protocols::SimOptions options;
+  options.sessions = 1;
+  options.crash_detection_delay = -1.0;
+  EXPECT_THROW((void)protocols::run_single_hop(ProtocolKind::kHS, params,
+                                               options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sigcomp

@@ -388,6 +388,94 @@ analytic::TreeParams tree_params(const exp::ArgParser& parser,
   return analytic::TreeParams::uniform(base, tree_shape(parser));
 }
 
+/// Registers the correlated-event scenario flag family shared by `tree`
+/// and `scale` (interior-relay crashes, flash-crowd join storms, diurnal
+/// rejoin rates, shared-risk subtree leave bursts).
+void add_scenario_options(exp::ArgParser& parser) {
+  parser.add_option("crash-rate",
+                    "interior-relay crash rate (crashes/s; 0 = no crashes)",
+                    "0");
+  parser.add_option("crash-recovery", "mean relay downtime in seconds", "10");
+  parser.add_option("detector-delay",
+                    "mean HS external-failure-detector latency in seconds "
+                    "(soft state repairs via refresh instead)",
+                    "5");
+  parser.add_option("flash-crowd",
+                    "extra rejoin rate during the flash-crowd storm "
+                    "(rejoins/s; 0 = no storm)",
+                    "0");
+  parser.add_option("flash-at", "storm trigger instant in simulated seconds",
+                    "0");
+  parser.add_option("flash-duration", "storm length in seconds", "60");
+  parser.add_option("diurnal-period",
+                    "diurnal rejoin-rate period in seconds (0 = no "
+                    "modulation)",
+                    "0");
+  parser.add_option("diurnal-amplitude",
+                    "diurnal relative amplitude in [0, 1]", "0.8");
+  parser.add_option("shared-risk",
+                    "shared-risk subtree leave-burst rate (bursts/s; 0 = "
+                    "none)",
+                    "0");
+}
+
+/// Parses and cross-validates the scenario flag family registered by
+/// add_scenario_options.  `churn` is the already-parsed churn model: the
+/// flash/diurnal modulations ride on its rejoin process, so they need a
+/// source of detached leaves (churn or shared-risk bursts) to act on.
+protocols::ScenarioOptions scenario_options(
+    const exp::ArgParser& parser, const protocols::ChurnOptions& churn) {
+  protocols::ScenarioOptions scenario;
+  scenario.failure.crash_rate = parser.get_double("crash-rate");
+  scenario.failure.recovery_time = parser.get_double("crash-recovery");
+  scenario.failure.detector_delay = parser.get_double("detector-delay");
+  scenario.shared_risk.burst_rate = parser.get_double("shared-risk");
+  const double flash_rate = parser.get_double("flash-crowd");
+  const double diurnal_period = parser.get_double("diurnal-period");
+  if ((parser.passed("crash-recovery") || parser.passed("detector-delay")) &&
+      !scenario.failure.enabled()) {
+    throw std::invalid_argument(
+        "--crash-recovery/--detector-delay need --crash-rate > 0 (no "
+        "crashes, nothing to recover or detect)");
+  }
+  if ((parser.passed("flash-at") || parser.passed("flash-duration")) &&
+      flash_rate <= 0.0) {
+    throw std::invalid_argument(
+        "--flash-at/--flash-duration need --flash-crowd > 0 (no storm to "
+        "place)");
+  }
+  if (parser.passed("diurnal-amplitude") && diurnal_period <= 0.0) {
+    throw std::invalid_argument(
+        "--diurnal-amplitude needs --diurnal-period > 0 (no sinusoid to "
+        "scale)");
+  }
+  if (flash_rate > 0.0 && diurnal_period > 0.0) {
+    throw std::invalid_argument(
+        "--flash-crowd and --diurnal-period are mutually exclusive rejoin "
+        "modulations");
+  }
+  if (flash_rate > 0.0) {
+    if (!churn.enabled() && !scenario.shared_risk.enabled()) {
+      throw std::invalid_argument(
+          "--flash-crowd needs detached leaves to storm back: enable churn "
+          "(--leaf-lifetime > 0) or shared-risk bursts (--shared-risk > 0)");
+    }
+    scenario.arrival = protocols::ArrivalConfig::flash_crowd(
+        parser.get_double("flash-at"), flash_rate,
+        parser.get_double("flash-duration"));
+  } else if (diurnal_period > 0.0) {
+    if (churn.rejoin_rate <= 0.0) {
+      throw std::invalid_argument(
+          "--diurnal-period modulates the rejoin rate; it needs "
+          "--churn-rate > 0");
+    }
+    scenario.arrival = protocols::ArrivalConfig::diurnal(
+        diurnal_period, parser.get_double("diurnal-amplitude"));
+  }
+  scenario.validate();
+  return scenario;
+}
+
 int cmd_tree(int argc, const char* const* argv) {
   exp::ArgParser parser(
       "sigcomp_cli tree",
@@ -407,6 +495,7 @@ int cmd_tree(int argc, const char* const* argv) {
                     "rejoin rate of a departed leaf (rejoins/s; 0 = leaves "
                     "never return)",
                     "0");
+  add_scenario_options(parser);
   parser.add_option("loss", "per-edge loss probability", "0.02");
   parser.add_option("delay", "per-edge delay in seconds", "0.03");
   parser.add_option("update-interval", "mean seconds between updates", "60");
@@ -456,7 +545,9 @@ int cmd_tree(int argc, const char* const* argv) {
         "--churn-rate needs --leaf-lifetime > 0 (nothing churns until a "
         "leaf can leave)");
   }
+  options.scenario = scenario_options(parser, options.churn);
   const bool churning = options.churn.enabled();
+  const bool crashing = options.scenario.failure.enabled();
   const std::size_t replications = count_option(parser, "replications");
   if (replications == 0) {
     throw std::invalid_argument("tree: need --replications >= 1");
@@ -519,10 +610,14 @@ int cmd_tree(int argc, const char* const* argv) {
                                    "rate (msg/s)", "timeouts"};
   if (churning) {
     headers.insert(headers.end(), {"joins", "setup lat (s)", "leaves",
-                                   "orphan win (s)"});
+                                   "orphan win (s)", "orphan lb (s)"});
+  }
+  if (crashing) {
+    headers.insert(headers.end(), {"crashes", "recoveries"});
   }
   exp::Table table("tree evaluation: " + exp::tree_shape_summary(tree.tree) +
-                       (churning ? ", churning leaves" : ""),
+                       (churning ? ", churning leaves" : "") +
+                       (crashing ? ", crashing relays" : ""),
                    std::move(headers));
   for (const ProtocolKind kind : kMultiHopProtocols) {
     const analytic::TreePathMetrics worst = analytic::worst_tree_path(kind, tree);
@@ -531,6 +626,8 @@ int cmd_tree(int argc, const char* const* argv) {
     sim::RunningStats worst_leaf;
     sim::RunningStats rate;
     double timeouts = 0.0;
+    double crashes = 0.0;
+    double recoveries = 0.0;
     protocols::ChurnReport churn;
     for (const protocols::TreeSimResult& run : runs) {
       inconsistency.add(run.metrics.inconsistency);
@@ -539,6 +636,10 @@ int cmd_tree(int argc, const char* const* argv) {
       rate.add(run.metrics.raw_message_rate);
       timeouts += static_cast<double>(run.relay_timeouts) /
                   static_cast<double>(replications);
+      crashes += static_cast<double>(run.relay_crashes) /
+                 static_cast<double>(replications);
+      recoveries += static_cast<double>(run.relay_recoveries) /
+                    static_cast<double>(replications);
       churn.absorb(run.churn);
     }
     const sim::ConfidenceInterval ci = sim::confidence_interval_95(inconsistency);
@@ -551,6 +652,11 @@ int cmd_tree(int argc, const char* const* argv) {
       row.emplace_back(churn.mean_setup_latency());
       row.emplace_back(static_cast<double>(churn.leaves));
       row.emplace_back(churn.mean_orphan_window());
+      row.emplace_back(churn.mean_orphan_window_bound());
+    }
+    if (crashing) {
+      row.emplace_back(crashes);
+      row.emplace_back(recoveries);
     }
     table.add_row(std::move(row));
   }
@@ -771,6 +877,7 @@ int cmd_scale(int argc, const char* const* argv) {
                     "tree sessions: rejoin rate of a departed leaf "
                     "(rejoins/s)",
                     "0");
+  add_scenario_options(parser);
   parser.add_option("sessions", "concurrent sessions N to drive", "10000");
   parser.add_option("arrival-rate",
                     "Poisson session arrival rate (sessions/s); the arrival "
@@ -839,7 +946,15 @@ int cmd_scale(int argc, const char* const* argv) {
         "scale: --leaf-lifetime churns tree sessions; pass a tree shape "
         "(--fanout/--depth/--receivers or --topology)");
   }
+  options.scenario = scenario_options(parser, options.leaf_churn);
+  if (options.scenario.enabled() && !tree_sessions) {
+    throw std::invalid_argument(
+        "scale: scenario processes (crashes, storms, bursts) act on tree "
+        "sessions; pass a tree shape (--fanout/--depth/--receivers or "
+        "--topology)");
+  }
   const bool churning = options.leaf_churn.enabled();
+  const bool crashing = options.scenario.failure.enabled();
   const std::size_t hops = count_option(parser, "hops");
   const std::string shape =
       tree_sessions ? (parser.passed("topology")
@@ -852,11 +967,15 @@ int cmd_scale(int argc, const char* const* argv) {
                                    "msg/s/session", "timeouts"};
   if (churning) {
     headers.insert(headers.end(), {"joins", "setup lat (s)", "leaves",
-                                   "orphan win (s)"});
+                                   "orphan win (s)", "orphan lb (s)"});
+  }
+  if (crashing) {
+    headers.insert(headers.end(), {"crashes", "recoveries"});
   }
   exp::Table table("session farm: " + std::to_string(options.sessions) +
                        " sessions, " + shape +
-                       (churning ? ", churning leaves" : ""),
+                       (churning ? ", churning leaves" : "") +
+                       (crashing ? ", crashing relays" : ""),
                    std::move(headers));
   const auto add_row = [&](ProtocolKind kind,
                            const exp::SessionFarmResult& result) {
@@ -874,6 +993,11 @@ int cmd_scale(int argc, const char* const* argv) {
       row.emplace_back(result.churn.mean_setup_latency());
       row.emplace_back(static_cast<double>(result.churn.leaves));
       row.emplace_back(result.churn.mean_orphan_window());
+      row.emplace_back(result.churn.mean_orphan_window_bound());
+    }
+    if (crashing) {
+      row.emplace_back(static_cast<double>(result.relay_crashes));
+      row.emplace_back(static_cast<double>(result.relay_recoveries));
     }
     table.add_row(std::move(row));
   };
