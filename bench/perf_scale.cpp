@@ -22,8 +22,18 @@
 // (exit 1 on mismatch).  --json writes the machine-readable BENCH_scale.json
 // described in docs/PERFORMANCE.md.
 //
+// --sessions N adds the MILLION-SESSION leg: one arena-farm run of N
+// single-hop SS+RT sessions over a 10 s arrival window with 300 s mean
+// lifetimes, so ~98.4% of N is concurrently in flight at the peak (pass
+// N = 1050000 to put the peak above one million).  The leg then reruns the
+// same workload across {1, 2, 8} threads x shard sizes {7, 64, 4096} and
+// compares an FNV-1a digest of the full per-session metrics stream: any
+// single bit of any session's metrics differing across the executions
+// exits 1.  docs/PERFORMANCE.md documents the methodology.
+//
 // Usage: perf_scale [--quick] [--csv PATH] [--threads N]
-//                   [--event-queue heap|wheel] [--json PATH]
+//                   [--event-queue heap|wheel] [--json PATH] [--sessions N]
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -321,7 +331,9 @@ void bench_farm_stress(exp::Table& table, JsonReport& json,
                        std::size_t sessions, exp::ParallelSweep& engine,
                        sim::EventQueueBackend backend) {
   // One Simulator hosting every session: the true "N concurrent sessions
-  // in one event queue" stress.  peak_sessions_in_flight is exact here.
+  // in one event queue" stress.  (peak_sessions_in_flight is exact at any
+  // shard size now -- the farm merges per-shard session intervals -- so
+  // single-shard is purely an event-queue stress, not a peak-truth crutch.)
   exp::SessionFarmOptions options = farm_options(sessions, &engine, backend);
   options.shard_size = sessions;
   const auto start = Clock::now();
@@ -375,6 +387,98 @@ bool bench_farm_head_to_head(exp::Table& table, JsonReport& json,
     std::cerr << "head-to-head: heap and wheel farms disagree -- BUG\n";
   }
   return identical;
+}
+
+// ------------------------------------------------- million-session leg --
+
+/// The scale workload: N sessions arriving over a 10 s window with 300 s
+/// mean lifetimes.  P(a session is still alive at the window's end) ~
+/// integral of exp(-t/300)/10 over [0,10] = 98.4%, so the in-flight peak
+/// is ~0.984 N -- N = 1050000 sustains a million concurrent sessions.
+exp::SessionFarmOptions scale_options(std::size_t sessions,
+                                      std::size_t threads,
+                                      sim::EventQueueBackend backend) {
+  exp::SessionFarmOptions options;
+  options.seed = 42;
+  options.sessions = sessions;
+  options.arrival_rate = static_cast<double>(sessions) / 10.0;
+  options.session_lifetime = 300.0;
+  options.shard_size = 4096;
+  options.threads = threads;
+  options.event_queue = backend;
+  options.keep_per_session = true;
+  return options;
+}
+
+/// FNV-1a over every double of every session's Metrics, in global session
+/// order -- the same construction tests/test_golden_trace.cpp pins, so
+/// "digests equal" means bit-identical metrics session by session.
+std::uint64_t metrics_digest(const std::vector<Metrics>& sessions) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](double v) {
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    for (std::size_t i = 0; i < sizeof(bits); ++i) {
+      hash ^= (bits >> (8 * i)) & 0xffU;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  for (const Metrics& m : sessions) {
+    mix(m.inconsistency);
+    mix(m.message_rate);
+    mix(m.raw_message_rate);
+    mix(m.session_length);
+    mix(m.breakdown.trigger);
+    mix(m.breakdown.refresh);
+    mix(m.breakdown.explicit_removal);
+    mix(m.breakdown.reliable_trigger);
+    mix(m.breakdown.reliable_removal);
+  }
+  return hash;
+}
+
+/// Runs the measured scale row plus the thread/shard determinism matrix.
+/// Returns false when any configuration's per-session digest diverges.
+bool bench_farm_scale(exp::Table& table, exp::Table& check, JsonReport& json,
+                      std::size_t sessions, std::size_t threads,
+                      sim::EventQueueBackend backend) {
+  const auto start = Clock::now();
+  const exp::SessionFarmResult measured =
+      run_session_farm(ProtocolKind::kSSRT, SingleHopParams::kazaa_defaults(),
+                       scale_options(sessions, threads, backend));
+  const double elapsed = seconds_since(start);
+  add_farm_row(table, json, "scale SS+RT, 10s window", backend, sessions,
+               measured, elapsed);
+  const std::uint64_t baseline = metrics_digest(measured.per_session);
+  std::cout << "scale leg: " << sessions << " sessions, peak in flight "
+            << measured.peak_sessions_in_flight << ", arena high water "
+            << measured.arena_slot_high_water << " slots/shard\n";
+
+  // The determinism matrix the farm contract promises: {1, 2, 8} threads at
+  // the production shard size, and shard sizes {7, 64, 4096} single
+  // threaded.  (The measured run above already covers (threads, 4096).)
+  struct ScaleConfig {
+    std::size_t threads;
+    std::size_t shard_size;
+  };
+  const ScaleConfig configs[] = {
+      {1, 4096}, {2, 4096}, {8, 4096}, {1, 7}, {1, 64}};
+  bool all_ok = true;
+  for (const ScaleConfig& config : configs) {
+    if (config.threads == threads && config.shard_size == 4096) continue;
+    exp::SessionFarmOptions options =
+        scale_options(sessions, config.threads, backend);
+    options.shard_size = config.shard_size;
+    const exp::SessionFarmResult result = run_session_farm(
+        ProtocolKind::kSSRT, SingleHopParams::kazaa_defaults(), options);
+    const bool ok = metrics_digest(result.per_session) == baseline &&
+                    result.peak_sessions_in_flight ==
+                        measured.peak_sessions_in_flight;
+    all_ok = all_ok && ok;
+    check.add_row({"scale threads=" + std::to_string(config.threads) +
+                       " shard=" + std::to_string(config.shard_size),
+                   ok ? "identical" : "MISMATCH -- BUG"});
+  }
+  return all_ok;
 }
 
 // ---------------------------------------------------------- self-check --
@@ -469,6 +573,22 @@ std::string json_path_from_args(int argc, const char* const* argv) {
   return {};
 }
 
+/// --sessions N enables the million-session leg; 0 means off.
+std::size_t scale_sessions_from_args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) != "--sessions") continue;
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("--sessions requires a value");
+    }
+    const long long parsed = std::stoll(argv[i + 1]);
+    if (parsed <= 0) {
+      throw std::invalid_argument("--sessions must be positive");
+    }
+    return static_cast<std::size_t>(parsed);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -513,9 +633,23 @@ int main(int argc, char** argv) {
     farm.print(std::cout);
     std::cout << '\n';
 
+    const std::size_t scale_sessions = scale_sessions_from_args(argc, argv);
     exp::Table check("determinism self-check (SS, 1500 sessions)",
                      {"comparison", "result"});
     const bool deterministic = self_check(check, backend);
+    bool scale_ok = true;
+    if (scale_sessions > 0) {
+      exp::Table scale(
+          std::string("million-session leg (single-hop SS+RT, "
+                      "10 s window, 300 s lifetimes, event queue: ") +
+              sim::to_string(backend) + ")",
+          {"workload", "sessions", "peak in flight", "events", "seconds",
+           "events/s", "sessions/s", "I (mean)"});
+      scale_ok = bench_farm_scale(scale, check, json, scale_sessions,
+                                  engine.threads(), backend);
+      scale.print(std::cout);
+      std::cout << '\n';
+    }
     check.print(std::cout);
     std::cout << "\nre-arm churn speedups: heap "
               << speedups.churn_heap_vs_reference
@@ -529,7 +663,8 @@ int main(int argc, char** argv) {
     }
     const std::string json_path = json_path_from_args(argc, argv);
     if (!json_path.empty()) write_json_report(json, json_path);
-    return (deterministic && head_to_head_ok && g_core_ok) ? 0 : 1;
+    return (deterministic && head_to_head_ok && scale_ok && g_core_ok) ? 0
+                                                                       : 1;
   } catch (const std::exception& e) {
     std::cerr << "perf_scale: " << e.what() << '\n';
     return 2;

@@ -1,6 +1,49 @@
+// Arena-backed farm execution layer.
+//
+// Three structural changes over the task-per-shard farm that
+// tests/reference_session_farm.cpp preserves (and the differential suite
+// diffs against, element-wise per session):
+//
+//  * Arena/SoA session state: every per-session object lives in a pre-sized
+//    per-shard SessionArena (exp/session_arena.hpp).  Single-hop sessions
+//    are flattened -- channels and engines are direct members, no
+//    unique_ptr indirection -- and their slots are recycled through a
+//    free list once quiescent, so steady-state arrival/teardown performs
+//    zero heap allocations (asserted by tests via the arena counters and
+//    EventCallback::heap_allocations()).
+//  * Persistent per-core shard workers: instead of fanning one task per
+//    shard through parallel_for, each of W = min(threads, shards) workers
+//    owns the strided shard set {w, w+W, ...} and advances each shard's
+//    Simulator in time slices (Simulator::run_slice), with batched
+//    timer-expiry delivery amortizing queue pops on the refresh-storm hot
+//    path.
+//  * Exact peak_sessions_in_flight: the reduce step merges every session's
+//    [begin, completion] endpoints across shards and sweeps them globally,
+//    replacing the summed-per-shard upper bound.
+//
+// The determinism contract is unchanged and load-bearing: per-session
+// randomness stays keyed to the global session index, shard boundaries stay
+// fixed by shard_size alone, and per-session metrics are reduced in global
+// session order.  The rewrite is bit-identical to the reference farm at any
+// thread count and shard size because every shard's EVENT STREAM is
+// identical:
+//
+//  * The reference constructs all sessions up front, and each construction
+//    pushes exactly ONE event (the arrival; everything else a session ctor
+//    does is passive).  The arena farm's pre-scan pushes the same arrival
+//    events, in the same session order (same seqs), at the same times --
+//    it re-derives each arrival from a fresh kSessionLifecycle stream, the
+//    same first draw the session itself repeats at spawn time.
+//  * When an arrival fires, the session is placement-constructed (passive)
+//    and begin() runs inside that same event -- exactly the work the
+//    reference's arrival event performs, pushing the same follow-up events
+//    in the same order.  By induction the two farms' queues hold identical
+//    (time, seq) sets at every step, and run_slice dispatches in exact pop
+//    order, so every RNG draw, message and metric lands identically.
 #include "exp/session_farm.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -8,6 +51,8 @@
 #include <vector>
 
 #include "core/rng_streams.hpp"
+#include "exp/session_arena.hpp"
+#include "exp/thread_pool.hpp"
 #include "protocols/engine.hpp"
 #include "protocols/topology.hpp"
 #include "sim/channel.hpp"
@@ -20,6 +65,13 @@ namespace {
 
 using protocols::MessageChannel;
 using protocols::Message;
+
+/// Slice width of the shard workers' round-robin (simulated seconds).  A
+/// pure performance knob: each slice is anchored at the shard's next
+/// pending event, and run_slice preserves exact pop order, so any width
+/// yields the same results.  10 s spans several refresh periods, batching
+/// enough expiries per drain to amortize the pops.
+constexpr double kSliceSeconds = 10.0;
 
 void validate_options(const SessionFarmOptions& options) {
   if (options.sessions == 0) {
@@ -39,20 +91,26 @@ void validate_options(const SessionFarmOptions& options) {
   options.scenario.validate();
 }
 
-/// Callbacks a session uses to report lifecycle transitions to its shard.
-struct ShardHooks {
-  std::size_t active = 0;
-  std::size_t peak = 0;
+/// Where sessions deposit their results, indexed by the session's local
+/// (within-shard) index so completion order cannot affect anything.
+/// Completion-time recording replaces the reference farm's
+/// read-the-session-at-shard-end extraction: recycled sessions are
+/// destroyed long before the shard finishes, so everything a session will
+/// ever report is captured the moment it completes.
+struct ShardSink {
+  std::vector<Metrics> metrics;              ///< per local index
+  std::vector<protocols::ChurnReport> churn;  ///< per local index
+  std::vector<double> arrival;  ///< begin times, filled by the pre-scan
+  std::vector<double> end;      ///< completion times, filled on completion
+  std::uint64_t messages = 0;
+  std::uint64_t receiver_timeouts = 0;
+  std::uint64_t relay_crashes = 0;
+  std::uint64_t relay_recoveries = 0;
   std::size_t completed = 0;
-
-  void on_started() {
-    ++active;
-    peak = std::max(peak, active);
-  }
-  void on_completed() {
-    --active;
-    ++completed;
-  }
+  /// Hands a completed session's slot to the arena's cooling list.  Bound
+  /// by the shard (captures one pointer; fits the std::function SBO, so
+  /// completion stays allocation-free).
+  std::function<void(std::uint32_t)> retire;
 };
 
 /// Per-session randomness: eight independent streams keyed to the session's
@@ -98,75 +156,71 @@ struct SessionRngs {
 
 /// One single-hop session: arrival -> install -> updates -> removal ->
 /// absorption, measured over [arrival, absorption].  A one-shot version of
-/// the renewal construction in protocols/single_hop_run.cpp.
+/// the renewal construction in protocols/single_hop_run.cpp, flattened for
+/// arena placement: channels and engines are direct members (every closure
+/// they store captures one pointer and stays inside its small-buffer
+/// storage), so constructing a session in a recycled slot allocates
+/// nothing.  Constructed INSIDE its own pre-scanned arrival event; the
+/// shard calls begin() immediately after.
 class SingleHopSession {
  public:
   SingleHopSession(sim::Simulator& sim, ProtocolKind kind,
                    const SingleHopParams& params,
                    const SessionFarmOptions& options,
-                   std::uint64_t global_index, ShardHooks& hooks)
+                   std::uint64_t global_index, ShardSink& sink,
+                   std::size_t local)
       : sim_(sim),
         params_(params),
         options_(options),
         mech_(mechanisms(kind)),
-        hooks_(hooks),
+        sink_(sink),
+        local_(local),
         rngs_(options.seed, global_index),
         forward_(sim, rngs_.channel, params.loss_config(),
                  sim::DelayConfig{options.delay_model, params.delay,
                                   options.delay_shape},
-                 [this](const Message& m) { receiver_->handle(m); }),
+                 [this](const Message& m) { receiver_.handle(m); }),
         reverse_(sim, rngs_.channel, params.loss_config(),
                  sim::DelayConfig{options.delay_model, params.delay,
                                   options.delay_shape},
-                 [this](const Message& m) { sender_->handle(m); }) {
-    protocols::TimerSettings timers{options.timer_dist, params.refresh_timer,
-                                    params.timeout_timer,
-                                    params.retrans_timer};
-    sender_ = std::make_unique<protocols::SenderEngine>(
-        sim_, rngs_.sender, mech_, timers, forward_, [this] { on_change(); });
-    receiver_ = std::make_unique<protocols::ReceiverEngine>(
-        sim_, rngs_.receiver, mech_, timers, reverse_,
-        [this] { on_change(); });
+                 [this](const Message& m) { sender_.handle(m); }),
+        sender_(sim_, rngs_.sender, mech_,
+                protocols::TimerSettings{options.timer_dist,
+                                         params.refresh_timer,
+                                         params.timeout_timer,
+                                         params.retrans_timer},
+                forward_, [this] { on_change(); }),
+        receiver_(sim_, rngs_.receiver, mech_,
+                  protocols::TimerSettings{options.timer_dist,
+                                           params.refresh_timer,
+                                           params.timeout_timer,
+                                           params.retrans_timer},
+                  reverse_, [this] { on_change(); }) {
     // Staggered Poisson arrivals: conditioned on N arrivals in the window,
     // arrival times are iid uniform over it -- and drawing from the
-    // session's own stream keys the time to the global index alone.
+    // session's own stream keys the time to the global index alone.  The
+    // draw repeats the pre-scan's (same stream, same first draw), so the
+    // session materializes at exactly the time its arrival event fired.
     const double window =
         static_cast<double>(options.sessions) / options.arrival_rate;
     arrival_ = window * rngs_.lifecycle.uniform();
     lifetime_ = rngs_.lifecycle.exponential(options.session_lifetime);
-    sim_.schedule_at(arrival_, [this] { begin(); });
   }
 
-  [[nodiscard]] bool done() const noexcept { return done_; }
-  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
-  /// Counters frozen at absorption time, so results cannot depend on which
-  /// straggler events the shard's simulator happened to execute afterwards.
-  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
-  [[nodiscard]] std::uint64_t receiver_timeouts() const noexcept {
-    return timeouts_;
-  }
-  /// Single-hop sessions have no tree to churn; always all-zero (the farm
-  /// rejects enabled churn before any session is built).
-  [[nodiscard]] const protocols::ChurnReport& churn() const noexcept {
-    return churn_;
-  }
-  /// No tree, no relays to crash (the farm rejects an enabled scenario).
-  [[nodiscard]] std::uint64_t relay_crashes() const noexcept { return 0; }
-  /// See relay_crashes.
-  [[nodiscard]] std::uint64_t relay_recoveries() const noexcept { return 0; }
+  /// The arena slot this session occupies; handed back on retirement.
+  void set_slot(std::uint32_t slot) noexcept { slot_ = slot; }
 
- private:
+  /// Starts the session (the body of its arrival event).
   void begin() {
-    hooks_.on_started();
     inconsistent_ = sim::TimeWeightedValue(arrival_);
-    sender_->begin_epoch(1);
-    receiver_->begin_epoch(1);
-    sender_->install(++version_);
+    sender_.begin_epoch(1);
+    receiver_.begin_epoch(1);
+    sender_.install(++version_);
     schedule_update();
     removal_event_ = sim_.schedule_in(lifetime_, [this] {
       removal_event_.reset();
       sender_removed_ = true;
-      sender_->remove();
+      sender_.remove();
       check_absorption();
     });
     if (mech_.external_failure_detector && params_.false_signal_rate > 0.0) {
@@ -175,13 +229,26 @@ class SingleHopSession {
     on_change();
   }
 
+  /// Slot-recycling safety: absorbed AND both channels drained.  After
+  /// absorption both engines sit in a dead epoch with every timer
+  /// cancelled, and a stale delivery is dropped without a reply, so the
+  /// in-flight counts fall monotonically to zero -- after which no pending
+  /// event references this object and destruction is safe.
+  [[nodiscard]] bool quiescent() const noexcept {
+    if (!done_) return false;
+    const sim::ChannelCounters& f = forward_.counters();
+    const sim::ChannelCounters& r = reverse_.counters();
+    return f.sent == f.delivered + f.lost && r.sent == r.delivered + r.lost;
+  }
+
+ private:
   void schedule_update() {
     if (params_.update_rate <= 0.0) return;
     update_event_ = sim_.schedule_in(
         rngs_.lifecycle.exponential(1.0 / params_.update_rate), [this] {
           update_event_.reset();
-          if (!sender_removed_ && sender_->value()) {
-            sender_->update(++version_);
+          if (!sender_removed_ && sender_.value()) {
+            sender_.update(++version_);
           }
           schedule_update();
         });
@@ -191,7 +258,7 @@ class SingleHopSession {
     false_signal_event_ = sim_.schedule_in(
         rngs_.failure.exponential(1.0 / params_.false_signal_rate), [this] {
           false_signal_event_.reset();
-          receiver_->external_removal_signal();
+          receiver_.external_removal_signal();
           schedule_false_signal();
         });
   }
@@ -205,34 +272,41 @@ class SingleHopSession {
 
   void on_change() {
     if (done_) return;
-    const bool consistent = sender_->value() == receiver_->value();
+    const bool consistent = sender_.value() == receiver_.value();
     inconsistent_.set(sim_.now(), consistent ? 0.0 : 1.0);
     check_absorption();
   }
 
   void check_absorption() {
-    if (done_ || !sender_removed_ || receiver_->value()) return;
+    if (done_ || !sender_removed_ || receiver_.value()) return;
     done_ = true;
     const double end = sim_.now();
     const double length = end - arrival_;
-    messages_ = forward_.counters().sent + reverse_.counters().sent;
-    timeouts_ = receiver_->timeouts();
-    const auto sent = static_cast<double>(messages_);
-    metrics_.inconsistency = inconsistent_.mean(end);
-    metrics_.session_length = length;
-    metrics_.raw_message_rate = length > 0.0 ? sent / length : 0.0;
+    // Counters frozen at absorption time, so results cannot depend on which
+    // straggler events the shard's simulator happened to execute afterwards.
+    const std::uint64_t messages =
+        forward_.counters().sent + reverse_.counters().sent;
+    const auto sent = static_cast<double>(messages);
+    Metrics& metrics = sink_.metrics[local_];
+    metrics.inconsistency = inconsistent_.mean(end);
+    metrics.session_length = length;
+    metrics.raw_message_rate = length > 0.0 ? sent / length : 0.0;
     // M-bar = (messages per session) * lambda_r, as in Eq. (2); the farm's
     // removal rate is 1 / mean lifetime.
-    metrics_.message_rate = sent / options_.session_lifetime;
+    metrics.message_rate = sent / options_.session_lifetime;
     cancel(update_event_);
     cancel(false_signal_event_);
     cancel(removal_event_);
     // Jump both engines to a dead epoch: stragglers still in flight can no
-    // longer resurrect state (there is no next session to protect, but a
-    // resurrected receiver would re-arm timers and skew event counts).
-    sender_->begin_epoch(2);
-    receiver_->begin_epoch(2);
-    hooks_.on_completed();
+    // longer resurrect state, re-arm timers or send replies -- which is
+    // also what drives quiescent()'s in-flight counts to zero.
+    sender_.begin_epoch(2);
+    receiver_.begin_epoch(2);
+    sink_.end[local_] = end;
+    sink_.messages += messages;
+    sink_.receiver_timeouts += receiver_.timeouts();
+    ++sink_.completed;
+    sink_.retire(slot_);
   }
 
   sim::Simulator& sim_;
@@ -241,26 +315,24 @@ class SingleHopSession {
   const SingleHopParams& params_;
   const SessionFarmOptions& options_;
   MechanismSet mech_;
-  ShardHooks& hooks_;
+  ShardSink& sink_;
+  std::size_t local_;
+  std::uint32_t slot_ = 0;
   SessionRngs rngs_;
   MessageChannel forward_;
   MessageChannel reverse_;
-  std::unique_ptr<protocols::SenderEngine> sender_;
-  std::unique_ptr<protocols::ReceiverEngine> receiver_;
+  protocols::SenderEngine sender_;
+  protocols::ReceiverEngine receiver_;
 
   double arrival_ = 0.0;
   double lifetime_ = 0.0;
   std::int64_t version_ = 0;
   bool sender_removed_ = false;
   bool done_ = false;
-  std::uint64_t messages_ = 0;
-  std::uint64_t timeouts_ = 0;
   sim::TimeWeightedValue inconsistent_;
   std::optional<sim::EventId> update_event_;
   std::optional<sim::EventId> removal_event_;
   std::optional<sim::EventId> false_signal_event_;
-  Metrics metrics_;
-  protocols::ChurnReport churn_;
 };
 
 /// One tree session: arrival -> start -> updates over a full
@@ -269,17 +341,26 @@ class SingleHopSession {
 /// class as fan-out-1 trees.  Measured over the lifetime window
 /// [arrival, arrival + lifetime], then silently torn down with
 /// Topology::stop().
+///
+/// Tree sessions are arena-placed but NEVER recycled: quiescent() is
+/// constant false, so a finished tree stays constructed (absorbing
+/// stragglers harmlessly) until the arena is destroyed -- the same memory
+/// behavior as the reference farm, which keeps every session alive to the
+/// end of its shard.  Proving tree quiescence would need in-flight
+/// accounting across every edge of every session for a workload (the 1M
+/// scale leg is single-hop) that does not recycle anyway.
 class TreeSession {
  public:
   TreeSession(sim::Simulator& sim, ProtocolKind kind,
               const analytic::TreeParams& params,
               const SessionFarmOptions& options, std::uint64_t global_index,
-              ShardHooks& hooks)
+              ShardSink& sink, std::size_t local)
       : sim_(sim),
         params_(params),
         options_(options),
         mech_(mechanisms(kind)),
-        hooks_(hooks),
+        sink_(sink),
+        local_(local),
         rngs_(options.seed, global_index) {
     protocols::TimerSettings timers{options.timer_dist, params.refresh_timer,
                                     params.timeout_timer,
@@ -312,35 +393,14 @@ class TreeSession {
         static_cast<double>(options.sessions) / options.arrival_rate;
     arrival_ = window * rngs_.lifecycle.uniform();
     lifetime_ = rngs_.lifecycle.exponential(options.session_lifetime);
-    sim_.schedule_at(arrival_, [this] { begin(); });
   }
 
-  [[nodiscard]] bool done() const noexcept { return done_; }
-  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
-  /// Counters frozen at window end: stragglers delivered to a stopped
-  /// tree may still execute (and even re-install relay state briefly),
-  /// and how many do depends on how long the shard keeps simulating --
-  /// snapshotting keeps results independent of the shard decomposition.
-  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
-  [[nodiscard]] std::uint64_t receiver_timeouts() const noexcept {
-    return timeouts_;
-  }
-  /// The churn outcome frozen at window end (all-zero without churn).
-  [[nodiscard]] const protocols::ChurnReport& churn() const noexcept {
-    return churn_;
-  }
-  /// Interior-relay crashes frozen at window end (0 without a scenario).
-  [[nodiscard]] std::uint64_t relay_crashes() const noexcept {
-    return crashes_;
-  }
-  /// Completed recoveries frozen at window end.
-  [[nodiscard]] std::uint64_t relay_recoveries() const noexcept {
-    return recoveries_;
-  }
+  /// The arena slot this session occupies (unused: trees never retire, but
+  /// the shard's spawn path is session-type-agnostic).
+  void set_slot(std::uint32_t slot) noexcept { slot_ = slot; }
 
- private:
+  /// Starts the session (the body of its arrival event).
   void begin() {
-    hooks_.on_started();
     inconsistent_ = sim::TimeWeightedValue(arrival_);
     topology_->sender().start(++version_);
     schedule_update();
@@ -356,6 +416,10 @@ class TreeSession {
     on_change();
   }
 
+  /// Never recyclable -- see the class comment.
+  [[nodiscard]] bool quiescent() const noexcept { return false; }
+
+ private:
   void schedule_update() {
     if (params_.update_rate <= 0.0) return;
     update_event_ = sim_.schedule_in(
@@ -398,23 +462,27 @@ class TreeSession {
     const double end = sim_.now();
     if (membership_) {
       membership_->finish();
-      churn_ = membership_->report();
+      sink_.churn[local_] = membership_->report();
     }
     if (failure_) {
       // Cancel the pending crash/recovery/detection events BEFORE the
       // counters are frozen, so no scenario event straggles past the
       // window (the teardown tests pin a flat event pool).
       failure_->stop();
-      crashes_ = failure_->crashes();
-      recoveries_ = failure_->recoveries();
+      sink_.relay_crashes += failure_->crashes();
+      sink_.relay_recoveries += failure_->recoveries();
     }
-    messages_ = topology_->messages_sent();
-    timeouts_ = topology_->relay_timeouts();
-    const auto sent = static_cast<double>(messages_);
-    metrics_.inconsistency = inconsistent_.mean(end);
-    metrics_.session_length = lifetime_;
-    metrics_.raw_message_rate = lifetime_ > 0.0 ? sent / lifetime_ : 0.0;
-    metrics_.message_rate = metrics_.raw_message_rate;
+    // Counters frozen at window end: stragglers delivered to a stopped
+    // tree may still execute (and even re-install relay state briefly),
+    // and how many do depends on how long the shard keeps simulating --
+    // snapshotting keeps results independent of the shard decomposition.
+    const std::uint64_t messages = topology_->messages_sent();
+    const auto sent = static_cast<double>(messages);
+    Metrics& metrics = sink_.metrics[local_];
+    metrics.inconsistency = inconsistent_.mean(end);
+    metrics.session_length = lifetime_;
+    metrics.raw_message_rate = lifetime_ > 0.0 ? sent / lifetime_ : 0.0;
+    metrics.message_rate = metrics.raw_message_rate;
     if (update_event_) {
       sim_.cancel(*update_event_);
       update_event_.reset();
@@ -424,14 +492,20 @@ class TreeSession {
     }
     false_signal_events_.clear();
     topology_->stop();
-    hooks_.on_completed();
+    sink_.end[local_] = end;
+    sink_.messages += messages;
+    sink_.receiver_timeouts += topology_->relay_timeouts();
+    ++sink_.completed;
+    // No sink_.retire: the slot cools forever (never quiescent).
   }
 
   sim::Simulator& sim_;
   const analytic::TreeParams& params_;
   const SessionFarmOptions& options_;
   MechanismSet mech_;
-  ShardHooks& hooks_;
+  ShardSink& sink_;
+  std::size_t local_;
+  std::uint32_t slot_ = 0;
   SessionRngs rngs_;
   std::unique_ptr<protocols::Topology> topology_;
   std::unique_ptr<protocols::MembershipController> membership_;
@@ -441,15 +515,9 @@ class TreeSession {
   double lifetime_ = 0.0;
   std::int64_t version_ = 0;
   bool done_ = false;
-  std::uint64_t messages_ = 0;
-  std::uint64_t timeouts_ = 0;
-  std::uint64_t crashes_ = 0;
-  std::uint64_t recoveries_ = 0;
   sim::TimeWeightedValue inconsistent_;
   std::optional<sim::EventId> update_event_;
   std::vector<std::optional<sim::EventId>> false_signal_events_;
-  Metrics metrics_;
-  protocols::ChurnReport churn_;
 };
 
 /// Everything one shard reports back to the aggregator.
@@ -459,51 +527,111 @@ struct ShardOutcome {
   /// aggregator in that order, so the reduced report cannot depend on the
   /// shard decomposition (floating-point addition is order-sensitive).
   std::vector<protocols::ChurnReport> per_session_churn;
+  std::vector<double> arrival;  ///< per-session begin times
+  std::vector<double> end;      ///< per-session completion times
   std::uint64_t messages = 0;
   std::uint64_t events = 0;
   std::uint64_t receiver_timeouts = 0;
   std::uint64_t relay_crashes = 0;
   std::uint64_t relay_recoveries = 0;
   double end_time = 0.0;
-  std::size_t peak = 0;
+  std::size_t arena_high_water = 0;
+  std::size_t arena_chunks = 0;
 };
 
-/// Simulates sessions [first, first + count) of the farm in one Simulator.
+/// Sessions [first, first + count) of the farm: one Simulator, one arena,
+/// one sink.  Construction pre-scans the arrivals; a shard worker then
+/// drives advance_slice() until complete().
 template <typename Session, typename Params>
-ShardOutcome run_shard(ProtocolKind kind, const Params& params,
-                       const SessionFarmOptions& options, std::size_t first,
-                       std::size_t count) {
-  sim::Simulator sim(options.event_queue);
-  ShardHooks hooks;
-  std::vector<std::unique_ptr<Session>> sessions;
-  sessions.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    sessions.push_back(std::make_unique<Session>(
-        sim, kind, params, options, static_cast<std::uint64_t>(first + i),
-        hooks));
-  }
-  while (hooks.completed < count && sim.step()) {
-  }
-  if (hooks.completed < count) {
-    throw std::logic_error("session farm: shard stalled before completing");
+class Shard {
+ public:
+  Shard(ProtocolKind kind, const Params& params,
+        const SessionFarmOptions& options, std::size_t first,
+        std::size_t count)
+      : kind_(kind),
+        params_(params),
+        options_(options),
+        first_(first),
+        count_(count),
+        sim_(options.event_queue),
+        arena_(count) {
+    sink_.metrics.resize(count);
+    sink_.churn.resize(count);
+    sink_.arrival.resize(count);
+    sink_.end.resize(count);
+    sink_.retire = [this](std::uint32_t slot) { arena_.retire(slot); };
+    // Arrival pre-scan: push one arrival event per session, in session
+    // order, at the time the session will re-derive for itself at spawn --
+    // the first draw of a fresh kSessionLifecycle stream.  This reproduces
+    // the reference farm's construction-time pushes exactly (same times,
+    // same seq order), which is the base case of the bit-identity argument
+    // in the file comment.
+    const double window =
+        static_cast<double>(options.sessions) / options.arrival_rate;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto g = static_cast<std::uint64_t>(first + i);
+      sim::Rng lifecycle(replica_seed(options.seed, g, 0),
+                         rng::kSessionLifecycle);
+      const double arrival = window * lifecycle.uniform();
+      sink_.arrival[i] = arrival;
+      sim_.schedule_at(arrival, [this, g, i] { spawn(g, i); });
+    }
   }
 
-  ShardOutcome out;
-  out.per_session.reserve(count);
-  out.per_session_churn.reserve(count);
-  for (const auto& session : sessions) {
-    out.per_session.push_back(session->metrics());
-    out.per_session_churn.push_back(session->churn());
-    out.messages += session->messages();
-    out.receiver_timeouts += session->receiver_timeouts();
-    out.relay_crashes += session->relay_crashes();
-    out.relay_recoveries += session->relay_recoveries();
+  [[nodiscard]] bool complete() const noexcept {
+    return sink_.completed >= count_;
   }
-  out.events = sim.events_executed();
-  out.end_time = sim.now();
-  out.peak = hooks.peak;
-  return out;
-}
+
+  /// Advances one time slice, anchored at the next pending event.  Returns
+  /// as soon as the shard completes mid-slice (undispatched expiries are
+  /// requeued untouched), leaving the clock on the completing event.
+  void advance_slice() {
+    const std::optional<double> next = sim_.next_pending_time();
+    if (!next) {
+      throw std::logic_error("session farm: shard stalled before completing");
+    }
+    sim_.run_slice(*next + kSliceSeconds, [this] { return complete(); });
+  }
+
+  /// Extracts the shard's results (call once, after completion).
+  ShardOutcome finish() {
+    ShardOutcome out;
+    out.per_session = std::move(sink_.metrics);
+    out.per_session_churn = std::move(sink_.churn);
+    out.arrival = std::move(sink_.arrival);
+    out.end = std::move(sink_.end);
+    out.messages = sink_.messages;
+    out.receiver_timeouts = sink_.receiver_timeouts;
+    out.relay_crashes = sink_.relay_crashes;
+    out.relay_recoveries = sink_.relay_recoveries;
+    out.events = sim_.events_executed();
+    out.end_time = sim_.now();
+    out.arena_high_water = arena_.slot_capacity();
+    out.arena_chunks = arena_.chunk_allocations();
+    return out;
+  }
+
+ private:
+  void spawn(std::uint64_t global_index, std::size_t local) {
+    const auto [slot, session] = arena_.spawn(
+        sim_, kind_, params_, options_, global_index, sink_, local);
+    session->set_slot(slot);
+    session->begin();
+  }
+
+  ProtocolKind kind_;
+  const Params& params_;
+  const SessionFarmOptions& options_;
+  std::size_t first_;
+  std::size_t count_;
+  ShardSink sink_;
+  sim::Simulator sim_;
+  // Declared after sim_ so sessions are destroyed BEFORE the simulator
+  // (their destructors may cancel events); pending closures that still
+  // point at destroyed sessions are merely destroyed with the queue, never
+  // invoked.
+  SessionArena<Session> arena_;
+};
 
 template <typename Session, typename Params>
 SessionFarmResult run_farm(ProtocolKind kind, const Params& params,
@@ -522,18 +650,48 @@ SessionFarmResult run_farm(ProtocolKind kind, const Params& params,
     engine = &*local_engine;
   }
 
-  const std::vector<ShardOutcome> outcomes =
-      engine->map_indexed(shards, [&](std::size_t shard) {
-        const std::size_t first = shard * shard_size;
-        const std::size_t count = std::min(shard_size, n - first);
-        return run_shard<Session>(kind, params, options, first, count);
-      });
+  // Persistent per-core shard workers: worker w owns the strided shard set
+  // {w, w + W, ...}, builds every owned shard up front, and round-robins
+  // one time slice per incomplete shard until all of them finish.
+  // Ownership and slicing cannot affect results: shards are independent
+  // simulators and run_slice preserves exact pop order, so this is the
+  // task-per-shard farm's schedule merely interleaved differently in
+  // wall-clock time.
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(engine->threads(), shards));
+  std::vector<ShardOutcome> outcomes(shards);
+  parallel_for(engine->pool(), workers, [&](std::size_t w) {
+    std::vector<std::unique_ptr<Shard<Session, Params>>> owned;
+    for (std::size_t s = w; s < shards; s += workers) {
+      const std::size_t first = s * shard_size;
+      const std::size_t count = std::min(shard_size, n - first);
+      owned.push_back(std::make_unique<Shard<Session, Params>>(
+          kind, params, options, first, count));
+    }
+    bool all_done = false;
+    while (!all_done) {
+      all_done = true;
+      for (auto& shard : owned) {
+        if (shard->complete()) continue;
+        shard->advance_slice();
+        all_done = all_done && shard->complete();
+      }
+    }
+    std::size_t next = 0;
+    for (std::size_t s = w; s < shards; s += workers) {
+      outcomes[s] = owned[next++]->finish();
+    }
+  });
 
   SessionFarmResult result;
   result.shards = shards;
   std::vector<Metrics> all_sessions;
   all_sessions.reserve(n);
-  for (const ShardOutcome& outcome : outcomes) {
+  std::vector<double> starts;
+  std::vector<double> ends;
+  starts.reserve(n);
+  ends.reserve(n);
+  for (ShardOutcome& outcome : outcomes) {
     all_sessions.insert(all_sessions.end(), outcome.per_session.begin(),
                         outcome.per_session.end());
     for (const protocols::ChurnReport& churn : outcome.per_session_churn) {
@@ -545,10 +703,33 @@ SessionFarmResult run_farm(ProtocolKind kind, const Params& params,
     result.relay_crashes += outcome.relay_crashes;
     result.relay_recoveries += outcome.relay_recoveries;
     result.horizon = std::max(result.horizon, outcome.end_time);
-    result.peak_sessions_in_flight += outcome.peak;
+    result.arena_slot_high_water =
+        std::max(result.arena_slot_high_water, outcome.arena_high_water);
+    result.arena_chunk_allocations += outcome.arena_chunks;
+    starts.insert(starts.end(), outcome.arrival.begin(), outcome.arrival.end());
+    ends.insert(ends.end(), outcome.end.begin(), outcome.end.end());
+  }
+  // Exact global peak: merge every session's [begin, completion] endpoints
+  // across shards and sweep.  A start at exactly an end's time counts as
+  // overlapping (starts first at ties), matching the in-simulator
+  // convention that a session is in flight from begin() through its
+  // completion event.
+  std::sort(starts.begin(), starts.end());
+  std::sort(ends.begin(), ends.end());
+  std::size_t active = 0;
+  std::size_t next_end = 0;
+  for (const double start : starts) {
+    while (next_end < ends.size() && ends[next_end] < start) {
+      --active;
+      ++next_end;
+    }
+    ++active;
+    result.peak_sessions_in_flight =
+        std::max(result.peak_sessions_in_flight, active);
   }
   result.sessions = all_sessions.size();
   result.summary = summarize_replicas(all_sessions);
+  if (options.keep_per_session) result.per_session = std::move(all_sessions);
   return result;
 }
 

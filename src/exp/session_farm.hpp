@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "analytic/tree_paths.hpp"
 #include "core/params.hpp"
@@ -79,6 +80,12 @@ struct SessionFarmOptions {
   /// replays the scenario-free farm exactly.  Single-hop farms reject an
   /// enabled scenario (there is no tree to crash or burst).
   protocols::ScenarioOptions scenario;
+  /// When true, SessionFarmResult::per_session carries every session's
+  /// Metrics in global session order -- the differential suite, the farm
+  /// golden digests and the scale bench's determinism check diff these
+  /// element-wise.  Off by default: a million-session run should not haul
+  /// a million Metrics back unless asked.
+  bool keep_per_session = false;
 };
 
 /// Aggregate outcome of a farm run.
@@ -93,9 +100,10 @@ struct SessionFarmResult {
   std::uint64_t receiver_timeouts = 0;  ///< soft-state timeout expirations
   /// Latest session end time across shards (the simulated horizon).
   double horizon = 0.0;
-  /// Peak number of sessions simultaneously in flight, summed over shards.
-  /// Exact when everything runs in one shard; an upper bound otherwise
-  /// (per-shard peaks need not align in simulated time).
+  /// Peak number of sessions simultaneously in flight -- EXACT at any shard
+  /// size: the reduce step merges every session's [begin, completion]
+  /// interval endpoints across shards and sweeps them globally, so the
+  /// sharded value equals the single-shard truth (a test locks this).
   std::size_t peak_sessions_in_flight = 0;
   /// Leaf-churn outcome summed across sessions in global session order
   /// (all-zero when churn is disabled).
@@ -105,6 +113,19 @@ struct SessionFarmResult {
   std::uint64_t relay_crashes = 0;
   /// Completed relay recoveries across all sessions.
   std::uint64_t relay_recoveries = 0;
+  /// Every session's metrics in global session order; filled only when
+  /// SessionFarmOptions::keep_per_session is set (empty otherwise).
+  std::vector<Metrics> per_session;
+  /// Largest per-shard arena high-water mark (SessionArena::slot_capacity):
+  /// the most sessions any shard ever held constructed at once.  Under
+  /// churn this sits far below the shard's session count -- the free-list
+  /// recycling proof the soak tests assert.
+  std::size_t arena_slot_high_water = 0;
+  /// Total arena chunk allocations across shards
+  /// (SessionArena::chunk_allocations summed).  Flat once the pools reach
+  /// their high-water marks -- the farm's zero-steady-state-allocation
+  /// counter.
+  std::size_t arena_chunk_allocations = 0;
 };
 
 /// Runs N single-hop sessions of `kind`.  `params.removal_rate` is ignored

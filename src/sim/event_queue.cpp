@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -35,6 +36,7 @@ void EventQueue::release_slot(std::uint32_t slot) noexcept {
   Slot& s = slots_[slot];
   s.action.reset();
   s.seq = 0;
+  s.drained = false;
   s.next_free = free_head_;
   free_head_ = slot;
 }
@@ -98,12 +100,18 @@ EventId EventQueue::push(Time time, EventCallback action) {
 bool EventQueue::cancel(EventId id) {
   if (id.value == 0 || id.slot >= slots_.size()) return false;
   if (slots_[id.slot].seq != id.value) return false;
+  // A drained event has no husk in the heap -- releasing the slot is the
+  // whole cancellation.
+  if (slots_[id.slot].drained) --drained_live_;
   release_slot(id.slot);
   --live_;
-  // Reclaim eagerly once dead husks outnumber live events, so a
-  // cancel-heavy run (soft-state refresh churn) holds O(live) memory
-  // instead of O(cancelled).
-  if (heap_.size() > kCompactionThreshold && heap_.size() - live_ > live_) {
+  // Reclaim eagerly once dead husks outnumber live IN-HEAP events (drained
+  // events are live but hold no heap entry), so a cancel-heavy run
+  // (soft-state refresh churn) holds O(live) memory instead of
+  // O(cancelled).
+  const std::size_t live_in_heap = live_ - drained_live_;
+  if (heap_.size() > kCompactionThreshold &&
+      heap_.size() - live_in_heap > live_in_heap) {
     compact();
   }
   return true;
@@ -145,6 +153,70 @@ EventQueue::PoppedEvent EventQueue::pop() {
   release_slot(slot);
   --live_;
   return out;
+}
+
+void EventQueue::drain_due(Time horizon, std::vector<DrainedEvent>& out) {
+  drop_dead();
+  if (heap_.empty() || heap_.front().time > horizon) return;
+  // One partition pass over the whole heap: live entries at or before the
+  // horizon leave for the caller's buffer, dead husks are shed for free,
+  // and everything later is compacted in place.  The appended range is
+  // then sorted into exact pop order -- (time, seq) is precisely the
+  // heap's before() ordering, so a drain-then-dispatch sequence executes
+  // the same events in the same order as a pop loop would.
+  const std::size_t start = out.size();
+  std::size_t kept = 0;
+  for (const HeapEntry& entry : heap_) {
+    if (!entry_live(entry)) continue;
+    if (entry.time <= horizon) {
+      out.push_back(DrainedEvent{entry.time, entry.seq(), entry.slot()});
+      slots_[entry.slot()].drained = true;
+      ++drained_live_;
+    } else {
+      heap_[kept++] = entry;
+    }
+  }
+  heap_.resize(kept);
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;) {
+      sift_down(i);
+    }
+  }
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end(),
+            [](const DrainedEvent& a, const DrainedEvent& b) noexcept {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+}
+
+bool EventQueue::take_drained(const DrainedEvent& event, EventCallback& action) {
+  // Generation check: the event may have been cancelled (and its slot
+  // possibly reused by a newer push) between drain_due and dispatch.
+  if (event.slot >= slots_.size()) return false;
+  Slot& s = slots_[event.slot];
+  if (s.seq != event.seq || !s.drained) return false;
+  action = std::move(s.action);
+  release_slot(event.slot);
+  --live_;
+  --drained_live_;
+  return true;
+}
+
+void EventQueue::requeue_drained(const DrainedEvent& event) {
+  if (event.slot >= slots_.size()) return;
+  Slot& s = slots_[event.slot];
+  if (s.seq != event.seq || !s.drained) return;
+  s.drained = false;
+  --drained_live_;
+  heap_.push_back(HeapEntry{event.time, (event.seq << kSlotBits) | event.slot});
+  sift_up(heap_.size() - 1);
+}
+
+bool EventQueue::peek_ready(Time& time) const {
+  drop_dead();
+  if (heap_.empty()) return false;
+  time = heap_.front().time;
+  return true;
 }
 
 }  // namespace sigcomp::sim

@@ -178,6 +178,17 @@ struct EventId {
                          const EventId&) = default;  ///< field-wise equality
 };
 
+/// One expiry extracted by a batched drain (EventQueue::drain_due /
+/// TimingWheelQueue::drain_due): the scheduled time plus the (seq, slot)
+/// identity needed to claim it (take_drained) or put it back
+/// (requeue_drained).  Shared by both event-queue backends so slice-driving
+/// callers (Simulator::run_slice) are backend-agnostic.
+struct DrainedEvent {
+  Time time = 0.0;        ///< scheduled execution time
+  std::uint64_t seq = 0;  ///< the event's unique sequence number
+  std::uint32_t slot = 0;  ///< pool slot the event occupies
+};
+
 /// Min-ordered pending set of (time, seq) -> callback, pooled as above.
 class EventQueue {
  public:
@@ -223,6 +234,35 @@ class EventQueue {
   /// Pops and returns the earliest live event.  Throws when empty.
   PoppedEvent pop();
 
+  /// Batched expiry extraction: appends every live event with time <=
+  /// `horizon` to `out` in exact pop order (time, then insertion seq) and
+  /// detaches them from the heap in one O(heap) partition pass (dead husks
+  /// are shed for free, and the remainder is re-heapified bottom-up).  One
+  /// drain per dispatch batch amortizes the per-pop sift on expiry storms.
+  /// Drained events stay LIVE -- their slots and callbacks are retained and
+  /// cancel() still works on them -- but they are invisible to
+  /// pop()/next_time()/peek_ready() until requeued; the caller must either
+  /// take_drained() or requeue_drained() every drained event before
+  /// resuming pop-driven execution.
+  void drain_due(Time horizon, std::vector<DrainedEvent>& out);
+
+  /// Claims a drained event's callback: moves it into `action`, frees the
+  /// slot and returns true.  Returns false (leaving `action` untouched)
+  /// when the event was cancelled after the drain -- the generation check
+  /// fails -- in which case the caller simply skips it.
+  bool take_drained(const DrainedEvent& event, EventCallback& action);
+
+  /// Puts a drained (not yet taken) event back into the pending heap, as if
+  /// it had never been drained.  A no-op when the event was cancelled after
+  /// the drain.
+  void requeue_drained(const DrainedEvent& event);
+
+  /// Time of the earliest event still in the heap (drained events
+  /// excluded): the non-throwing next_time() that slice dispatch uses to
+  /// merge freshly scheduled events into a drained batch.  Returns false
+  /// when no undrained live event remains.
+  [[nodiscard]] bool peek_ready(Time& time) const;
+
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
   /// Heap entries pack (seq, slot) into one word: 38 bits of sequence
@@ -237,6 +277,7 @@ class EventQueue {
     EventCallback action;
     std::uint64_t seq = 0;  ///< occupying event's seq; 0 = free
     std::uint32_t next_free = kNoSlot;
+    bool drained = false;  ///< extracted by drain_due; no husk in the heap
   };
 
   struct HeapEntry {
@@ -278,6 +319,10 @@ class EventQueue {
   std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
+  /// Live events currently drained out of the heap (awaiting take/requeue).
+  /// Needed so cancel()'s compaction trigger compares husks against the
+  /// events actually IN the heap (live_ - drained_live_).
+  std::size_t drained_live_ = 0;
 };
 
 }  // namespace sigcomp::sim

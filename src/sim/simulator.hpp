@@ -7,6 +7,7 @@
 #include <string_view>
 #include <utility>
 #include <variant>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/timing_wheel_queue.hpp"
@@ -88,6 +89,36 @@ class Simulator {
   /// Runs until no events remain or `max_events` have executed.
   void run(std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max());
 
+  /// Advances through every event with time <= `horizon` using batched
+  /// expiry delivery: all due events are drained from the queue in one pass
+  /// (amortizing pops on the refresh-storm hot path), then dispatched in
+  /// exact pop order, merging in any event the callbacks schedule inside the
+  /// slice.  `stop` is polled after every executed event; when it returns
+  /// true the slice aborts immediately -- undispatched drained events are
+  /// requeued untouched -- and run_slice returns true.  Unlike run_until,
+  /// the clock is NOT bumped to `horizon`; it rests at the last executed
+  /// event so a caller observing now() after a stop sees the same value a
+  /// step()-driven loop would.  The executed event sequence is bit-identical
+  /// to a step() loop over the same horizon.
+  template <typename Stop>
+  bool run_slice(Time horizon, Stop&& stop) {
+    return std::visit(
+        [&](auto& queue) { return run_slice_on(queue, horizon, stop); },
+        queue_);
+  }
+
+  /// Time of the earliest pending event, or nullopt when idle.  The
+  /// non-throwing companion to the queue backends' next_time().
+  [[nodiscard]] std::optional<Time> next_pending_time() const {
+    return std::visit(
+        [](const auto& queue) -> std::optional<Time> {
+          Time t = 0.0;
+          if (!queue.peek_ready(t)) return std::nullopt;
+          return t;
+        },
+        queue_);
+  }
+
   /// True when no events are pending.
   [[nodiscard]] bool idle() const noexcept {
     return std::visit([](const auto& queue) { return queue.empty(); }, queue_);
@@ -107,9 +138,66 @@ class Simulator {
   }
 
  private:
+  // Pops and executes the queue's front event (precondition: non-empty).
+  template <typename Queue>
+  void execute_next(Queue& queue) {
+    auto event = queue.pop();
+    now_ = event.time;
+    ++executed_;
+    event.action();
+  }
+
+  // Returns every undispatched drained event (from index `from` on) to the
+  // queue, preserving (time, seq) so pop order is unchanged.  Returns true
+  // -- the "stopped" result -- so the dispatch loop can `return
+  // requeue_rest(...)`.
+  template <typename Queue>
+  bool requeue_rest(Queue& queue, std::size_t from) {
+    for (std::size_t i = from; i < drain_buf_.size(); ++i) {
+      queue.requeue_drained(drain_buf_[i]);
+    }
+    return true;
+  }
+
+  // run_slice over a concrete backend.  One drain_due pass, then dispatch:
+  // before each buffered event, pop-execute any queue event scheduled
+  // strictly earlier (events pushed by slice callbacks; at equal times the
+  // buffered event has the smaller seq, so strict < preserves pop order).
+  // take_drained's generation check skips buffered events that a callback
+  // cancelled mid-slice.  A tail pop loop handles callback-scheduled events
+  // still inside the horizon after the buffer is exhausted.
+  template <typename Queue, typename Stop>
+  bool run_slice_on(Queue& queue, Time horizon, Stop& stop) {
+    drain_buf_.clear();
+    queue.drain_due(horizon, drain_buf_);
+    for (std::size_t i = 0; i < drain_buf_.size(); ++i) {
+      const DrainedEvent& e = drain_buf_[i];
+      Time t = 0.0;
+      while (queue.peek_ready(t) && t < e.time) {
+        execute_next(queue);
+        if (stop()) return requeue_rest(queue, i);
+      }
+      EventCallback action;
+      if (!queue.take_drained(e, action)) continue;  // cancelled mid-slice
+      now_ = e.time;
+      ++executed_;
+      action();
+      if (stop()) return requeue_rest(queue, i + 1);
+    }
+    Time t = 0.0;
+    while (queue.peek_ready(t) && t <= horizon) {
+      execute_next(queue);
+      if (stop()) return true;
+    }
+    return false;
+  }
+
   std::variant<EventQueue, TimingWheelQueue> queue_;
   Time now_ = 0.0;
   std::uint64_t executed_ = 0;
+  // Scratch buffer for run_slice's batched expiry delivery; member so the
+  // per-slice drain reuses capacity instead of reallocating.
+  std::vector<DrainedEvent> drain_buf_;
 };
 
 }  // namespace sigcomp::sim

@@ -134,7 +134,12 @@ bool TimingWheelQueue::cancel(EventId id) {
   if (id.value == 0 || id.slot >= slots_.size()) return false;
   if (slots_[id.slot].seq != id.value) return false;
   const std::uint32_t home = slots_[id.slot].home;
-  if (home == kHomeDue) {
+  if (home == kHomeDrained) {
+    // Extracted by drain_due: no due-heap husk, no list link -- releasing
+    // the slot is the whole cancellation.  take_drained/requeue_drained
+    // will see the seq mismatch and skip it.
+    release_slot(id.slot);
+  } else if (home == kHomeDue) {
     // The heap husk stays behind; reclaim eagerly once husks outnumber
     // live due events, mirroring EventQueue's O(live) garbage bound.
     release_slot(id.slot);
@@ -313,6 +318,55 @@ TimingWheelQueue::PoppedEvent TimingWheelQueue::pop() {
   --live_;
   --due_live_;
   return out;
+}
+
+void TimingWheelQueue::drain_due(Time horizon, std::vector<DrainedEvent>& out) {
+  // Repeatedly peel the due-heap minimum.  Every due time is strictly
+  // earlier than every wheel/far time (due ticks <= cur_tick_ < wheel
+  // ticks, and tick_of is a floor), so once the due front exceeds the
+  // horizon -- or ensure_due leaves the heap empty -- nothing at or before
+  // the horizon remains anywhere.  The output is therefore already in
+  // exact pop order; no sort needed.
+  while (true) {
+    ensure_due();
+    if (due_.empty() || due_.front().time > horizon) return;
+    const HeapEntry top = due_.front();
+    due_remove_front();
+    slots_[top.slot()].home = kHomeDrained;
+    --due_live_;
+    out.push_back(DrainedEvent{top.time, top.seq(), top.slot()});
+  }
+}
+
+bool TimingWheelQueue::take_drained(const DrainedEvent& event,
+                                    EventCallback& action) {
+  // Generation check: the event may have been cancelled (and its slot
+  // possibly reused by a newer push) between drain_due and dispatch.
+  if (event.slot >= slots_.size()) return false;
+  Slot& s = slots_[event.slot];
+  if (s.seq != event.seq || s.home != kHomeDrained) return false;
+  action = std::move(s.action);
+  release_slot(event.slot);
+  --live_;
+  return true;
+}
+
+void TimingWheelQueue::requeue_drained(const DrainedEvent& event) {
+  if (event.slot >= slots_.size()) return;
+  Slot& s = slots_[event.slot];
+  if (s.seq != event.seq || s.home != kHomeDrained) return;
+  // Drained events were due (tick <= cur_tick_), so they go straight back
+  // onto the due heap; (time, seq) are unchanged, so pop order is too.
+  s.home = kHomeDue;
+  due_push(event.time, (event.seq << kSlotBits) | event.slot);
+  ++due_live_;
+}
+
+bool TimingWheelQueue::peek_ready(Time& time) const {
+  ensure_due();
+  if (due_.empty()) return false;
+  time = due_.front().time;
+  return true;
 }
 
 }  // namespace sigcomp::sim

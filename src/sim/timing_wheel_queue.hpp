@@ -128,11 +128,40 @@ class TimingWheelQueue {
   /// empty.
   PoppedEvent pop();
 
+  /// Extracts every live event with time <= `horizon` into `out` (appended),
+  /// in exact pop order -- bit-identical to the sequence a pop() loop would
+  /// yield.  Drained events remain LIVE (they count in size(), and cancel()
+  /// still works on them) but are invisible to pop()/next_time()/
+  /// peek_ready(); the caller must claim each one with take_drained() or put
+  /// it back with requeue_drained() before resuming pop-driven execution.
+  /// Amortizes due-heap pops on the batched-expiry hot path.
+  void drain_due(Time horizon, std::vector<DrainedEvent>& out);
+
+  /// Claims a drained event: moves its callback into `action`, releases the
+  /// slot and returns true.  Returns false when the event was cancelled
+  /// after the drain (the slot may have been reused by a newer push) --
+  /// callers must skip such events.
+  bool take_drained(const DrainedEvent& event, EventCallback& action);
+
+  /// Returns a drained event to the pending set, restoring it to exactly
+  /// the state it had before drain_due (same time, same seq, so the pop
+  /// order is unchanged).  No-op when the event was cancelled after the
+  /// drain.
+  void requeue_drained(const DrainedEvent& event);
+
+  /// Like next_time() but non-throwing: writes the earliest live event's
+  /// time into `time` and returns true, or returns false when no live
+  /// undrained event remains.
+  [[nodiscard]] bool peek_ready(Time& time) const;
+
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
   // Region tags for Slot::home (values above any real bucket index).
   static constexpr std::uint32_t kHomeDue = 0xfffffffeu;
   static constexpr std::uint32_t kHomeFar = 0xfffffffdu;
+  // Extracted by drain_due: live, but in no region (no due-heap entry, no
+  // list link) until take_drained or requeue_drained resolves it.
+  static constexpr std::uint32_t kHomeDrained = 0xfffffffcu;
   // Same packed (seq, slot) geometry as EventQueue, so the due-heap
   // comparator is bit-identical.
   static constexpr unsigned kSlotBits = 26;

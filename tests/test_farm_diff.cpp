@@ -1,0 +1,202 @@
+// Farm differential suite: the arena/shard-worker farm
+// (src/exp/session_farm.cpp) against the preserved pre-arena reference
+// (tests/reference_session_farm.cpp), diffed ELEMENT-WISE per session --
+// every double of every session's Metrics compared bitwise, not just the
+// aggregates -- across all five protocols x {single-hop, chain, tree}
+// topologies x {1, 2, 8} threads x shard sizes {7, 64, 4096}, plus a
+// churn+scenario configuration.  This is the lock on the rewrite's core
+// claim: arenas, slot recycling, sliced execution and batched expiry
+// delivery change WHERE sessions live and WHEN their events are popped,
+// never what they compute.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "analytic/tree_paths.hpp"
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "exp/session_farm.hpp"
+#include "protocols/membership.hpp"
+#include "protocols/scenario.hpp"
+#include "reference_session_farm.hpp"
+
+namespace sigcomp::exp {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+constexpr std::size_t kShardSizes[] = {7, 64, 4096};
+
+/// Small enough that the full matrix (and its TSan leg) stays fast, large
+/// enough that every shard size in kShardSizes exercises a different
+/// decomposition (72 sessions -> 11 shards of 7, 2 of 64, 1 of 4096).
+constexpr std::size_t kSessions = 72;
+
+SessionFarmOptions diff_farm() {
+  SessionFarmOptions options;
+  options.seed = 23;
+  options.sessions = kSessions;
+  options.arrival_rate = static_cast<double>(kSessions) / 12.0;
+  options.session_lifetime = 20.0;
+  options.threads = 1;
+  options.keep_per_session = true;
+  return options;
+}
+
+MultiHopParams diff_hop_params() {
+  MultiHopParams params;
+  params.loss = 0.02;
+  params.delay = 0.01;
+  params.update_rate = 1.0 / 15.0;
+  return params;
+}
+
+/// Bitwise equality of two per-session metric vectors, element-wise: any
+/// divergence names the first offending session and field.
+void expect_sessions_identical(const std::vector<Metrics>& expected,
+                               const std::vector<Metrics>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const Metrics& e = expected[i];
+    const Metrics& a = actual[i];
+    EXPECT_EQ(e.inconsistency, a.inconsistency) << "session " << i;
+    EXPECT_EQ(e.message_rate, a.message_rate) << "session " << i;
+    EXPECT_EQ(e.raw_message_rate, a.raw_message_rate) << "session " << i;
+    EXPECT_EQ(e.session_length, a.session_length) << "session " << i;
+    EXPECT_EQ(e.breakdown.trigger, a.breakdown.trigger) << "session " << i;
+    EXPECT_EQ(e.breakdown.refresh, a.breakdown.refresh) << "session " << i;
+    EXPECT_EQ(e.breakdown.explicit_removal, a.breakdown.explicit_removal)
+        << "session " << i;
+    EXPECT_EQ(e.breakdown.reliable_trigger, a.breakdown.reliable_trigger)
+        << "session " << i;
+    EXPECT_EQ(e.breakdown.reliable_removal, a.breakdown.reliable_removal)
+        << "session " << i;
+  }
+}
+
+/// Everything except peak_sessions_in_flight, which the reference computes
+/// as a summed-per-shard upper bound (exact only at a single shard) while
+/// the production farm computes it exactly at any shard size -- the peak
+/// lock tests below cover it.
+void expect_farms_identical(const SessionFarmResult& reference,
+                            const SessionFarmResult& arena) {
+  expect_sessions_identical(reference.per_session, arena.per_session);
+  EXPECT_EQ(reference.sessions, arena.sessions);
+  EXPECT_EQ(reference.shards, arena.shards);
+  EXPECT_EQ(reference.messages, arena.messages);
+  EXPECT_EQ(reference.events_executed, arena.events_executed);
+  EXPECT_EQ(reference.receiver_timeouts, arena.receiver_timeouts);
+  EXPECT_EQ(reference.horizon, arena.horizon);
+  EXPECT_EQ(reference.relay_crashes, arena.relay_crashes);
+  EXPECT_EQ(reference.relay_recoveries, arena.relay_recoveries);
+  EXPECT_TRUE(reference.churn == arena.churn);
+  EXPECT_EQ(reference.summary.mean.inconsistency,
+            arena.summary.mean.inconsistency);
+  EXPECT_EQ(reference.summary.mean.message_rate,
+            arena.summary.mean.message_rate);
+  EXPECT_EQ(reference.summary.mean.session_length,
+            arena.summary.mean.session_length);
+}
+
+/// Runs one protocol x topology cell of the matrix: the reference once per
+/// shard size (its results are thread-invariant, locked elsewhere), the
+/// arena farm at every thread count against it.
+template <typename Params>
+void diff_matrix_cell(ProtocolKind kind, const Params& params,
+                      const SessionFarmOptions& base) {
+  for (const std::size_t shard_size : kShardSizes) {
+    SessionFarmOptions ref_options = base;
+    ref_options.shard_size = shard_size;
+    const SessionFarmResult reference =
+        testing::run_reference_session_farm(kind, params, ref_options);
+    ASSERT_EQ(reference.per_session.size(), base.sessions);
+    for (const std::size_t threads : kThreadCounts) {
+      SessionFarmOptions options = ref_options;
+      options.threads = threads;
+      const SessionFarmResult arena = run_session_farm(kind, params, options);
+      SCOPED_TRACE(::testing::Message()
+                   << to_string(kind) << " shard=" << shard_size
+                   << " threads=" << threads);
+      expect_farms_identical(reference, arena);
+    }
+  }
+}
+
+TEST(FarmDiff, SingleHopAllProtocolsAllShardSizesAllThreadCounts) {
+  for (const ProtocolKind kind : kAllProtocols) {
+    diff_matrix_cell(kind, SingleHopParams::kazaa_defaults(), diff_farm());
+  }
+}
+
+TEST(FarmDiff, ChainAllProtocolsAllShardSizesAllThreadCounts) {
+  MultiHopParams params = diff_hop_params();
+  params.hops = 3;
+  for (const ProtocolKind kind : kMultiHopProtocols) {
+    diff_matrix_cell(kind, params, diff_farm());
+  }
+}
+
+TEST(FarmDiff, TreeAllProtocolsAllShardSizesAllThreadCounts) {
+  const analytic::TreeParams params =
+      analytic::TreeParams::balanced(diff_hop_params(), 2, 2);
+  for (const ProtocolKind kind : kMultiHopProtocols) {
+    diff_matrix_cell(kind, params, diff_farm());
+  }
+}
+
+TEST(FarmDiff, ChurnAndScenarioTreeMatchesReference) {
+  // The full correlated-event stack at once: leaf churn, flash-crowd
+  // rejoin storms, shared-risk leave bursts and relay crash/recovery --
+  // every per-session substream in play.
+  SessionFarmOptions base = diff_farm();
+  base.leaf_churn.leaf_lifetime = 8.0;
+  base.leaf_churn.rejoin_rate = 1.0 / 4.0;
+  base.scenario.failure =
+      protocols::FailureConfig::relay_crash(1.0 / 30.0, 4.0, 2.0);
+  base.scenario.arrival = protocols::ArrivalConfig::flash_crowd(15.0, 1.0, 20.0);
+  base.scenario.shared_risk = protocols::SharedRiskConfig::bursts(1.0 / 60.0);
+  const analytic::TreeParams params =
+      analytic::TreeParams::balanced(diff_hop_params(), 2, 2);
+  diff_matrix_cell(ProtocolKind::kSSRT, params, base);
+}
+
+// ------------------------------------------------------- exact peak lock --
+
+/// The peak fix: a single-shard farm's in-simulator peak is exact ground
+/// truth, and the production farm's merged-interval sweep must reproduce it
+/// at ANY shard size (where the reference's summed bound only exceeds it).
+TEST(FarmDiff, ShardedPeakEqualsSingleShardTruthSingleHop) {
+  SessionFarmOptions single = diff_farm();
+  single.sessions = 150;
+  single.arrival_rate = 150.0 / 12.0;
+  single.shard_size = single.sessions;
+  const SessionFarmResult truth = testing::run_reference_session_farm(
+      ProtocolKind::kSS, SingleHopParams::kazaa_defaults(), single);
+  for (const std::size_t shard_size : kShardSizes) {
+    SessionFarmOptions sharded = single;
+    sharded.shard_size = shard_size;
+    sharded.threads = 2;
+    const SessionFarmResult arena = run_session_farm(
+        ProtocolKind::kSS, SingleHopParams::kazaa_defaults(), sharded);
+    EXPECT_EQ(arena.peak_sessions_in_flight, truth.peak_sessions_in_flight)
+        << "shard_size=" << shard_size;
+  }
+}
+
+TEST(FarmDiff, ShardedPeakEqualsSingleShardTruthTree) {
+  const analytic::TreeParams params =
+      analytic::TreeParams::balanced(diff_hop_params(), 2, 2);
+  SessionFarmOptions single = diff_farm();
+  single.shard_size = single.sessions;
+  const SessionFarmResult truth = testing::run_reference_session_farm(
+      ProtocolKind::kSSRT, params, single);
+  SessionFarmOptions sharded = single;
+  sharded.shard_size = 7;
+  sharded.threads = 2;
+  const SessionFarmResult arena =
+      run_session_farm(ProtocolKind::kSSRT, params, sharded);
+  EXPECT_EQ(arena.peak_sessions_in_flight, truth.peak_sessions_in_flight);
+}
+
+}  // namespace
+}  // namespace sigcomp::exp

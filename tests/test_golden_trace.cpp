@@ -16,10 +16,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "analytic/tree_paths.hpp"
 #include "core/params.hpp"
 #include "core/protocol.hpp"
+#include "exp/session_farm.hpp"
 #include "protocols/multi_hop_run.hpp"
 #include "protocols/single_hop_run.hpp"
 #include "protocols/tree_run.hpp"
@@ -272,6 +274,82 @@ TEST(GoldenTrace, WheelBackendReproducesEveryPinnedDigest) {
     EXPECT_EQ(actual, entry.digest)
         << "fan-out tree " << to_string(entry.kind)
         << " diverged on the wheel backend; actual " << hex(actual);
+  }
+}
+
+// ------------------------------------------------- farm metric digests --
+
+/// FNV-1a over the farm's per-session metrics stream, every double as
+/// IEEE-754 bits in global session order.  The farm analogue of the trace
+/// digests above: any change in per-session RNG keying, event ordering,
+/// shard reduction order or metric arithmetic moves it.
+std::uint64_t farm_digest_of(const std::vector<Metrics>& sessions) {
+  TraceDigest digest;
+  for (const Metrics& m : sessions) {
+    for (const double v :
+         {m.inconsistency, m.message_rate, m.raw_message_rate,
+          m.session_length, m.breakdown.trigger, m.breakdown.refresh,
+          m.breakdown.explicit_removal, m.breakdown.reliable_trigger,
+          m.breakdown.reliable_removal}) {
+      const auto bits = std::bit_cast<std::uint64_t>(v);
+      digest.add_bytes(&bits, sizeof(bits));
+    }
+  }
+  return digest.value();
+}
+
+/// Pin conditions: 60 sessions, multi-shard (16) so the digest also locks
+/// the shard decomposition and reduce order, single worker thread (the
+/// farm is bit-identical at any thread count -- locked elsewhere).
+exp::SessionFarmOptions farm_pin_options(sim::EventQueueBackend backend) {
+  exp::SessionFarmOptions options;
+  options.event_queue = backend;
+  options.seed = 2024;
+  options.sessions = 60;
+  options.arrival_rate = 6.0;
+  options.session_lifetime = 15.0;
+  options.threads = 1;
+  options.shard_size = 16;
+  options.keep_per_session = true;
+  return options;
+}
+
+TEST(GoldenTrace, SingleHopFarmMetricStreamIsPinned) {
+  for (const sim::EventQueueBackend backend :
+       {sim::EventQueueBackend::kHeap, sim::EventQueueBackend::kWheel}) {
+    const exp::SessionFarmResult result =
+        exp::run_session_farm(ProtocolKind::kSS, SingleHopParams::kazaa_defaults(),
+                              farm_pin_options(backend));
+    const std::uint64_t actual = farm_digest_of(result.per_session);
+    EXPECT_EQ(actual, 0xaad070c3903a7241ULL)
+        << "single-hop farm metric digest moved; actual " << hex(actual);
+  }
+}
+
+TEST(GoldenTrace, ChainFarmMetricStreamIsPinned) {
+  MultiHopParams params;
+  params.hops = 3;
+  for (const sim::EventQueueBackend backend :
+       {sim::EventQueueBackend::kHeap, sim::EventQueueBackend::kWheel}) {
+    const exp::SessionFarmResult result = exp::run_session_farm(
+        ProtocolKind::kSSRT, params, farm_pin_options(backend));
+    const std::uint64_t actual = farm_digest_of(result.per_session);
+    EXPECT_EQ(actual, 0xfe1367601978d13cULL)
+        << "chain farm metric digest moved; actual " << hex(actual);
+  }
+}
+
+TEST(GoldenTrace, TreeFarmMetricStreamIsPinned) {
+  MultiHopParams base;
+  base.hops = 2;
+  const analytic::TreeParams tree = analytic::TreeParams::balanced(base, 2, 2);
+  for (const sim::EventQueueBackend backend :
+       {sim::EventQueueBackend::kHeap, sim::EventQueueBackend::kWheel}) {
+    const exp::SessionFarmResult result =
+        exp::run_session_farm(ProtocolKind::kHS, tree, farm_pin_options(backend));
+    const std::uint64_t actual = farm_digest_of(result.per_session);
+    EXPECT_EQ(actual, 0x4b3eace907484c39ULL)
+        << "tree farm metric digest moved; actual " << hex(actual);
   }
 }
 

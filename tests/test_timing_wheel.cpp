@@ -352,6 +352,164 @@ TEST(TimingWheelQueue, ManyEventsStressOrderingAcrossGeometries) {
   }
 }
 
+// ------------------------------------------------ batched expiry drain --
+
+TEST(TimingWheelQueue, DrainDueCollectsDueEventsInExactPopOrder) {
+  TimingWheelQueue q;
+  std::vector<int> order;
+  q.push(5.0, [&] { order.push_back(50); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(8.0, [&] { order.push_back(80); });
+  q.push(1.0, [&] { order.push_back(2); });  // tie: insertion order
+  std::vector<DrainedEvent> due;
+  q.drain_due(3.0, due);
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_DOUBLE_EQ(due[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(due[1].time, 1.0);
+  EXPECT_DOUBLE_EQ(due[2].time, 3.0);
+  EXPECT_EQ(q.size(), 5u);  // drained events stay live until taken
+  for (const DrainedEvent& event : due) {
+    EventCallback action;
+    ASSERT_TRUE(q.take_drained(event, action));
+    action();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.size(), 2u);
+  q.pop().action();
+  q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 50, 80}));
+}
+
+TEST(TimingWheelQueue, DrainedEventsAreInvisibleUntilRequeued) {
+  TimingWheelQueue q;
+  int fired = 0;
+  q.push(1.0, [&] { fired = 1; });
+  q.push(5.0, [] {});
+  std::vector<DrainedEvent> due;
+  q.drain_due(2.0, due);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);  // the drained event is gone...
+  Time ready = 0.0;
+  ASSERT_TRUE(q.peek_ready(ready));
+  EXPECT_DOUBLE_EQ(ready, 5.0);
+  q.requeue_drained(due[0]);  // ...until put back, untouched
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  q.pop().action();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimingWheelQueue, CancelOfADrainedEventPreventsDispatch) {
+  TimingWheelQueue q;
+  int fired = 0;
+  const EventId id = q.push(1.0, [&] { fired += 1; });
+  q.push(2.0, [&] { fired += 10; });
+  std::vector<DrainedEvent> due;
+  q.drain_due(3.0, due);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_TRUE(q.cancel(id));
+  EventCallback action;
+  EXPECT_FALSE(q.take_drained(due[0], action));  // cancelled mid-slice
+  ASSERT_TRUE(q.take_drained(due[1], action));
+  action();
+  EXPECT_EQ(fired, 10);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TimingWheelQueue, StaleDrainedHandleAfterSlotReuseIsRejected) {
+  TimingWheelQueue q;
+  int fired = 0;
+  const EventId id = q.push(1.0, [&] { fired = 1; });
+  std::vector<DrainedEvent> due;
+  q.drain_due(2.0, due);
+  ASSERT_EQ(due.size(), 1u);
+  ASSERT_TRUE(q.cancel(id));
+  q.push(7.0, [&] { fired = 7; });  // reuses the released slot
+  EventCallback action;
+  EXPECT_FALSE(q.take_drained(due[0], action));  // stale seq
+  q.requeue_drained(due[0]);                     // must be a no-op
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 7.0);
+  q.pop().action();
+  EXPECT_EQ(fired, 7);
+}
+
+TEST(TimingWheelQueue, DrainIncludesTheHorizonAndAppendsToTheBuffer) {
+  TimingWheelQueue q;
+  q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  std::vector<DrainedEvent> due;
+  q.drain_due(1.0, due);  // t == horizon is due
+  ASSERT_EQ(due.size(), 1u);
+  q.drain_due(2.0, due);  // appends, never clears
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_DOUBLE_EQ(due[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(due[1].time, 2.0);
+  EventCallback action;
+  EXPECT_TRUE(q.take_drained(due[0], action));
+  EXPECT_TRUE(q.take_drained(due[1], action));
+  EXPECT_TRUE(q.empty());
+  Time ready = 0.0;
+  EXPECT_FALSE(q.peek_ready(ready));
+}
+
+TEST(TimingWheelQueue, EventsPushedMidSliceMergeAheadOfDrainedOnes) {
+  // The run_slice pattern: a drained event's callback schedules new work
+  // BEFORE the next drained event's time; the dispatcher peeks the queue
+  // and pops it first.
+  TimingWheelQueue q;
+  std::vector<double> order;
+  q.push(1.0, [&] { order.push_back(1.0); });
+  q.push(2.0, [&] { order.push_back(2.0); });
+  std::vector<DrainedEvent> due;
+  q.drain_due(2.0, due);
+  ASSERT_EQ(due.size(), 2u);
+  EventCallback action;
+  ASSERT_TRUE(q.take_drained(due[0], action));
+  action();
+  q.push(1.5, [&] { order.push_back(1.5); });  // scheduled "by" event 1.0
+  Time ready = 0.0;
+  ASSERT_TRUE(q.peek_ready(ready));
+  ASSERT_LT(ready, due[1].time);
+  q.pop().action();
+  ASSERT_TRUE(q.take_drained(due[1], action));
+  action();
+  EXPECT_EQ(order, (std::vector<double>{1.0, 1.5, 2.0}));
+}
+
+TEST(TimingWheelQueue, DrainCyclesKeepTheSlotPoolFlat) {
+  // The sliced-farm steady state: drain a batch, take it, schedule the
+  // next batch -- forever, against a backdrop of live timers, without
+  // growing the slot pool or touching the heap.
+  TimingWheelQueue q;
+  for (int i = 0; i < 16; ++i) q.push(1e9 + i, [] {});
+  for (int i = 0; i < 16; ++i) q.push(static_cast<double>(i), [] {});
+  std::vector<DrainedEvent> due;
+  q.drain_due(16.0, due);
+  for (const DrainedEvent& event : due) {
+    EventCallback action;
+    ASSERT_TRUE(q.take_drained(event, action));
+  }
+  const std::size_t slots_high_water = q.slot_capacity();
+  const std::uint64_t heap_allocs_before = EventCallback::heap_allocations();
+  double now = 16.0;
+  for (int cycle = 0; cycle < 100000; ++cycle) {
+    for (int i = 0; i < 16; ++i) q.push(now + i, [] {});
+    due.clear();
+    q.drain_due(now + 16.0, due);
+    ASSERT_EQ(due.size(), 16u);
+    for (const DrainedEvent& event : due) {
+      EventCallback action;
+      ASSERT_TRUE(q.take_drained(event, action));
+    }
+    now += 16.0;
+  }
+  EXPECT_EQ(q.slot_capacity(), slots_high_water) << "slot pool grew";
+  EXPECT_EQ(EventCallback::heap_allocations(), heap_allocs_before)
+      << "a callback spilled to the heap";
+  EXPECT_EQ(q.size(), 16u);
+}
+
 TEST(TimingWheelQueue, NegativeTimesAreHandled) {
   // EventQueue accepts any finite time; the wheel must too (they classify
   // as already-due and order exactly).
