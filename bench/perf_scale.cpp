@@ -31,8 +31,17 @@
 // single bit of any session's metrics differing across the executions
 // exits 1.  docs/PERFORMANCE.md documents the methodology.
 //
+// --shared-relays R (with --sessions N) adds the CROSS-SHARD leg: the same
+// scale workload with R shared relay sessions fed through the ShardRing
+// fabric (R * subscribers-per-relay farm sessions install state through
+// relays in other shards).  The determinism self-check always includes the
+// fabric rows: a small shared-relay farm must stay element-wise identical
+// across thread counts and shard sizes (exit 1 on mismatch).
+//
 // Usage: perf_scale [--quick] [--csv PATH] [--threads N]
 //                   [--event-queue heap|wheel] [--json PATH] [--sessions N]
+//                   [--shared-relays R] [--subscribers-per-relay S]
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstdint>
@@ -42,10 +51,12 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "exp/parallel.hpp"
 #include "exp/session_farm.hpp"
+#include "exp/shard_ring.hpp"
 #include "exp/table.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/reference_event_queue.hpp"
@@ -82,6 +93,14 @@ struct FarmJsonRow {
   double seconds = 0.0;
   double events_per_s = 0.0;
   double sessions_per_s = 0.0;
+  std::uint64_t fabric_messages = 0;  ///< cross-shard ring traffic (0 = none)
+  std::size_t fabric_rings = 0;       ///< ShardRings materialized
+};
+
+/// One cross-shard ring micro-workload: ops/s through exp::ShardRing.
+struct RingJsonRow {
+  std::string workload;
+  double ops = 0.0;
 };
 
 /// Everything --json persists; docs/PERFORMANCE.md documents the schema.
@@ -90,6 +109,7 @@ struct JsonReport {
   std::size_t threads = 0;
   std::string farm_backend;
   std::vector<CoreJsonRow> core;
+  std::vector<RingJsonRow> ring;
   std::vector<FarmJsonRow> farm;
 };
 
@@ -120,6 +140,14 @@ void write_json_report(const JsonReport& report, const std::string& path) {
         << (i + 1 < report.core.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
+  out << "  \"ring\": [\n";
+  for (std::size_t i = 0; i < report.ring.size(); ++i) {
+    const RingJsonRow& row = report.ring[i];
+    out << "    {\"workload\": \"" << row.workload << "\", "
+        << "\"ops_per_s\": " << json_number(row.ops) << "}"
+        << (i + 1 < report.ring.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
   out << "  \"farm\": [\n";
   for (std::size_t i = 0; i < report.farm.size(); ++i) {
     const FarmJsonRow& row = report.farm[i];
@@ -130,7 +158,9 @@ void write_json_report(const JsonReport& report, const std::string& path) {
         << ", \"events_executed\": " << row.events_executed << ", "
         << "\"seconds\": " << json_number(row.seconds) << ", "
         << "\"events_per_s\": " << json_number(row.events_per_s) << ", "
-        << "\"sessions_per_s\": " << json_number(row.sessions_per_s) << "}"
+        << "\"sessions_per_s\": " << json_number(row.sessions_per_s) << ", "
+        << "\"fabric_messages\": " << row.fabric_messages << ", "
+        << "\"fabric_rings\": " << row.fabric_rings << "}"
         << (i + 1 < report.farm.size() ? "," : "") << "\n";
   }
   out << "  ]\n";
@@ -280,6 +310,101 @@ CoreSpeedups bench_event_core(exp::Table& table, JsonReport& json,
   return speedups;
 }
 
+// ---------------------------------------------------- cross-shard ring --
+
+/// Same-thread push/pop cycle through one ShardRing: the farm's
+/// barrier-separated steady state, where producer and consumer never
+/// overlap in time.  Returns ops/second (one push + one pop per entry).
+double ring_phase_rate(std::size_t entries) {
+  exp::ShardRing ring(1024);
+  exp::CrossShardEntry out;
+  std::uint64_t received = 0;
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < entries; ++i) {
+    exp::CrossShardEntry e;
+    e.send_time = 1.0;
+    e.source = 7;
+    e.seq = i;
+    while (!ring.try_push(e)) {
+    }
+    if (ring.size() >= 512) {
+      while (ring.try_pop(out)) ++received;
+    }
+  }
+  while (ring.try_pop(out)) ++received;
+  const double elapsed = seconds_since(start);
+  expect_fired("ring phase", received, entries);
+  if (ring.allocations() != 1) {
+    std::cerr << "ring phase: ring grew under try_push -- BUG\n";
+    g_core_ok = false;
+  }
+  return static_cast<double>(2 * entries) / elapsed;
+}
+
+/// True concurrent SPSC: a producer thread races the consuming main
+/// thread through one ring, the farm's worst-case interleaving (and the
+/// shape the TSan leg audits).  Returns ops/second.
+double ring_spsc_rate(std::size_t entries) {
+  exp::ShardRing ring(1024);
+  const auto start = Clock::now();
+  std::thread producer([&ring, entries] {
+    for (std::size_t i = 0; i < entries; ++i) {
+      exp::CrossShardEntry e;
+      e.send_time = 1.0;
+      e.source = 7;
+      e.seq = i;
+      while (!ring.try_push(e)) {
+      }
+    }
+  });
+  std::uint64_t received = 0;
+  exp::CrossShardEntry out;
+  while (received < entries) {
+    if (ring.try_pop(out)) ++received;
+  }
+  producer.join();
+  const double elapsed = seconds_since(start);
+  expect_fired("ring spsc", received, entries);
+  return static_cast<double>(2 * entries) / elapsed;
+}
+
+/// The destination shard's boundary work: drain a warm ring in batches and
+/// stamp-sort each batch into fabric delivery order.  Returns entries/s.
+double ring_drain_sort_rate(std::size_t entries, std::size_t batch) {
+  exp::ShardRing ring(batch);
+  std::vector<exp::CrossShardEntry> merged;
+  std::uint64_t received = 0;
+  const auto start = Clock::now();
+  for (std::size_t pushed = 0; pushed < entries;) {
+    const std::size_t n = std::min(batch, entries - pushed);
+    for (std::size_t i = 0; i < n; ++i, ++pushed) {
+      exp::CrossShardEntry e;
+      e.send_time = static_cast<double>(pushed % 16);  // heavy ties
+      e.source = pushed % 97;
+      e.seq = pushed;
+      ring.push(e);
+    }
+    merged.clear();
+    received += ring.drain(merged);
+    exp::sort_fabric(merged);
+  }
+  const double elapsed = seconds_since(start);
+  expect_fired("ring drain+sort", received, entries);
+  return static_cast<double>(entries) / elapsed;
+}
+
+void bench_ring(exp::Table& table, JsonReport& json, bool quick) {
+  const std::size_t entries = quick ? 400000 : 4000000;
+  const auto add = [&](const std::string& name, double ops) {
+    table.add_row({name, ops});
+    json.ring.push_back({name, ops});
+  };
+  add("phase-separated push/pop", ring_phase_rate(entries));
+  add("concurrent SPSC push/pop", ring_spsc_rate(entries));
+  add("drain + stamp sort (1k batches)",
+      ring_drain_sort_rate(entries, 1024));
+}
+
 // -------------------------------------------------------- session farm --
 
 exp::SessionFarmOptions farm_options(std::size_t sessions,
@@ -312,7 +437,8 @@ void add_farm_row(exp::Table& table, JsonReport& json,
                  result.summary.mean.inconsistency});
   json.farm.push_back({name, sim::to_string(backend), sessions,
                        result.peak_sessions_in_flight, result.events_executed,
-                       elapsed, events_per_s, sessions_per_s});
+                       elapsed, events_per_s, sessions_per_s,
+                       result.fabric_messages, result.fabric_rings});
 }
 
 void bench_farm(exp::Table& table, JsonReport& json, std::size_t sessions,
@@ -481,6 +607,35 @@ bool bench_farm_scale(exp::Table& table, exp::Table& check, JsonReport& json,
   return all_ok;
 }
 
+/// The cross-shard leg of the scale run: the same workload with `relays`
+/// shared relay sessions fed through the ring fabric.  One measured row --
+/// the thread/shard determinism matrix for fabric runs lives in the always-on
+/// self-check (and, element-wise, in tests/test_shared_relay_farm.cpp).
+bool bench_farm_scale_xshard(exp::Table& table, JsonReport& json,
+                             std::size_t sessions, std::size_t relays,
+                             std::size_t subscribers, std::size_t threads,
+                             sim::EventQueueBackend backend) {
+  exp::SessionFarmOptions options = scale_options(sessions, threads, backend);
+  options.keep_per_session = false;  // measured row only; no digest needed
+  options.shared_relays = relays;
+  options.subscribers_per_relay = subscribers;
+  const auto start = Clock::now();
+  const exp::SessionFarmResult result =
+      run_session_farm(ProtocolKind::kSSRT, SingleHopParams::kazaa_defaults(),
+                       options);
+  add_farm_row(table, json, "scale SS+RT shared-relay", backend,
+               sessions + relays, result, seconds_since(start));
+  std::cout << "xshard scale leg: " << relays << " relays x " << subscribers
+            << " subscribers, peak in flight "
+            << result.peak_sessions_in_flight << ", "
+            << result.fabric_messages << " fabric messages over "
+            << result.fabric_rings << " rings in " << result.fabric_epochs
+            << " epochs\n";
+  const bool ok = result.fabric_messages > 0 && result.fabric_rings > 0;
+  if (!ok) std::cerr << "xshard scale leg: fabric carried no traffic -- BUG\n";
+  return ok;
+}
+
 // ---------------------------------------------------------- self-check --
 
 bool summaries_identical(const exp::SessionFarmResult& a,
@@ -549,6 +704,52 @@ bool self_check(exp::Table& table, sim::EventQueueBackend backend) {
   return all_ok;
 }
 
+/// Cross-shard fabric determinism: a shared-relay farm -- fan-in at the
+/// relays, refresh fan-out back across the ShardRing fabric -- must stay
+/// element-wise identical (per-session metric digest) across thread counts
+/// AND shard sizes, fabric counters included.
+bool xshard_self_check(exp::Table& table, sim::EventQueueBackend backend) {
+  exp::SessionFarmOptions base = farm_options(600, nullptr, backend);
+  base.threads = 1;
+  base.shard_size = 97;  // ragged: subscribers and relays straddle shards
+  base.shared_relays = 6;
+  base.subscribers_per_relay = 16;
+  base.keep_per_session = true;
+  const exp::SessionFarmResult serial = run_session_farm(
+      ProtocolKind::kSSRT, SingleHopParams::kazaa_defaults(), base);
+  const std::uint64_t baseline = metrics_digest(serial.per_session);
+  bool all_ok = serial.fabric_messages > 0 && serial.fabric_rings > 0;
+  table.add_row({"xshard fabric traffic",
+                 all_ok ? "flowing" : "SILENT -- BUG"});
+
+  const auto identical = [&](const exp::SessionFarmResult& other) {
+    return metrics_digest(other.per_session) == baseline &&
+           other.messages == serial.messages &&
+           other.fabric_messages == serial.fabric_messages &&
+           other.fabric_dropped == serial.fabric_dropped &&
+           other.relay_installs == serial.relay_installs &&
+           other.relay_refreshes == serial.relay_refreshes &&
+           other.peak_sessions_in_flight == serial.peak_sessions_in_flight;
+  };
+  for (const std::size_t threads : {2, 8}) {
+    exp::SessionFarmOptions opt = base;
+    opt.threads = threads;
+    const bool ok = identical(run_session_farm(
+        ProtocolKind::kSSRT, SingleHopParams::kazaa_defaults(), opt));
+    all_ok = all_ok && ok;
+    table.add_row({"xshard threads=" + std::to_string(threads) + " vs 1",
+                   ok ? "identical" : "MISMATCH -- BUG"});
+  }
+  exp::SessionFarmOptions resharded = base;
+  resharded.shard_size = 512;
+  const bool ok = identical(run_session_farm(
+      ProtocolKind::kSSRT, SingleHopParams::kazaa_defaults(), resharded));
+  all_ok = all_ok && ok;
+  table.add_row(
+      {"xshard shard_size=512 vs 97", ok ? "identical" : "MISMATCH -- BUG"});
+  return all_ok;
+}
+
 sim::EventQueueBackend backend_from_args(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) != "--event-queue") continue;
@@ -573,20 +774,27 @@ std::string json_path_from_args(int argc, const char* const* argv) {
   return {};
 }
 
-/// --sessions N enables the million-session leg; 0 means off.
-std::size_t scale_sessions_from_args(int argc, const char* const* argv) {
+/// Shared `--flag N` count parser of the scale-leg knobs.
+std::size_t count_from_args(int argc, const char* const* argv,
+                            std::string_view flag, std::size_t fallback,
+                            bool allow_zero) {
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) != "--sessions") continue;
+    if (std::string_view(argv[i]) != flag) continue;
     if (i + 1 >= argc) {
-      throw std::invalid_argument("--sessions requires a value");
+      throw std::invalid_argument(std::string(flag) + " requires a value");
     }
     const long long parsed = std::stoll(argv[i + 1]);
-    if (parsed <= 0) {
-      throw std::invalid_argument("--sessions must be positive");
+    if (parsed < 0 || (parsed == 0 && !allow_zero)) {
+      throw std::invalid_argument(std::string(flag) + " must be positive");
     }
     return static_cast<std::size_t>(parsed);
   }
-  return 0;
+  return fallback;
+}
+
+/// --sessions N enables the million-session leg; 0 means off.
+std::size_t scale_sessions_from_args(int argc, const char* const* argv) {
+  return count_from_args(argc, argv, "--sessions", 0, /*allow_zero=*/false);
 }
 
 }  // namespace
@@ -615,6 +823,14 @@ int main(int argc, char** argv) {
     core.print(std::cout);
     std::cout << '\n';
 
+    exp::Table ring(
+        "cross-shard ring (exp::ShardRing; ops/s = push+pop pairs, "
+        "drain row = entries/s through drain + stamp sort)",
+        {"workload", "ops/s"});
+    bench_ring(ring, json, quick);
+    ring.print(std::cout);
+    std::cout << '\n';
+
     exp::Table farm(std::string("session farm scale (single-hop sessions per "
                                 "protocol, event queue: ") +
                         sim::to_string(backend) + ")",
@@ -634,9 +850,16 @@ int main(int argc, char** argv) {
     std::cout << '\n';
 
     const std::size_t scale_sessions = scale_sessions_from_args(argc, argv);
-    exp::Table check("determinism self-check (SS, 1500 sessions)",
+    const std::size_t scale_relays =
+        count_from_args(argc, argv, "--shared-relays", 0, /*allow_zero=*/true);
+    const std::size_t scale_subscribers = count_from_args(
+        argc, argv, "--subscribers-per-relay", 16, /*allow_zero=*/false);
+    exp::Table check("determinism self-check (SS, 1500 sessions; "
+                     "xshard rows: SS+RT, 600 sessions + 6 shared relays)",
                      {"comparison", "result"});
-    const bool deterministic = self_check(check, backend);
+    const bool base_deterministic = self_check(check, backend);
+    const bool xshard_deterministic = xshard_self_check(check, backend);
+    const bool deterministic = base_deterministic && xshard_deterministic;
     bool scale_ok = true;
     if (scale_sessions > 0) {
       exp::Table scale(
@@ -647,6 +870,12 @@ int main(int argc, char** argv) {
            "events/s", "sessions/s", "I (mean)"});
       scale_ok = bench_farm_scale(scale, check, json, scale_sessions,
                                   engine.threads(), backend);
+      if (scale_relays > 0) {
+        scale_ok = bench_farm_scale_xshard(scale, json, scale_sessions,
+                                           scale_relays, scale_subscribers,
+                                           engine.threads(), backend) &&
+                   scale_ok;
+      }
       scale.print(std::cout);
       std::cout << '\n';
     }

@@ -53,6 +53,12 @@ inline constexpr std::uint64_t kSessionScenarioArrival = 6;
 /// Scenario failure process (interior-relay crash/recovery/detection and
 /// shared-risk leave bursts) for farm tree sessions.
 inline constexpr std::uint64_t kSessionScenarioFailure = 7;
+/// Shared-relay client timers (install/refresh jitter toward the shared
+/// relay) for farm sessions subscribed to a cross-shard relay.  Reserved in
+/// the shared layout so enabling shared relays never shifts streams 0-7 --
+/// which is what keeps a `--shared-relays 0` run bit-identical to the
+/// pre-fabric farm.
+inline constexpr std::uint64_t kSessionRelay = 8;
 
 // ------------------------------------------- tree/chain harness layout --
 
@@ -85,6 +91,7 @@ inline constexpr std::uint64_t kAllStreams[] = {
     kSessionMembership,
     kSessionScenarioArrival,
     kSessionScenarioFailure,
+    kSessionRelay,
     kTreeChannel,
     kTreeNodes,
     kTreeLifecycle,

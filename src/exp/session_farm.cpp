@@ -43,7 +43,9 @@
 #include "exp/session_farm.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -52,8 +54,10 @@
 
 #include "core/rng_streams.hpp"
 #include "exp/session_arena.hpp"
+#include "exp/shard_ring.hpp"
 #include "exp/thread_pool.hpp"
 #include "protocols/engine.hpp"
+#include "protocols/shared_relay.hpp"
 #include "protocols/topology.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
@@ -73,6 +77,16 @@ using protocols::Message;
 /// enough expiries per drain to amortize the pops.
 constexpr double kSliceSeconds = 10.0;
 
+/// Epoch width of the cross-shard fabric (simulated seconds).  UNLIKE
+/// kSliceSeconds this is a MODEL parameter, not a performance knob: fabric
+/// messages are delivered at the next epoch boundary, so the width bounds
+/// the inter-session delivery latency -- and results must not depend on
+/// thread count or shard size, which they would if the width ever varied
+/// with either.  Hence a fixed constant: 1 s sits well under the default
+/// refresh period (an install is visible at the relay before the first
+/// refresh fires) while keeping epoch-barrier counts in the thousands.
+constexpr double kFabricSliceSeconds = 1.0;
+
 void validate_options(const SessionFarmOptions& options) {
   if (options.sessions == 0) {
     throw std::invalid_argument("SessionFarmOptions: sessions must be > 0");
@@ -91,6 +105,67 @@ void validate_options(const SessionFarmOptions& options) {
   options.scenario.validate();
 }
 
+/// Global-index -> shard mapping of a fabric run.  Subscriber shards
+/// partition [0, sessions) into the SAME fixed blocks as the base farm;
+/// relay shards partition [sessions, sessions + relays) with the same
+/// shard_size, starting at a fresh shard boundary (a shard never mixes the
+/// two session types).  Pure arithmetic on global indices, so every worker
+/// can route without shared state.
+struct FabricMap {
+  std::size_t shard_size = 1;
+  std::size_t sessions = 0;    ///< subscriber count (relays start here)
+  std::size_t sub_shards = 0;  ///< number of subscriber shards
+
+  [[nodiscard]] std::uint32_t shard_of(std::uint64_t g) const noexcept {
+    if (g < sessions) return static_cast<std::uint32_t>(g / shard_size);
+    return static_cast<std::uint32_t>(sub_shards +
+                                      (g - sessions) / shard_size);
+  }
+};
+
+class FabricPort;
+
+/// A session's fabric identity: its port (the owning shard's producer
+/// half), its global index, and its private send counter -- the seq of the
+/// delivery stamp.  Per-SESSION, not per-ring or per-shard: only a counter
+/// keyed to the global index survives re-sharding unchanged, which is what
+/// keeps the stamp order shard-size-invariant.  Sessions hold this by
+/// value; the FabricSend closures capture one pointer to it (so they stay
+/// inside the std::function small-buffer and sends never allocate).
+struct FabricCtx {
+  FabricPort* port = nullptr;
+  std::uint64_t source = 0;  ///< sending session's global index
+  std::uint64_t seq = 0;     ///< per-source send counter
+};
+
+/// Producer half of a shard's fabric attachment: stamps and pushes outgoing
+/// messages onto the ring toward the destination's shard.  Called only from
+/// inside the owning shard's own events (the advance phase), which is the
+/// ring-growth-safe producer window.
+class FabricPort {
+ public:
+  FabricPort(sim::Simulator& sim, CrossShardFabric& fabric,
+             std::uint32_t shard, FabricMap map)
+      : sim_(sim), fabric_(fabric), shard_(shard), map_(map) {}
+
+  void send(FabricCtx& ctx, std::uint64_t dest, const Message& message) {
+    ShardRing* ring = fabric_.find_ring(shard_, map_.shard_of(dest));
+    if (ring == nullptr) {
+      // Every communicating pair is materialized at setup from the static
+      // subscription map; a miss is a routing bug, not a runtime condition.
+      throw std::logic_error("session farm: fabric send on unwired pair");
+    }
+    ring->push(CrossShardEntry{sim_.now(), ctx.source, ctx.seq++, dest,
+                               message});
+  }
+
+ private:
+  sim::Simulator& sim_;
+  CrossShardFabric& fabric_;
+  std::uint32_t shard_;
+  FabricMap map_;
+};
+
 /// Where sessions deposit their results, indexed by the session's local
 /// (within-shard) index so completion order cannot affect anything.
 /// Completion-time recording replaces the reference farm's
@@ -106,11 +181,20 @@ struct ShardSink {
   std::uint64_t receiver_timeouts = 0;
   std::uint64_t relay_crashes = 0;
   std::uint64_t relay_recoveries = 0;
+  std::uint64_t teardown_messages = 0;  ///< explicit-teardown traffic (trees)
+  std::uint64_t relay_installs = 0;     ///< hub installs (relay shards)
+  std::uint64_t relay_refreshes = 0;    ///< hub refreshes (relay shards)
+  std::uint64_t relay_soft_timeouts = 0;  ///< hub slot expiries
   std::size_t completed = 0;
   /// Hands a completed session's slot to the arena's cooling list.  Bound
   /// by the shard (captures one pointer; fits the std::function SBO, so
   /// completion stays allocation-free).
   std::function<void(std::uint32_t)> retire;
+  /// Fabric runs only: the shard nulls the completed session's endpoint so
+  /// late fabric deliveries are dropped deterministically.  Empty (and
+  /// never invoked) outside fabric mode -- the branch keeps the zero-relay
+  /// farm bit-identical.
+  std::function<void(std::size_t)> fabric_done;
 };
 
 /// Per-session randomness: eight independent streams keyed to the session's
@@ -129,6 +213,7 @@ struct SessionRngs {
   sim::Rng membership;
   sim::Rng scenario_arrival;
   sim::Rng scenario_failure;
+  sim::Rng relay;
 
   SessionRngs(std::uint64_t base_seed, std::uint64_t global_index)
       : channel(session_seed(base_seed, global_index), rng::kSessionChannel),
@@ -142,7 +227,8 @@ struct SessionRngs {
         scenario_arrival(session_seed(base_seed, global_index),
                          rng::kSessionScenarioArrival),
         scenario_failure(session_seed(base_seed, global_index),
-                         rng::kSessionScenarioFailure) {}
+                         rng::kSessionScenarioFailure),
+        relay(session_seed(base_seed, global_index), rng::kSessionRelay) {}
 
  private:
   /// The per-session seed family: replica_seed keyed to the session's
@@ -210,6 +296,28 @@ class SingleHopSession {
   /// The arena slot this session occupies; handed back on retirement.
   void set_slot(std::uint32_t slot) noexcept { slot_ = slot; }
 
+  /// Fabric runs only, before begin(): wires a RelayClient that installs
+  /// this session's state at relay session `relay` (global index) across
+  /// the cross-shard fabric.  `self` is this session's global index -- the
+  /// source half of every outgoing stamp and the installed value.
+  void attach_relay(FabricPort* port, std::uint64_t self,
+                    std::uint64_t relay) {
+    fabric_ctx_ = FabricCtx{port, self, 0};
+    relay_client_.emplace(
+        sim_, rngs_.relay,
+        protocols::TimerSettings{options_.timer_dist, params_.refresh_timer,
+                                 params_.timeout_timer,
+                                 params_.retrans_timer},
+        relay, [ctx = &fabric_ctx_](std::uint64_t dest, const Message& m) {
+          ctx->port->send(*ctx, dest, m);
+        });
+  }
+
+  /// A fabric delivery addressed to this session (relay echoes).
+  void deliver_fabric(const Message& message) {
+    if (relay_client_) relay_client_->handle(message);
+  }
+
   /// Starts the session (the body of its arrival event).
   void begin() {
     inconsistent_ = sim::TimeWeightedValue(arrival_);
@@ -225,6 +333,9 @@ class SingleHopSession {
     });
     if (mech_.external_failure_detector && params_.false_signal_rate > 0.0) {
       schedule_false_signal();
+    }
+    if (relay_client_) {
+      relay_client_->start(static_cast<std::int64_t>(fabric_ctx_.source));
     }
     on_change();
   }
@@ -284,8 +395,15 @@ class SingleHopSession {
     const double length = end - arrival_;
     // Counters frozen at absorption time, so results cannot depend on which
     // straggler events the shard's simulator happened to execute afterwards.
-    const std::uint64_t messages =
+    std::uint64_t messages =
         forward_.counters().sent + reverse_.counters().sent;
+    if (relay_client_) {
+      // Goodbye before the count: the REMOVE is part of the session's
+      // priced traffic, and stop() also cancels the refresh timer so the
+      // recycled slot leaves no dangling event behind.
+      relay_client_->stop();
+      messages += relay_client_->messages_sent();
+    }
     const auto sent = static_cast<double>(messages);
     Metrics& metrics = sink_.metrics[local_];
     metrics.inconsistency = inconsistent_.mean(end);
@@ -306,6 +424,7 @@ class SingleHopSession {
     sink_.messages += messages;
     sink_.receiver_timeouts += receiver_.timeouts();
     ++sink_.completed;
+    if (sink_.fabric_done) sink_.fabric_done(local_);
     sink_.retire(slot_);
   }
 
@@ -333,6 +452,10 @@ class SingleHopSession {
   std::optional<sim::EventId> update_event_;
   std::optional<sim::EventId> removal_event_;
   std::optional<sim::EventId> false_signal_event_;
+  // Fabric runs only (both empty/inactive otherwise).  The optional holds
+  // the immovable RelayClient in place -- emplace-only, never moved.
+  FabricCtx fabric_ctx_;
+  std::optional<protocols::RelayClient> relay_client_;
 };
 
 /// One tree session: arrival -> start -> updates over a full
@@ -458,6 +581,10 @@ class TreeSession {
   }
 
   void finish() {
+    if (options_.teardown) {
+      finish_with_teardown();
+      return;
+    }
     done_ = true;
     const double end = sim_.now();
     if (membership_) {
@@ -499,6 +626,56 @@ class TreeSession {
     // No sink_.retire: the slot cools forever (never quiescent).
   }
 
+  /// Explicit-teardown variant of finish() (SessionFarmOptions::teardown):
+  /// the window still ends now -- inconsistency tracking stops, churn and
+  /// scenario processes freeze, pending update/false-signal events are
+  /// cancelled -- but instead of silently stopping the tree, the sender
+  /// issues an explicit remove() whose teardown messages propagate down
+  /// every branch during a grace period of one timeout interval.  Only then
+  /// does the session finalize, pricing the teardown traffic into its
+  /// message counts and the sink's teardown_messages.
+  void finish_with_teardown() {
+    done_ = true;
+    end_time_ = sim_.now();
+    if (membership_) {
+      membership_->finish();
+      sink_.churn[local_] = membership_->report();
+    }
+    if (failure_) {
+      failure_->stop();
+      sink_.relay_crashes += failure_->crashes();
+      sink_.relay_recoveries += failure_->recoveries();
+    }
+    if (update_event_) {
+      sim_.cancel(*update_event_);
+      update_event_.reset();
+    }
+    for (auto& id : false_signal_events_) {
+      if (id) sim_.cancel(*id);
+    }
+    false_signal_events_.clear();
+    window_messages_ = topology_->messages_sent();
+    topology_->sender().remove();
+    sim_.schedule_in(params_.timeout_timer, [this] { finalize_teardown(); });
+  }
+
+  void finalize_teardown() {
+    const double end = end_time_;
+    const std::uint64_t messages = topology_->messages_sent();
+    const auto sent = static_cast<double>(messages);
+    Metrics& metrics = sink_.metrics[local_];
+    metrics.inconsistency = inconsistent_.mean(end);
+    metrics.session_length = lifetime_;
+    metrics.raw_message_rate = lifetime_ > 0.0 ? sent / lifetime_ : 0.0;
+    metrics.message_rate = metrics.raw_message_rate;
+    topology_->stop();
+    sink_.teardown_messages += messages - window_messages_;
+    sink_.end[local_] = end;
+    sink_.messages += messages;
+    sink_.receiver_timeouts += topology_->relay_timeouts();
+    ++sink_.completed;
+  }
+
   sim::Simulator& sim_;
   const analytic::TreeParams& params_;
   const SessionFarmOptions& options_;
@@ -515,6 +692,8 @@ class TreeSession {
   double lifetime_ = 0.0;
   std::int64_t version_ = 0;
   bool done_ = false;
+  double end_time_ = 0.0;              ///< teardown: the frozen window end
+  std::uint64_t window_messages_ = 0;  ///< teardown: count at window end
   sim::TimeWeightedValue inconsistent_;
   std::optional<sim::EventId> update_event_;
   std::vector<std::optional<sim::EventId>> false_signal_events_;
@@ -534,10 +713,97 @@ struct ShardOutcome {
   std::uint64_t receiver_timeouts = 0;
   std::uint64_t relay_crashes = 0;
   std::uint64_t relay_recoveries = 0;
+  std::uint64_t teardown_messages = 0;
+  std::uint64_t fabric_dropped = 0;
+  std::uint64_t relay_installs = 0;
+  std::uint64_t relay_refreshes = 0;
+  std::uint64_t relay_soft_timeouts = 0;
   double end_time = 0.0;
   std::size_t arena_high_water = 0;
   std::size_t arena_chunks = 0;
 };
+
+/// Moves a completed shard's sink into a ShardOutcome (shared by the base
+/// farm shard and both fabric shard types; call once).
+ShardOutcome drain_sink(ShardSink& sink, const sim::Simulator& sim) {
+  ShardOutcome out;
+  out.per_session = std::move(sink.metrics);
+  out.per_session_churn = std::move(sink.churn);
+  out.arrival = std::move(sink.arrival);
+  out.end = std::move(sink.end);
+  out.messages = sink.messages;
+  out.receiver_timeouts = sink.receiver_timeouts;
+  out.relay_crashes = sink.relay_crashes;
+  out.relay_recoveries = sink.relay_recoveries;
+  out.teardown_messages = sink.teardown_messages;
+  out.relay_installs = sink.relay_installs;
+  out.relay_refreshes = sink.relay_refreshes;
+  out.relay_soft_timeouts = sink.relay_soft_timeouts;
+  out.events = sim.events_executed();
+  out.end_time = sim.now();
+  return out;
+}
+
+/// Reduces completed shard outcomes, in shard (= global session) order,
+/// into a SessionFarmResult.  Shared by the base farm and the fabric farm;
+/// `total_sessions` is only a reserve hint.
+SessionFarmResult aggregate_outcomes(std::vector<ShardOutcome>& outcomes,
+                                     const SessionFarmOptions& options,
+                                     std::size_t total_sessions) {
+  SessionFarmResult result;
+  result.shards = outcomes.size();
+  std::vector<Metrics> all_sessions;
+  all_sessions.reserve(total_sessions);
+  std::vector<double> starts;
+  std::vector<double> ends;
+  starts.reserve(total_sessions);
+  ends.reserve(total_sessions);
+  for (ShardOutcome& outcome : outcomes) {
+    all_sessions.insert(all_sessions.end(), outcome.per_session.begin(),
+                        outcome.per_session.end());
+    for (const protocols::ChurnReport& churn : outcome.per_session_churn) {
+      result.churn.absorb(churn);
+    }
+    result.messages += outcome.messages;
+    result.events_executed += outcome.events;
+    result.receiver_timeouts += outcome.receiver_timeouts;
+    result.relay_crashes += outcome.relay_crashes;
+    result.relay_recoveries += outcome.relay_recoveries;
+    result.teardown_messages += outcome.teardown_messages;
+    result.fabric_dropped += outcome.fabric_dropped;
+    result.relay_installs += outcome.relay_installs;
+    result.relay_refreshes += outcome.relay_refreshes;
+    result.relay_soft_timeouts += outcome.relay_soft_timeouts;
+    result.horizon = std::max(result.horizon, outcome.end_time);
+    result.arena_slot_high_water =
+        std::max(result.arena_slot_high_water, outcome.arena_high_water);
+    result.arena_chunk_allocations += outcome.arena_chunks;
+    starts.insert(starts.end(), outcome.arrival.begin(), outcome.arrival.end());
+    ends.insert(ends.end(), outcome.end.begin(), outcome.end.end());
+  }
+  // Exact global peak: merge every session's [begin, completion] endpoints
+  // across shards and sweep.  A start at exactly an end's time counts as
+  // overlapping (starts first at ties), matching the in-simulator
+  // convention that a session is in flight from begin() through its
+  // completion event.
+  std::sort(starts.begin(), starts.end());
+  std::sort(ends.begin(), ends.end());
+  std::size_t active = 0;
+  std::size_t next_end = 0;
+  for (const double start : starts) {
+    while (next_end < ends.size() && ends[next_end] < start) {
+      --active;
+      ++next_end;
+    }
+    ++active;
+    result.peak_sessions_in_flight =
+        std::max(result.peak_sessions_in_flight, active);
+  }
+  result.sessions = all_sessions.size();
+  result.summary = summarize_replicas(all_sessions);
+  if (options.keep_per_session) result.per_session = std::move(all_sessions);
+  return result;
+}
 
 /// Sessions [first, first + count) of the farm: one Simulator, one arena,
 /// one sink.  Construction pre-scans the arrivals; a shard worker then
@@ -595,17 +861,7 @@ class Shard {
 
   /// Extracts the shard's results (call once, after completion).
   ShardOutcome finish() {
-    ShardOutcome out;
-    out.per_session = std::move(sink_.metrics);
-    out.per_session_churn = std::move(sink_.churn);
-    out.arrival = std::move(sink_.arrival);
-    out.end = std::move(sink_.end);
-    out.messages = sink_.messages;
-    out.receiver_timeouts = sink_.receiver_timeouts;
-    out.relay_crashes = sink_.relay_crashes;
-    out.relay_recoveries = sink_.relay_recoveries;
-    out.events = sim_.events_executed();
-    out.end_time = sim_.now();
+    ShardOutcome out = drain_sink(sink_, sim_);
     out.arena_high_water = arena_.slot_capacity();
     out.arena_chunks = arena_.chunk_allocations();
     return out;
@@ -683,53 +939,446 @@ SessionFarmResult run_farm(ProtocolKind kind, const Params& params,
     }
   });
 
-  SessionFarmResult result;
-  result.shards = shards;
-  std::vector<Metrics> all_sessions;
-  all_sessions.reserve(n);
-  std::vector<double> starts;
-  std::vector<double> ends;
-  starts.reserve(n);
-  ends.reserve(n);
-  for (ShardOutcome& outcome : outcomes) {
-    all_sessions.insert(all_sessions.end(), outcome.per_session.begin(),
-                        outcome.per_session.end());
-    for (const protocols::ChurnReport& churn : outcome.per_session_churn) {
-      result.churn.absorb(churn);
-    }
-    result.messages += outcome.messages;
-    result.events_executed += outcome.events;
-    result.receiver_timeouts += outcome.receiver_timeouts;
-    result.relay_crashes += outcome.relay_crashes;
-    result.relay_recoveries += outcome.relay_recoveries;
-    result.horizon = std::max(result.horizon, outcome.end_time);
-    result.arena_slot_high_water =
-        std::max(result.arena_slot_high_water, outcome.arena_high_water);
-    result.arena_chunk_allocations += outcome.arena_chunks;
-    starts.insert(starts.end(), outcome.arrival.begin(), outcome.arrival.end());
-    ends.insert(ends.end(), outcome.end.begin(), outcome.end.end());
+  return aggregate_outcomes(outcomes, options, n);
+}
+
+// ------------------------------------------------------ the fabric farm --
+//
+// Shared relays turn independent shards into a communicating system, so the
+// free-running round-robin above no longer preserves determinism: a shard
+// racing ahead could observe (or miss) messages depending on wall-clock
+// scheduling.  The fabric farm instead runs global LOCKSTEP EPOCHS:
+//
+//   1. negotiate (serial):  H_k = min over all shards of the earliest
+//      pending event time, plus kFabricSliceSeconds.  The minimum is over
+//      the union of every shard's pending events, which is invariant to the
+//      shard decomposition -- so the epoch timeline is too.
+//   2. advance (parallel):  every worker runs its owned shards' simulators
+//      up to exactly H_k.  Sessions push outgoing fabric messages onto
+//      their shard's rings (producer side; ring growth is legal here).
+//   3. drain (parallel):    every worker drains its owned shards' INCOMING
+//      rings, sorts the merged entries by the (send_time, source, seq)
+//      stamp, and schedules one inbox-flush event at H_k per shard.
+//
+// Each parallel_for join is a full barrier, so the advance and drain phases
+// never overlap anywhere -- that is what makes each ring's SPSC use
+// phase-separated and growth safe.  Messages sent during epoch k are
+// delivered at exactly H_k (the destination's clock cannot have passed H_k,
+// so no message ever arrives in the past), in stamp order, via a flush
+// event scheduled AFTER every event of the slice -- deliveries therefore
+// sort after the destination's own H_k-time events deterministically.
+// Every piece of that discipline is decomposition-invariant, which is the
+// bit-identity argument docs/ARCHITECTURE.md spells out in full.
+
+/// Type-erased fabric shard: the epoch loop drives subscriber and relay
+/// shards uniformly through this interface (a handful of virtual calls per
+/// shard per epoch -- noise next to the slice itself).
+class FabricShard {
+ public:
+  virtual ~FabricShard() = default;
+  [[nodiscard]] virtual bool complete() const = 0;
+  [[nodiscard]] virtual std::optional<double> next_pending_within(
+      double bound) const = 0;
+  virtual void advance_to(double horizon) = 0;
+  virtual void drain_incoming(double boundary) = 0;
+  virtual ShardOutcome finish() = 0;
+};
+
+/// The simulator, fabric port and inbox machinery common to both fabric
+/// shard types.
+class FabricShardBase : public FabricShard {
+ public:
+  [[nodiscard]] std::optional<double> next_pending_within(
+      double bound) const final {
+    return sim_.next_pending_within(bound);
   }
-  // Exact global peak: merge every session's [begin, completion] endpoints
-  // across shards and sweep.  A start at exactly an end's time counts as
-  // overlapping (starts first at ties), matching the in-simulator
-  // convention that a session is in flight from begin() through its
-  // completion event.
-  std::sort(starts.begin(), starts.end());
-  std::sort(ends.begin(), ends.end());
-  std::size_t active = 0;
-  std::size_t next_end = 0;
-  for (const double start : starts) {
-    while (next_end < ends.size() && ends[next_end] < start) {
-      --active;
-      ++next_end;
-    }
-    ++active;
-    result.peak_sessions_in_flight =
-        std::max(result.peak_sessions_in_flight, active);
+
+  /// Advance phase: run every event with time <= horizon.  Never stops
+  /// early -- a completed shard keeps executing stragglers so its clock
+  /// tracks the epoch timeline.
+  void advance_to(double horizon) final {
+    sim_.run_slice(horizon, [] { return false; });
   }
-  result.sessions = all_sessions.size();
-  result.summary = summarize_replicas(all_sessions);
-  if (options.keep_per_session) result.per_session = std::move(all_sessions);
+
+  /// Drain phase: collect this shard's incoming rings, stamp-sort, and
+  /// schedule one flush event at the epoch boundary.  The inbox is always
+  /// empty on entry: the previous epoch's flush ran during this epoch's
+  /// advance phase (its boundary <= this epoch's horizon).
+  void drain_incoming(double boundary) final {
+    if (fabric_.drain_into(shard_id_, inbox_) == 0) return;
+    sort_fabric(inbox_);
+    sim_.schedule_at(boundary, [this] { flush_inbox(); });
+  }
+
+ protected:
+  FabricShardBase(const SessionFarmOptions& options, CrossShardFabric& fabric,
+                  std::uint32_t shard_id, const FabricMap& map)
+      : sim_(options.event_queue),
+        fabric_(fabric),
+        shard_id_(shard_id),
+        port_(sim_, fabric, shard_id, map) {}
+
+  /// Dispatches one in-order fabric delivery to its destination session.
+  virtual void deliver(const CrossShardEntry& entry) = 0;
+
+  void flush_inbox() {
+    for (const CrossShardEntry& entry : inbox_) deliver(entry);
+    inbox_.clear();
+  }
+
+  sim::Simulator sim_;
+  CrossShardFabric& fabric_;
+  std::uint32_t shard_id_;
+  FabricPort port_;
+  std::vector<CrossShardEntry> inbox_;
+};
+
+/// A subscriber shard of the fabric farm: ordinary single-hop farm sessions
+/// (same arena, same arrival pre-scan, same recycling), the first
+/// relays * subscribers_per_relay of which carry a RelayClient wired to the
+/// shard's fabric port.  An endpoint table, nulled at completion, routes
+/// incoming relay echoes; late echoes are dropped deterministically.
+class SubscriberFabricShard final : public FabricShardBase {
+ public:
+  SubscriberFabricShard(ProtocolKind kind, const SingleHopParams& params,
+                        const SessionFarmOptions& options,
+                        const FabricMap& map, CrossShardFabric& fabric,
+                        std::uint32_t shard_id, std::size_t first,
+                        std::size_t count)
+      : FabricShardBase(options, fabric, shard_id, map),
+        kind_(kind),
+        params_(params),
+        options_(options),
+        first_(first),
+        count_(count),
+        participating_(options.shared_relays * options.subscribers_per_relay),
+        arena_(count),
+        endpoints_(count, nullptr) {
+    sink_.metrics.resize(count);
+    sink_.churn.resize(count);
+    sink_.arrival.resize(count);
+    sink_.end.resize(count);
+    sink_.retire = [this](std::uint32_t slot) { arena_.retire(slot); };
+    sink_.fabric_done = [this](std::size_t local) {
+      endpoints_[local] = nullptr;
+    };
+    const double window =
+        static_cast<double>(options.sessions) / options.arrival_rate;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto g = static_cast<std::uint64_t>(first + i);
+      sim::Rng lifecycle(replica_seed(options.seed, g, 0),
+                         rng::kSessionLifecycle);
+      const double arrival = window * lifecycle.uniform();
+      sink_.arrival[i] = arrival;
+      sim_.schedule_at(arrival, [this, g, i] { spawn(g, i); });
+    }
+  }
+
+  [[nodiscard]] bool complete() const override {
+    return sink_.completed >= count_;
+  }
+
+  ShardOutcome finish() override {
+    ShardOutcome out = drain_sink(sink_, sim_);
+    out.fabric_dropped = dropped_;
+    out.arena_high_water = arena_.slot_capacity();
+    out.arena_chunks = arena_.chunk_allocations();
+    return out;
+  }
+
+ private:
+  void spawn(std::uint64_t global_index, std::size_t local) {
+    const auto [slot, session] = arena_.spawn(
+        sim_, kind_, params_, options_, global_index, sink_, local);
+    session->set_slot(slot);
+    if (global_index < participating_) {
+      const auto relay = static_cast<std::uint64_t>(
+          options_.sessions + global_index % options_.shared_relays);
+      session->attach_relay(&port_, global_index, relay);
+      endpoints_[local] = session;
+    }
+    session->begin();
+  }
+
+  void deliver(const CrossShardEntry& entry) override {
+    const auto local = static_cast<std::size_t>(entry.dest) - first_;
+    SingleHopSession* endpoint = endpoints_[local];
+    if (endpoint == nullptr) {
+      ++dropped_;
+      return;
+    }
+    endpoint->deliver_fabric(entry.message);
+  }
+
+  ProtocolKind kind_;
+  const SingleHopParams& params_;
+  const SessionFarmOptions& options_;
+  std::size_t first_;
+  std::size_t count_;
+  std::size_t participating_;
+  ShardSink sink_;
+  SessionArena<SingleHopSession> arena_;
+  /// Live fabric endpoints by local index (nullptr = not participating or
+  /// already completed).
+  std::vector<SingleHopSession*> endpoints_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// One shared relay session: a SharedRelayHub plus its fabric identity and
+/// completion-time metrics capture.  Relay sessions begin at t = 0 (they
+/// predate every subscriber) and complete when the last subscriber's REMOVE
+/// is delivered; their Metrics ride in the same per-session machinery as
+/// everyone else's, at global indices [sessions, sessions + relays).
+class RelaySession {
+ public:
+  RelaySession(sim::Simulator& sim, ProtocolKind kind,
+               const SingleHopParams& params,
+               const SessionFarmOptions& options, std::uint64_t global_index,
+               ShardSink& sink, std::size_t local, FabricPort* port,
+               std::vector<std::uint64_t> subscribers)
+      : sim_(sim),
+        sink_(sink),
+        local_(local),
+        rng_(replica_seed(options.seed, global_index, 0), rng::kSessionRelay),
+        fabric_ctx_{port, global_index, 0},
+        hub_(sim, rng_, mechanisms(kind),
+             protocols::TimerSettings{options.timer_dist,
+                                      params.refresh_timer,
+                                      params.timeout_timer,
+                                      params.retrans_timer},
+             std::move(subscribers),
+             [this](std::uint64_t dest, const Message& m) {
+               fabric_ctx_.port->send(fabric_ctx_, dest, m);
+             },
+             [this] { on_complete(); }) {}
+
+  RelaySession(const RelaySession&) = delete;
+  RelaySession& operator=(const RelaySession&) = delete;
+
+  void begin() { hub_.begin(); }
+
+  void deliver(const CrossShardEntry& entry) {
+    hub_.handle(entry.source, entry.message);
+  }
+
+  [[nodiscard]] const protocols::SharedRelayHub& hub() const noexcept {
+    return hub_;
+  }
+
+ private:
+  void on_complete() {
+    const double end = sim_.now();
+    const auto sent = static_cast<double>(hub_.messages_sent());
+    Metrics& metrics = sink_.metrics[local_];
+    metrics.inconsistency = hub_.missing_fraction(end);
+    metrics.session_length = end;  // relays live from t = 0
+    metrics.raw_message_rate = end > 0.0 ? sent / end : 0.0;
+    metrics.message_rate = metrics.raw_message_rate;
+    sink_.end[local_] = end;
+    sink_.messages += hub_.messages_sent();
+    sink_.receiver_timeouts += hub_.soft_timeouts();
+    sink_.relay_installs += hub_.installs();
+    sink_.relay_refreshes += hub_.refreshes();
+    sink_.relay_soft_timeouts += hub_.soft_timeouts();
+    ++sink_.completed;
+  }
+
+  sim::Simulator& sim_;
+  ShardSink& sink_;
+  std::size_t local_;
+  sim::Rng rng_;
+  FabricCtx fabric_ctx_;
+  protocols::SharedRelayHub hub_;
+};
+
+/// A relay shard: RelaySessions for relays [first_relay, first_relay +
+/// count), all spawned at t = 0 and never recycled (a deque holds them --
+/// no arena, no relocation).
+class RelayFabricShard final : public FabricShardBase {
+ public:
+  RelayFabricShard(ProtocolKind kind, const SingleHopParams& params,
+                   const SessionFarmOptions& options, const FabricMap& map,
+                   CrossShardFabric& fabric, std::uint32_t shard_id,
+                   std::size_t first_relay, std::size_t count)
+      : FabricShardBase(options, fabric, shard_id, map),
+        kind_(kind),
+        params_(params),
+        options_(options),
+        first_relay_(first_relay),
+        count_(count) {
+    sink_.metrics.resize(count);
+    sink_.churn.resize(count);
+    sink_.arrival.resize(count);
+    sink_.end.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      sink_.arrival[i] = 0.0;
+      sim_.schedule_at(0.0, [this, i] { spawn(i); });
+    }
+  }
+
+  [[nodiscard]] bool complete() const override {
+    return sink_.completed >= count_;
+  }
+
+  ShardOutcome finish() override {
+    ShardOutcome out = drain_sink(sink_, sim_);
+    for (const RelaySession& relay : relays_) {
+      out.fabric_dropped += relay.hub().unknown_dropped();
+    }
+    return out;
+  }
+
+ private:
+  void spawn(std::size_t local) {
+    const std::size_t r = first_relay_ + local;
+    const auto g = static_cast<std::uint64_t>(options_.sessions + r);
+    // Relay r serves subscribers {r, r + R, r + 2R, ...}: the static
+    // subscription map both sides derive independently.
+    std::vector<std::uint64_t> subscribers;
+    subscribers.reserve(options_.subscribers_per_relay);
+    for (std::size_t k = 0; k < options_.subscribers_per_relay; ++k) {
+      subscribers.push_back(
+          static_cast<std::uint64_t>(r + k * options_.shared_relays));
+    }
+    relays_.emplace_back(sim_, kind_, params_, options_, g, sink_, local,
+                         &port_, std::move(subscribers));
+    relays_.back().begin();
+  }
+
+  void deliver(const CrossShardEntry& entry) override {
+    const auto local = static_cast<std::size_t>(entry.dest) -
+                       options_.sessions - first_relay_;
+    relays_[local].deliver(entry);
+  }
+
+  ProtocolKind kind_;
+  const SingleHopParams& params_;
+  const SessionFarmOptions& options_;
+  std::size_t first_relay_;
+  std::size_t count_;
+  ShardSink sink_;
+  /// Spawn events run in local order at t = 0, so relays_[i] is relay i.
+  std::deque<RelaySession> relays_;
+};
+
+SessionFarmResult run_fabric_farm(ProtocolKind kind,
+                                  const SingleHopParams& params,
+                                  const SessionFarmOptions& options) {
+  validate_options(options);
+  params.validate();
+  if (options.subscribers_per_relay == 0) {
+    throw std::invalid_argument(
+        "SessionFarmOptions: subscribers_per_relay must be > 0 with shared "
+        "relays");
+  }
+  if (options.subscribers_per_relay >
+      options.sessions / options.shared_relays) {
+    throw std::invalid_argument(
+        "SessionFarmOptions: shared_relays * subscribers_per_relay must be "
+        "<= sessions");
+  }
+
+  const std::size_t n = options.sessions;
+  const std::size_t relays = options.shared_relays;
+  const std::size_t shard_size = std::min(options.shard_size, n);
+  const std::size_t sub_shards = (n + shard_size - 1) / shard_size;
+  const std::size_t relay_shards = (relays + shard_size - 1) / shard_size;
+  const std::size_t shards = sub_shards + relay_shards;
+  const FabricMap map{shard_size, n, sub_shards};
+
+  // Materialize the rings from the static subscription map: subscriber i
+  // talks to relay (i mod R) and back.  Deduplicate the directed shard
+  // pairs first so ensure_ring runs once per ring, not once per session.
+  CrossShardFabric fabric(shards);
+  const std::size_t participating = relays * options.subscribers_per_relay;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(participating * 2);
+  for (std::size_t i = 0; i < participating; ++i) {
+    const std::uint32_t s = map.shard_of(static_cast<std::uint64_t>(i));
+    const std::uint32_t d =
+        map.shard_of(static_cast<std::uint64_t>(n + i % relays));
+    pairs.emplace_back(s, d);
+    pairs.emplace_back(d, s);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  for (const auto& [src, dst] : pairs) fabric.ensure_ring(src, dst);
+
+  std::optional<ParallelSweep> local_engine;
+  ParallelSweep* engine = options.engine;
+  if (engine == nullptr) {
+    local_engine.emplace(options.threads);
+    engine = &*local_engine;
+  }
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(engine->threads(), shards));
+
+  // Build every shard up front (parallel, strided like the base farm).
+  std::vector<std::unique_ptr<FabricShard>> shard_objs(shards);
+  parallel_for(engine->pool(), workers, [&](std::size_t w) {
+    for (std::size_t s = w; s < shards; s += workers) {
+      if (s < sub_shards) {
+        const std::size_t first = s * shard_size;
+        const std::size_t count = std::min(shard_size, n - first);
+        shard_objs[s] = std::make_unique<SubscriberFabricShard>(
+            kind, params, options, map, fabric,
+            static_cast<std::uint32_t>(s), first, count);
+      } else {
+        const std::size_t first = (s - sub_shards) * shard_size;
+        const std::size_t count = std::min(shard_size, relays - first);
+        shard_objs[s] = std::make_unique<RelayFabricShard>(
+            kind, params, options, map, fabric,
+            static_cast<std::uint32_t>(s), first, count);
+      }
+    }
+  });
+
+  // The lockstep epoch loop (see the section comment above).  Each
+  // parallel_for join is the phase barrier; the negotiation and completion
+  // check run serially on the calling thread between joins.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::size_t epochs = 0;
+  while (true) {
+    bool all_complete = true;
+    for (const auto& shard : shard_objs) {
+      if (!shard->complete()) {
+        all_complete = false;
+        break;
+      }
+    }
+    if (all_complete) break;
+    double min_next = kInf;
+    for (const auto& shard : shard_objs) {
+      const std::optional<double> next = shard->next_pending_within(min_next);
+      if (next && *next < min_next) min_next = *next;
+    }
+    if (min_next == kInf) {
+      throw std::logic_error("session farm: fabric stalled before completing");
+    }
+    const double horizon = min_next + kFabricSliceSeconds;
+    ++epochs;
+    parallel_for(engine->pool(), workers, [&](std::size_t w) {
+      for (std::size_t s = w; s < shards; s += workers) {
+        shard_objs[s]->advance_to(horizon);
+      }
+    });
+    parallel_for(engine->pool(), workers, [&](std::size_t w) {
+      for (std::size_t s = w; s < shards; s += workers) {
+        shard_objs[s]->drain_incoming(horizon);
+      }
+    });
+  }
+
+  std::vector<ShardOutcome> outcomes(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    outcomes[s] = shard_objs[s]->finish();
+  }
+  const std::uint64_t fabric_messages = fabric.total_pushed();
+  SessionFarmResult result = aggregate_outcomes(outcomes, options, n + relays);
+  result.relay_sessions = relays;
+  result.fabric_messages = fabric_messages;
+  result.fabric_rings = fabric.rings();
+  result.fabric_epochs = epochs;
   return result;
 }
 
@@ -746,6 +1395,14 @@ SessionFarmResult run_session_farm(ProtocolKind kind,
     throw std::invalid_argument(
         "run_session_farm: scenario processes need tree or chain sessions");
   }
+  if (options.teardown) {
+    throw std::invalid_argument(
+        "run_session_farm: teardown pricing needs tree or chain sessions "
+        "(single-hop sessions already end with an explicit remove)");
+  }
+  if (options.shared_relays > 0) {
+    return run_fabric_farm(kind, params, options);
+  }
   return run_farm<SingleHopSession>(kind, params, options);
 }
 
@@ -755,6 +1412,10 @@ SessionFarmResult run_session_farm(ProtocolKind kind,
   if (!supports_multi_hop(kind)) {
     throw std::invalid_argument(
         "run_session_farm: unsupported multi-hop protocol");
+  }
+  if (options.shared_relays > 0) {
+    throw std::invalid_argument(
+        "run_session_farm: shared relays need single-hop sessions");
   }
   // A chain session IS a fan-out-1 tree session: one session class, one
   // wiring path (TreeSession's Topology == Chain's, bit for bit).
@@ -768,6 +1429,10 @@ SessionFarmResult run_session_farm(ProtocolKind kind,
   if (!supports_multi_hop(kind)) {
     throw std::invalid_argument(
         "run_session_farm: unsupported multi-hop protocol");
+  }
+  if (options.shared_relays > 0) {
+    throw std::invalid_argument(
+        "run_session_farm: shared relays need single-hop sessions");
   }
   return run_farm<TreeSession>(kind, params, options);
 }

@@ -86,6 +86,29 @@ struct SessionFarmOptions {
   /// element-wise.  Off by default: a million-session run should not haul
   /// a million Metrics back unless asked.
   bool keep_per_session = false;
+  /// Shared relay sessions (single-hop farms only).  0 -- the default --
+  /// runs the exact pre-fabric farm code path, bit for bit.  R > 0 adds R
+  /// relay sessions at global indices [sessions, sessions + R): the first
+  /// R * subscribers_per_relay farm sessions each install state through
+  /// relay (index mod R) across the cross-shard message ring, with fan-in
+  /// at the relay and per-subscriber refresh fan-out back (see
+  /// protocols/shared_relay.hpp and docs/ARCHITECTURE.md, "The cross-shard
+  /// fabric").  Results stay element-wise identical across thread counts
+  /// AND shard sizes; the fabric's epoch-batched delivery (latency up to
+  /// one fabric slice) is part of the workload model.
+  std::size_t shared_relays = 0;
+  /// Subscribers wired to each shared relay.  Requires
+  /// shared_relays * subscribers_per_relay <= sessions (every subscriber is
+  /// an ordinary farm session; the rest of the farm runs undisturbed).
+  std::size_t subscribers_per_relay = 16;
+  /// Teardown pricing (tree/chain farms only): when true, a session's
+  /// lifetime window ends with an explicit TreeSender::remove() -- removal
+  /// messages propagate down every branch, priced into the session's
+  /// message counts and surfaced in SessionFarmResult::teardown_messages --
+  /// followed by a deterministic grace period of one timeout interval
+  /// before the tree is silently stopped.  The default (false) keeps the
+  /// historical silent Topology::stop(), bit for bit.
+  bool teardown = false;
 };
 
 /// Aggregate outcome of a farm run.
@@ -126,6 +149,32 @@ struct SessionFarmResult {
   /// their high-water marks -- the farm's zero-steady-state-allocation
   /// counter.
   std::size_t arena_chunk_allocations = 0;
+  /// Shared relay sessions driven (== options.shared_relays; their metrics
+  /// occupy the last relay_sessions entries of per_session).  `sessions`
+  /// counts them too when relays are enabled.
+  std::size_t relay_sessions = 0;
+  /// Messages carried by the cross-shard ring fabric (every stamped entry
+  /// pushed by clients and hubs; 0 without shared relays).
+  std::uint64_t fabric_messages = 0;
+  /// Fabric deliveries dropped at the destination (the session had already
+  /// completed, or the hub rejected the source).  Deterministic: drop
+  /// decisions depend only on the decomposition-invariant epoch timeline.
+  std::uint64_t fabric_dropped = 0;
+  /// ShardRings materialized (directed shard pairs that carry traffic).
+  std::size_t fabric_rings = 0;
+  /// Epoch barriers executed by the fabric's lockstep worker loop.
+  std::size_t fabric_epochs = 0;
+  /// Installs accepted across every relay hub (first installs plus
+  /// re-installs after a soft-state expiry).
+  std::uint64_t relay_installs = 0;
+  /// Subscriber refreshes accepted across every relay hub.
+  std::uint64_t relay_refreshes = 0;
+  /// Soft-state expirations across every relay hub's subscriber slots.
+  std::uint64_t relay_soft_timeouts = 0;
+  /// Messages attributable to explicit session teardown (tree/chain farms
+  /// with SessionFarmOptions::teardown; 0 otherwise): everything sent
+  /// between the window-end remove() and the end of the grace period.
+  std::uint64_t teardown_messages = 0;
 };
 
 /// Runs N single-hop sessions of `kind`.  `params.removal_rate` is ignored

@@ -1,0 +1,283 @@
+// Batched cross-shard message ring: the deterministic inter-shard fabric of
+// the million-session farm.
+//
+// Topology: one ShardRing per DIRECTED shard pair that ever carries traffic
+// (lazily materialized from the static subscription map at farm setup --
+// S^2 rings are never allocated).  Each ring is strictly SPSC: the producer
+// is the worker advancing the source shard's time slice, the consumer the
+// worker draining the destination shard at the epoch boundary.  The farm's
+// epoch barriers keep the two phases disjoint in time, but the ring is
+// independently correct under true concurrent SPSC use (monotone head/tail
+// indices with acquire/release pairing -- the ndn-dpdk ringbuffer shape),
+// which is what the RingSpscStress TSan suite exercises.
+//
+// Allocation discipline: the buffer is a power-of-two array sized at
+// construction; steady-state push/pop performs ZERO allocations (tests
+// assert allocations() stays flat after warm-up).  push() doubles the
+// buffer when full -- legal only while the consumer is quiescent, which in
+// the farm means during a worker's own advance phase (the consumer drains
+// only at the barrier) -- so capacity growth is a ramp-up-only event,
+// mirroring SessionArena's chunk discipline.  try_push() never grows and is
+// the primitive concurrent producers must use.
+//
+// Determinism: entries are stamped (send_time, source session GLOBAL index,
+// per-source sequence number).  The stamp is a total order -- seq breaks
+// same-time ties from one session, the global index breaks ties across
+// sessions -- and every component is invariant to thread count AND shard
+// size (a per-ring or per-shard counter would not be: re-sharding reshuffles
+// which messages share a ring).  The destination merges all its incoming
+// rings and sorts by this stamp, so the delivery order is the same total
+// order no matter how sessions were partitioned.  docs/ARCHITECTURE.md,
+// "The cross-shard fabric", gives the full argument.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "protocols/message.hpp"
+#include "sim/event_queue.hpp"
+
+namespace sigcomp::exp {
+
+/// One message crossing the shard fabric, stamped for deterministic merge.
+struct CrossShardEntry {
+  sim::Time send_time = 0.0;     ///< simulated time of the push
+  std::uint64_t source = 0;      ///< sending session's GLOBAL index
+  std::uint64_t seq = 0;         ///< per-source send counter (0, 1, ...)
+  std::uint64_t dest = 0;        ///< receiving session's GLOBAL index
+  protocols::Message message;    ///< the signaling payload
+};
+
+/// The fabric's delivery order: send time, then source global index, then
+/// per-source seq.  A strict total order on distinct entries (no session
+/// reuses a seq), and every key is shard- and thread-invariant, so sorting a
+/// destination's merged drain by this comparator yields the same sequence
+/// under any farm decomposition.  Exposed for the adversarial-tie tests.
+[[nodiscard]] inline bool fabric_before(const CrossShardEntry& a,
+                                        const CrossShardEntry& b) noexcept {
+  if (a.send_time != b.send_time) return a.send_time < b.send_time;
+  if (a.source != b.source) return a.source < b.source;
+  return a.seq < b.seq;
+}
+
+/// Sorts a destination shard's merged incoming entries into fabric delivery
+/// order (stable sort is unnecessary -- fabric_before is total).
+inline void sort_fabric(std::vector<CrossShardEntry>& entries) {
+  std::sort(entries.begin(), entries.end(), fabric_before);
+}
+
+/// Fixed-capacity SPSC ring of CrossShardEntry.  See the file comment for
+/// the producer/consumer and growth contracts.
+class ShardRing {
+ public:
+  /// Rounds `capacity_hint` up to a power of two (minimum 8) and allocates
+  /// the buffer once; steady-state traffic never allocates again.
+  explicit ShardRing(std::size_t capacity_hint = 64)
+      : capacity_(round_up(capacity_hint)), buffer_(capacity_) {}
+
+  ShardRing(const ShardRing&) = delete;             ///< non-copyable
+  ShardRing& operator=(const ShardRing&) = delete;  ///< non-copyable
+
+  /// Producer side, non-growing: enqueues `entry` unless the ring is full.
+  /// Safe against a concurrent consumer (the SPSC contract).
+  bool try_push(const CrossShardEntry& entry) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= capacity_) {
+      return false;
+    }
+    buffer_[tail & (capacity_ - 1)] = entry;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side, growing: enqueues unconditionally, doubling the buffer
+  /// when full.  Growth relocates live entries, so it is legal ONLY while
+  /// the consumer is quiescent -- in the farm, inside the producer's own
+  /// advance phase, where the epoch barrier guarantees no concurrent drain.
+  /// Rings warm up to their traffic high-water mark and then never grow
+  /// again (allocations() is the proof the tests pin).
+  void push(const CrossShardEntry& entry) {
+    if (!try_push(entry)) {
+      grow();
+      (void)try_push(entry);  // cannot fail: capacity just doubled
+    }
+  }
+
+  /// Consumer side: dequeues the oldest entry into `out`; false when empty.
+  /// Safe against a concurrent producer (the SPSC contract).
+  bool try_pop(CrossShardEntry& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = buffer_[head & (capacity_ - 1)];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: drains every entry currently in the ring into `out`
+  /// (appended, FIFO).  Returns the number drained.  Entries pushed
+  /// concurrently after the initial tail read are left for the next drain.
+  std::size_t drain(std::vector<CrossShardEntry>& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const auto n = static_cast<std::size_t>(tail - head);
+    out.reserve(out.size() + n);
+    for (; head != tail; ++head) {
+      out.push_back(buffer_[head & (capacity_ - 1)]);
+    }
+    head_.store(head, std::memory_order_release);
+    return n;
+  }
+
+  /// Entries currently enqueued (racy under concurrent use; exact between
+  /// the farm's barrier-separated phases).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  /// True when no entry is enqueued (same precision caveat as size()).
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Current buffer capacity (a power of two).
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Buffer allocations since construction (1 = never grew).  Flat in
+  /// steady state -- the ring's zero-allocation counter, pinned by tests.
+  [[nodiscard]] std::size_t allocations() const noexcept {
+    return allocations_;
+  }
+
+  /// Entries ever pushed (producer-side counter; the farm's
+  /// fabric_messages accounting reads it between phases).
+  [[nodiscard]] std::uint64_t pushed() const noexcept {
+    return tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t round_up(std::size_t n) noexcept {
+    std::size_t cap = 8;
+    while (cap < n) cap <<= 1;
+    return cap;
+  }
+
+  /// Doubles the buffer, relaying live entries to their positions under the
+  /// new mask.  Indices are monotone and masked, so entry i simply moves
+  /// from old[i & old_mask] to new[i & new_mask]; head/tail are unchanged.
+  void grow() {
+    const std::size_t new_cap = capacity_ * 2;
+    std::vector<CrossShardEntry> fresh(new_cap);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    for (std::uint64_t i = head; i != tail; ++i) {
+      fresh[i & (new_cap - 1)] = buffer_[i & (capacity_ - 1)];
+    }
+    buffer_ = std::move(fresh);
+    capacity_ = new_cap;
+    ++allocations_;
+  }
+
+  std::size_t capacity_;
+  std::vector<CrossShardEntry> buffer_;
+  std::atomic<std::uint64_t> head_{0};  ///< consumer cursor (monotone)
+  std::atomic<std::uint64_t> tail_{0};  ///< producer cursor (monotone)
+  std::size_t allocations_ = 1;         ///< construction counts as one
+};
+
+/// The farm's ring registry: at most one ShardRing per directed shard pair,
+/// materialized at setup from the static subscription map (sessions name
+/// their peers before the first slice, so the set of communicating pairs is
+/// known up front -- "lazy" means only pairs that talk get a ring, not that
+/// rings appear mid-run).  After setup the structure is immutable; workers
+/// only touch ring CONTENTS, each ring by exactly one producer and one
+/// consumer.
+class CrossShardFabric {
+ public:
+  explicit CrossShardFabric(std::size_t shards) : incoming_(shards) {}
+
+  CrossShardFabric(const CrossShardFabric&) = delete;
+  CrossShardFabric& operator=(const CrossShardFabric&) = delete;
+
+  /// Returns the ring src -> dst, materializing it on first request.
+  /// Setup-phase only (single-threaded, before workers start).
+  ShardRing* ensure_ring(std::uint32_t src, std::uint32_t dst,
+                         std::size_t capacity_hint = 64) {
+    std::vector<Route>& routes = incoming_[dst];
+    for (const Route& r : routes) {
+      if (r.src == src) return r.ring.get();
+    }
+    routes.push_back(Route{src, std::make_unique<ShardRing>(capacity_hint)});
+    ShardRing* ring = routes.back().ring.get();
+    // Drain order over incoming rings is by ascending source shard.  The
+    // subsequent stamp sort makes delivery order independent of it anyway,
+    // but a canonical order keeps counter accumulation reproducible.
+    std::sort(routes.begin(), routes.end(),
+              [](const Route& a, const Route& b) { return a.src < b.src; });
+    return ring;
+  }
+
+  /// Producer-side lookup of the ring src -> dst; nullptr when the pair was
+  /// never materialized.  Binary search over the destination's sorted route
+  /// list -- O(log fan-in) per send, no synchronization (the structure is
+  /// immutable after setup).
+  [[nodiscard]] ShardRing* find_ring(std::uint32_t src,
+                                     std::uint32_t dst) noexcept {
+    std::vector<Route>& routes = incoming_[dst];
+    const auto it = std::lower_bound(
+        routes.begin(), routes.end(), src,
+        [](const Route& r, std::uint32_t s) { return r.src < s; });
+    if (it == routes.end() || it->src != src) return nullptr;
+    return it->ring.get();
+  }
+
+  /// Drains every ring into destination `dst` (appended to `out`, then
+  /// stamp-sorted by the caller).  Consumer side of each ring; called only
+  /// by the worker that owns shard `dst`, only in the drain phase.
+  std::size_t drain_into(std::uint32_t dst,
+                         std::vector<CrossShardEntry>& out) {
+    std::size_t n = 0;
+    for (Route& r : incoming_[dst]) n += r.ring->drain(out);
+    return n;
+  }
+
+  /// True when no ring holds an undelivered entry (barrier-phase exact).
+  [[nodiscard]] bool empty() const noexcept {
+    for (const std::vector<Route>& routes : incoming_) {
+      for (const Route& r : routes) {
+        if (!r.ring->empty()) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Total entries ever pushed across all rings (the farm's
+  /// fabric_messages counter; barrier-phase exact).
+  [[nodiscard]] std::uint64_t total_pushed() const noexcept {
+    std::uint64_t n = 0;
+    for (const std::vector<Route>& routes : incoming_) {
+      for (const Route& r : routes) n += r.ring->pushed();
+    }
+    return n;
+  }
+
+  /// Rings materialized (directed pairs that carry traffic).
+  [[nodiscard]] std::size_t rings() const noexcept {
+    std::size_t n = 0;
+    for (const std::vector<Route>& routes : incoming_) n += routes.size();
+    return n;
+  }
+
+ private:
+  struct Route {
+    std::uint32_t src = 0;
+    std::unique_ptr<ShardRing> ring;
+  };
+
+  /// incoming_[dst] = rings feeding shard dst, sorted by source shard.
+  std::vector<std::vector<Route>> incoming_;
+};
+
+}  // namespace sigcomp::exp

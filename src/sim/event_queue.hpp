@@ -263,6 +263,16 @@ class EventQueue {
   /// when no undrained live event remains.
   [[nodiscard]] bool peek_ready(Time& time) const;
 
+  /// Bounded peek for slice-horizon negotiation: writes the earliest
+  /// pending time and returns true only when that time is <= `bound`;
+  /// returns false when the queue is empty or provably idle past the bound.
+  /// On the heap backend this is peek_ready plus the comparison (the peek
+  /// is already O(1)); the wheel backend uses the bound to skip rotations.
+  /// Exact by contract: a false return guarantees no pending event at or
+  /// before `bound` -- the cross-shard fabric's epoch-barrier computation
+  /// (a running min over every shard) depends on it.
+  [[nodiscard]] bool peek_ready_within(Time bound, Time& time) const;
+
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
   /// Heap entries pack (seq, slot) into one word: 38 bits of sequence

@@ -119,6 +119,22 @@ class Simulator {
         queue_);
   }
 
+  /// Bounded companion to next_pending_time(), for negotiating a common
+  /// slice horizon across many simulators: returns the earliest pending
+  /// time only when it is <= `bound`, and lets the backend prove "nothing
+  /// at or before the bound" cheaply (the timing wheel answers from its
+  /// tick cursor without rotating).  The cross-shard fabric computes its
+  /// epoch barrier as a running min over every shard through this call.
+  [[nodiscard]] std::optional<Time> next_pending_within(Time bound) const {
+    return std::visit(
+        [bound](const auto& queue) -> std::optional<Time> {
+          Time t = 0.0;
+          if (!queue.peek_ready_within(bound, t)) return std::nullopt;
+          return t;
+        },
+        queue_);
+  }
+
   /// True when no events are pending.
   [[nodiscard]] bool idle() const noexcept {
     return std::visit([](const auto& queue) { return queue.empty(); }, queue_);

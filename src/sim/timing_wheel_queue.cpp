@@ -369,4 +369,22 @@ bool TimingWheelQueue::peek_ready(Time& time) const {
   return true;
 }
 
+bool TimingWheelQueue::peek_ready_within(Time bound, Time& time) const {
+  drop_dead();
+  if (!due_.empty()) {
+    // A non-empty due heap already holds the global minimum (ensure_due
+    // only rotates the wheel when the heap is empty), so answer exactly.
+    time = due_.front().time;
+    return time <= bound;
+  }
+  if (wheel_count_ == 0 && far_count_ == 0) return false;
+  // Nothing due: every pending event sits at a tick strictly beyond
+  // cur_tick_, so its time is at least cur_tick_ * tick_ (one tick of slack
+  // absorbs the floor-rounding of the tick map).  When even that lower
+  // bound exceeds `bound` the answer is provably false -- no rotation, no
+  // far-list cascade.
+  if (static_cast<double>(cur_tick_) * tick_ > bound) return false;
+  return peek_ready(time) && time <= bound;
+}
+
 }  // namespace sigcomp::sim

@@ -154,6 +154,18 @@ class TimingWheelQueue {
   /// undrained event remains.
   [[nodiscard]] bool peek_ready(Time& time) const;
 
+  /// Bounded peek for slice-horizon negotiation: writes the earliest
+  /// pending time and returns true only when that time is <= `bound`.
+  /// Where the unbounded peek_ready would rotate the wheel (cascade the far
+  /// list, scan buckets) just to surface an event far in the future, this
+  /// answers false straight from the tick cursor when every pending event
+  /// provably lies past the bound -- the common case when many shards
+  /// negotiate one epoch horizon and most are idle until later.  Exact by
+  /// contract: a false return guarantees no pending event at or before
+  /// `bound` (the fast path under-approximates by one tick to absorb
+  /// floor-rounding in the tick map, never over-approximates).
+  [[nodiscard]] bool peek_ready_within(Time bound, Time& time) const;
+
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
   // Region tags for Slot::home (values above any real bucket index).

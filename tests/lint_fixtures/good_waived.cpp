@@ -1,6 +1,7 @@
 // Fixture: every violation carries a documented waiver -- zero findings
 // expected, which proves the escape hatch suppresses exactly as documented
 // (same-line form, preceding-line form, wrapped reasons, multi-rule form).
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <string>
@@ -11,6 +12,10 @@ struct WaivedRegistry {
   // sigcomp-lint: allow(unordered-container) lookup-only index; never
   // iterated, so hash order cannot leak into any result
   std::unordered_map<std::string, int> by_name_;
+
+  // sigcomp-lint: allow(raw-atomic) diagnostics-only progress counter read
+  // by no simulation path; results cannot depend on it
+  std::atomic<int> progress_{0};
 
   int draw() {
     return rand();  // sigcomp-lint: allow(libc-rand) same-line waiver form

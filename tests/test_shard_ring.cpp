@@ -1,0 +1,205 @@
+// Tests of the cross-shard message ring (exp/shard_ring): SPSC stress under
+// real concurrency, wrap-around, the ramp-up-only growth contract, and the
+// adversarial-tie determinism of the fabric delivery order.
+#include "exp/shard_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace sigcomp::exp {
+namespace {
+
+CrossShardEntry entry(double time, std::uint64_t source, std::uint64_t seq,
+                      std::uint64_t dest = 0) {
+  CrossShardEntry e;
+  e.send_time = time;
+  e.source = source;
+  e.seq = seq;
+  e.dest = dest;
+  e.message = protocols::Message{protocols::MessageType::kRefresh,
+                                 static_cast<std::int64_t>(seq), seq, 0};
+  return e;
+}
+
+TEST(RingSpsc, StressMillionPushPopFlatAllocations) {
+  // One real producer thread against one real consumer thread, 1M entries
+  // through a fixed-capacity ring: every entry arrives exactly once, in
+  // FIFO order, and the ring never allocates after construction (try_push
+  // spins instead of growing).  The CI TSan leg runs this suite.
+  constexpr std::uint64_t kEntries = 1'000'000;
+  ShardRing ring(1024);
+  EXPECT_EQ(ring.allocations(), 1u);
+
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kEntries; ++i) {
+      while (!ring.try_push(entry(1.0, 7, i))) {
+      }
+    }
+  });
+  std::uint64_t received = 0;
+  CrossShardEntry out;
+  while (received < kEntries) {
+    if (ring.try_pop(out)) {
+      ASSERT_EQ(out.seq, received);  // FIFO, nothing lost or duplicated
+      ++received;
+    }
+  }
+  producer.join();
+
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.pushed(), kEntries);
+  EXPECT_EQ(ring.allocations(), 1u);  // flat: zero steady-state allocations
+  EXPECT_EQ(ring.capacity(), 1024u);
+}
+
+TEST(RingSpsc, WrapAroundPreservesFifoOrder) {
+  // Capacity 8 ring cycled far past its capacity: the masked monotone
+  // cursors must keep FIFO order across every wrap.
+  ShardRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  std::uint64_t next_pop = 0;
+  CrossShardEntry out;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.try_push(entry(2.0, 1, i)));
+    if (ring.size() <= 5) continue;  // hold occupancy near (not at) capacity
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out.seq, next_pop++);
+  }
+  while (ring.try_pop(out)) {
+    EXPECT_EQ(out.seq, next_pop++);
+  }
+  EXPECT_EQ(next_pop, 1000u);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.allocations(), 1u);
+}
+
+TEST(RingSpsc, TryPushRefusesWhenFullAndNeverGrows) {
+  ShardRing ring(8);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_push(entry(0.0, 0, i)));
+  }
+  EXPECT_FALSE(ring.try_push(entry(0.0, 0, 8)));
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.allocations(), 1u);
+}
+
+TEST(RingSpsc, GrowthBeforeFirstSliceRelocatesAndThenStaysFlat) {
+  // The farm's ramp-up shape: push() grows the buffer while the consumer is
+  // quiescent (capacity doubling, live entries relayed in order), and once
+  // warm the ring never allocates again -- even when later traffic exceeds
+  // the ORIGINAL capacity.
+  ShardRing ring(8);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ring.push(entry(3.0, 5, i));
+  }
+  EXPECT_EQ(ring.capacity(), 128u);
+  EXPECT_EQ(ring.allocations(), 5u);  // 8 -> 16 -> 32 -> 64 -> 128
+
+  std::vector<CrossShardEntry> drained;
+  EXPECT_EQ(ring.drain(drained), 100u);
+  ASSERT_EQ(drained.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(drained[i].seq, i);  // relocation preserved FIFO order
+  }
+
+  // Warm now: the same volume again must not allocate.
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ring.push(entry(4.0, 5, 100 + i));
+  }
+  EXPECT_EQ(ring.allocations(), 5u);
+  EXPECT_EQ(ring.pushed(), 200u);
+}
+
+TEST(RingSpsc, DrainTakesSnapshotAndAppends) {
+  ShardRing ring(16);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.push(entry(1.0, 2, i));
+  std::vector<CrossShardEntry> out;
+  out.push_back(entry(0.5, 1, 99));  // pre-existing content is appended to
+  EXPECT_EQ(ring.drain(out), 5u);
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0].seq, 99u);
+  EXPECT_EQ(out[5].seq, 4u);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.drain(out), 0u);
+}
+
+TEST(RingMergeOrder, FabricBeforeIsAStrictTotalOrderOnStamps) {
+  const CrossShardEntry a = entry(1.0, 3, 0);
+  const CrossShardEntry b = entry(1.0, 3, 1);  // same time, same source
+  const CrossShardEntry c = entry(1.0, 4, 0);  // same time, later source
+  const CrossShardEntry d = entry(2.0, 0, 0);  // later time, earliest ids
+  EXPECT_TRUE(fabric_before(a, b));
+  EXPECT_FALSE(fabric_before(b, a));
+  EXPECT_TRUE(fabric_before(b, c));  // source outranks seq
+  EXPECT_TRUE(fabric_before(c, d));  // time outranks everything
+  EXPECT_FALSE(fabric_before(a, a));  // irreflexive
+}
+
+TEST(RingMergeOrder, SortIsInvariantUnderAdversarialTiesAndShuffles) {
+  // Many entries sharing one send time (the refresh-storm worst case, plus
+  // a few distinct times), shuffled differently per trial: sort_fabric must
+  // recover the identical sequence every time -- the property that makes
+  // destination delivery order independent of ring arrival order.
+  std::vector<CrossShardEntry> canonical;
+  for (std::uint64_t src = 0; src < 7; ++src) {
+    for (std::uint64_t seq = 0; seq < 5; ++seq) {
+      canonical.push_back(entry(10.0, src, seq));          // one big tie
+      canonical.push_back(entry(10.0 + 0.5 * static_cast<double>(seq % 2),
+                                100 + src, seq));
+    }
+  }
+  sort_fabric(canonical);
+  std::mt19937 shuffler(1234);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<CrossShardEntry> shuffled = canonical;
+    std::shuffle(shuffled.begin(), shuffled.end(), shuffler);
+    sort_fabric(shuffled);
+    for (std::size_t i = 0; i < canonical.size(); ++i) {
+      EXPECT_EQ(shuffled[i].send_time, canonical[i].send_time);
+      EXPECT_EQ(shuffled[i].source, canonical[i].source);
+      EXPECT_EQ(shuffled[i].seq, canonical[i].seq);
+    }
+  }
+}
+
+TEST(RingFabric, MaterializesOneRingPerDirectedPair) {
+  CrossShardFabric fabric(4);
+  ShardRing* r01 = fabric.ensure_ring(0, 1);
+  ShardRing* r21 = fabric.ensure_ring(2, 1);
+  ShardRing* r10 = fabric.ensure_ring(1, 0);
+  EXPECT_EQ(fabric.ensure_ring(0, 1), r01);  // idempotent
+  EXPECT_EQ(fabric.rings(), 3u);
+  EXPECT_EQ(fabric.find_ring(0, 1), r01);
+  EXPECT_EQ(fabric.find_ring(2, 1), r21);
+  EXPECT_EQ(fabric.find_ring(1, 0), r10);
+  EXPECT_EQ(fabric.find_ring(3, 1), nullptr);
+  EXPECT_EQ(fabric.find_ring(0, 2), nullptr);
+}
+
+TEST(RingFabric, DrainIntoMergesEveryIncomingRing) {
+  CrossShardFabric fabric(3);
+  fabric.ensure_ring(0, 2)->push(entry(5.0, 10, 0, 42));
+  fabric.ensure_ring(1, 2)->push(entry(4.0, 20, 0, 43));
+  fabric.ensure_ring(0, 2)->push(entry(5.0, 10, 1, 42));
+  EXPECT_FALSE(fabric.empty());
+  EXPECT_EQ(fabric.total_pushed(), 3u);
+
+  std::vector<CrossShardEntry> merged;
+  EXPECT_EQ(fabric.drain_into(2, merged), 3u);
+  sort_fabric(merged);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].source, 20u);  // earliest send time first
+  EXPECT_EQ(merged[1].source, 10u);
+  EXPECT_EQ(merged[1].seq, 0u);
+  EXPECT_EQ(merged[2].seq, 1u);
+  EXPECT_TRUE(fabric.empty());
+  EXPECT_EQ(fabric.total_pushed(), 3u);  // pushed() survives the drain
+}
+
+}  // namespace
+}  // namespace sigcomp::exp

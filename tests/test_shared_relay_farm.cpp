@@ -1,0 +1,288 @@
+// Tests of the shared-relay workload: the SharedRelayHub protocol endpoint
+// in isolation, the fabric farm's determinism contract (element-wise
+// identical per-session results across thread counts, shard sizes AND
+// event-queue backends), the new counters, option validation, and the
+// explicit-teardown pricing satellite.  Suite names carry "SharedRelay" so
+// the CI TSan leg picks them up.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "exp/session_farm.hpp"
+#include "protocols/message.hpp"
+#include "protocols/shared_relay.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace sigcomp::exp {
+namespace {
+
+using protocols::Message;
+using protocols::MessageType;
+using protocols::SharedRelayHub;
+using protocols::TimerSettings;
+
+SessionFarmOptions relay_farm(std::size_t sessions, std::size_t relays,
+                              std::size_t subscribers_per_relay) {
+  SessionFarmOptions options;
+  options.seed = 17;
+  options.sessions = sessions;
+  options.arrival_rate = static_cast<double>(sessions) / 20.0;
+  options.session_lifetime = 30.0;
+  options.threads = 1;
+  options.shared_relays = relays;
+  options.subscribers_per_relay = subscribers_per_relay;
+  options.keep_per_session = true;
+  return options;
+}
+
+TEST(SharedRelayHubUnit, InstallExpireReinstallAndComplete) {
+  sim::Simulator sim;
+  sim::Rng rng(1, 2);
+  std::vector<std::pair<std::uint64_t, Message>> sent;
+  bool completed = false;
+  // SS mechanisms: soft-state timeout on, so an unrefreshed slot expires.
+  SharedRelayHub hub(
+      sim, rng, mechanisms(ProtocolKind::kSS),
+      TimerSettings{sim::Distribution::kDeterministic, 5.0, 15.0, 0.5},
+      {9, 3},  // unsorted on purpose: the hub canonicalizes
+      [&sent](std::uint64_t dest, const Message& m) {
+        sent.emplace_back(dest, m);
+      },
+      [&completed] { completed = true; });
+  hub.begin();
+
+  // Install from subscriber 3 at t = 0: acknowledged immediately.
+  hub.handle(3, Message{MessageType::kTrigger, 3, 1, 0});
+  EXPECT_EQ(hub.installs(), 1u);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].first, 3u);
+  EXPECT_EQ(sent[0].second.type, MessageType::kAckTrigger);
+
+  // An unknown source is counted and dropped.
+  hub.handle(5, Message{MessageType::kTrigger, 5, 1, 0});
+  EXPECT_EQ(hub.unknown_dropped(), 1u);
+  EXPECT_EQ(hub.installs(), 1u);
+
+  // Fan-out echoes the held value every refresh period (5 s); the slot
+  // expires unrefreshed at t = 15, after which fan-out has nothing to echo
+  // and the subscriber counts as missing.
+  sim.run_until(30.0);
+  std::size_t fanout_echoes = 0;
+  for (const auto& [dest, msg] : sent) {
+    if (msg.type == MessageType::kRefresh) {
+      EXPECT_EQ(dest, 3u);
+      ++fanout_echoes;
+    }
+  }
+  EXPECT_EQ(fanout_echoes, 2u);  // t = 5 and t = 10; expired afterwards
+  EXPECT_EQ(hub.soft_timeouts(), 1u);
+  // Missing over [15, 30] of a 30 s window, one of two subscribers.
+  EXPECT_NEAR(hub.missing_fraction(30.0), 0.25, 1e-12);
+
+  // A refresh that finds the slot expired re-installs (priced as install).
+  hub.handle(3, Message{MessageType::kRefresh, 3, 7, 0});
+  EXPECT_EQ(hub.installs(), 2u);
+  EXPECT_EQ(hub.refreshes(), 0u);
+
+  // Departures: complete exactly when the last subscriber's REMOVE lands.
+  hub.handle(3, Message{MessageType::kRemove, 3, 8, 0});
+  EXPECT_FALSE(completed);
+  EXPECT_FALSE(hub.complete());
+  hub.handle(9, Message{MessageType::kRemove, 9, 1, 0});
+  EXPECT_TRUE(completed);
+  EXPECT_TRUE(hub.complete());
+}
+
+TEST(SharedRelayFarm, RunsAndReportsFabricCounters) {
+  const SessionFarmOptions options = relay_farm(48, 4, 6);
+  const SessionFarmResult result = run_session_farm(
+      ProtocolKind::kSS, SingleHopParams::kazaa_defaults(), options);
+  // 48 subscribers + 4 relay sessions, every one completed and measured.
+  EXPECT_EQ(result.sessions, 52u);
+  EXPECT_EQ(result.relay_sessions, 4u);
+  EXPECT_EQ(result.summary.replications, 52u);
+  EXPECT_EQ(result.per_session.size(), 52u);
+  // 24 participating subscribers: at least one install each, and every
+  // install/refresh/remove crossed the fabric.
+  EXPECT_GE(result.relay_installs, 24u);
+  EXPECT_GT(result.fabric_messages, 48u);
+  EXPECT_GT(result.fabric_rings, 0u);
+  EXPECT_GT(result.fabric_epochs, 0u);
+  // Relay metrics ride in the tail of per_session: relays live from t = 0,
+  // far longer than any subscriber's exponential lifetime window.
+  for (std::size_t r = 48; r < 52; ++r) {
+    EXPECT_GT(result.per_session[r].session_length, 20.0);
+  }
+}
+
+TEST(SharedRelayFarm, ElementWiseIdenticalAcrossThreadsAndShardSizes) {
+  // The crown-jewel contract extended to communicating sessions: per-session
+  // results and every fabric counter must be identical -- element-wise,
+  // bitwise -- at any thread count and any shard size.  (Event counts are
+  // NOT compared across shard sizes: the flush-event count legitimately
+  // depends on the number of shards.)
+  const SingleHopParams params = SingleHopParams::kazaa_defaults();
+  const SessionFarmOptions base = relay_farm(48, 4, 6);
+  const SessionFarmResult golden =
+      run_session_farm(ProtocolKind::kSS, params, base);
+  ASSERT_EQ(golden.per_session.size(), 52u);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    for (const std::size_t shard_size : {7u, 64u, 4096u}) {
+      SessionFarmOptions options = base;
+      options.threads = threads;
+      options.shard_size = shard_size;
+      const SessionFarmResult result =
+          run_session_farm(ProtocolKind::kSS, params, options);
+      SCOPED_TRACE(testing::Message() << "threads=" << threads
+                                      << " shard_size=" << shard_size);
+      ASSERT_EQ(result.per_session.size(), golden.per_session.size());
+      for (std::size_t i = 0; i < golden.per_session.size(); ++i) {
+        EXPECT_EQ(result.per_session[i].inconsistency,
+                  golden.per_session[i].inconsistency)
+            << "session " << i;
+        EXPECT_EQ(result.per_session[i].session_length,
+                  golden.per_session[i].session_length)
+            << "session " << i;
+        EXPECT_EQ(result.per_session[i].raw_message_rate,
+                  golden.per_session[i].raw_message_rate)
+            << "session " << i;
+        EXPECT_EQ(result.per_session[i].message_rate,
+                  golden.per_session[i].message_rate)
+            << "session " << i;
+      }
+      EXPECT_EQ(result.messages, golden.messages);
+      EXPECT_EQ(result.fabric_messages, golden.fabric_messages);
+      EXPECT_EQ(result.fabric_dropped, golden.fabric_dropped);
+      EXPECT_EQ(result.fabric_epochs, golden.fabric_epochs);
+      EXPECT_EQ(result.relay_installs, golden.relay_installs);
+      EXPECT_EQ(result.relay_refreshes, golden.relay_refreshes);
+      EXPECT_EQ(result.relay_soft_timeouts, golden.relay_soft_timeouts);
+      EXPECT_EQ(result.receiver_timeouts, golden.receiver_timeouts);
+      EXPECT_EQ(result.peak_sessions_in_flight,
+                golden.peak_sessions_in_flight);
+    }
+  }
+}
+
+TEST(SharedRelayFarm, BitIdenticalAcrossEventQueueBackends) {
+  // Same decomposition, both backends: the negotiated epoch horizons (via
+  // next_pending_within) and every event must agree exactly, so even the
+  // executed-event count matches.
+  const SingleHopParams params = SingleHopParams::kazaa_defaults();
+  SessionFarmOptions heap_options = relay_farm(48, 4, 6);
+  heap_options.shard_size = 16;
+  heap_options.threads = 2;
+  heap_options.event_queue = sim::EventQueueBackend::kHeap;
+  SessionFarmOptions wheel_options = heap_options;
+  wheel_options.event_queue = sim::EventQueueBackend::kWheel;
+  const SessionFarmResult heap =
+      run_session_farm(ProtocolKind::kSSRT, params, heap_options);
+  const SessionFarmResult wheel =
+      run_session_farm(ProtocolKind::kSSRT, params, wheel_options);
+  ASSERT_EQ(heap.per_session.size(), wheel.per_session.size());
+  for (std::size_t i = 0; i < heap.per_session.size(); ++i) {
+    EXPECT_EQ(heap.per_session[i].inconsistency,
+              wheel.per_session[i].inconsistency);
+    EXPECT_EQ(heap.per_session[i].raw_message_rate,
+              wheel.per_session[i].raw_message_rate);
+  }
+  EXPECT_EQ(heap.messages, wheel.messages);
+  EXPECT_EQ(heap.fabric_messages, wheel.fabric_messages);
+  EXPECT_EQ(heap.fabric_epochs, wheel.fabric_epochs);
+  EXPECT_EQ(heap.events_executed, wheel.events_executed);
+  EXPECT_EQ(heap.horizon, wheel.horizon);
+}
+
+TEST(SharedRelayFarm, ZeroRelaysLeavesFabricCountersZero) {
+  SessionFarmOptions options = relay_farm(60, 0, 16);
+  const SessionFarmResult result = run_session_farm(
+      ProtocolKind::kSS, SingleHopParams::kazaa_defaults(), options);
+  EXPECT_EQ(result.sessions, 60u);
+  EXPECT_EQ(result.relay_sessions, 0u);
+  EXPECT_EQ(result.fabric_messages, 0u);
+  EXPECT_EQ(result.fabric_rings, 0u);
+  EXPECT_EQ(result.fabric_epochs, 0u);
+  EXPECT_EQ(result.fabric_dropped, 0u);
+  EXPECT_EQ(result.relay_installs, 0u);
+  EXPECT_EQ(result.teardown_messages, 0u);
+}
+
+TEST(SharedRelayFarm, ValidatesRelayOptions) {
+  const SingleHopParams params = SingleHopParams::kazaa_defaults();
+  // More subscriptions than sessions.
+  SessionFarmOptions options = relay_farm(40, 4, 11);
+  EXPECT_THROW((void)run_session_farm(ProtocolKind::kSS, params, options),
+               std::invalid_argument);
+  // Relays without subscribers are meaningless.
+  options = relay_farm(40, 4, 0);
+  EXPECT_THROW((void)run_session_farm(ProtocolKind::kSS, params, options),
+               std::invalid_argument);
+  // Shared relays are a single-hop workload.
+  MultiHopParams chain;
+  chain.hops = 2;
+  options = relay_farm(40, 4, 4);
+  EXPECT_THROW((void)run_session_farm(ProtocolKind::kSSRT, chain, options),
+               std::invalid_argument);
+  // Exactly at the bound is legal.
+  options = relay_farm(40, 4, 10);
+  const SessionFarmResult result =
+      run_session_farm(ProtocolKind::kSS, params, options);
+  EXPECT_EQ(result.sessions, 44u);
+}
+
+TEST(SharedRelayTeardown, TreeFarmPricesExplicitTeardown) {
+  // The teardown flag replaces the silent window-end stop() with an
+  // explicit remove() plus grace period: the removal traffic shows up both
+  // in the per-session message counts and in teardown_messages, while the
+  // measurement window itself -- and thus inconsistency -- is untouched.
+  MultiHopParams chain;
+  chain.hops = 3;
+  SessionFarmOptions options;
+  options.seed = 23;
+  options.sessions = 60;
+  options.arrival_rate = 3.0;
+  options.session_lifetime = 30.0;
+  options.threads = 1;
+  const SessionFarmResult silent =
+      run_session_farm(ProtocolKind::kSSRT, chain, options);
+  SessionFarmOptions teardown_options = options;
+  teardown_options.teardown = true;
+  const SessionFarmResult teardown =
+      run_session_farm(ProtocolKind::kSSRT, chain, teardown_options);
+  EXPECT_EQ(silent.teardown_messages, 0u);
+  EXPECT_GT(teardown.teardown_messages, 0u);
+  EXPECT_EQ(teardown.messages, silent.messages + teardown.teardown_messages);
+  EXPECT_EQ(teardown.sessions, silent.sessions);
+  EXPECT_EQ(teardown.summary.mean.inconsistency,
+            silent.summary.mean.inconsistency);
+  EXPECT_GT(teardown.summary.mean.raw_message_rate,
+            silent.summary.mean.raw_message_rate);
+
+  // Teardown pricing obeys the determinism contract too.
+  SessionFarmOptions parallel_options = teardown_options;
+  parallel_options.threads = 4;
+  parallel_options.shard_size = 13;
+  const SessionFarmResult parallel =
+      run_session_farm(ProtocolKind::kSSRT, chain, parallel_options);
+  EXPECT_EQ(parallel.teardown_messages, teardown.teardown_messages);
+  EXPECT_EQ(parallel.messages, teardown.messages);
+}
+
+TEST(SharedRelayTeardown, SingleHopRejectsTeardownFlag) {
+  SessionFarmOptions options;
+  options.sessions = 10;
+  options.teardown = true;
+  EXPECT_THROW(
+      (void)run_session_farm(ProtocolKind::kSS,
+                             SingleHopParams::kazaa_defaults(), options),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sigcomp::exp

@@ -34,6 +34,12 @@ bit-identity:
                       ID -- every substream ID must be a named constant
                       from src/core/rng_streams.hpp, where a static_assert
                       proves global uniqueness.
+  raw-atomic          std::atomic (and std::atomic_* free functions) outside
+                      the audited cross-thread fabric -- exp/shard_ring and
+                      exp/thread_pool -- in library code.  Ad-hoc atomics
+                      are how nondeterministic cross-thread channels sneak
+                      in; inter-shard traffic must ride the stamped ring
+                      fabric, and worker coordination the pool.
 
 Escape hatch (same line, or a comment line directly above the code):
 
@@ -79,6 +85,9 @@ RULE_DOCS = {
                            "vendor-specific",
     "rng-stream-literal": "numeric-literal RNG stream ID; use a named "
                           "constant from core/rng_streams.hpp",
+    "raw-atomic": "raw std::atomic outside the audited fabric "
+                  "(exp/shard_ring, exp/thread_pool); cross-thread traffic "
+                  "goes through the stamped ring",
     "bad-waiver": "malformed sigcomp-lint waiver",
     "unused-waiver": "waiver suppresses no finding; remove it",
 }
@@ -254,6 +263,18 @@ SIMPLE_RULES = [
         r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\b")),
 ]
 
+# raw-atomic: std::atomic<T>, std::atomic_flag, std::atomic_thread_fence and
+# friends.  Path-scoped rather than purely syntactic: the two audited
+# cross-thread primitives -- the stamped SPSC ring fabric and the thread
+# pool's work-claiming counter -- are the only library files allowed to hold
+# raw atomics (anywhere else, waive with a reason).
+ATOMIC_RE = re.compile(r"\bstd\s*::\s*atomic(?:_\w+)?\b")
+ATOMIC_FABRIC_FILES = (
+    "exp/shard_ring.hpp",
+    "exp/thread_pool.hpp",
+    "exp/thread_pool.cpp",
+)
+
 # ------------------------------------------- declaration collectors --
 
 # `std::unordered_map<...> name` possibly nested inside another template
@@ -330,12 +351,16 @@ def lint_file(view, unordered_names, rng_names, registry_rel):
 
     rng_member_res = [member_init_literal_re(n) for n in sorted(rng_names)]
 
-    in_registry = view.rel.replace(os.sep, "/").endswith(registry_rel)
+    rel_posix = view.rel.replace(os.sep, "/")
+    in_registry = rel_posix.endswith(registry_rel)
+    in_fabric = rel_posix.endswith(ATOMIC_FABRIC_FILES)
     for idx, line in enumerate(view.code_lines):
         lineno = idx + 1
         for rule, rx in SIMPLE_RULES:
             if rx.search(line):
                 raw.append((lineno, rule, RULE_DOCS[rule]))
+        if not in_fabric and ATOMIC_RE.search(line):
+            raw.append((lineno, "raw-atomic", RULE_DOCS["raw-atomic"]))
         # unordered-iteration: range-for or begin()/end() over a known name.
         tokens = None
         for m in RANGE_FOR_RE.finditer(line):

@@ -887,6 +887,16 @@ int cmd_scale(int argc, const char* const* argv) {
                     "60");
   parser.add_option("hops", "hops per session (1 = sender/receiver pair)",
                     "1");
+  parser.add_option("shared-relays",
+                    "single-hop farms: shared relay sessions fed through the "
+                    "cross-shard ring fabric (0 = no inter-session traffic)",
+                    "0");
+  parser.add_option("subscribers-per-relay",
+                    "farm sessions wired to each shared relay",
+                    "16");
+  parser.add_flag("teardown",
+                  "tree/chain sessions: end each lifetime window with an "
+                  "explicit remove() and price the teardown messages");
   parser.add_option("shard-size", "sessions per simulator shard", "4096");
   parser.add_option("seed", "base seed of the per-session keying", "1");
   parser.add_option("threads", "worker threads (0 = all cores)", "0");
@@ -956,6 +966,28 @@ int cmd_scale(int argc, const char* const* argv) {
   const bool churning = options.leaf_churn.enabled();
   const bool crashing = options.scenario.failure.enabled();
   const std::size_t hops = count_option(parser, "hops");
+  options.shared_relays =
+      static_cast<std::size_t>(parser.get_long("shared-relays"));
+  options.subscribers_per_relay =
+      count_option(parser, "subscribers-per-relay");
+  options.teardown = parser.flag("teardown");
+  if (options.shared_relays > 0 && (tree_sessions || hops > 1)) {
+    throw std::invalid_argument(
+        "scale: --shared-relays drives single-hop sessions through the "
+        "cross-shard fabric; it cannot be combined with --hops or a tree "
+        "shape");
+  }
+  if (parser.passed("subscribers-per-relay") && options.shared_relays == 0) {
+    throw std::invalid_argument(
+        "scale: --subscribers-per-relay needs --shared-relays > 0 (nothing "
+        "subscribes without a relay)");
+  }
+  if (options.teardown && !tree_sessions && hops <= 1) {
+    throw std::invalid_argument(
+        "scale: --teardown prices tree/chain teardown; single-hop sessions "
+        "already end with an explicit remove (pass --hops > 1 or a tree "
+        "shape)");
+  }
   const std::string shape =
       tree_sessions ? (parser.passed("topology")
                            ? parser.get("topology") + " tree(s)"
@@ -972,11 +1004,20 @@ int cmd_scale(int argc, const char* const* argv) {
   if (crashing) {
     headers.insert(headers.end(), {"crashes", "recoveries"});
   }
-  exp::Table table("session farm: " + std::to_string(options.sessions) +
-                       " sessions, " + shape +
-                       (churning ? ", churning leaves" : "") +
-                       (crashing ? ", crashing relays" : ""),
-                   std::move(headers));
+  const bool relaying = options.shared_relays > 0;
+  if (relaying) {
+    headers.insert(headers.end(), {"fabric msgs", "fabric drop"});
+  }
+  if (options.teardown) headers.emplace_back("teardown msgs");
+  exp::Table table(
+      "session farm: " + std::to_string(options.sessions) + " sessions, " +
+          shape + (churning ? ", churning leaves" : "") +
+          (crashing ? ", crashing relays" : "") +
+          (relaying ? ", " + std::to_string(options.shared_relays) +
+                          " shared relays"
+                    : "") +
+          (options.teardown ? ", explicit teardown" : ""),
+      std::move(headers));
   const auto add_row = [&](ProtocolKind kind,
                            const exp::SessionFarmResult& result) {
     std::vector<exp::Cell> row{
@@ -998,6 +1039,13 @@ int cmd_scale(int argc, const char* const* argv) {
     if (crashing) {
       row.emplace_back(static_cast<double>(result.relay_crashes));
       row.emplace_back(static_cast<double>(result.relay_recoveries));
+    }
+    if (relaying) {
+      row.emplace_back(static_cast<double>(result.fabric_messages));
+      row.emplace_back(static_cast<double>(result.fabric_dropped));
+    }
+    if (options.teardown) {
+      row.emplace_back(static_cast<double>(result.teardown_messages));
     }
     table.add_row(std::move(row));
   };
